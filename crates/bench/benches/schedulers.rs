@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks: end-to-end scheduler runs on fixed
+//! workloads. These measure the computational cost of the schedulers
+//! themselves (the paper's model subsumes computation inside a time step;
+//! these benches confirm the polynomial run times claimed in Sections III
+//! and IV are practical).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy};
+use dtm_graph::topology;
+use dtm_model::{ClosedLoopSource, WorkloadSpec};
+use dtm_offline::{LineScheduler, ListScheduler};
+use dtm_sim::{run_policy, EngineConfig};
+
+fn no_events() -> EngineConfig {
+    EngineConfig {
+        record_events: false,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_greedy_clique(c: &mut Criterion) {
+    let net = topology::clique(32);
+    c.bench_function("run/greedy/clique32/closed-loop", |b| {
+        b.iter_batched(
+            || ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(32, 2), 2, 1),
+            |src| {
+                let res = run_policy(&net, src, GreedyPolicy::new(), no_events());
+                assert!(res.ok());
+                res.metrics.makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_bucket_line(c: &mut Criterion) {
+    let net = topology::line(64);
+    c.bench_function("run/bucket-line/line64/closed-loop", |b| {
+        b.iter_batched(
+            || ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(16, 2), 1, 2),
+            |src| {
+                let res = run_policy(&net, src, BucketPolicy::new(LineScheduler), no_events());
+                assert!(res.ok());
+                res.metrics.makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fifo_grid(c: &mut Criterion) {
+    let net = topology::grid(&[6, 6]);
+    c.bench_function("run/fifo/grid6x6/closed-loop", |b| {
+        b.iter_batched(
+            || ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(18, 2), 2, 3),
+            |src| {
+                let res = run_policy(&net, src, FifoPolicy::new(), no_events());
+                assert!(res.ok());
+                res.metrics.makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_distributed_grid(c: &mut Criterion) {
+    let net = topology::grid(&[4, 4]);
+    c.bench_function("run/distributed-bucket/grid4x4/closed-loop", |b| {
+        b.iter_batched(
+            || {
+                (
+                    ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(8, 2), 1, 4),
+                    DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 5),
+                )
+            },
+            |(src, policy)| {
+                let mut cfg = DistributedBucketPolicy::<ListScheduler>::engine_config();
+                cfg.record_events = false;
+                let res = run_policy(&net, src, policy, cfg);
+                assert!(res.ok());
+                res.metrics.makespan
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_greedy_clique, bench_bucket_line, bench_fifo_grid, bench_distributed_grid
+}
+criterion_main!(benches);

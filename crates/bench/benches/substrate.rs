@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the substrates: shortest paths, sparse
+//! cover construction, weighted coloring, batch scheduling and lower
+//! bounds. These dominate each simulated "time step" in practice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtm_core::{smallest_valid_color, ColorConstraint};
+use dtm_graph::{topology, NodeId, ShortestPathTree, SparseCover};
+use dtm_model::{ObjectId, Transaction, TxnId};
+use dtm_offline::{batch_lower_bound, BatchContext, BatchScheduler, ListScheduler};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let net = topology::grid(&[32, 32]);
+    c.bench_function("substrate/dijkstra/grid32x32", |b| {
+        b.iter(|| {
+            let t = ShortestPathTree::compute(net.graph(), NodeId(0));
+            std::hint::black_box(t.eccentricity())
+        })
+    });
+}
+
+fn bench_sparse_cover(c: &mut Criterion) {
+    let net = topology::line(64);
+    c.bench_function("substrate/sparse-cover/line64", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let cover = SparseCover::build(&net, seed);
+            std::hint::black_box(cover.num_layers())
+        })
+    });
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let constraints: Vec<ColorConstraint> = (0..1000)
+        .map(|_| ColorConstraint::new(rng.gen_range(0..5000), rng.gen_range(1..30)))
+        .collect();
+    c.bench_function("substrate/smallest-valid-color/1000-constraints", |b| {
+        b.iter(|| std::hint::black_box(smallest_valid_color(&constraints)))
+    });
+}
+
+fn batch_instance(n: u32, txns: usize, w: u32, k: usize, seed: u64) -> (Vec<Transaction>, BatchContext) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ctx = BatchContext::fresh(
+        (0..w).map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n)))),
+    );
+    let pending: Vec<Transaction> = (0..txns)
+        .map(|i| {
+            let set: Vec<ObjectId> = (0..k).map(|_| ObjectId(rng.gen_range(0..w))).collect();
+            Transaction::new(TxnId(i as u64), NodeId(rng.gen_range(0..n)), set, 0)
+        })
+        .collect();
+    (pending, ctx)
+}
+
+fn bench_list_scheduler(c: &mut Criterion) {
+    let net = topology::grid(&[16, 16]);
+    let (pending, ctx) = batch_instance(256, 200, 64, 3, 11);
+    c.bench_function("substrate/list-scheduler/200-txns", |b| {
+        b.iter(|| {
+            let s = ListScheduler::fifo().schedule(&net, &pending, &ctx);
+            std::hint::black_box(s.makespan_end())
+        })
+    });
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let net = topology::grid(&[16, 16]);
+    let (pending, ctx) = batch_instance(256, 200, 64, 3, 12);
+    c.bench_function("substrate/lower-bound/200-txns", |b| {
+        b.iter(|| std::hint::black_box(batch_lower_bound(&net, &pending, &ctx).combined()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dijkstra, bench_sparse_cover, bench_coloring, bench_list_scheduler, bench_lower_bound
+}
+criterion_main!(benches);

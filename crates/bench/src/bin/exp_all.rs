@@ -1,0 +1,9 @@
+//! Runs the entire experiment suite (E1–E12 and ablations A1–A4).
+//! Pass --quick for the reduced grids used in CI.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    eprintln!("running full experiment suite (quick = {quick})...");
+    for table in dtm_bench::experiments::run_all(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E10 star. Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e10_star::run(quick) {
+        table.print();
+    }
+}

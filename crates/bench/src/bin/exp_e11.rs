@@ -1,0 +1,7 @@
+//! Experiment binary: E11 distributed overhead. Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e11_distributed::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E12 shootout and load sweep. Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e12_shootout::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E14 seed-variance robustness study.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e14_variance::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E15 application benchmarks.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e15_applications::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E16 idealized vs message-level Algorithm 3.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e16_message_level::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E3 clique O(k). Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e3_clique::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E6/E7 bucket lemmas. Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e6_bucket_lemmas::run(quick) {
+        table.print();
+    }
+}

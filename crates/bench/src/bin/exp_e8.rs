@@ -1,0 +1,7 @@
+//! Experiment binary: E8 line polylog. Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e8_line::run(quick) {
+        table.print();
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: E9 cluster. Pass --quick for the reduced grid.
+fn main() {
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e9_cluster::run(quick) {
+        table.print();
+    }
+}

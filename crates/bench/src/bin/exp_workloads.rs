@@ -1,0 +1,98 @@
+//! Characterize the workloads the experiment suite runs on: the
+//! structural quantities (`k`, `l_max`, conflict degrees, popularity skew)
+//! that the paper's bounds are stated in, for each canonical spec.
+//!
+//! ```text
+//! cargo run -p dtm-bench --release --bin exp_workloads
+//! ```
+
+use dtm_bench::Table;
+use dtm_graph::{topology, Network};
+use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+
+fn main() {
+    let mut t = Table::new(
+        "Workload characterization (seed 1 of each canonical spec)",
+        &[
+            "workload", "txns", "objs", "k max", "l_max", "conflict edges",
+            "max degree", "gini",
+        ],
+    );
+    let cases: Vec<(&str, Network, WorkloadSpec)> = vec![
+        (
+            "E3 clique batch k=4",
+            topology::clique(64),
+            WorkloadSpec::batch_uniform(64, 4),
+        ),
+        (
+            "E8 line bernoulli",
+            topology::line(128),
+            WorkloadSpec {
+                num_objects: 32,
+                k: 2,
+                object_choice: ObjectChoice::Uniform,
+                arrival: ArrivalProcess::Bernoulli {
+                    rate: 2.0 / 128.0,
+                    horizon: 128,
+                },
+            },
+        ),
+        (
+            "E12b grid zipf load",
+            topology::grid(&[6, 6]),
+            WorkloadSpec {
+                num_objects: 12,
+                k: 2,
+                object_choice: ObjectChoice::Zipf { exponent: 0.8 },
+                arrival: ArrivalProcess::Bernoulli {
+                    rate: 0.2,
+                    horizon: 40,
+                },
+            },
+        ),
+        (
+            "A4 grid hotspot",
+            topology::grid(&[6, 6]),
+            WorkloadSpec {
+                num_objects: 18,
+                k: 2,
+                object_choice: ObjectChoice::Hotspot {
+                    hot_objects: 2,
+                    hot_prob: 0.5,
+                },
+                arrival: ArrivalProcess::Bernoulli {
+                    rate: 0.2,
+                    horizon: 20,
+                },
+            },
+        ),
+        (
+            "NoC mesh locality",
+            topology::grid(&[8, 8]),
+            WorkloadSpec {
+                num_objects: 64,
+                k: 2,
+                object_choice: ObjectChoice::Neighborhood { radius: 2 },
+                arrival: ArrivalProcess::Bernoulli {
+                    rate: 0.15,
+                    horizon: 50,
+                },
+            },
+        ),
+    ];
+    for (name, net, spec) in cases {
+        let inst = WorkloadGenerator::new(spec, 1).generate(&net);
+        let s = inst.stats();
+        t.row(vec![
+            name.to_string(),
+            s.txns.to_string(),
+            s.objects_used.to_string(),
+            s.k_max.to_string(),
+            s.l_max.to_string(),
+            s.conflict_edges.to_string(),
+            s.max_conflict_degree.to_string(),
+            format!("{:.2}", s.popularity_gini),
+        ]);
+    }
+    t.print();
+}

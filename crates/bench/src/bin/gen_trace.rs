@@ -1,0 +1,56 @@
+//! Generate a workload trace as JSON, for sharing and replay.
+//!
+//! ```text
+//! cargo run -p dtm-bench --release --bin gen_trace -- \
+//!     [topology] [num_objects] [k] [rate] [horizon] [seed] > trace.json
+//! # defaults: grid 12 2 0.2 30 1
+//! ```
+//!
+//! Replay with `run_trace`.
+
+use dtm_graph::{topology, Network};
+use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+
+fn network_from(name: &str) -> Network {
+    match name {
+        "clique" => topology::clique(24),
+        "line" => topology::line(48),
+        "hypercube" => topology::hypercube(5),
+        "star" => topology::star(4, 8),
+        "cluster" => topology::cluster(4, 5, 6),
+        _ => topology::grid(&[6, 6]),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |i: usize, default: &str| args.get(i).cloned().unwrap_or_else(|| default.into());
+    let topo = get(1, "grid");
+    let num_objects: u32 = get(2, "12").parse().expect("num_objects");
+    let k: usize = get(3, "2").parse().expect("k");
+    let rate: f64 = get(4, "0.2").parse().expect("rate");
+    let horizon: u64 = get(5, "30").parse().expect("horizon");
+    let seed: u64 = get(6, "1").parse().expect("seed");
+
+    let net = network_from(&topo);
+    let spec = WorkloadSpec {
+        num_objects,
+        k,
+        object_choice: ObjectChoice::Uniform,
+        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+    };
+    let instance = WorkloadGenerator::new(spec, seed).generate(&net);
+    instance.validate(&net).expect("generated instance is valid");
+    eprintln!(
+        "generated {} transactions / {} objects on {}",
+        instance.num_txns(),
+        instance.num_objects(),
+        net.name()
+    );
+    // Emit {topology, instance} so run_trace can rebuild the same network.
+    let doc = serde_json::json!({
+        "topology": topo,
+        "instance": instance,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+}

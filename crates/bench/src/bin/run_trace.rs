@@ -1,0 +1,110 @@
+//! Replay a JSON trace produced by `gen_trace` under a chosen scheduler
+//! and report metrics plus the conservative competitive-ratio estimate.
+//!
+//! ```text
+//! cargo run -p dtm-bench --release --bin run_trace -- trace.json [policy] [--timeline]
+//! # policy: greedy | bucket | fifo | tsp | distributed (default: greedy)
+//! # --timeline additionally renders the per-object ASCII Gantt chart
+//! ```
+
+use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
+use dtm_graph::{topology, Network};
+use dtm_model::{Instance, TraceSource};
+use dtm_offline::{competitive_ratio, ListScheduler};
+use dtm_sim::{
+    run_policy, validate_events, EngineConfig, RunResult, SchedulingPolicy, ValidationConfig,
+};
+
+fn network_from(name: &str) -> Network {
+    match name {
+        "clique" => topology::clique(24),
+        "line" => topology::line(48),
+        "hypercube" => topology::hypercube(5),
+        "star" => topology::star(4, 8),
+        "cluster" => topology::cluster(4, 5, 6),
+        _ => topology::grid(&[6, 6]),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.get(1).expect("usage: run_trace <trace.json> [policy]");
+    let policy_name = args.get(2).cloned().unwrap_or_else(|| "greedy".into());
+    let raw = std::fs::read_to_string(path).expect("readable trace file");
+    let doc: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+    let topo = doc["topology"].as_str().expect("topology field");
+    let instance: Instance =
+        serde_json::from_value(doc["instance"].clone()).expect("instance field");
+    let net = network_from(topo);
+    instance.validate(&net).expect("trace matches topology");
+
+    let (res, vcfg): (RunResult, ValidationConfig) = match policy_name.as_str() {
+        "bucket" => (
+            run_policy(
+                &net,
+                TraceSource::new(instance),
+                Box::new(BucketPolicy::new(ListScheduler::fifo())) as Box<dyn SchedulingPolicy>,
+                EngineConfig::default(),
+            ),
+            ValidationConfig::default(),
+        ),
+        "fifo" => (
+            run_policy(
+                &net,
+                TraceSource::new(instance),
+                Box::new(FifoPolicy::new()),
+                EngineConfig::default(),
+            ),
+            ValidationConfig::default(),
+        ),
+        "tsp" => (
+            run_policy(
+                &net,
+                TraceSource::new(instance),
+                Box::new(TspPolicy),
+                EngineConfig::default(),
+            ),
+            ValidationConfig::default(),
+        ),
+        "distributed" => (
+            run_policy(
+                &net,
+                TraceSource::new(instance),
+                Box::new(DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 7)),
+                DistributedBucketPolicy::<ListScheduler>::engine_config(),
+            ),
+            ValidationConfig {
+                speed_divisor: 2,
+                ..ValidationConfig::default()
+            },
+        ),
+        _ => (
+            run_policy(
+                &net,
+                TraceSource::new(instance),
+                Box::new(GreedyPolicy::new()),
+                EngineConfig::default(),
+            ),
+            ValidationConfig::default(),
+        ),
+    };
+    res.expect_ok();
+    validate_events(&net, &res, &vcfg).expect("execution validates");
+    let ratio = competitive_ratio(&net, &res);
+    println!("policy          : {}", res.policy);
+    println!("topology        : {}", net.name());
+    println!("committed       : {}", res.metrics.committed);
+    println!("makespan        : {}", res.metrics.makespan);
+    println!("mean latency    : {:.2}", res.metrics.latency.mean);
+    println!("p95 latency     : {}", res.metrics.latency.p95);
+    println!("max latency     : {}", res.metrics.latency.max);
+    println!("comm cost       : {}", res.metrics.comm_cost);
+    println!("ratio (vs LB)   : {:.2}", ratio.max_ratio);
+    if args.iter().any(|a| a == "--timeline") {
+        println!();
+        print!(
+            "{}",
+            dtm_sim::render_timeline(&res, &dtm_sim::TimelineOptions::default())
+        );
+    }
+}

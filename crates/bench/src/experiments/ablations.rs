@@ -1,0 +1,265 @@
+//! A1–A4 — ablations of the design choices DESIGN.md calls out.
+//!
+//! * **A1** — bucket activation period: Algorithm 2 activates level `i`
+//!   every `2^i` steps; multiplying the period trades scheduling latency
+//!   for batch size.
+//! * **A2** — the `b_𝒜` dependence of Theorem 4: the same bucket shell
+//!   around better/worse batch schedulers on a line.
+//! * **A3** — the half-speed object rule of Algorithm 3 (Section V): with
+//!   it vs without it (full-speed objects, doubled-network math removed).
+//! * **A4** — bounded link capacity (the congestion question the paper's
+//!   conclusion leaves open), via the engine's capacity + late-execution
+//!   extension.
+//! * **A5** — leader knowledge staleness in Algorithm 3: insertion probes
+//!   from fresh global state vs from the (stale) object positions carried
+//!   in each report.
+
+use crate::runner::{run_summary, Summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy};
+use dtm_graph::topology;
+use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_offline::{LineScheduler, ListOrder, ListScheduler};
+use dtm_sim::EngineConfig;
+
+/// Run all ablations.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![
+        a1_activation_period(quick),
+        a2_batch_scheduler_quality(quick),
+        a3_half_speed(quick),
+        a4_link_capacity(quick),
+        a5_leader_staleness(quick),
+    ]
+}
+
+fn line_workload(n: u32, seed: u64) -> WorkloadKind {
+    let net = topology::line(n);
+    let spec = WorkloadSpec {
+        num_objects: (n / 4).max(2),
+        k: 2,
+        object_choice: ObjectChoice::Uniform,
+        arrival: ArrivalProcess::Bernoulli {
+            // ~2n transactions total regardless of n.
+            rate: (2.0 / n as f64).min(0.5),
+            horizon: n as u64,
+        },
+    };
+    WorkloadKind::Trace(WorkloadGenerator::new(spec, seed).generate(&net))
+}
+
+fn a1_activation_period(quick: bool) -> Table {
+    let n: u32 = if quick { 32 } else { 96 };
+    let net = topology::line(n);
+    let mut t = Table::new(
+        "A1 — bucket activation period multiplier (line)",
+        &["period mult", "makespan", "mean lat", "max lat", "ratio"],
+    );
+    for &m in &[1u64, 4, 16] {
+        let s: Summary = run_summary(
+            &net,
+            line_workload(n, 2000),
+            BucketPolicy::new(LineScheduler).with_period_multiplier(m),
+            EngineConfig::default(),
+        );
+        t.row(vec![
+            m.to_string(),
+            s.makespan.to_string(),
+            format!("{:.1}", s.mean_latency),
+            s.max_latency.to_string(),
+            fmt_ratio(s.ratio),
+        ]);
+    }
+    t
+}
+
+fn a2_batch_scheduler_quality(quick: bool) -> Table {
+    let n: u32 = if quick { 32 } else { 128 };
+    let net = topology::line(n);
+    let mut t = Table::new(
+        "A2 — Theorem 4's b_𝒜 dependence: bucket around different batch schedulers (line)",
+        &["batch scheduler", "makespan", "mean lat", "ratio"],
+    );
+    let wl = || line_workload(n, 2100);
+    let cases: Vec<(&str, Box<dyn dtm_sim::SchedulingPolicy>)> = vec![
+        ("line-sweep", Box::new(BucketPolicy::new(LineScheduler))),
+        ("list(fifo)", Box::new(BucketPolicy::new(ListScheduler::fifo()))),
+        (
+            "list(random)",
+            Box::new(BucketPolicy::new(ListScheduler {
+                order: ListOrder::Random { seed: 5 },
+            })),
+        ),
+    ];
+    for (name, policy) in cases {
+        let s = run_summary(&net, wl(), policy, EngineConfig::default());
+        t.row(vec![
+            name.to_string(),
+            s.makespan.to_string(),
+            format!("{:.1}", s.mean_latency),
+            fmt_ratio(s.ratio),
+        ]);
+    }
+    t
+}
+
+fn a3_half_speed(quick: bool) -> Table {
+    let net = if quick {
+        topology::grid(&[4, 4])
+    } else {
+        topology::grid(&[5, 5])
+    };
+    let mut t = Table::new(
+        "A3 — Algorithm 3 half-speed object rule",
+        &["objects", "makespan", "mean lat", "ratio"],
+    );
+    let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+    let wl = |seed: u64| WorkloadKind::ClosedLoop {
+        spec: spec.clone(),
+        rounds: 2,
+        seed,
+    };
+    // With the rule (the paper's algorithm).
+    let half = run_summary(
+        &net,
+        wl(2200),
+        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 31),
+        DistributedBucketPolicy::<ListScheduler>::engine_config(),
+    );
+    t.row(vec![
+        "half speed (paper)".into(),
+        half.makespan.to_string(),
+        format!("{:.1}", half.mean_latency),
+        fmt_ratio(half.ratio),
+    ]);
+    // Without it: full-speed objects, true-distance math.
+    let full = run_summary(
+        &net,
+        wl(2200),
+        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 31).with_full_speed(&net),
+        EngineConfig::default(),
+    );
+    t.row(vec![
+        "full speed (ablation)".into(),
+        full.makespan.to_string(),
+        format!("{:.1}", full.mean_latency),
+        fmt_ratio(full.ratio),
+    ]);
+    t
+}
+
+fn a4_link_capacity(quick: bool) -> Table {
+    let net = if quick {
+        topology::grid(&[4, 4])
+    } else {
+        topology::grid(&[6, 6])
+    };
+    let mut t = Table::new(
+        "A4 — bounded link capacity (congestion extension, paper §VI)",
+        &["capacity", "makespan", "mean lat", "max lat", "peak edge load"],
+    );
+    let spec = WorkloadSpec {
+        num_objects: net.n() as u32 / 2,
+        k: 2,
+        object_choice: ObjectChoice::Hotspot {
+            hot_objects: 2,
+            hot_prob: 0.5,
+        },
+        arrival: ArrivalProcess::Bernoulli {
+            rate: 0.2,
+            horizon: 20,
+        },
+    };
+    let inst = WorkloadGenerator::new(spec, 2300).generate(&net);
+    for cap in [None, Some(2u32), Some(1u32)] {
+        let cfg = EngineConfig {
+            link_capacity: cap,
+            allow_late_execution: cap.is_some(),
+            ..EngineConfig::default()
+        };
+        let s = run_summary(
+            &net,
+            WorkloadKind::Trace(inst.clone()),
+            FifoPolicy::new(),
+            cfg,
+        );
+        t.row(vec![
+            cap.map_or("unbounded".to_string(), |c| c.to_string()),
+            s.makespan.to_string(),
+            format!("{:.1}", s.mean_latency),
+            s.max_latency.to_string(),
+            s.peak_edge_load.to_string(),
+        ]);
+    }
+    t
+}
+
+fn a5_leader_staleness(quick: bool) -> Table {
+    let net = if quick {
+        topology::grid(&[4, 4])
+    } else {
+        topology::grid(&[5, 5])
+    };
+    let mut t = Table::new(
+        "A5 — Algorithm 3 leader knowledge: fresh vs report-carried (stale)",
+        &["knowledge", "makespan", "mean lat", "ratio"],
+    );
+    let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+    let wl = |seed: u64| WorkloadKind::ClosedLoop {
+        spec: spec.clone(),
+        rounds: 2,
+        seed,
+    };
+    let fresh = run_summary(
+        &net,
+        wl(2400),
+        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 41),
+        DistributedBucketPolicy::<ListScheduler>::engine_config(),
+    );
+    t.row(vec![
+        "fresh (simulated)".into(),
+        fresh.makespan.to_string(),
+        format!("{:.1}", fresh.mean_latency),
+        fmt_ratio(fresh.ratio),
+    ]);
+    let stale = run_summary(
+        &net,
+        wl(2400),
+        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 41).with_stale_knowledge(),
+        DistributedBucketPolicy::<ListScheduler>::engine_config(),
+    );
+    t.row(vec![
+        "stale (report-carried)".into(),
+        stale.makespan.to_string(),
+        format!("{:.1}", stale.mean_latency),
+        fmt_ratio(stale.ratio),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablations_complete_quickly() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 5);
+        for t in &tables {
+            assert!(!t.is_empty(), "{} empty", t.title);
+        }
+    }
+
+    #[test]
+    fn capacity_never_speeds_things_up() {
+        let t = super::a4_link_capacity(true);
+        let rows: Vec<Vec<String>> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        let unbounded: u64 = rows[0][1].parse().unwrap();
+        let cap1: u64 = rows[2][1].parse().unwrap();
+        assert!(cap1 >= unbounded);
+    }
+}

@@ -1,0 +1,73 @@
+//! E10 — Section IV-D, star graphs: bucket conversion of the randomized
+//! star scheduler, `O(log β · min(kβ, log_c^k m) · log^3 n)`-competitive.
+//!
+//! Sweeps the number of rays α, ray length β and k. Expectation: the
+//! bucket(star) ratio grows mildly with β and k (polylog·min(kβ,·)),
+//! clearly below the FIFO baseline on long rays, where every ray
+//! ping-pong costs 2β.
+
+use crate::runner::{run_summary, Summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
+use dtm_graph::topology;
+use dtm_model::WorkloadSpec;
+use dtm_offline::StarScheduler;
+use dtm_sim::EngineConfig;
+
+/// Run E10.
+pub fn run(quick: bool) -> Vec<Table> {
+    let cases: Vec<(u32, u32, usize)> = if quick {
+        vec![(3, 4, 2), (3, 12, 2)]
+    } else {
+        vec![
+            (4, 8, 1),
+            (4, 8, 4),
+            (8, 8, 2),
+            (4, 24, 2),
+            (4, 48, 2),
+        ]
+    };
+    let mut t = Table::new(
+        "E10 — star graph: bucket(star) vs baselines",
+        &["rays", "ray len", "k", "policy", "txns", "makespan", "ratio"],
+    );
+    for &(alpha, beta, k) in &cases {
+        let net = topology::star(alpha, beta);
+        let spec = WorkloadSpec::batch_uniform(alpha * beta / 2 + 1, k);
+        let mut push = |s: Summary| {
+            t.row(vec![
+                alpha.to_string(),
+                beta.to_string(),
+                k.to_string(),
+                s.policy.clone(),
+                s.txns.to_string(),
+                s.makespan.to_string(),
+                fmt_ratio(s.ratio),
+            ]);
+        };
+        let wl = |seed: u64| WorkloadKind::ClosedLoop {
+            spec: spec.clone(),
+            rounds: 2,
+            seed,
+        };
+        push(run_summary(
+            &net,
+            wl(1000),
+            BucketPolicy::new(StarScheduler::default()),
+            EngineConfig::default(),
+        ));
+        push(run_summary(&net, wl(1000), GreedyPolicy::new(), EngineConfig::default()));
+        push(run_summary(&net, wl(1000), FifoPolicy::new(), EngineConfig::default()));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_completes() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].len(), 6);
+    }
+}

@@ -1,0 +1,104 @@
+//! E11 — Theorem 5: the distributed bucket schedule pays a polylog
+//! overhead over the centralized bucket schedule.
+//!
+//! Same workload, same batch scheduler: Algorithm 2 with instant central
+//! knowledge (objects at full speed) vs Algorithm 3 over the sparse cover
+//! (half-speed objects, discovery + report + notify latencies, leader-held
+//! partial buckets). The table reports the end-to-end overhead factor and
+//! the protocol's message counts — the price of decentralization the
+//! theorems trade against (log^3 → log^9).
+
+use crate::runner::{run_summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::{BucketPolicy, DistStats, DistributedBucketPolicy};
+use dtm_graph::{topology, Network};
+use dtm_model::WorkloadSpec;
+use dtm_offline::ListScheduler;
+use dtm_sim::EngineConfig;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Run E11.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E11 — Theorem 5: distributed vs centralized bucket schedule",
+        &[
+            "topology",
+            "txns",
+            "central makespan",
+            "dist makespan",
+            "overhead",
+            "central ratio",
+            "dist ratio",
+            "messages",
+            "max report lat",
+        ],
+    );
+    let nets: Vec<Network> = if quick {
+        vec![topology::line(16), topology::grid(&[4, 4])]
+    } else {
+        vec![
+            topology::line(32),
+            topology::grid(&[5, 5]),
+            topology::star(4, 6),
+            topology::cluster(3, 4, 4),
+        ]
+    };
+    for net in &nets {
+        let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+        let wl = |seed: u64| WorkloadKind::ClosedLoop {
+            spec: spec.clone(),
+            rounds: 2,
+            seed,
+        };
+        let central = run_summary(
+            net,
+            wl(1100),
+            BucketPolicy::new(ListScheduler::fifo()),
+            EngineConfig::default(),
+        );
+        let stats = Arc::new(Mutex::new(DistStats::default()));
+        let dist_policy = DistributedBucketPolicy::new(net, ListScheduler::fifo(), 17)
+            .with_stats(Arc::clone(&stats));
+        let dist = run_summary(
+            net,
+            wl(1100),
+            dist_policy,
+            DistributedBucketPolicy::<ListScheduler>::engine_config(),
+        );
+        let s = stats.lock();
+        let overhead = dist.makespan as f64 / central.makespan.max(1) as f64;
+        t.row(vec![
+            net.name().to_string(),
+            central.txns.to_string(),
+            central.makespan.to_string(),
+            dist.makespan.to_string(),
+            fmt_ratio(overhead),
+            fmt_ratio(central.ratio),
+            fmt_ratio(dist.ratio),
+            s.messages.to_string(),
+            s.report_latency.iter().copied().max().unwrap_or(0).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn distributed_pays_bounded_overhead() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        assert_eq!(t.len(), 2);
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let overhead: f64 = cells[4].parse().unwrap();
+            assert!(overhead >= 1.0, "distribution cannot be free: {line}");
+            assert!(
+                overhead < 200.0,
+                "overhead should be polylog-ish, got {line}"
+            );
+        }
+    }
+}

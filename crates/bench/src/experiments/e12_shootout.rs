@@ -1,0 +1,133 @@
+//! E12 — cross-topology scheduler shoot-out and load sweep.
+//!
+//! Compares the paper's schedulers (greedy = Algorithm 1, bucket =
+//! Algorithm 2 with per-topology batch substrate) against the baselines
+//! the related-work section discusses: FIFO earliest-feasible and the
+//! TSP-tour heuristic of Zhang et al. [30]. Also sweeps the arrival rate
+//! on a grid to show latency under increasing contention.
+
+use crate::runner::{run_summary, Summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
+use dtm_graph::{topology, Network};
+use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_offline::{ClusterScheduler, LineScheduler, ListScheduler, StarScheduler};
+use dtm_sim::EngineConfig;
+
+fn bucket_for(net: &Network) -> Box<dyn dtm_sim::SchedulingPolicy> {
+    match net.structured() {
+        Some(dtm_graph::Structured::Line { .. }) => {
+            Box::new(BucketPolicy::new(LineScheduler))
+        }
+        Some(dtm_graph::Structured::Cluster { .. }) => {
+            Box::new(BucketPolicy::new(ClusterScheduler::default()))
+        }
+        Some(dtm_graph::Structured::Star { .. }) => {
+            Box::new(BucketPolicy::new(StarScheduler::default()))
+        }
+        _ => Box::new(BucketPolicy::new(ListScheduler::fifo())),
+    }
+}
+
+/// Run E12.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nets: Vec<Network> = if quick {
+        vec![topology::clique(12), topology::line(24)]
+    } else {
+        vec![
+            topology::clique(32),
+            topology::hypercube(5),
+            topology::butterfly(3),
+            topology::grid(&[6, 6]),
+            topology::line(64),
+            topology::star(4, 8),
+            topology::cluster(4, 4, 4),
+            topology::random(32, 3, 3, 77),
+        ]
+    };
+    let mut t = Table::new(
+        "E12 — shoot-out: Algorithms 1 & 2 vs FIFO and TSP baselines",
+        &["topology", "policy", "txns", "makespan", "mean lat", "max lat", "comm", "ratio"],
+    );
+    for net in &nets {
+        let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+        let wl = |seed: u64| WorkloadKind::ClosedLoop {
+            spec: spec.clone(),
+            rounds: 2,
+            seed,
+        };
+        let mut push = |s: Summary| {
+            t.row(vec![
+                net.name().to_string(),
+                s.policy.clone(),
+                s.txns.to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}", s.mean_latency),
+                s.max_latency.to_string(),
+                s.comm_cost.to_string(),
+                fmt_ratio(s.ratio),
+            ]);
+        };
+        push(run_summary(net, wl(1200), GreedyPolicy::new(), EngineConfig::default()));
+        push(run_summary(net, wl(1200), bucket_for(net), EngineConfig::default()));
+        push(run_summary(net, wl(1200), FifoPolicy::new(), EngineConfig::default()));
+        push(run_summary(net, wl(1200), TspPolicy, EngineConfig::default()));
+    }
+
+    // Load sweep: latency vs arrival rate under the greedy scheduler and
+    // FIFO on a grid.
+    let mut sweep = Table::new(
+        "E12b — load sweep on grid(6x6): latency vs arrival rate",
+        &["rate", "policy", "txns", "mean lat", "p95-ish max lat", "ratio"],
+    );
+    let rates: Vec<f64> = if quick { vec![0.05, 0.2] } else { vec![0.02, 0.05, 0.1, 0.2, 0.4] };
+    let net = topology::grid(&[6, 6]);
+    for &rate in &rates {
+        let spec = WorkloadSpec {
+            num_objects: 12,
+            k: 2,
+            object_choice: ObjectChoice::Zipf { exponent: 0.8 },
+            arrival: ArrivalProcess::Bernoulli { rate, horizon: 40 },
+        };
+        let inst = WorkloadGenerator::new(spec, 1300).generate(&net);
+        if inst.txns.is_empty() {
+            continue;
+        }
+        for policy in ["greedy", "fifo"] {
+            let s = match policy {
+                "greedy" => run_summary(
+                    &net,
+                    WorkloadKind::Trace(inst.clone()),
+                    GreedyPolicy::new(),
+                    EngineConfig::default(),
+                ),
+                _ => run_summary(
+                    &net,
+                    WorkloadKind::Trace(inst.clone()),
+                    FifoPolicy::new(),
+                    EngineConfig::default(),
+                ),
+            };
+            sweep.row(vec![
+                format!("{rate}"),
+                s.policy.clone(),
+                s.txns.to_string(),
+                format!("{:.1}", s.mean_latency),
+                s.max_latency.to_string(),
+                fmt_ratio(s.ratio),
+            ]);
+        }
+    }
+    vec![t, sweep]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_shootout_completes() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].len(), 8); // 2 topologies x 4 policies
+        assert!(!tables[1].is_empty());
+    }
+}

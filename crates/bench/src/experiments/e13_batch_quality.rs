@@ -1,0 +1,134 @@
+//! E13 — measuring `b_𝒜`, the batch approximation ratio that Theorem 4's
+//! online competitive bound `O(b_𝒜 log^3(nD))` is parametric in.
+//!
+//! On small random instances (where the exact optimum is computable by
+//! exhaustive search over priority orders) we report, per topology and
+//! batch scheduler: the mean and worst `makespan / OPT`, and the tightness
+//! `OPT / LB` of the certified lower bounds used by every competitive
+//! ratio in this reproduction.
+
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_graph::{topology, Network, NodeId};
+use dtm_model::{ObjectId, Transaction, TxnId};
+use dtm_offline::{
+    batch_lower_bound, BatchContext, BatchScheduler, CliqueScheduler, ClusterScheduler,
+    ExactScheduler, LineScheduler, ListScheduler, StarScheduler, TspScheduler,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_case(net: &Network, txns: usize, w: u32, k: usize, seed: u64) -> (Vec<Transaction>, BatchContext) {
+    let n = net.n() as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ctx = BatchContext::fresh((0..w).map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n)))));
+    let pending = (0..txns)
+        .map(|i| {
+            let set: Vec<ObjectId> = (0..k).map(|_| ObjectId(rng.gen_range(0..w))).collect();
+            Transaction::new(TxnId(i as u64), NodeId(rng.gen_range(0..n)), set, 0)
+        })
+        .collect();
+    (pending, ctx)
+}
+
+struct Agg {
+    sum: f64,
+    worst: f64,
+    lb_sum: f64,
+    lb_worst: f64,
+    cases: usize,
+}
+
+/// Run E13.
+pub fn run(quick: bool) -> Vec<Table> {
+    let cases = if quick { 15 } else { 100 };
+    let mut t = Table::new(
+        "E13 — batch approximation ratios b_𝒜 vs exact OPT (small instances)",
+        &["topology", "scheduler", "cases", "mean b_A", "worst b_A", "mean OPT/LB", "worst OPT/LB"],
+    );
+    type Mk = Box<dyn Fn() -> Box<dyn BatchScheduler>>;
+    let setups: Vec<(Network, Vec<(&str, Mk)>)> = vec![
+        (
+            topology::clique(8),
+            vec![
+                ("clique-coloring", Box::new(|| Box::new(CliqueScheduler) as Box<dyn BatchScheduler>) as Mk),
+                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
+                ("tsp-tour", Box::new(|| Box::new(TspScheduler))),
+            ],
+        ),
+        (
+            topology::line(12),
+            vec![
+                ("line-sweep", Box::new(|| Box::new(LineScheduler) as Box<dyn BatchScheduler>) as Mk),
+                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
+                ("tsp-tour", Box::new(|| Box::new(TspScheduler))),
+            ],
+        ),
+        (
+            topology::cluster(3, 3, 4),
+            vec![
+                ("cluster(2-phase)", Box::new(|| Box::new(ClusterScheduler::default()) as Box<dyn BatchScheduler>) as Mk),
+                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
+            ],
+        ),
+        (
+            topology::star(3, 3),
+            vec![
+                ("star(randomized)", Box::new(|| Box::new(StarScheduler::default()) as Box<dyn BatchScheduler>) as Mk),
+                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
+            ],
+        ),
+    ];
+    for (net, schedulers) in &setups {
+        for (name, mk) in schedulers {
+            let mut agg = Agg {
+                sum: 0.0,
+                worst: 0.0,
+                lb_sum: 0.0,
+                lb_worst: 0.0,
+                cases: 0,
+            };
+            for seed in 0..cases {
+                let (pending, ctx) = random_case(net, 6, 3, 2, 7000 + seed);
+                let opt = ExactScheduler
+                    .schedule(net, &pending, &ctx)
+                    .makespan_end()
+                    .unwrap_or(0)
+                    .max(1);
+                let heur = mk()
+                    .schedule(net, &pending, &ctx)
+                    .makespan_end()
+                    .unwrap_or(0);
+                let b_a = heur as f64 / opt as f64;
+                assert!(b_a >= 0.999, "heuristic beat the optimum?! {name}");
+                let lb = batch_lower_bound(net, &pending, &ctx).combined();
+                let tight = opt as f64 / lb as f64;
+                agg.sum += b_a;
+                agg.worst = agg.worst.max(b_a);
+                agg.lb_sum += tight;
+                agg.lb_worst = agg.lb_worst.max(tight);
+                agg.cases += 1;
+            }
+            t.row(vec![
+                net.name().to_string(),
+                name.to_string(),
+                agg.cases.to_string(),
+                fmt_ratio(agg.sum / agg.cases as f64),
+                fmt_ratio(agg.worst),
+                fmt_ratio(agg.lb_sum / agg.cases as f64),
+                fmt_ratio(agg.lb_worst),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn heuristics_never_beat_opt() {
+        // run() asserts b_A >= 1 internally.
+        let tables = super::run(true);
+        assert!(tables[0].len() >= 8);
+    }
+}

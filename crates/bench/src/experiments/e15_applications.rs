@@ -1,0 +1,93 @@
+//! E15 — application benchmarks (the evaluation the paper's conclusion
+//! calls for: "evaluate our algorithm against different application
+//! benchmarks in a practical setting").
+//!
+//! Three classic TM workload families, mapped onto the data-flow model
+//! (`dtm_model::presets`): bank transfers (Zipf accounts), social-graph
+//! updates (celebrity hotspot), and inventory/order processing (sharded
+//! locality). Each runs on a fitting topology under Algorithm 1, the
+//! bucket conversion, and the FIFO baseline.
+
+use crate::runner::{run_summary, Summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
+use dtm_graph::{topology, Network};
+use dtm_model::{presets, WorkloadGenerator, WorkloadSpec};
+use dtm_offline::ListScheduler;
+use dtm_sim::EngineConfig;
+
+/// Run E15.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E15 — application benchmarks: bank / social graph / inventory",
+        &[
+            "benchmark", "topology", "policy", "txns", "makespan", "mean lat", "p-edge", "ratio",
+        ],
+    );
+    let scale = if quick { 0.5 } else { 1.0 };
+    let cases: Vec<(&str, Network, WorkloadSpec)> = vec![
+        (
+            "bank",
+            topology::clique(16),
+            presets::bank(48, 0.25 * scale, 24),
+        ),
+        (
+            "social-graph",
+            topology::hypercube(5),
+            presets::social_graph(96, 3, 0.15 * scale, 24),
+        ),
+        (
+            "inventory",
+            topology::grid(&[6, 6]),
+            presets::inventory(72, 2, 0.2 * scale, 24),
+        ),
+    ];
+    for (name, net, spec) in &cases {
+        let inst = WorkloadGenerator::new(spec.clone(), 7777).generate(net);
+        if inst.txns.is_empty() {
+            continue;
+        }
+        let stats = inst.stats();
+        let mut push = |s: Summary| {
+            t.row(vec![
+                format!("{name} (l_max={})", stats.l_max),
+                net.name().to_string(),
+                s.policy.clone(),
+                s.txns.to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}", s.mean_latency),
+                s.peak_edge_load.to_string(),
+                fmt_ratio(s.ratio),
+            ]);
+        };
+        push(run_summary(
+            net,
+            WorkloadKind::Trace(inst.clone()),
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            net,
+            WorkloadKind::Trace(inst.clone()),
+            BucketPolicy::new(ListScheduler::fifo()),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            net,
+            WorkloadKind::Trace(inst.clone()),
+            FifoPolicy::new(),
+            EngineConfig::default(),
+        ));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn applications_run_clean() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].len(), 9); // 3 benchmarks x 3 policies
+    }
+}

@@ -1,0 +1,75 @@
+//! E3 — Theorem 3: on a clique the greedy online schedule is
+//! O(k)-competitive.
+//!
+//! Workload: the theorem's own setting (Section III-C): every node keeps
+//! one transaction outstanding (closed loop), each requesting k arbitrary
+//! objects. Expectation: the measured ratio column grows roughly linearly
+//! in k and stays flat as n grows; ratio/k is approximately constant.
+
+use crate::runner::{run_summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::GreedyPolicy;
+use dtm_graph::topology;
+use dtm_model::WorkloadSpec;
+use dtm_sim::EngineConfig;
+
+/// Run E3.
+pub fn run(quick: bool) -> Vec<Table> {
+    let ns: Vec<u32> = if quick { vec![16, 32] } else { vec![16, 64, 128] };
+    let ks: Vec<usize> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
+    let mut t = Table::new(
+        "E3 — Theorem 3: clique greedy is O(k)-competitive",
+        &["n", "k", "txns", "makespan", "ratio", "ratio/k"],
+    );
+    for &n in &ns {
+        for &k in &ks {
+            let net = topology::clique(n);
+            let spec = WorkloadSpec::batch_uniform(n, k);
+            let s = run_summary(
+                &net,
+                WorkloadKind::ClosedLoop {
+                    spec,
+                    rounds: 3,
+                    seed: 1000 + n as u64 + k as u64,
+                },
+                GreedyPolicy::uniform(1),
+                EngineConfig::default(),
+            );
+            t.row(vec![
+                n.to_string(),
+                k.to_string(),
+                s.txns.to_string(),
+                s.makespan.to_string(),
+                fmt_ratio(s.ratio),
+                fmt_ratio(s.ratio / k as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_flat_in_n_growing_in_k() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        assert_eq!(t.len(), 4);
+        // Parse ratios back out of the CSV: rows are (n, k) in the loop
+        // order (16,1), (16,4), (32,1), (32,4).
+        let rows: Vec<Vec<String>> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        let ratio = |i: usize| rows[i][4].parse::<f64>().unwrap();
+        // Growing in k: ratio(k=4) > ratio(k=1) on both sizes (allow slack
+        // for the conservative lower bound: require >= rather than 4x).
+        assert!(ratio(1) >= ratio(0));
+        assert!(ratio(3) >= ratio(2));
+        // Flat-ish in n: doubling n must not double the ratio.
+        assert!(ratio(2) < ratio(0) * 2.0 + 2.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! E4/E5 — Section III-D: on hypercubes, butterflies and log n-dimensional
+//! grids the greedy online schedule is O(k log n)-competitive.
+//!
+//! Expectation: the ratio column normalized by `k * log2(n)` stays roughly
+//! constant across sizes and k.
+
+use crate::runner::{run_summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::GreedyPolicy;
+use dtm_graph::{topology, Network};
+use dtm_model::WorkloadSpec;
+use dtm_sim::EngineConfig;
+
+fn log2n(n: usize) -> f64 {
+    (n as f64).log2()
+}
+
+fn run_case(t: &mut Table, net: &Network, k: usize, seed: u64) {
+    let spec = WorkloadSpec::batch_uniform((net.n() as u32).max(4), k);
+    let s = run_summary(
+        net,
+        WorkloadKind::ClosedLoop {
+            spec,
+            rounds: 2,
+            seed,
+        },
+        GreedyPolicy::new(),
+        EngineConfig::default(),
+    );
+    let norm = s.ratio / (k as f64 * log2n(net.n()));
+    t.row(vec![
+        net.name().to_string(),
+        net.n().to_string(),
+        k.to_string(),
+        s.txns.to_string(),
+        s.makespan.to_string(),
+        fmt_ratio(s.ratio),
+        fmt_ratio(norm),
+    ]);
+}
+
+/// Run E4 (hypercube) and E5 (butterfly, log n-dim grid).
+pub fn run(quick: bool) -> Vec<Table> {
+    let headers = ["topology", "n", "k", "txns", "makespan", "ratio", "ratio/(k·log n)"];
+    let mut t4 = Table::new(
+        "E4 — hypercube greedy is O(k log n)-competitive",
+        &headers,
+    );
+    let dims: Vec<u32> = if quick { vec![3, 5] } else { vec![3, 5, 7, 8] };
+    let ks: Vec<usize> = if quick { vec![2] } else { vec![1, 2, 4] };
+    for &d in &dims {
+        for &k in &ks {
+            run_case(&mut t4, &topology::hypercube(d), k, 40 + d as u64 + k as u64);
+        }
+    }
+
+    let mut t5 = Table::new(
+        "E5 — butterfly and log n-dimensional grid greedy, O(k log n)",
+        &headers,
+    );
+    let bf_dims: Vec<u32> = if quick { vec![2] } else { vec![2, 3, 4] };
+    for &d in &bf_dims {
+        for &k in &ks {
+            run_case(&mut t5, &topology::butterfly(d), k, 60 + d as u64 + k as u64);
+        }
+    }
+    // log n-dimensional grids: side-2 grids of dimension d have n = 2^d.
+    let grid_dims: Vec<usize> = if quick { vec![4] } else { vec![4, 6, 8] };
+    for &d in &grid_dims {
+        let net = topology::grid(&vec![2u32; d]);
+        for &k in &ks {
+            run_case(&mut t5, &net, k, 80 + d as u64 + k as u64);
+        }
+    }
+    vec![t4, t5]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables[1].len(), 2);
+        // Normalized ratio should be a small constant (sanity threshold).
+        for t in &tables {
+            for line in t.to_csv().lines().skip(1) {
+                let norm: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+                assert!(norm < 30.0, "normalized ratio blew up: {line}");
+            }
+        }
+    }
+}

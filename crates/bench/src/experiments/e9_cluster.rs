@@ -1,0 +1,76 @@
+//! E9 — Section IV-D, cluster graphs: bucket conversion of the two-phase
+//! cluster scheduler, `O(min(kβ, log_c^k m) · log^3(nγ))`-competitive.
+//!
+//! Sweeps α (cliques), β (clique size), γ (bridge weight) and k, comparing
+//! the bucket(cluster) schedule to FIFO and greedy. Expectation: the
+//! bucket ratio tracks `min(kβ, ·) · polylog` — in particular it grows
+//! with k and β but stays moderate as γ (and hence the diameter) grows,
+//! where FIFO degrades.
+
+use crate::runner::{run_summary, Summary, WorkloadKind};
+use crate::table::fmt_ratio;
+use crate::Table;
+use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
+use dtm_graph::topology;
+use dtm_model::WorkloadSpec;
+use dtm_offline::ClusterScheduler;
+use dtm_sim::EngineConfig;
+
+/// Run E9.
+pub fn run(quick: bool) -> Vec<Table> {
+    let cases: Vec<(u32, u32, u64, usize)> = if quick {
+        vec![(3, 4, 4, 2), (3, 4, 16, 2)]
+    } else {
+        vec![
+            (4, 4, 4, 1),
+            (4, 4, 4, 4),
+            (8, 4, 4, 2),
+            (4, 8, 8, 2),
+            (4, 4, 32, 2),
+            (4, 4, 128, 2),
+        ]
+    };
+    let mut t = Table::new(
+        "E9 — cluster graph: bucket(cluster) vs baselines",
+        &["α", "β", "γ", "k", "policy", "txns", "makespan", "ratio"],
+    );
+    for &(alpha, beta, gamma, k) in &cases {
+        let net = topology::cluster(alpha, beta, gamma.max(beta as u64));
+        let spec = WorkloadSpec::batch_uniform(alpha * beta, k);
+        let mut push = |s: Summary| {
+            t.row(vec![
+                alpha.to_string(),
+                beta.to_string(),
+                gamma.to_string(),
+                k.to_string(),
+                s.policy.clone(),
+                s.txns.to_string(),
+                s.makespan.to_string(),
+                fmt_ratio(s.ratio),
+            ]);
+        };
+        let wl = |seed: u64| WorkloadKind::ClosedLoop {
+            spec: spec.clone(),
+            rounds: 2,
+            seed,
+        };
+        push(run_summary(
+            &net,
+            wl(900),
+            BucketPolicy::new(ClusterScheduler::default()),
+            EngineConfig::default(),
+        ));
+        push(run_summary(&net, wl(900), GreedyPolicy::new(), EngineConfig::default()));
+        push(run_summary(&net, wl(900), FifoPolicy::new(), EngineConfig::default()));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_completes() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].len(), 6);
+    }
+}

@@ -1,0 +1,42 @@
+//! The experiment suite (see EXPERIMENTS.md for the claim ↔ experiment
+//! mapping and recorded results).
+//!
+//! Every experiment exposes `run(quick: bool) -> Vec<Table>`; `quick`
+//! shrinks parameter grids for smoke tests and CI.
+
+pub mod ablations;
+pub mod e1_greedy_bound;
+pub mod e3_clique;
+pub mod e4_small_diameter;
+pub mod e6_bucket_lemmas;
+pub mod e8_line;
+pub mod e9_cluster;
+pub mod e10_star;
+pub mod e11_distributed;
+pub mod e12_shootout;
+pub mod e13_batch_quality;
+pub mod e14_variance;
+pub mod e15_applications;
+pub mod e16_message_level;
+
+use crate::Table;
+
+/// Run every experiment (used by `exp_all`).
+pub fn run_all(quick: bool) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(e1_greedy_bound::run(quick));
+    tables.extend(e3_clique::run(quick));
+    tables.extend(e4_small_diameter::run(quick));
+    tables.extend(e6_bucket_lemmas::run(quick));
+    tables.extend(e8_line::run(quick));
+    tables.extend(e9_cluster::run(quick));
+    tables.extend(e10_star::run(quick));
+    tables.extend(e11_distributed::run(quick));
+    tables.extend(e12_shootout::run(quick));
+    tables.extend(e13_batch_quality::run(quick));
+    tables.extend(e14_variance::run(quick));
+    tables.extend(e15_applications::run(quick));
+    tables.extend(e16_message_level::run(quick));
+    tables.extend(ablations::run(quick));
+    tables
+}

@@ -1,0 +1,29 @@
+//! # dtm-bench
+//!
+//! Experiment harness reproducing, as measurements, every theorem-level
+//! claim of Busch et al., IPDPS 2020 (the paper has no empirical section;
+//! EXPERIMENTS.md defines the experiment suite E1–E12 and ablations
+//! A1–A4 and records the results).
+//!
+//! Each experiment is a module in [`experiments`] with a binary target
+//! (`exp_e1` … `exp_all`); run them in release mode:
+//!
+//! ```text
+//! cargo run -p dtm-bench --release --bin exp_all
+//! cargo run -p dtm-bench --release --bin exp_e3 -- --quick
+//! ```
+//!
+//! Criterion micro-benchmarks of the schedulers and substrates live under
+//! `benches/` (`cargo bench -p dtm-bench`).
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_summary, Summary, WorkloadKind};
+pub use table::Table;
+
+/// Parse the conventional `--quick` flag used by every experiment binary.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}

@@ -1,0 +1,135 @@
+//! Shared experiment runner: executes a policy on a workload, validates
+//! the event log, and condenses metrics + a conservative competitive-ratio
+//! estimate into one [`Summary`] row.
+
+use dtm_graph::Network;
+use dtm_model::{ClosedLoopSource, Instance, Time, TraceSource, WorkloadSpec};
+use dtm_offline::competitive_ratio;
+use dtm_sim::{run_policy, validate_events, EngineConfig, SchedulingPolicy, ValidationConfig};
+
+/// A workload to run.
+#[derive(Clone, Debug)]
+pub enum WorkloadKind {
+    /// Replay a pre-generated instance at its recorded times.
+    Trace(Instance),
+    /// Closed loop (Section III-C): every node keeps one transaction
+    /// outstanding for `rounds` rounds.
+    ClosedLoop {
+        /// Workload spec (objects, k, popularity).
+        spec: WorkloadSpec,
+        /// Rounds per node.
+        rounds: u32,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+/// One result row.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Policy name.
+    pub policy: String,
+    /// Nodes in the network.
+    pub n: usize,
+    /// Committed transactions.
+    pub txns: usize,
+    /// Total execution time.
+    pub makespan: Time,
+    /// Worst per-transaction latency.
+    pub max_latency: Time,
+    /// Mean latency.
+    pub mean_latency: f64,
+    /// Total weighted distance traveled by objects.
+    pub comm_cost: u64,
+    /// Conservative competitive-ratio estimate (see `dtm_offline::ratio`).
+    pub ratio: f64,
+    /// Peak concurrent objects on any single edge (congestion).
+    pub peak_edge_load: u32,
+}
+
+/// Run `policy` on `workload` over `network`, validate, and summarize.
+///
+/// # Panics
+/// Panics if the run has violations or fails event validation — an
+/// experiment on a broken scheduler must fail loudly, not report numbers.
+pub fn run_summary<P: SchedulingPolicy>(
+    network: &Network,
+    workload: WorkloadKind,
+    policy: P,
+    config: EngineConfig,
+) -> Summary {
+    let mut config = config;
+    config.record_events = true;
+    let result = match workload {
+        WorkloadKind::Trace(instance) => {
+            instance.validate(network).expect("valid instance");
+            run_policy(network, TraceSource::new(instance), policy, config.clone())
+        }
+        WorkloadKind::ClosedLoop { spec, rounds, seed } => {
+            let src = ClosedLoopSource::new(network.clone(), spec, rounds, seed);
+            run_policy(network, src, policy, config.clone())
+        }
+    };
+    result.expect_ok();
+    let vcfg = ValidationConfig {
+        speed_divisor: config.speed_divisor,
+        link_capacity: config.link_capacity,
+        allow_late_execution: config.allow_late_execution,
+        require_all_committed: true,
+    };
+    validate_events(network, &result, &vcfg)
+        .unwrap_or_else(|e| panic!("event validation failed for {}: {e}", result.policy));
+    let ratio = competitive_ratio(network, &result);
+    let peak_edge_load = dtm_sim::peak_congestion(&result);
+    Summary {
+        policy: result.policy.clone(),
+        n: network.n(),
+        txns: result.metrics.committed,
+        makespan: result.metrics.makespan,
+        max_latency: result.metrics.latency.max,
+        mean_latency: result.metrics.latency.mean,
+        comm_cost: result.metrics.comm_cost,
+        ratio: ratio.max_ratio,
+        peak_edge_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_core::GreedyPolicy;
+    use dtm_graph::topology;
+    use dtm_model::WorkloadGenerator;
+
+    #[test]
+    fn summarizes_clean_run() {
+        let net = topology::clique(6);
+        let inst =
+            WorkloadGenerator::new(WorkloadSpec::batch_uniform(4, 2), 1).generate(&net);
+        let s = run_summary(
+            &net,
+            WorkloadKind::Trace(inst),
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+        );
+        assert_eq!(s.txns, 6);
+        assert!(s.ratio >= 0.0);
+        assert!(s.makespan >= s.max_latency);
+    }
+
+    #[test]
+    fn closed_loop_summary() {
+        let net = topology::line(5);
+        let s = run_summary(
+            &net,
+            WorkloadKind::ClosedLoop {
+                spec: WorkloadSpec::batch_uniform(3, 1),
+                rounds: 2,
+                seed: 4,
+            },
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+        );
+        assert_eq!(s.txns, 10);
+    }
+}

@@ -1,0 +1,231 @@
+//! Additional online policies around the paper's core algorithms:
+//!
+//! * [`RandomizedBackoffPolicy`] — a window-based randomized contention
+//!   manager in the spirit of Sharma & Busch's multi-core scheduler
+//!   (reference [27] of the paper): each transaction is delayed by a
+//!   uniformly random offset inside a contention-sized window before its
+//!   earliest-feasible slot. Randomization spreads conflicting
+//!   transactions without coordination; the window grows with the
+//!   transaction's observed conflict degree.
+//! * [`AutoPolicy`] — the paper's own deployment guidance turned into
+//!   code: Section III-E recommends the direct greedy approach on
+//!   small-diameter graphs and the (decentralizable) bucket conversion on
+//!   large-diameter graphs. `AutoPolicy` picks per network at
+//!   construction.
+
+use crate::bucket::BucketPolicy;
+use crate::dependency::constraints_for;
+use crate::greedy::GreedyPolicy;
+use dtm_graph::Network;
+use dtm_model::{Schedule, Time, TxnId};
+use dtm_offline::{LineScheduler, ListScheduler};
+use dtm_sim::{SchedulingPolicy, SystemView};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Window-based randomized backoff scheduler (related-work baseline).
+pub struct RandomizedBackoffPolicy {
+    rng: ChaCha8Rng,
+    /// Window size per unit of conflict degree (default 2).
+    pub window_per_conflict: Time,
+}
+
+impl RandomizedBackoffPolicy {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        RandomizedBackoffPolicy {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            window_per_conflict: 2,
+        }
+    }
+}
+
+impl SchedulingPolicy for RandomizedBackoffPolicy {
+    fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        if arrivals.is_empty() {
+            return Schedule::new();
+        }
+        let mut order: Vec<TxnId> = arrivals.to_vec();
+        order.sort_unstable();
+        let mut colored: BTreeMap<TxnId, Time> = BTreeMap::new();
+        let mut fragment = Schedule::new();
+        for id in order {
+            let lt = view.live(id).expect("arrival is live");
+            let constraints = constraints_for(view, &lt.txn, &colored);
+            // Random backoff scaled by the conflict window, then earliest
+            // feasible at or after the backoff point.
+            let window = self.window_per_conflict * (constraints.len() as Time + 1);
+            let backoff = self.rng.gen_range(0..window);
+            let mut color = backoff;
+            // Push past every violated constraint (ascending scan).
+            let mut intervals: Vec<(Time, Time)> = constraints
+                .iter()
+                .map(|c| ((c.color + 1).saturating_sub(c.weight), c.color + c.weight - 1))
+                .collect();
+            intervals.sort_unstable();
+            for (lo, hi) in intervals {
+                if lo > color {
+                    break;
+                }
+                if hi >= color {
+                    color = hi + 1;
+                }
+            }
+            colored.insert(id, color);
+            fragment.set(id, view.now + color);
+        }
+        fragment
+    }
+
+    fn name(&self) -> String {
+        "randomized-backoff".into()
+    }
+}
+
+/// Diameter threshold below which [`AutoPolicy`] uses the direct greedy
+/// approach (Section III-E: small-diameter graphs collect information in
+/// O(log n) steps; beyond that, the bucket conversion wins).
+fn small_diameter(network: &Network) -> bool {
+    let n = network.n().max(2) as f64;
+    (network.diameter() as f64) <= 2.0 * n.log2()
+}
+
+/// The paper's deployment recommendation as a policy: greedy on
+/// small-diameter networks, bucket conversion (line sweep on lines,
+/// generic list otherwise) on large-diameter ones.
+pub enum AutoPolicy {
+    /// Direct greedy (Algorithm 1).
+    Greedy(GreedyPolicy),
+    /// Bucket around the line sweep (Algorithm 2 on line graphs).
+    BucketLine(BucketPolicy<LineScheduler>),
+    /// Bucket around generic list scheduling (Algorithm 2 elsewhere).
+    BucketList(BucketPolicy<ListScheduler>),
+}
+
+impl AutoPolicy {
+    /// Pick the approach for `network`.
+    pub fn for_network(network: &Network) -> Self {
+        if small_diameter(network) {
+            AutoPolicy::Greedy(GreedyPolicy::new())
+        } else if matches!(
+            network.structured(),
+            Some(dtm_graph::Structured::Line { .. })
+        ) {
+            AutoPolicy::BucketLine(BucketPolicy::new(LineScheduler))
+        } else {
+            AutoPolicy::BucketList(BucketPolicy::new(ListScheduler::fifo()))
+        }
+    }
+}
+
+impl SchedulingPolicy for AutoPolicy {
+    fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        match self {
+            AutoPolicy::Greedy(p) => p.step(view, arrivals),
+            AutoPolicy::BucketLine(p) => p.step(view, arrivals),
+            AutoPolicy::BucketList(p) => p.step(view, arrivals),
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            AutoPolicy::Greedy(p) => format!("auto({})", p.name()),
+            AutoPolicy::BucketLine(p) => format!("auto({})", p.name()),
+            AutoPolicy::BucketList(p) => format!("auto({})", p.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::topology;
+    use dtm_model::{ClosedLoopSource, WorkloadSpec};
+    use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
+
+    #[test]
+    fn backoff_schedules_validly() {
+        let net = topology::grid(&[4, 4]);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(8, 2), 2, 5);
+        let expected = src.total_txns();
+        let res = run_policy(
+            &net,
+            src,
+            RandomizedBackoffPolicy::new(3),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(res.metrics.committed, expected);
+    }
+
+    #[test]
+    fn backoff_deterministic_per_seed() {
+        let net = topology::clique(8);
+        let mk = |seed| {
+            let src =
+                ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 7);
+            run_policy(
+                &net,
+                src,
+                RandomizedBackoffPolicy::new(seed),
+                EngineConfig::default(),
+            )
+        };
+        let (a, b, c) = (mk(1), mk(1), mk(2));
+        assert_eq!(a.schedule, b.schedule);
+        assert_ne!(a.schedule, c.schedule);
+    }
+
+    #[test]
+    fn auto_picks_greedy_on_small_diameter() {
+        let clique = topology::clique(16);
+        assert!(matches!(
+            AutoPolicy::for_network(&clique),
+            AutoPolicy::Greedy(_)
+        ));
+        let cube = topology::hypercube(5);
+        assert!(matches!(
+            AutoPolicy::for_network(&cube),
+            AutoPolicy::Greedy(_)
+        ));
+    }
+
+    #[test]
+    fn auto_picks_bucket_on_large_diameter() {
+        let line = topology::line(128);
+        assert!(matches!(
+            AutoPolicy::for_network(&line),
+            AutoPolicy::BucketLine(_)
+        ));
+        let ring = topology::ring(128);
+        assert!(matches!(
+            AutoPolicy::for_network(&ring),
+            AutoPolicy::BucketList(_)
+        ));
+    }
+
+    #[test]
+    fn auto_runs_clean_everywhere() {
+        for net in [
+            topology::clique(8),
+            topology::line(48),
+            topology::ring(40),
+            topology::grid(&[4, 4]),
+        ] {
+            let src =
+                ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 9);
+            let expected = src.total_txns();
+            let res = run_policy(
+                &net,
+                src,
+                AutoPolicy::for_network(&net),
+                EngineConfig::default(),
+            );
+            res.expect_ok();
+            validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+            assert_eq!(res.metrics.committed, expected, "{}", net.name());
+        }
+    }
+}

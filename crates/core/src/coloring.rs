@@ -1,0 +1,282 @@
+//! Weighted graph coloring — Lemmas 1 and 2 of the paper.
+//!
+//! A valid coloring assigns integers to nodes so that adjacent nodes'
+//! colors differ by at least their edge weight (Equation 1). Colors
+//! translate to execution times: the gap gives objects time to travel.
+//!
+//! * **Lemma 1**: given any valid partial coloring, an uncolored node `v`
+//!   can receive a valid color `c(v) <= 2Γ(v) - Δ(v)` (weighted degree and
+//!   degree in the dependency graph). [`smallest_valid_color`] returns the
+//!   *smallest* valid color, which always satisfies that bound.
+//! * **Lemma 2**: if every edge has the same weight `β` and all existing
+//!   colors are multiples of `β`, node `v` can receive a color `k_v β`
+//!   with `k_v >= 1` and `c(v) <= Γ(v)`.
+//!   [`smallest_valid_color_uniform`] implements it.
+
+use dtm_graph::Weight;
+use dtm_model::Time;
+
+/// One coloring constraint: a neighbor already colored `color` over an
+/// edge of weight `weight` forbids the interval
+/// `(color - weight, color + weight)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColorConstraint {
+    /// The neighbor's color.
+    pub color: Time,
+    /// The connecting edge weight (must be >= 1).
+    pub weight: Weight,
+}
+
+impl ColorConstraint {
+    /// Convenience constructor.
+    pub fn new(color: Time, weight: Weight) -> Self {
+        debug_assert!(weight >= 1, "constraint weights must be positive");
+        ColorConstraint { color, weight }
+    }
+}
+
+/// Smallest color `c >= 0` with `|c - color_i| >= weight_i` for all
+/// constraints (Lemma 1). Runs in `O(m log m)` for `m` constraints.
+///
+/// The result is at most `sum(2 w_i - 1) = 2Γ - Δ`: the forbidden set has
+/// at most that many integers, so some value in `[0, 2Γ - Δ]` is free, and
+/// the smallest free value can only be smaller.
+pub fn smallest_valid_color(constraints: &[ColorConstraint]) -> Time {
+    // Forbidden open intervals as inclusive integer ranges
+    // [color - weight + 1, color + weight - 1], clamped at 0.
+    let mut ranges: Vec<(Time, Time)> = constraints
+        .iter()
+        .map(|c| {
+            let lo = (c.color + 1).saturating_sub(c.weight);
+            let hi = c.color + c.weight - 1;
+            (lo, hi)
+        })
+        .collect();
+    ranges.sort_unstable();
+    let mut candidate: Time = 0;
+    for (lo, hi) in ranges {
+        if lo > candidate {
+            break; // gap found before this range starts
+        }
+        if hi >= candidate {
+            candidate = hi + 1;
+        }
+    }
+    candidate
+}
+
+/// Lemma 1's closed-form bound `2Γ - Δ` for a constraint set.
+pub fn lemma1_bound(constraints: &[ColorConstraint]) -> Time {
+    constraints.iter().map(|c| 2 * c.weight - 1).sum()
+}
+
+/// Smallest color that is a positive multiple of `beta` and differs from
+/// every constraint color by at least `beta` (Lemma 2: all edges weigh
+/// `beta` and existing colors are multiples of `beta`; then distinct
+/// multiples automatically satisfy the weight-β separation).
+///
+/// `taken` lists the multiples-of-β colors of adjacent nodes (colors that
+/// are *not* multiples are rounded to the enclosing forbidden multiples).
+pub fn smallest_valid_color_uniform(beta: Weight, taken: &[Time]) -> Time {
+    assert!(beta >= 1, "beta must be positive");
+    // Forbidden multiples k with |k*beta - taken_i| < beta, i.e. the
+    // multiples within the open interval (t - beta, t + beta).
+    let mut forbidden: Vec<Time> = Vec::with_capacity(2 * taken.len());
+    for &t in taken {
+        let k_low = (t + 1).saturating_sub(beta).div_ceil(beta);
+        let k_high = t.div_ceil(beta);
+        for k in k_low..=k_high {
+            forbidden.push(k);
+        }
+    }
+    forbidden.sort_unstable();
+    forbidden.dedup();
+    let mut k: Time = 1; // Lemma 2 requires k_v >= 1
+    for f in forbidden {
+        match f.cmp(&k) {
+            std::cmp::Ordering::Less => continue,
+            std::cmp::Ordering::Equal => k += 1,
+            std::cmp::Ordering::Greater => break,
+        }
+    }
+    k * beta
+}
+
+/// Smallest multiple of `beta` that is strictly greater than `after` and
+/// satisfies arbitrary-weight constraints.
+///
+/// This is the Lemma 2 machinery in *absolute* time: the online uniform
+/// scheduler keeps every execution time an absolute multiple of `beta`, so
+/// that transactions scheduled at different steps still occupy distinct
+/// β-slots (relative "remaining" times are not multiples of β once the
+/// clock advances, which would silently break Lemma 2's premise).
+/// Constraint colors here are absolute times; in-transit holders may carry
+/// weights other than `beta`.
+pub fn smallest_valid_multiple(
+    beta: Weight,
+    after: Time,
+    constraints: &[ColorConstraint],
+) -> Time {
+    assert!(beta >= 1, "beta must be positive");
+    let mut forbidden: Vec<Time> = Vec::new();
+    for c in constraints {
+        // Multiples k with |k*beta - color| < weight.
+        let k_low = (c.color + 1).saturating_sub(c.weight).div_ceil(beta);
+        let k_high = (c.color + c.weight - 1) / beta;
+        for k in k_low..=k_high {
+            forbidden.push(k);
+        }
+    }
+    forbidden.sort_unstable();
+    forbidden.dedup();
+    let mut k: Time = after / beta + 1;
+    for f in forbidden {
+        match f.cmp(&k) {
+            std::cmp::Ordering::Less => continue,
+            std::cmp::Ordering::Equal => k += 1,
+            std::cmp::Ordering::Greater => break,
+        }
+    }
+    k * beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn c(color: Time, weight: Weight) -> ColorConstraint {
+        ColorConstraint::new(color, weight)
+    }
+
+    fn is_valid(color: Time, constraints: &[ColorConstraint]) -> bool {
+        constraints
+            .iter()
+            .all(|x| color.abs_diff(x.color) >= x.weight)
+    }
+
+    #[test]
+    fn empty_constraints_give_zero() {
+        assert_eq!(smallest_valid_color(&[]), 0);
+    }
+
+    #[test]
+    fn single_constraint_at_zero() {
+        // Neighbor colored 0 with weight 3: smallest valid is 3.
+        assert_eq!(smallest_valid_color(&[c(0, 3)]), 3);
+    }
+
+    #[test]
+    fn fits_in_gap() {
+        // Forbidden: [0,2] (0,w3) and [8,12] (10,w3). Gap at 3.
+        assert_eq!(smallest_valid_color(&[c(0, 3), c(10, 3)]), 3);
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        // (0,w4):[0,3]; (4,w3):[2,6]; (8,w2):[7,9] -> first free is 10.
+        assert_eq!(smallest_valid_color(&[c(0, 4), c(4, 3), c(8, 2)]), 10);
+    }
+
+    #[test]
+    fn zero_allowed_when_ranges_start_later() {
+        assert_eq!(smallest_valid_color(&[c(5, 2)]), 0);
+    }
+
+    #[test]
+    fn uniform_basic() {
+        // beta=4, neighbors at 4 and 8: k=1,2 forbidden -> 12.
+        assert_eq!(smallest_valid_color_uniform(4, &[4, 8]), 12);
+        // No neighbors: smallest is beta itself.
+        assert_eq!(smallest_valid_color_uniform(4, &[]), 4);
+        // Neighbor at 0 (a current holder): k=0 forbidden anyway, k=1 ok...
+        // |4 - 0| = 4 >= beta: valid.
+        assert_eq!(smallest_valid_color_uniform(4, &[0]), 4);
+    }
+
+    #[test]
+    fn uniform_rounds_non_multiples() {
+        // beta=4, neighbor colored 6 (not a multiple): multiples 4 and 8
+        // are both within distance < 4 -> first valid is 12.
+        assert_eq!(smallest_valid_color_uniform(4, &[6]), 12);
+    }
+
+    #[test]
+    fn uniform_beta_one_is_mex_from_one() {
+        assert_eq!(smallest_valid_color_uniform(1, &[1, 2, 3]), 4);
+        assert_eq!(smallest_valid_color_uniform(1, &[2, 3]), 1);
+    }
+
+    #[test]
+    fn multiple_skips_forbidden_slots() {
+        // beta=3; constraint (4, w2) forbids multiples in (2,6): k=1 (3)...
+        // 3 is within |3-4|=1 < 2 -> forbidden; 6: |6-4|=2 >= 2 -> ok.
+        assert_eq!(
+            smallest_valid_multiple(3, 0, &[ColorConstraint::new(4, 2)]),
+            6
+        );
+        assert_eq!(smallest_valid_multiple(3, 0, &[]), 3);
+        // Heavy holder constraint at color 0 pushes past its weight.
+        assert_eq!(
+            smallest_valid_multiple(3, 0, &[ColorConstraint::new(0, 7)]),
+            9
+        );
+    }
+
+    proptest! {
+        /// smallest_valid_multiple returns a valid positive multiple.
+        #[test]
+        fn multiple_is_valid(
+            beta in 1u64..8,
+            raw in proptest::collection::vec((0u64..60, 1u64..12), 0..10),
+        ) {
+            let constraints: Vec<ColorConstraint> =
+                raw.iter().map(|&(col, w)| c(col, w)).collect();
+            let color = smallest_valid_multiple(beta, 0, &constraints);
+            prop_assert_eq!(color % beta, 0);
+            prop_assert!(color >= beta);
+            prop_assert!(is_valid(color, &constraints));
+            // Minimality among multiples.
+            let mut k = color / beta;
+            while k > 1 {
+                k -= 1;
+                prop_assert!(!is_valid(k * beta, &constraints));
+            }
+        }
+
+        /// The returned color is valid and within the Lemma 1 bound.
+        #[test]
+        fn lemma1_holds(raw in proptest::collection::vec((0u64..200, 1u64..20), 0..20)) {
+            let constraints: Vec<ColorConstraint> =
+                raw.iter().map(|&(col, w)| c(col, w)).collect();
+            let color = smallest_valid_color(&constraints);
+            prop_assert!(is_valid(color, &constraints));
+            prop_assert!(color <= lemma1_bound(&constraints));
+            // Minimality: nothing smaller is valid.
+            for smaller in color.saturating_sub(3)..color {
+                prop_assert!(!is_valid(smaller, &constraints));
+            }
+        }
+
+        /// Lemma 2: multiple of beta, >= beta, valid, and <= Γ = beta * degree
+        /// when all neighbor colors are multiples of beta.
+        #[test]
+        fn lemma2_holds(beta in 1u64..12, ks in proptest::collection::vec(0u64..15, 0..12)) {
+            let taken: Vec<Time> = ks.iter().map(|&k| k * beta).collect();
+            let color = smallest_valid_color_uniform(beta, &taken);
+            prop_assert_eq!(color % beta, 0);
+            prop_assert!(color >= beta);
+            for &t in &taken {
+                prop_assert!(color.abs_diff(t) >= beta);
+            }
+            // Γ = beta * number of neighbors (all edges weigh beta). The
+            // smallest valid multiple skips at most one slot per neighbor
+            // starting from slot 1, i.e. c <= Γ + β (a conservative reading
+            // of Lemma 2's c <= Γ that also covers the corner case of a
+            // single neighbor colored exactly β, where no smaller positive
+            // multiple is valid).
+            let gamma = beta * taken.len() as u64;
+            prop_assert!(color <= gamma + beta);
+        }
+    }
+}

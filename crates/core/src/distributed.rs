@@ -1,0 +1,442 @@
+//! Algorithm 3 — the distributed bucket schedule (Section V).
+//!
+//! Decentralizes Algorithm 2 over a hierarchical sparse cover: partial
+//! `i`-buckets live at cluster *leaders*; a new transaction
+//!
+//! 1. **discovers** the current positions of its objects (objects move at
+//!    half speed — engine `speed_divisor = 2` — so a discovery message
+//!    catches an object at distance `d` within `3d` steps, Section V);
+//! 2. learns its conflicting transactions from the objects, giving the
+//!    dependency radius `y` (max of object distance and conflict distance);
+//! 3. **reports** to the leader of its lowest home cluster whose layer
+//!    covers the `y`-neighborhood (one message over distance
+//!    `d(home, leader)`);
+//! 4. the leader places it into a partial `i`-bucket (same `F_𝒜` probe as
+//!    Algorithm 2, leader-local contents);
+//! 5. all partial `i`-buckets activate globally every `2^i` steps; each
+//!    leader schedules its bucket and **notifies** the member homes /
+//!    objects (the schedule starts after the farthest notification lands).
+//!
+//! Simulation fidelity note (documented in DESIGN.md): message *timing*
+//! (discovery `3x`, report distance, notification distance) and the
+//! half-speed object rule are modeled exactly and every message is
+//! counted; leader-local *knowledge* is taken from the global state at
+//! the leader's decision time. Sub-layer partition properties guarantee
+//! non-interference in the paper (Lemma 6 / Corollary 1); here leaders
+//! activating at the same step are processed in deterministic height
+//! order, each seeing the previous leaders' output as fixed — the
+//! centralized simulation of the same serialization.
+
+use crate::viewctx::batch_context_from_view;
+use dtm_graph::{ClusterId, Graph, Network, SparseCover};
+use dtm_model::{Schedule, Time, Transaction, TxnId};
+use dtm_offline::{BatchContext, BatchScheduler};
+use dtm_sim::{EngineConfig, SchedulingPolicy, SystemView};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Observability for experiment E11.
+#[derive(Clone, Debug, Default)]
+pub struct DistStats {
+    /// Total protocol messages (discovery round trips, conflict reports,
+    /// leader reports, schedule notifications).
+    pub messages: u64,
+    /// Reports per cover layer.
+    pub reports_per_layer: BTreeMap<u32, u64>,
+    /// Partial-bucket level per transaction.
+    pub levels: BTreeMap<TxnId, u32>,
+    /// Per-transaction protocol latency (arrival to report arrival).
+    pub report_latency: Vec<Time>,
+}
+
+/// A transaction in flight between arrival and its report reaching the
+/// cluster leader.
+#[derive(Clone, Debug)]
+struct PendingReport {
+    txn: Transaction,
+    cluster: ClusterId,
+    /// Object availability for the transaction's objects as observed at
+    /// arrival time — the information the report physically carries.
+    snapshot: Vec<(dtm_model::ObjectId, (dtm_graph::NodeId, Time))>,
+}
+
+/// Algorithm 3, generic over the offline batch scheduler `𝒜`.
+pub struct DistributedBucketPolicy<A> {
+    scheduler: A,
+    cover: SparseCover,
+    /// Copy of the network with doubled edge weights: all scheduling math
+    /// runs against it so schedules stay feasible under the engine's
+    /// half-speed objects (`speed_divisor = 2`).
+    doubled: Network,
+    max_level: Option<u32>,
+    /// Reports arriving at their leaders, keyed by arrival time.
+    reporting: BTreeMap<Time, Vec<PendingReport>>,
+    /// Partial buckets: (level, cluster) -> parked transactions.
+    partials: BTreeMap<(u32, ClusterId), Vec<Transaction>>,
+    /// When true, the leader's insertion probe uses the object positions
+    /// *carried in the report* (stale by the protocol latency) instead of
+    /// fresh global state — stricter locality of knowledge (ablation A5).
+    stale_knowledge: bool,
+    stats: Option<Arc<Mutex<DistStats>>>,
+}
+
+/// Double every edge weight of a network (dropping any structured oracle —
+/// distances simply double, but `Structured` variants encode unit weights).
+fn double_weights(network: &Network) -> Network {
+    let g = network.graph();
+    let mut out = Graph::new(g.n(), format!("{}-halfspeed", g.name()));
+    for (u, v, w) in g.edges() {
+        out.add_edge(u, v, 2 * w).expect("copying a valid graph");
+    }
+    Network::new(out, None)
+}
+
+impl<A: BatchScheduler> DistributedBucketPolicy<A> {
+    /// Build the policy: constructs the sparse cover of `network`
+    /// (deterministic in `seed`).
+    pub fn new(network: &Network, scheduler: A, seed: u64) -> Self {
+        let cover = SparseCover::build(network, seed);
+        DistributedBucketPolicy {
+            scheduler,
+            cover,
+            doubled: double_weights(network),
+            max_level: None,
+            reporting: BTreeMap::new(),
+            partials: BTreeMap::new(),
+            stale_knowledge: false,
+            stats: None,
+        }
+    }
+
+    /// Leader insertion probes use the stale object positions carried in
+    /// each report instead of fresh global state (ablation A5): a
+    /// strictly more local model of leader knowledge.
+    pub fn with_stale_knowledge(mut self) -> Self {
+        self.stale_knowledge = true;
+        self
+    }
+
+    /// Attach a stats handle.
+    pub fn with_stats(mut self, stats: Arc<Mutex<DistStats>>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Ablation knob (experiment A3): drop the half-speed rule — objects
+    /// move at full speed and scheduling math uses true distances. The
+    /// paper's `3d` discovery-catch-up guarantee no longer holds in a real
+    /// deployment; in this simulation discovery still works (snapshots),
+    /// so the ablation isolates the *price* of the rule.
+    pub fn with_full_speed(mut self, network: &Network) -> Self {
+        self.doubled = network.clone();
+        self
+    }
+
+    /// The engine configuration this policy requires: objects at half
+    /// speed (the discovery rule of Section V).
+    pub fn engine_config() -> EngineConfig {
+        EngineConfig {
+            speed_divisor: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The sparse cover in use (for tests / reports).
+    pub fn cover(&self) -> &SparseCover {
+        &self.cover
+    }
+
+    /// Build the scheduling context against the doubled network. Positions
+    /// come from the view; ready times are real times (the engine already
+    /// runs objects at half speed, so no further scaling is needed there).
+    fn ctx(&self, view: &SystemView<'_>) -> BatchContext {
+        batch_context_from_view(view)
+    }
+
+    fn bump_messages(&self, by: u64) {
+        if let Some(stats) = &self.stats {
+            stats.lock().messages += by;
+        }
+    }
+}
+
+impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
+    fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        let now = view.now;
+        let max_level = *self
+            .max_level
+            .get_or_insert_with(|| view.network.max_bucket_level());
+
+        // 1-3. Discovery + report for this step's arrivals.
+        let mut order: Vec<TxnId> = arrivals.to_vec();
+        order.sort_unstable();
+        for id in order {
+            let txn = view.live(id).expect("arrival is live").txn.clone();
+            // Discovery radius x: furthest current object position.
+            let x: Time = txn
+                .objects()
+                .filter_map(|o| {
+                    view.object(o)
+                        .map(|st| st.effective_distance(view.network, txn.home, now))
+                })
+                .max()
+                .unwrap_or(0);
+            // Conflict radius: furthest conflicting live transaction.
+            let conflict_radius: Time = view
+                .live_txns()
+                .filter(|lt| lt.txn.id != txn.id && txn.shares_objects(&lt.txn))
+                .map(|lt| view.network.distance(txn.home, lt.txn.home))
+                .max()
+                .unwrap_or(0);
+            let y = x.max(conflict_radius);
+            let layer = self.cover.lowest_covering_layer(y);
+            let cluster = self.cover.home_cluster(txn.home, layer);
+            let leader = cluster.leader;
+            let discovery_delay = 3 * x;
+            let report_delay = view.network.distance(txn.home, leader);
+            let t_report = now + discovery_delay + report_delay;
+            // Messages: discovery round trip per object, one conflict
+            // notice per conflicting txn, one report.
+            let conflicts = view
+                .live_txns()
+                .filter(|lt| lt.txn.id != txn.id && txn.shares_objects(&lt.txn))
+                .count() as u64;
+            self.bump_messages(2 * txn.k() as u64 + conflicts + 1);
+            if let Some(stats) = &self.stats {
+                let mut s = stats.lock();
+                *s.reports_per_layer.entry(layer).or_insert(0) += 1;
+                s.report_latency.push(t_report - now);
+            }
+            let snapshot = txn
+                .objects()
+                .filter_map(|o| {
+                    view.object(o).map(|st| (o, st.position(now)))
+                })
+                .collect();
+            self.reporting.entry(t_report).or_default().push(PendingReport {
+                txn,
+                cluster: cluster.id,
+                snapshot,
+            });
+        }
+
+        // 4. Reports that reached their leader by now: partial-bucket
+        // insertion (leader-local probe against the doubled network).
+        let due: Vec<Time> = self
+            .reporting
+            .range(..=now)
+            .map(|(&t, _)| t)
+            .collect();
+        let ctx = self.ctx(view);
+        for t in due {
+            for report in self.reporting.remove(&t).expect("key exists") {
+                // Under stale knowledge the probe sees the object
+                // positions the report carried, aged to the present.
+                let probe_ctx = if self.stale_knowledge {
+                    let mut c = ctx.clone();
+                    for &(o, (node, ready)) in &report.snapshot {
+                        c.object_avail.insert(o, (node, ready.max(now)));
+                    }
+                    c
+                } else {
+                    ctx.clone()
+                };
+                let mut chosen = None;
+                for i in 0..=max_level {
+                    let mut probe = self
+                        .partials
+                        .get(&(i, report.cluster))
+                        .cloned()
+                        .unwrap_or_default();
+                    probe.push(report.txn.clone());
+                    let f = self.scheduler.makespan(&self.doubled, &probe, &probe_ctx);
+                    if f <= 1u64 << i {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+                let level = chosen.unwrap_or(max_level);
+                if let Some(stats) = &self.stats {
+                    stats.lock().levels.insert(report.txn.id, level);
+                }
+                self.partials
+                    .entry((level, report.cluster))
+                    .or_default()
+                    .push(report.txn);
+            }
+        }
+
+        // 5. Activation: all partial i-buckets fire when 2^i divides now.
+        // Deterministic serialization: ascending (level, cluster id);
+        // each leader sees earlier outputs as fixed.
+        let mut fragment = Schedule::new();
+        let mut ctx = ctx;
+        let keys: Vec<(u32, ClusterId)> = self
+            .partials
+            .keys()
+            .filter(|(i, _)| now.is_multiple_of(1u64 << i))
+            .copied()
+            .collect();
+        for key in keys {
+            let bucket = self.partials.remove(&key).expect("key exists");
+            if bucket.is_empty() {
+                continue;
+            }
+            let leader = self.cover.cluster(key.1).leader;
+            // Notification latency: the schedule may only start once every
+            // member home has heard from the leader.
+            let notify: Time = bucket
+                .iter()
+                .map(|t| view.network.distance(leader, t.home))
+                .max()
+                .unwrap_or(0);
+            self.bump_messages(bucket.len() as u64);
+            let mut bucket_ctx = ctx.clone();
+            bucket_ctx.now = now + notify;
+            let s = self.scheduler.schedule(&self.doubled, &bucket, &bucket_ctx);
+            for t in &bucket {
+                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
+            }
+            fragment.merge(&s);
+        }
+        fragment
+    }
+
+    fn name(&self) -> String {
+        format!("distributed-bucket({})", self.scheduler.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::topology;
+    use dtm_model::{
+        ArrivalProcess, ClosedLoopSource, ObjectChoice, TraceSource, WorkloadGenerator,
+        WorkloadSpec,
+    };
+    use dtm_offline::ListScheduler;
+    use dtm_sim::{run_policy, validate_events, ValidationConfig};
+
+    fn dist_validation() -> ValidationConfig {
+        ValidationConfig {
+            speed_divisor: 2,
+            ..ValidationConfig::default()
+        }
+    }
+
+    #[test]
+    fn doubled_network_doubles_distances() {
+        let net = topology::line(8);
+        let d = double_weights(&net);
+        assert_eq!(d.distance(dtm_graph::NodeId(0), dtm_graph::NodeId(5)), 10);
+        assert_eq!(d.diameter(), 14);
+    }
+
+    #[test]
+    fn batch_on_line_runs_clean() {
+        let net = topology::line(12);
+        let inst = WorkloadGenerator::new(WorkloadSpec::batch_uniform(4, 2), 3).generate(&net);
+        let n = inst.num_txns();
+        let policy = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 1);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            policy,
+            DistributedBucketPolicy::<ListScheduler>::engine_config(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &dist_validation()).unwrap();
+        assert_eq!(res.metrics.committed, n);
+    }
+
+    #[test]
+    fn online_arrivals_on_grid_run_clean() {
+        let net = topology::grid(&[4, 4]);
+        let spec = WorkloadSpec {
+            num_objects: 5,
+            k: 2,
+            object_choice: ObjectChoice::Uniform,
+            arrival: ArrivalProcess::Bernoulli {
+                rate: 0.15,
+                horizon: 12,
+            },
+        };
+        let inst = WorkloadGenerator::new(spec, 5).generate(&net);
+        let n = inst.num_txns();
+        let stats = Arc::new(Mutex::new(DistStats::default()));
+        let policy = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 2)
+            .with_stats(Arc::clone(&stats));
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            policy,
+            DistributedBucketPolicy::<ListScheduler>::engine_config(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &dist_validation()).unwrap();
+        assert_eq!(res.metrics.committed, n);
+        let s = stats.lock();
+        if n > 0 {
+            assert!(s.messages > 0, "protocol must exchange messages");
+            assert_eq!(s.levels.len(), n);
+        }
+    }
+
+    #[test]
+    fn closed_loop_star_runs_clean() {
+        let net = topology::star(3, 3);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(4, 2), 2, 7);
+        let policy = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 3);
+        let res = run_policy(
+            &net,
+            src,
+            policy,
+            DistributedBucketPolicy::<ListScheduler>::engine_config(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &dist_validation()).unwrap();
+        assert_eq!(res.metrics.committed, 20);
+    }
+
+    #[test]
+    fn reports_go_to_covering_layers() {
+        // A transaction with a far object must report to a high layer.
+        let net = topology::line(32);
+        use dtm_graph::NodeId;
+        use dtm_model::{Instance, ObjectId, ObjectInfo};
+        let inst = Instance::new(
+            vec![
+                ObjectInfo {
+                    id: ObjectId(0),
+                    origin: NodeId(0),
+                    created_at: 0,
+                },
+                ObjectInfo {
+                    id: ObjectId(1),
+                    origin: NodeId(16),
+                    created_at: 0,
+                },
+            ],
+            vec![
+                Transaction::new(TxnId(0), NodeId(31), [ObjectId(0)], 0), // far: y >= 31
+                Transaction::new(TxnId(1), NodeId(17), [ObjectId(1)], 0), // near: y small
+            ],
+        );
+        let stats = Arc::new(Mutex::new(DistStats::default()));
+        let policy = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 4)
+            .with_stats(Arc::clone(&stats));
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            policy,
+            DistributedBucketPolicy::<ListScheduler>::engine_config(),
+        );
+        res.expect_ok();
+        let s = stats.lock();
+        let layers: Vec<u32> = s.reports_per_layer.keys().copied().collect();
+        assert!(layers.len() >= 2, "far and near txns use different layers");
+        assert!(*layers.last().unwrap() >= 5); // 2^5 - 1 = 31 covers y=31
+    }
+}

@@ -1,0 +1,139 @@
+//! Online baseline policies: FIFO earliest-feasible scheduling and the
+//! TSP-tour heuristic of Zhang et al. [30].
+//!
+//! Both schedule each step's arrivals immediately using an offline batch
+//! scheduler on the current snapshot — they are the "natural" schedulers a
+//! practitioner would write without the paper's machinery, and experiment
+//! E12 compares them against Algorithms 1 and 2.
+
+use crate::viewctx::batch_context_from_view;
+use dtm_model::{Schedule, TxnId};
+use dtm_offline::{BatchScheduler, ListScheduler, TspScheduler};
+use dtm_sim::{SchedulingPolicy, SystemView};
+
+/// FIFO baseline: each arriving transaction is scheduled at the earliest
+/// feasible time given every earlier decision, in arrival order.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    inner: Option<ListScheduler>,
+}
+
+impl FifoPolicy {
+    /// Create the baseline.
+    pub fn new() -> Self {
+        FifoPolicy {
+            inner: Some(ListScheduler::fifo()),
+        }
+    }
+}
+
+impl SchedulingPolicy for FifoPolicy {
+    fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        if arrivals.is_empty() {
+            return Schedule::new();
+        }
+        let ctx = batch_context_from_view(view);
+        let pending: Vec<_> = {
+            let mut ids: Vec<TxnId> = arrivals.to_vec();
+            ids.sort_unstable();
+            ids.iter()
+                .map(|id| view.live(*id).expect("arrival is live").txn.clone())
+                .collect()
+        };
+        self.inner
+            .get_or_insert_with(ListScheduler::fifo)
+            .schedule(view.network, &pending, &ctx)
+    }
+
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+}
+
+/// TSP-tour baseline (reference [30]): arrivals are scheduled each step
+/// via per-object nearest-neighbor tours.
+#[derive(Debug, Default)]
+pub struct TspPolicy;
+
+impl SchedulingPolicy for TspPolicy {
+    fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        if arrivals.is_empty() {
+            return Schedule::new();
+        }
+        let ctx = batch_context_from_view(view);
+        let pending: Vec<_> = {
+            let mut ids: Vec<TxnId> = arrivals.to_vec();
+            ids.sort_unstable();
+            ids.iter()
+                .map(|id| view.live(*id).expect("arrival is live").txn.clone())
+                .collect()
+        };
+        TspScheduler.schedule(view.network, &pending, &ctx)
+    }
+
+    fn name(&self) -> String {
+        "tsp".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::topology;
+    use dtm_model::{
+        ArrivalProcess, ClosedLoopSource, ObjectChoice, TraceSource, WorkloadGenerator,
+        WorkloadSpec,
+    };
+    use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
+
+    fn spec(rate: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            num_objects: 6,
+            k: 2,
+            object_choice: ObjectChoice::Uniform,
+            arrival: ArrivalProcess::Bernoulli { rate, horizon: 12 },
+        }
+    }
+
+    #[test]
+    fn fifo_runs_clean_online() {
+        let net = topology::grid(&[3, 3]);
+        let inst = WorkloadGenerator::new(spec(0.3), 1).generate(&net);
+        let n = inst.num_txns();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FifoPolicy::new(),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(res.metrics.committed, n);
+    }
+
+    #[test]
+    fn tsp_runs_clean_online() {
+        let net = topology::grid(&[3, 3]);
+        let inst = WorkloadGenerator::new(spec(0.3), 2).generate(&net);
+        let n = inst.num_txns();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            TspPolicy,
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(res.metrics.committed, n);
+    }
+
+    #[test]
+    fn fifo_closed_loop() {
+        let net = topology::line(6);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(4, 2), 2, 5);
+        let res = run_policy(&net, src, FifoPolicy::new(), EngineConfig::default());
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(res.metrics.committed, 12);
+    }
+}

@@ -1,0 +1,78 @@
+//! Bridge from the simulator's [`SystemView`] to the offline schedulers'
+//! [`BatchContext`]: current object positions become availability points,
+//! and scheduled live transactions become the fixed context (the paper's
+//! `T_t^s`, which new schedules must work around — basic modification 1 of
+//! Section IV-A).
+
+use dtm_offline::BatchContext;
+use dtm_sim::SystemView;
+
+/// Snapshot the view into a batch-scheduling context at `view.now`.
+pub fn batch_context_from_view(view: &SystemView<'_>) -> BatchContext {
+    BatchContext {
+        now: view.now,
+        object_avail: view
+            .objects()
+            .map(|st| {
+                let (node, ready) = st.position(view.now);
+                (st.info.id, (node, ready))
+            })
+            .collect(),
+        fixed: view
+            .live_txns()
+            .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.clone(), t)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::{topology, NodeId};
+    use dtm_model::{ObjectId, ObjectInfo, Transaction, TxnId};
+    use dtm_sim::{LiveTxn, ObjectPlace, ObjectState};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn snapshot_carries_positions_and_fixed() {
+        let net = topology::line(8);
+        let mut live = BTreeMap::new();
+        live.insert(
+            TxnId(0),
+            LiveTxn {
+                txn: Transaction::new(TxnId(0), NodeId(3), [ObjectId(0)], 0),
+                scheduled: Some(9),
+            },
+        );
+        live.insert(
+            TxnId(1),
+            LiveTxn {
+                txn: Transaction::new(TxnId(1), NodeId(4), [ObjectId(0)], 2),
+                scheduled: None,
+            },
+        );
+        let mut objects = BTreeMap::new();
+        objects.insert(
+            ObjectId(0),
+            ObjectState {
+                info: ObjectInfo {
+                    id: ObjectId(0),
+                    origin: NodeId(0),
+                    created_at: 0,
+                },
+                place: ObjectPlace::Hop {
+                    from: NodeId(1),
+                    next: NodeId(2),
+                    arrive: 7,
+                },
+                last_holder: None,
+            },
+        );
+        let view = SystemView::new(5, &net, &live, &objects);
+        let ctx = batch_context_from_view(&view);
+        assert_eq!(ctx.now, 5);
+        assert_eq!(ctx.object_avail[&ObjectId(0)], (NodeId(2), 7));
+        assert_eq!(ctx.fixed.len(), 1);
+        assert_eq!(ctx.fixed[0].1, 9);
+    }
+}

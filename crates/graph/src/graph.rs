@@ -1,0 +1,400 @@
+//! The weighted, undirected communication graph `G = (V, E, w)`.
+//!
+//! Nodes are dense integer identifiers (`NodeId`), edges carry positive
+//! integer weights (`Weight`) representing message latency in synchronous
+//! time steps (Section II of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node of the communication graph.
+///
+/// Node identifiers are dense (`0..n`) so they can index arrays directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a node id from an array index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit into `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Edge weight / distance / latency, in synchronous time steps.
+///
+/// The paper requires `w : E -> Z+`, i.e. strictly positive integers.
+pub type Weight = u64;
+
+/// Errors raised while constructing or validating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is not a node of the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// Edge weights must be strictly positive (`w : E -> Z+`).
+    ZeroWeight {
+        /// Edge endpoints.
+        edge: (NodeId, NodeId),
+    },
+    /// Self loops carry no information in the data-flow model.
+    SelfLoop {
+        /// The node with the loop.
+        node: NodeId,
+    },
+    /// The same undirected edge was added twice.
+    DuplicateEdge {
+        /// Edge endpoints.
+        edge: (NodeId, NodeId),
+    },
+    /// Schedulers and the simulator require a connected graph.
+    Disconnected,
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::ZeroWeight { edge } => {
+                write!(f, "edge ({}, {}) has zero weight", edge.0, edge.1)
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at {node}"),
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "duplicate edge ({}, {})", edge.0, edge.1)
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A weighted, undirected communication graph.
+///
+/// Stored as an adjacency list; neighbor lists are kept sorted by node id so
+/// iteration order (and therefore every algorithm built on top) is
+/// deterministic.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Graph {
+    /// `adj[v]` holds `(neighbor, weight)` pairs sorted by neighbor id.
+    adj: Vec<Vec<(NodeId, Weight)>>,
+    /// Number of undirected edges.
+    edge_count: usize,
+    /// Human-readable name, e.g. `"hypercube(d=6)"`.
+    name: String,
+}
+
+impl Graph {
+    /// Create a graph with `n` isolated nodes.
+    pub fn new(n: usize, name: impl Into<String>) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+            name: name.into(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Human readable name of the graph / topology instance.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// Neighbors of `v` with edge weights, sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, Weight)] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Weight of the edge `(u, v)`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let list = &self.adj[u.index()];
+        list.binary_search_by_key(&v, |&(nb, _)| nb)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// Add an undirected edge with a positive weight.
+    ///
+    /// Maintains sorted neighbor lists. Returns an error on self loops,
+    /// duplicates, zero weights or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<(), GraphError> {
+        let n = self.n();
+        for node in [u, v] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if w == 0 {
+            return Err(GraphError::ZeroWeight { edge: (u, v) });
+        }
+        if self.edge_weight(u, v).is_some() {
+            return Err(GraphError::DuplicateEdge { edge: (u, v) });
+        }
+        let insert = |list: &mut Vec<(NodeId, Weight)>, nb: NodeId| {
+            let pos = list.partition_point(|&(x, _)| x < nb);
+            list.insert(pos, (nb, w));
+        };
+        insert(&mut self.adj[u.index()], v);
+        insert(&mut self.adj[v.index()], u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Iterate over all undirected edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = NodeId::from_index(u);
+            list.iter()
+                .filter(move |&&(v, _)| u < v)
+                .map(move |&(v, w)| (u, v, w))
+        })
+    }
+
+    /// Maximum edge weight, or `None` for an edgeless graph.
+    pub fn max_edge_weight(&self) -> Option<Weight> {
+        self.edges().map(|(_, _, w)| w).max()
+    }
+
+    /// Minimum edge weight, or `None` for an edgeless graph.
+    pub fn min_edge_weight(&self) -> Option<Weight> {
+        self.edges().map(|(_, _, w)| w).min()
+    }
+
+    /// True if all edges have the same weight (vacuously true without edges).
+    ///
+    /// Uniform-weight graphs admit the improved coloring of Lemma 2 /
+    /// Theorem 2 of the paper.
+    pub fn uniform_weight(&self) -> Option<Weight> {
+        let mut it = self.edges().map(|(_, _, w)| w);
+        let first = it.next()?;
+        if it.all(|w| w == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// Check that the graph is non-empty and connected.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.n() == 0 {
+            return Err(GraphError::Empty);
+        }
+        if !self.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(())
+    }
+
+    /// Breadth-first connectivity check (weights are irrelevant here).
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return false;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &(nb, _) in &self.adj[v] {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    count += 1;
+                    stack.push(nb.index());
+                }
+            }
+        }
+        count == self.n()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("name", &self.name)
+            .field("n", &self.n())
+            .field("edges", &self.edge_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3, "triangle");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(1));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), Some(1));
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(1)), Some(2));
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!(g.is_connected());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let mut g = Graph::new(4, "t");
+        g.add_edge(NodeId(0), NodeId(3), 1).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        let nbs: Vec<u32> = g.neighbors(NodeId(0)).iter().map(|&(v, _)| v.0).collect();
+        assert_eq!(nbs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2, "t");
+        assert_eq!(
+            g.add_edge(NodeId(0), NodeId(0), 1),
+            Err(GraphError::SelfLoop { node: NodeId(0) })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_weight() {
+        let mut g = Graph::new(2, "t");
+        assert_eq!(
+            g.add_edge(NodeId(0), NodeId(1), 0),
+            Err(GraphError::ZeroWeight {
+                edge: (NodeId(0), NodeId(1))
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new(2, "t");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(0), 5),
+            Err(GraphError::DuplicateEdge {
+                edge: (NodeId(1), NodeId(0))
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2, "t");
+        assert_eq!(
+            g.add_edge(NodeId(0), NodeId(7), 1),
+            Err(GraphError::NodeOutOfRange {
+                node: NodeId(7),
+                n: 2
+            })
+        );
+    }
+
+    #[test]
+    fn detects_disconnected() {
+        let mut g = Graph::new(4, "t");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.validate(), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn empty_graph_invalid() {
+        let g = Graph::new(0, "empty");
+        assert_eq!(g.validate(), Err(GraphError::Empty));
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v, _) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn uniform_weight_detection() {
+        let mut g = Graph::new(3, "t");
+        g.add_edge(NodeId(0), NodeId(1), 4).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 4).unwrap();
+        assert_eq!(g.uniform_weight(), Some(4));
+        g.add_edge(NodeId(0), NodeId(2), 5).unwrap();
+        assert_eq!(g.uniform_weight(), None);
+        assert_eq!(g.max_edge_weight(), Some(5));
+        assert_eq!(g.min_edge_weight(), Some(4));
+    }
+
+    #[test]
+    fn single_node_graph_is_connected() {
+        let g = Graph::new(1, "dot");
+        assert!(g.is_connected());
+        g.validate().unwrap();
+        assert_eq!(g.uniform_weight(), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! [`Network`]: a communication graph together with a distance and routing
+//! oracle. This is the object schedulers and the simulator query.
+//!
+//! For structured topologies the oracle answers in `O(1)` via closed forms
+//! ([`crate::structured`]); otherwise it lazily computes and caches one
+//! Dijkstra shortest-path tree per *target* node (routing in the data-flow
+//! model is always "toward the next requesting transaction", so trees are
+//! naturally keyed by destination).
+
+use crate::graph::{Graph, NodeId, Weight};
+use crate::shortest_paths::ShortestPathTree;
+use crate::structured::Structured;
+use parking_lot::RwLock;
+use std::sync::{Arc, OnceLock};
+
+/// A communication graph with a distance / routing oracle.
+///
+/// Cheap to clone (`Arc` internals); safe to share across threads.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    graph: Graph,
+    structured: Option<Structured>,
+    /// Lazily computed shortest-path trees, indexed by *target* node.
+    trees: RwLock<Vec<Option<Arc<ShortestPathTree>>>>,
+    diameter: OnceLock<Weight>,
+}
+
+impl Network {
+    /// Wrap a validated graph. `structured` supplies closed-form answers and
+    /// must describe the same graph (verified by the topology tests).
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or disconnected, or if `structured`
+    /// disagrees with the graph's node count.
+    pub fn new(graph: Graph, structured: Option<Structured>) -> Self {
+        graph
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid network graph {}: {e}", graph.name()));
+        if let Some(s) = &structured {
+            assert_eq!(
+                s.n(),
+                graph.n(),
+                "structured oracle node count mismatch for {}",
+                graph.name()
+            );
+        }
+        let n = graph.n();
+        Network {
+            inner: Arc::new(Inner {
+                graph,
+                structured,
+                trees: RwLock::new(vec![None; n]),
+                diameter: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.inner.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.inner.graph.n()
+    }
+
+    /// Name of the topology instance.
+    pub fn name(&self) -> &str {
+        self.inner.graph.name()
+    }
+
+    /// The closed-form oracle, if this network is a structured topology.
+    pub fn structured(&self) -> Option<&Structured> {
+        self.inner.structured.as_ref()
+    }
+
+    /// Shortest-path distance between two nodes.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return 0;
+        }
+        if let Some(s) = &self.inner.structured {
+            return s.dist(u, v);
+        }
+        self.tree(v).dist(u)
+    }
+
+    /// First hop from `from` on a shortest path toward `target`.
+    ///
+    /// # Panics
+    /// Panics if `from == target`.
+    pub fn next_hop(&self, from: NodeId, target: NodeId) -> NodeId {
+        assert_ne!(from, target, "next_hop requires distinct endpoints");
+        if let Some(s) = &self.inner.structured {
+            return s.next_hop(from, target);
+        }
+        self.tree(target)
+            .next_hop(from)
+            .expect("connected graph: every node routes to every target")
+    }
+
+    /// Full shortest path from `u` to `v` (inclusive endpoints).
+    pub fn path(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = self.next_hop(cur, v);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Graph diameter `D` (cached after first computation).
+    pub fn diameter(&self) -> Weight {
+        *self.inner.diameter.get_or_init(|| {
+            if let Some(s) = &self.inner.structured {
+                s.diameter()
+            } else {
+                crate::shortest_paths::diameter(&self.inner.graph)
+            }
+        })
+    }
+
+    /// The quantity `n * D` that bounds the worst sequential schedule
+    /// (Lemma 3); bucket levels range up to `log2(n*D) + 1`.
+    pub fn nd_product(&self) -> u64 {
+        (self.n() as u64).saturating_mul(self.diameter().max(1))
+    }
+
+    /// Maximum bucket level `log2(n*D) + 1` from Lemma 3.
+    pub fn max_bucket_level(&self) -> u32 {
+        let nd = self.nd_product().max(1);
+        // ceil(log2(nd)) + 1.
+        let ceil_log = 64 - (nd - 1).leading_zeros();
+        ceil_log + 1
+    }
+
+    /// Shortest-path tree toward `target`, computing and caching on demand.
+    fn tree(&self, target: NodeId) -> Arc<ShortestPathTree> {
+        if let Some(t) = &self.inner.trees.read()[target.index()] {
+            return Arc::clone(t);
+        }
+        let tree = Arc::new(ShortestPathTree::compute(&self.inner.graph, target));
+        let mut guard = self.inner.trees.write();
+        let slot = &mut guard[target.index()];
+        if slot.is_none() {
+            *slot = Some(Arc::clone(&tree));
+        }
+        slot.as_ref().map(Arc::clone).unwrap()
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.name())
+            .field("n", &self.n())
+            .field("structured", &self.inner.structured.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn weighted_path() -> Network {
+        let mut g = Graph::new(4, "wpath");
+        g.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 3).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 4).unwrap();
+        Network::new(g, None)
+    }
+
+    #[test]
+    fn distances_via_dijkstra() {
+        let net = weighted_path();
+        assert_eq!(net.distance(NodeId(0), NodeId(3)), 9);
+        assert_eq!(net.distance(NodeId(3), NodeId(0)), 9);
+        assert_eq!(net.distance(NodeId(1), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn path_extraction() {
+        let net = weighted_path();
+        assert_eq!(
+            net.path(NodeId(0), NodeId(3)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(net.path(NodeId(2), NodeId(2)), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn diameter_cached() {
+        let net = weighted_path();
+        assert_eq!(net.diameter(), 9);
+        assert_eq!(net.diameter(), 9);
+    }
+
+    #[test]
+    fn structured_oracle_used() {
+        let mut g = Graph::new(4, "clique4");
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                g.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+            }
+        }
+        let net = Network::new(g, Some(Structured::Clique { n: 4 }));
+        assert_eq!(net.distance(NodeId(0), NodeId(3)), 1);
+        assert_eq!(net.next_hop(NodeId(0), NodeId(3)), NodeId(3));
+        assert_eq!(net.diameter(), 1);
+    }
+
+    #[test]
+    fn max_bucket_level_formula() {
+        // n=4, D=9 -> nD=36, ceil(log2 36)=6, +1 = 7.
+        let net = weighted_path();
+        assert_eq!(net.nd_product(), 36);
+        assert_eq!(net.max_bucket_level(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network graph")]
+    fn rejects_disconnected() {
+        let mut g = Graph::new(3, "bad");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        let _ = Network::new(g, None);
+    }
+
+    #[test]
+    fn concurrent_tree_cache() {
+        let net = weighted_path();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let net = net.clone();
+                s.spawn(move || {
+                    for t in 0..4u32 {
+                        for u in 0..4u32 {
+                            let _ = net.distance(NodeId(u), NodeId(t));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(net.distance(NodeId(0), NodeId(3)), 9);
+    }
+}
+
+#[cfg(test)]
+mod metric_tests {
+    use super::*;
+    use crate::topology;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The distance oracle is a metric: symmetric, zero iff equal,
+        /// triangle inequality — on weighted random graphs (Dijkstra path)
+        /// and structured topologies (closed forms).
+        #[test]
+        fn distance_is_a_metric(seed in 0u64..60, topo in 0u8..4) {
+            let net = match topo {
+                0 => topology::random(18, 3, 5, seed),
+                1 => topology::cluster(3, 3, 4),
+                2 => topology::torus(&[4, 4]),
+                _ => topology::star(3, 4),
+            };
+            let n = net.n() as u32;
+            for u in 0..n {
+                for v in 0..n {
+                    let duv = net.distance(NodeId(u), NodeId(v));
+                    prop_assert_eq!(duv, net.distance(NodeId(v), NodeId(u)));
+                    prop_assert_eq!(duv == 0, u == v);
+                    for w in (0..n).step_by(3) {
+                        let duw = net.distance(NodeId(u), NodeId(w));
+                        let dwv = net.distance(NodeId(w), NodeId(v));
+                        prop_assert!(duv <= duw + dwv, "triangle violated");
+                    }
+                }
+            }
+        }
+
+        /// Following next_hop from u to v costs exactly distance(u, v).
+        #[test]
+        fn routing_realizes_distances(seed in 0u64..60) {
+            let net = topology::random(16, 3, 4, seed);
+            let n = net.n() as u32;
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v { continue; }
+                    let path = net.path(NodeId(u), NodeId(v));
+                    let cost: Weight = path
+                        .windows(2)
+                        .map(|p| net.graph().edge_weight(p[0], p[1]).expect("edge"))
+                        .sum();
+                    prop_assert_eq!(cost, net.distance(NodeId(u), NodeId(v)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Dijkstra shortest-path trees, path extraction and eccentricities.
+//!
+//! Objects in the data-flow model travel along shortest paths (Section II),
+//! so every scheduler and the simulator need distances and next-hop routing.
+//! A [`ShortestPathTree`] rooted at a node `s` answers both `dist(v, s)` and
+//! "first hop from `v` toward `s`" queries, which is exactly the shape
+//! object routing needs (route *toward* the next requesting transaction).
+
+use crate::graph::{Graph, NodeId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel parent for the root (and unreachable nodes).
+const NO_PARENT: u32 = u32::MAX;
+
+/// A shortest-path tree rooted at `root`.
+///
+/// For every node `v`, `dist(v)` is the shortest-path distance from `v` to
+/// the root, and `parent(v)` is the neighbor of `v` on a shortest path
+/// toward the root (ties broken toward the smallest node id, so routing is
+/// deterministic).
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    root: NodeId,
+    dist: Vec<Weight>,
+    parent: Vec<u32>,
+}
+
+impl ShortestPathTree {
+    /// Run Dijkstra from `root` over the whole graph.
+    ///
+    /// Complexity `O((m + n) log n)` with a binary heap.
+    pub fn compute(graph: &Graph, root: NodeId) -> Self {
+        let n = graph.n();
+        assert!(root.index() < n, "root {root} out of range");
+        let mut dist = vec![Weight::MAX; n];
+        let mut parent = vec![NO_PARENT; n];
+        let mut done = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+        dist[root.index()] = 0;
+        heap.push(Reverse((0, root.0)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            let vi = v as usize;
+            if done[vi] {
+                continue;
+            }
+            done[vi] = true;
+            for &(nb, w) in graph.neighbors(NodeId(v)) {
+                let nd = d + w;
+                let nbi = nb.index();
+                // Strict improvement, or equal distance through a smaller
+                // parent id: keeps routing deterministic across runs.
+                if nd < dist[nbi] || (nd == dist[nbi] && v < parent[nbi]) {
+                    dist[nbi] = nd;
+                    parent[nbi] = v;
+                    if nd < dist[nbi] || !done[nbi] {
+                        heap.push(Reverse((nd, nb.0)));
+                    }
+                }
+            }
+        }
+        ShortestPathTree { root, dist, parent }
+    }
+
+    /// The root of this tree.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Distance from `v` to the root. `Weight::MAX` if unreachable.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Weight {
+        self.dist[v.index()]
+    }
+
+    /// Neighbor of `v` on a shortest path toward the root.
+    ///
+    /// Returns `None` for the root itself and for unreachable nodes.
+    #[inline]
+    pub fn next_hop(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v.index()];
+        (p != NO_PARENT).then_some(NodeId(p))
+    }
+
+    /// Full shortest path from `v` to the root, inclusive of both endpoints.
+    ///
+    /// # Panics
+    /// Panics if `v` cannot reach the root.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        assert!(
+            self.dist(v) != Weight::MAX,
+            "{v} cannot reach root {}",
+            self.root
+        );
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.next_hop(cur) {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(*path.last().unwrap(), self.root);
+        path
+    }
+
+    /// Eccentricity of the root: max distance from any reachable node.
+    pub fn eccentricity(&self) -> Weight {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != Weight::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if every node reaches the root.
+    pub fn spanning(&self) -> bool {
+        self.dist.iter().all(|&d| d != Weight::MAX)
+    }
+}
+
+/// All nodes within distance `radius` of `center` (inclusive), together
+/// with their distances, via Dijkstra with early cut-off. Cost is
+/// proportional to the ball size, not the graph size.
+pub fn bounded_ball(graph: &Graph, center: NodeId, radius: Weight) -> Vec<(NodeId, Weight)> {
+    let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+    dist.insert(center, 0);
+    heap.push(Reverse((0, center.0)));
+    let mut out = Vec::new();
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v = NodeId(v);
+        if dist.get(&v) != Some(&d) {
+            continue; // stale entry
+        }
+        out.push((v, d));
+        for &(nb, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd > radius {
+                continue;
+            }
+            if dist.get(&nb).is_none_or(|&cur| nd < cur) {
+                dist.insert(nb, nd);
+                heap.push(Reverse((nd, nb.0)));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(v, _)| v);
+    out
+}
+
+/// Exact diameter by running Dijkstra from every node: `O(n (m+n) log n)`.
+///
+/// Acceptable for the graph sizes used in scheduling experiments (up to a
+/// few thousand nodes); structured topologies provide closed forms instead
+/// (see [`crate::structured`]).
+pub fn diameter(graph: &Graph) -> Weight {
+    graph
+        .nodes()
+        .map(|v| ShortestPathTree::compute(graph, v).eccentricity())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// 0 -1- 1 -1- 2 -1- 3 plus a heavy shortcut 0 -5- 3.
+    fn path_with_shortcut() -> Graph {
+        let mut g = Graph::new(4, "t");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 5).unwrap();
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path() {
+        let g = path_with_shortcut();
+        let t = ShortestPathTree::compute(&g, NodeId(3));
+        assert_eq!(t.dist(NodeId(0)), 3);
+        assert_eq!(t.dist(NodeId(3)), 0);
+        assert_eq!(t.path_to_root(NodeId(0)).len(), 4);
+    }
+
+    #[test]
+    fn shortcut_used_when_cheaper() {
+        let mut g = path_with_shortcut();
+        // Make the direct edge competitive.
+        let mut g2 = Graph::new(4, "t2");
+        for (u, v, w) in g.edges() {
+            let w = if (u, v) == (NodeId(0), NodeId(3)) { 2 } else { w };
+            g2.add_edge(u, v, w).unwrap();
+        }
+        g = g2;
+        let t = ShortestPathTree::compute(&g, NodeId(3));
+        assert_eq!(t.dist(NodeId(0)), 2);
+        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0), NodeId(3)]);
+    }
+
+    #[test]
+    fn next_hop_walks_toward_root() {
+        let g = path_with_shortcut();
+        let t = ShortestPathTree::compute(&g, NodeId(3));
+        assert_eq!(t.next_hop(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(t.next_hop(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.next_hop(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(t.next_hop(NodeId(3)), None);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_max_dist() {
+        let mut g = Graph::new(3, "t");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        let t = ShortestPathTree::compute(&g, NodeId(0));
+        assert_eq!(t.dist(NodeId(2)), Weight::MAX);
+        assert_eq!(t.next_hop(NodeId(2)), None);
+        assert!(!t.spanning());
+    }
+
+    #[test]
+    fn diameter_of_weighted_path() {
+        let mut g = Graph::new(3, "t");
+        g.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 7).unwrap();
+        assert_eq!(diameter(&g), 9);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths from 3 to 0: via 1 or via 2; parent must pick
+        // the smaller intermediate node deterministically.
+        let mut g = Graph::new(4, "diamond");
+        g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 1).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        let t = ShortestPathTree::compute(&g, NodeId(0));
+        assert_eq!(t.next_hop(NodeId(3)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = Graph::new(1, "dot");
+        let t = ShortestPathTree::compute(&g, NodeId(0));
+        assert_eq!(t.dist(NodeId(0)), 0);
+        assert_eq!(t.eccentricity(), 0);
+        assert!(t.spanning());
+        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0)]);
+    }
+}

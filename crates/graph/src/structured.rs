@@ -1,0 +1,484 @@
+//! Closed-form distance and routing oracles for structured topologies.
+//!
+//! The paper's results target specific architectures (clique, line, grid,
+//! hypercube, cluster, star, ...). For these, shortest-path distances and
+//! next hops have closed forms, so the simulator and schedulers can run on
+//! thousands of nodes without `O(n^2)` distance matrices. Consistency with
+//! the actual generated graphs is enforced by property tests in
+//! [`crate::topology`].
+
+use crate::graph::{NodeId, Weight};
+use serde::{Deserialize, Serialize};
+
+/// A topology with closed-form shortest-path structure.
+///
+/// All variants describe *connected* graphs. `dist` and `next_hop` must
+/// agree with Dijkstra on the corresponding generated [`crate::Graph`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Structured {
+    /// Complete graph on `n` nodes, unit weights.
+    Clique {
+        /// Number of nodes.
+        n: u32,
+    },
+    /// Path graph `0 - 1 - ... - n-1`, unit weights.
+    Line {
+        /// Number of nodes.
+        n: u32,
+    },
+    /// Cycle on `n` nodes, unit weights.
+    Ring {
+        /// Number of nodes.
+        n: u32,
+    },
+    /// d-dimensional grid with side lengths `dims`, unit weights.
+    ///
+    /// Node ids are mixed-radix: id = x0 + dims[0]*(x1 + dims[1]*(x2 + ...)).
+    Grid {
+        /// Side length of each dimension (each >= 1).
+        dims: Vec<u32>,
+    },
+    /// Hypercube of dimension `dim` (`2^dim` nodes), unit weights.
+    Hypercube {
+        /// Dimension (number of address bits).
+        dim: u32,
+    },
+    /// Star: central node 0, `rays` rays of `ray_len` nodes each, unit
+    /// weights. Node `1 + r*ray_len + p` is position `p` (0 = innermost) on
+    /// ray `r`.
+    Star {
+        /// Number of rays (α in the paper).
+        rays: u32,
+        /// Nodes per ray (β in the paper).
+        ray_len: u32,
+    },
+    /// Cluster graph: `cliques` cliques of `clique_size` nodes (unit
+    /// weights); node `c*clique_size` is the bridge of clique `c`; bridges
+    /// form a complete graph with edges of weight `bridge_weight` (γ >= β).
+    Cluster {
+        /// Number of cliques (α in the paper).
+        cliques: u32,
+        /// Nodes per clique (β in the paper).
+        clique_size: u32,
+        /// Bridge edge weight (γ in the paper).
+        bridge_weight: Weight,
+    },
+    /// d-dimensional torus with side lengths `dims`, unit weights.
+    Torus {
+        /// Side length of each dimension (each >= 1).
+        dims: Vec<u32>,
+    },
+}
+
+impl Structured {
+    /// Number of nodes described by this topology.
+    pub fn n(&self) -> usize {
+        match self {
+            Structured::Clique { n } | Structured::Line { n } | Structured::Ring { n } => {
+                *n as usize
+            }
+            Structured::Grid { dims } | Structured::Torus { dims } => {
+                dims.iter().map(|&d| d as usize).product()
+            }
+            Structured::Hypercube { dim } => 1usize << dim,
+            Structured::Star { rays, ray_len } => 1 + (*rays as usize) * (*ray_len as usize),
+            Structured::Cluster {
+                cliques,
+                clique_size,
+                ..
+            } => (*cliques as usize) * (*clique_size as usize),
+        }
+    }
+
+    /// Shortest-path distance between `u` and `v`.
+    pub fn dist(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return 0;
+        }
+        match self {
+            Structured::Clique { .. } => 1,
+            Structured::Line { .. } => u.0.abs_diff(v.0) as Weight,
+            Structured::Ring { n } => {
+                let d = u.0.abs_diff(v.0);
+                d.min(n - d) as Weight
+            }
+            Structured::Grid { dims } => {
+                let a = decompose(u.0, dims);
+                let b = decompose(v.0, dims);
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| x.abs_diff(y) as Weight)
+                    .sum()
+            }
+            Structured::Torus { dims } => {
+                let a = decompose(u.0, dims);
+                let b = decompose(v.0, dims);
+                a.iter()
+                    .zip(&b)
+                    .zip(dims)
+                    .map(|((&x, &y), &side)| {
+                        let d = x.abs_diff(y);
+                        d.min(side - d) as Weight
+                    })
+                    .sum()
+            }
+            Structured::Hypercube { .. } => (u.0 ^ v.0).count_ones() as Weight,
+            Structured::Star { ray_len, .. } => {
+                let (ru, pu) = star_coords(u, *ray_len);
+                let (rv, pv) = star_coords(v, *ray_len);
+                match (ru, rv) {
+                    (None, Some(_)) => pv as Weight + 1,
+                    (Some(_), None) => pu as Weight + 1,
+                    (Some(a), Some(b)) if a == b => pu.abs_diff(pv) as Weight,
+                    (Some(_), Some(_)) => (pu + pv + 2) as Weight,
+                    (None, None) => unreachable!("u == v handled above"),
+                }
+            }
+            Structured::Cluster {
+                clique_size,
+                bridge_weight,
+                ..
+            } => {
+                let (cu, iu) = (u.0 / clique_size, u.0 % clique_size);
+                let (cv, iv) = (v.0 / clique_size, v.0 % clique_size);
+                if cu == cv {
+                    1
+                } else {
+                    let exit = if iu == 0 { 0 } else { 1 };
+                    let enter = if iv == 0 { 0 } else { 1 };
+                    exit + bridge_weight + enter
+                }
+            }
+        }
+    }
+
+    /// First hop on a shortest path from `u` toward `v` (`u != v`).
+    ///
+    /// # Panics
+    /// Panics if `u == v`.
+    pub fn next_hop(&self, u: NodeId, v: NodeId) -> NodeId {
+        assert_ne!(u, v, "next_hop requires distinct endpoints");
+        match self {
+            Structured::Clique { .. } => v,
+            Structured::Line { .. } => {
+                if v.0 > u.0 {
+                    NodeId(u.0 + 1)
+                } else {
+                    NodeId(u.0 - 1)
+                }
+            }
+            Structured::Ring { n } => {
+                // Move along the shorter arc; ties go in +1 direction.
+                let fwd = (v.0 + n - u.0) % n; // steps going +1
+                let bwd = n - fwd; // steps going -1
+                if fwd <= bwd {
+                    NodeId((u.0 + 1) % n)
+                } else {
+                    NodeId((u.0 + n - 1) % n)
+                }
+            }
+            Structured::Grid { dims } => {
+                let mut a = decompose(u.0, dims);
+                let b = decompose(v.0, dims);
+                for i in 0..dims.len() {
+                    if a[i] < b[i] {
+                        a[i] += 1;
+                        return NodeId(compose(&a, dims));
+                    }
+                    if a[i] > b[i] {
+                        a[i] -= 1;
+                        return NodeId(compose(&a, dims));
+                    }
+                }
+                unreachable!("u != v implies some coordinate differs")
+            }
+            Structured::Torus { dims } => {
+                let mut a = decompose(u.0, dims);
+                let b = decompose(v.0, dims);
+                for i in 0..dims.len() {
+                    if a[i] == b[i] {
+                        continue;
+                    }
+                    let side = dims[i];
+                    let fwd = (b[i] + side - a[i]) % side;
+                    let bwd = side - fwd;
+                    a[i] = if fwd <= bwd {
+                        (a[i] + 1) % side
+                    } else {
+                        (a[i] + side - 1) % side
+                    };
+                    return NodeId(compose(&a, dims));
+                }
+                unreachable!("u != v implies some coordinate differs")
+            }
+            Structured::Hypercube { .. } => {
+                let diff = u.0 ^ v.0;
+                NodeId(u.0 ^ (1 << diff.trailing_zeros()))
+            }
+            Structured::Star { ray_len, .. } => {
+                let (ru, pu) = star_coords(u, *ray_len);
+                let (rv, pv) = star_coords(v, *ray_len);
+                match (ru, rv) {
+                    // At the center: step onto v's ray.
+                    (None, Some(b)) => NodeId(1 + b * ray_len),
+                    // Same ray: slide along it.
+                    (Some(a), Some(b)) if a == b => {
+                        let np = if pv > pu { pu + 1 } else { pu - 1 };
+                        NodeId(1 + a * ray_len + np)
+                    }
+                    // Different ray or heading to the center: move inward.
+                    (Some(a), _) => {
+                        if pu == 0 {
+                            NodeId(0)
+                        } else {
+                            NodeId(1 + a * ray_len + pu - 1)
+                        }
+                    }
+                    (None, None) => unreachable!("u != v"),
+                }
+            }
+            Structured::Cluster { clique_size, .. } => {
+                let (cu, iu) = (u.0 / clique_size, u.0 % clique_size);
+                let cv = v.0 / clique_size;
+                if cu == cv {
+                    v
+                } else if iu != 0 {
+                    // Move to our own bridge first.
+                    NodeId(cu * clique_size)
+                } else {
+                    // We are a bridge: hop to the destination clique's
+                    // bridge; then (if needed) one more hop inside.
+                    let dest_bridge = NodeId(cv * clique_size);
+                    if v == dest_bridge {
+                        v
+                    } else {
+                        dest_bridge
+                    }
+                }
+            }
+        }
+    }
+
+    /// Diameter in closed form.
+    pub fn diameter(&self) -> Weight {
+        match self {
+            Structured::Clique { n } => {
+                if *n > 1 {
+                    1
+                } else {
+                    0
+                }
+            }
+            Structured::Line { n } => (*n as Weight).saturating_sub(1),
+            Structured::Ring { n } => (*n as Weight) / 2,
+            Structured::Grid { dims } => dims.iter().map(|&d| (d as Weight) - 1).sum(),
+            Structured::Torus { dims } => dims.iter().map(|&d| (d as Weight) / 2).sum(),
+            Structured::Hypercube { dim } => *dim as Weight,
+            Structured::Star { rays, ray_len } => {
+                if *rays >= 2 {
+                    2 * (*ray_len as Weight)
+                } else {
+                    *ray_len as Weight
+                }
+            }
+            Structured::Cluster {
+                cliques,
+                clique_size,
+                bridge_weight,
+            } => {
+                if *cliques <= 1 {
+                    if *clique_size > 1 {
+                        1
+                    } else {
+                        0
+                    }
+                } else if *clique_size > 1 {
+                    bridge_weight + 2
+                } else {
+                    *bridge_weight
+                }
+            }
+        }
+    }
+}
+
+/// Mixed-radix decomposition of a grid/torus node id into coordinates.
+fn decompose(mut id: u32, dims: &[u32]) -> Vec<u32> {
+    let mut coords = Vec::with_capacity(dims.len());
+    for &d in dims {
+        coords.push(id % d);
+        id /= d;
+    }
+    debug_assert_eq!(id, 0, "node id out of range for grid dims");
+    coords
+}
+
+/// Inverse of [`decompose`].
+fn compose(coords: &[u32], dims: &[u32]) -> u32 {
+    let mut id = 0u32;
+    for i in (0..dims.len()).rev() {
+        id = id * dims[i] + coords[i];
+    }
+    id
+}
+
+/// Star coordinates: `None` = center, `Some(ray)` with position along ray.
+fn star_coords(v: NodeId, ray_len: u32) -> (Option<u32>, u32) {
+    if v.0 == 0 {
+        (None, 0)
+    } else {
+        let off = v.0 - 1;
+        (Some(off / ray_len), off % ray_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(s: &Structured, mut u: NodeId, v: NodeId) -> Weight {
+        // Follow next_hop and count weighted steps; must equal dist.
+        let mut cost = 0;
+        let mut hops = 0;
+        while u != v {
+            let next = s.next_hop(u, v);
+            assert_ne!(next, u);
+            cost += s.dist(u, next);
+            u = next;
+            hops += 1;
+            assert!(hops <= 10_000, "routing loop detected");
+        }
+        cost
+    }
+
+    fn check_all_pairs(s: &Structured) {
+        let n = s.n();
+        for u in 0..n {
+            for v in 0..n {
+                let (u, v) = (NodeId(u as u32), NodeId(v as u32));
+                let d = s.dist(u, v);
+                assert_eq!(d, s.dist(v, u), "symmetry {u} {v}");
+                if u == v {
+                    assert_eq!(d, 0);
+                } else {
+                    assert!(d >= 1);
+                    assert_eq!(walk(s, u, v), d, "walk cost mismatch {u}->{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clique_routing() {
+        check_all_pairs(&Structured::Clique { n: 8 });
+        assert_eq!(Structured::Clique { n: 8 }.diameter(), 1);
+    }
+
+    #[test]
+    fn line_routing() {
+        let s = Structured::Line { n: 9 };
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 8);
+        assert_eq!(s.dist(NodeId(2), NodeId(7)), 5);
+    }
+
+    #[test]
+    fn ring_routing() {
+        for n in [2u32, 3, 4, 5, 8, 9] {
+            let s = Structured::Ring { n };
+            check_all_pairs(&s);
+            assert_eq!(s.diameter(), (n / 2) as Weight);
+        }
+    }
+
+    #[test]
+    fn grid_routing() {
+        let s = Structured::Grid {
+            dims: vec![3, 4, 2],
+        };
+        assert_eq!(s.n(), 24);
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 2 + 3 + 1);
+    }
+
+    #[test]
+    fn torus_routing() {
+        let s = Structured::Torus { dims: vec![4, 5] };
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 2 + 2);
+    }
+
+    #[test]
+    fn hypercube_routing() {
+        let s = Structured::Hypercube { dim: 4 };
+        assert_eq!(s.n(), 16);
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 4);
+        assert_eq!(s.dist(NodeId(0b0000), NodeId(0b1011)), 3);
+    }
+
+    #[test]
+    fn star_routing() {
+        let s = Structured::Star {
+            rays: 3,
+            ray_len: 4,
+        };
+        assert_eq!(s.n(), 13);
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 8);
+        // Outermost on ray 0 to outermost on ray 2: 4 + 4 in.
+        assert_eq!(s.dist(NodeId(4), NodeId(12)), 8);
+        // Center to innermost of ray 1.
+        assert_eq!(s.dist(NodeId(0), NodeId(5)), 1);
+    }
+
+    #[test]
+    fn cluster_routing() {
+        let s = Structured::Cluster {
+            cliques: 3,
+            clique_size: 4,
+            bridge_weight: 6,
+        };
+        assert_eq!(s.n(), 12);
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 8);
+        // Non-bridge to non-bridge across cliques: 1 + 6 + 1.
+        assert_eq!(s.dist(NodeId(1), NodeId(5)), 8);
+        // Bridge to bridge: γ.
+        assert_eq!(s.dist(NodeId(0), NodeId(4)), 6);
+        // Same clique: 1.
+        assert_eq!(s.dist(NodeId(1), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn cluster_degenerate_sizes() {
+        check_all_pairs(&Structured::Cluster {
+            cliques: 4,
+            clique_size: 1,
+            bridge_weight: 3,
+        });
+        check_all_pairs(&Structured::Cluster {
+            cliques: 1,
+            clique_size: 5,
+            bridge_weight: 3,
+        });
+    }
+
+    #[test]
+    fn star_single_ray() {
+        let s = Structured::Star {
+            rays: 1,
+            ray_len: 5,
+        };
+        check_all_pairs(&s);
+        assert_eq!(s.diameter(), 5);
+    }
+
+    #[test]
+    fn mixed_radix_roundtrip() {
+        let dims = vec![3, 4, 5];
+        for id in 0..60u32 {
+            assert_eq!(compose(&decompose(id, &dims), &dims), id);
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Generators for the network architectures analyzed in the paper
+//! (Section I "Contributions"): clique, hypercube, butterfly, grid, line,
+//! cluster and star — plus ring, torus, complete binary tree and connected
+//! Erdős–Rényi graphs used as additional experiment substrates.
+
+use crate::graph::{Graph, NodeId, Weight};
+use crate::network::Network;
+use crate::structured::Structured;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A topology descriptor: a recipe that [`Topology::build`]s into a
+/// [`Network`]. Serializable so experiment configurations round-trip.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Complete graph on `n` nodes (Theorem 3: O(k)-competitive greedy).
+    Clique {
+        /// Number of nodes.
+        n: u32,
+    },
+    /// Path graph (Section IV-D: O(log^3 n)-competitive bucket schedule).
+    Line {
+        /// Number of nodes.
+        n: u32,
+    },
+    /// Cycle graph.
+    Ring {
+        /// Number of nodes.
+        n: u32,
+    },
+    /// d-dimensional grid (log n-dimensional grids get O(k log n) greedy).
+    Grid {
+        /// Side lengths.
+        dims: Vec<u32>,
+    },
+    /// Hypercube of `2^dim` nodes (Section III-D: O(k log n) greedy).
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// `dim`-dimensional butterfly: `(dim+1) * 2^dim` nodes (same bound as
+    /// the hypercube, Section III-D).
+    Butterfly {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Star of `rays` rays with `ray_len` nodes each (Section IV-D).
+    Star {
+        /// Number of rays (α).
+        rays: u32,
+        /// Nodes per ray (β).
+        ray_len: u32,
+    },
+    /// Cluster graph of `cliques` cliques with `clique_size` nodes and
+    /// complete bridge edges of weight `bridge_weight` (Section IV-D,
+    /// requires γ >= β).
+    Cluster {
+        /// Number of cliques (α).
+        cliques: u32,
+        /// Nodes per clique (β).
+        clique_size: u32,
+        /// Bridge weight (γ).
+        bridge_weight: Weight,
+    },
+    /// d-dimensional torus.
+    Torus {
+        /// Side lengths.
+        dims: Vec<u32>,
+    },
+    /// Complete binary tree with `depth` levels of edges
+    /// (`2^(depth+1) - 1` nodes).
+    Tree {
+        /// Depth (root at depth 0).
+        depth: u32,
+    },
+    /// Connected Erdős–Rényi-style random graph: a random spanning tree plus
+    /// random extra edges until the average degree is ~`avg_degree`, edge
+    /// weights uniform in `1..=max_weight`.
+    Random {
+        /// Number of nodes.
+        n: u32,
+        /// Target average degree (>= 2 recommended).
+        avg_degree: u32,
+        /// Maximum edge weight (1 = unweighted).
+        max_weight: Weight,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+impl Topology {
+    /// Short human-readable name, e.g. `"hypercube(d=6)"`.
+    pub fn name(&self) -> String {
+        match self {
+            Topology::Clique { n } => format!("clique(n={n})"),
+            Topology::Line { n } => format!("line(n={n})"),
+            Topology::Ring { n } => format!("ring(n={n})"),
+            Topology::Grid { dims } => format!("grid({dims:?})"),
+            Topology::Hypercube { dim } => format!("hypercube(d={dim})"),
+            Topology::Butterfly { dim } => format!("butterfly(d={dim})"),
+            Topology::Star { rays, ray_len } => format!("star(a={rays},b={ray_len})"),
+            Topology::Cluster {
+                cliques,
+                clique_size,
+                bridge_weight,
+            } => format!("cluster(a={cliques},b={clique_size},g={bridge_weight})"),
+            Topology::Torus { dims } => format!("torus({dims:?})"),
+            Topology::Tree { depth } => format!("tree(depth={depth})"),
+            Topology::Random {
+                n,
+                avg_degree,
+                max_weight,
+                seed,
+            } => format!("random(n={n},deg={avg_degree},w={max_weight},seed={seed})"),
+        }
+    }
+
+    /// Number of nodes the built network will have.
+    pub fn n(&self) -> usize {
+        match self {
+            Topology::Clique { n } | Topology::Line { n } | Topology::Ring { n } => *n as usize,
+            Topology::Grid { dims } | Topology::Torus { dims } => {
+                dims.iter().map(|&d| d as usize).product()
+            }
+            Topology::Hypercube { dim } => 1usize << dim,
+            Topology::Butterfly { dim } => (*dim as usize + 1) << dim,
+            Topology::Star { rays, ray_len } => 1 + (*rays as usize) * (*ray_len as usize),
+            Topology::Cluster {
+                cliques,
+                clique_size,
+                ..
+            } => (*cliques as usize) * (*clique_size as usize),
+            Topology::Tree { depth } => (1usize << (depth + 1)) - 1,
+            Topology::Random { n, .. } => *n as usize,
+        }
+    }
+
+    /// Build the network.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (zero sizes, γ < β for clusters).
+    pub fn build(&self) -> Network {
+        match self {
+            Topology::Clique { n } => clique(*n),
+            Topology::Line { n } => line(*n),
+            Topology::Ring { n } => ring(*n),
+            Topology::Grid { dims } => grid(dims),
+            Topology::Hypercube { dim } => hypercube(*dim),
+            Topology::Butterfly { dim } => butterfly(*dim),
+            Topology::Star { rays, ray_len } => star(*rays, *ray_len),
+            Topology::Cluster {
+                cliques,
+                clique_size,
+                bridge_weight,
+            } => cluster(*cliques, *clique_size, *bridge_weight),
+            Topology::Torus { dims } => torus(dims),
+            Topology::Tree { depth } => tree(*depth),
+            Topology::Random {
+                n,
+                avg_degree,
+                max_weight,
+                seed,
+            } => random(*n, *avg_degree, *max_weight, *seed),
+        }
+    }
+}
+
+/// Complete graph on `n` nodes, unit weights.
+pub fn clique(n: u32) -> Network {
+    assert!(n >= 1, "clique needs at least one node");
+    let mut g = Graph::new(n as usize, format!("clique(n={n})"));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+    }
+    Network::new(g, Some(Structured::Clique { n }))
+}
+
+/// Path graph on `n` nodes, unit weights.
+pub fn line(n: u32) -> Network {
+    assert!(n >= 1, "line needs at least one node");
+    let mut g = Graph::new(n as usize, format!("line(n={n})"));
+    for u in 1..n {
+        g.add_edge(NodeId(u - 1), NodeId(u), 1).unwrap();
+    }
+    Network::new(g, Some(Structured::Line { n }))
+}
+
+/// Cycle on `n >= 3` nodes, unit weights.
+pub fn ring(n: u32) -> Network {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut g = Graph::new(n as usize, format!("ring(n={n})"));
+    for u in 0..n {
+        g.add_edge(NodeId(u), NodeId((u + 1) % n), 1).unwrap();
+    }
+    Network::new(g, Some(Structured::Ring { n }))
+}
+
+/// d-dimensional grid with side lengths `dims`, unit weights.
+pub fn grid(dims: &[u32]) -> Network {
+    assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 1), "bad dims");
+    let n: usize = dims.iter().map(|&d| d as usize).product();
+    let s = Structured::Grid {
+        dims: dims.to_vec(),
+    };
+    let mut g = Graph::new(n, format!("grid({dims:?})"));
+    for id in 0..n as u32 {
+        // Connect to +1 neighbor in each dimension.
+        let mut stride = 1u32;
+        let mut rest = id;
+        for &d in dims {
+            let coord = rest % d;
+            if coord + 1 < d {
+                g.add_edge(NodeId(id), NodeId(id + stride), 1).unwrap();
+            }
+            rest /= d;
+            stride *= d;
+        }
+    }
+    Network::new(g, Some(s))
+}
+
+/// d-dimensional torus with side lengths `dims`, unit weights.
+pub fn torus(dims: &[u32]) -> Network {
+    assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 3), "torus sides must be >= 3");
+    let n: usize = dims.iter().map(|&d| d as usize).product();
+    let s = Structured::Torus {
+        dims: dims.to_vec(),
+    };
+    let mut g = Graph::new(n, format!("torus({dims:?})"));
+    for id in 0..n as u32 {
+        let mut stride = 1u32;
+        let mut rest = id;
+        for &d in dims {
+            let coord = rest % d;
+            let next_coord = (coord + 1) % d;
+            let nb = id - coord * stride + next_coord * stride;
+            if g.edge_weight(NodeId(id), NodeId(nb)).is_none() {
+                g.add_edge(NodeId(id), NodeId(nb), 1).unwrap();
+            }
+            rest /= d;
+            stride *= d;
+        }
+    }
+    Network::new(g, Some(s))
+}
+
+/// Hypercube with `2^dim` nodes, unit weights.
+pub fn hypercube(dim: u32) -> Network {
+    assert!((1..=20).contains(&dim), "hypercube dim out of range");
+    let n = 1u32 << dim;
+    let mut g = Graph::new(n as usize, format!("hypercube(d={dim})"));
+    for u in 0..n {
+        for b in 0..dim {
+            let v = u ^ (1 << b);
+            if u < v {
+                g.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+            }
+        }
+    }
+    Network::new(g, Some(Structured::Hypercube { dim }))
+}
+
+/// `dim`-dimensional butterfly: levels `0..=dim`, `2^dim` rows; node
+/// `(level, row)` has id `level * 2^dim + row`. Unit weights. No closed-form
+/// oracle — distances go through Dijkstra.
+pub fn butterfly(dim: u32) -> Network {
+    assert!((1..=16).contains(&dim), "butterfly dim out of range");
+    let rows = 1u32 << dim;
+    let n = (dim + 1) * rows;
+    let mut g = Graph::new(n as usize, format!("butterfly(d={dim})"));
+    for level in 0..dim {
+        for row in 0..rows {
+            let here = level * rows + row;
+            let straight = (level + 1) * rows + row;
+            let cross = (level + 1) * rows + (row ^ (1 << level));
+            g.add_edge(NodeId(here), NodeId(straight), 1).unwrap();
+            g.add_edge(NodeId(here), NodeId(cross), 1).unwrap();
+        }
+    }
+    Network::new(g, None)
+}
+
+/// Star with `rays` rays of `ray_len` nodes; node 0 is the center.
+pub fn star(rays: u32, ray_len: u32) -> Network {
+    assert!(rays >= 1 && ray_len >= 1, "star needs rays and ray length");
+    let s = Structured::Star { rays, ray_len };
+    let n = s.n();
+    let mut g = Graph::new(n, format!("star(a={rays},b={ray_len})"));
+    for r in 0..rays {
+        let first = 1 + r * ray_len;
+        g.add_edge(NodeId(0), NodeId(first), 1).unwrap();
+        for p in 1..ray_len {
+            g.add_edge(NodeId(first + p - 1), NodeId(first + p), 1)
+                .unwrap();
+        }
+    }
+    Network::new(g, Some(s))
+}
+
+/// Cluster graph: `cliques` cliques of `clique_size` unit-weight nodes;
+/// node `c * clique_size` is clique `c`'s bridge; bridges form a complete
+/// graph with weight `bridge_weight`. The paper requires γ >= β.
+pub fn cluster(cliques: u32, clique_size: u32, bridge_weight: Weight) -> Network {
+    assert!(cliques >= 1 && clique_size >= 1, "cluster needs size");
+    assert!(
+        bridge_weight >= clique_size as Weight,
+        "paper requires bridge weight γ >= β (clique size)"
+    );
+    let s = Structured::Cluster {
+        cliques,
+        clique_size,
+        bridge_weight,
+    };
+    let n = s.n();
+    let mut g = Graph::new(
+        n,
+        format!("cluster(a={cliques},b={clique_size},g={bridge_weight})"),
+    );
+    for c in 0..cliques {
+        let base = c * clique_size;
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                g.add_edge(NodeId(base + i), NodeId(base + j), 1).unwrap();
+            }
+        }
+    }
+    for c1 in 0..cliques {
+        for c2 in (c1 + 1)..cliques {
+            g.add_edge(
+                NodeId(c1 * clique_size),
+                NodeId(c2 * clique_size),
+                bridge_weight,
+            )
+            .unwrap();
+        }
+    }
+    Network::new(g, Some(s))
+}
+
+/// Complete binary tree with `depth` edge-levels (`2^(depth+1) - 1` nodes),
+/// unit weights. Node `i`'s children are `2i+1` and `2i+2`.
+pub fn tree(depth: u32) -> Network {
+    assert!(depth <= 20, "tree depth out of range");
+    let n = (1usize << (depth + 1)) - 1;
+    let mut g = Graph::new(n, format!("tree(depth={depth})"));
+    for i in 0..n as u32 {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if (child as usize) < n {
+                g.add_edge(NodeId(i), NodeId(child), 1).unwrap();
+            }
+        }
+    }
+    Network::new(g, None)
+}
+
+/// Connected random graph: a uniformly-shuffled spanning tree plus extra
+/// random edges until average degree ~`avg_degree`, weights in
+/// `1..=max_weight`. Deterministic for a fixed `seed`.
+pub fn random(n: u32, avg_degree: u32, max_weight: Weight, seed: u64) -> Network {
+    assert!(n >= 2, "random graph needs at least two nodes");
+    assert!(max_weight >= 1, "weights must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new(
+        n as usize,
+        format!("random(n={n},deg={avg_degree},w={max_weight},seed={seed})"),
+    );
+    let mut order: Vec<u32> = (0..n).collect();
+    order.shuffle(&mut rng);
+    // Random spanning tree: attach each node to a random earlier one.
+    for i in 1..n as usize {
+        let parent = order[rng.gen_range(0..i)];
+        let w = rng.gen_range(1..=max_weight);
+        g.add_edge(NodeId(order[i]), NodeId(parent), w).unwrap();
+    }
+    let target_edges = ((n as usize) * (avg_degree as usize) / 2)
+        .min(n as usize * (n as usize - 1) / 2);
+    let mut attempts = 0;
+    while g.edge_count() < target_edges && attempts < 50 * target_edges {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || g.edge_weight(NodeId(u), NodeId(v)).is_some() {
+            continue;
+        }
+        let w = rng.gen_range(1..=max_weight);
+        g.add_edge(NodeId(u), NodeId(v), w).unwrap();
+    }
+    Network::new(g, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest_paths::ShortestPathTree;
+    use proptest::prelude::*;
+
+    /// For structured topologies the closed-form oracle must agree with
+    /// Dijkstra on the generated graph.
+    fn assert_oracle_matches(net: &Network) {
+        let s = net.structured().expect("structured topology").clone();
+        let g = net.graph();
+        for target in g.nodes() {
+            let tree = ShortestPathTree::compute(g, target);
+            for v in g.nodes() {
+                assert_eq!(
+                    s.dist(v, target),
+                    tree.dist(v),
+                    "{}: dist({v},{target})",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clique_matches_dijkstra() {
+        assert_oracle_matches(&clique(7));
+    }
+
+    #[test]
+    fn line_matches_dijkstra() {
+        assert_oracle_matches(&line(9));
+    }
+
+    #[test]
+    fn ring_matches_dijkstra() {
+        assert_oracle_matches(&ring(8));
+        assert_oracle_matches(&ring(9));
+    }
+
+    #[test]
+    fn grid_matches_dijkstra() {
+        assert_oracle_matches(&grid(&[3, 4]));
+        assert_oracle_matches(&grid(&[2, 3, 2]));
+        assert_oracle_matches(&grid(&[5]));
+    }
+
+    #[test]
+    fn torus_matches_dijkstra() {
+        assert_oracle_matches(&torus(&[4, 3]));
+        assert_oracle_matches(&torus(&[5]));
+    }
+
+    #[test]
+    fn hypercube_matches_dijkstra() {
+        assert_oracle_matches(&hypercube(4));
+    }
+
+    #[test]
+    fn star_matches_dijkstra() {
+        assert_oracle_matches(&star(4, 3));
+        assert_oracle_matches(&star(1, 4));
+    }
+
+    #[test]
+    fn cluster_matches_dijkstra() {
+        assert_oracle_matches(&cluster(3, 4, 5));
+        assert_oracle_matches(&cluster(2, 2, 2));
+        assert_oracle_matches(&cluster(4, 1, 2));
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        let net = butterfly(3);
+        assert_eq!(net.n(), 4 * 8);
+        // Degree: internal levels have 4 neighbors, boundary levels 2.
+        let g = net.graph();
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!(g.is_connected());
+        // Known property: diameter of k-dim butterfly is 2k.
+        assert_eq!(net.diameter(), 6);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let net = tree(3);
+        assert_eq!(net.n(), 15);
+        assert_eq!(net.diameter(), 6);
+    }
+
+    #[test]
+    fn random_graph_deterministic_and_connected() {
+        let a = random(40, 4, 3, 7);
+        let b = random(40, 4, 3, 7);
+        assert!(a.graph().is_connected());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        let ea: Vec<_> = a.graph().edges().collect();
+        let eb: Vec<_> = b.graph().edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn topology_enum_roundtrip() {
+        let topos = vec![
+            Topology::Clique { n: 5 },
+            Topology::Line { n: 6 },
+            Topology::Hypercube { dim: 3 },
+            Topology::Butterfly { dim: 2 },
+            Topology::Star {
+                rays: 3,
+                ray_len: 2,
+            },
+            Topology::Cluster {
+                cliques: 2,
+                clique_size: 3,
+                bridge_weight: 3,
+            },
+            Topology::Tree { depth: 2 },
+            Topology::Grid { dims: vec![3, 3] },
+        ];
+        for t in topos {
+            let net = t.build();
+            assert_eq!(net.n(), t.n(), "{}", t.name());
+            assert!(net.graph().is_connected());
+            assert!(!t.name().is_empty());
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Topology = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "γ >= β")]
+    fn cluster_rejects_small_gamma() {
+        let _ = cluster(2, 5, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn random_graphs_always_connected(n in 2u32..60, deg in 0u32..6, w in 1u64..5, seed in 0u64..50) {
+            let net = random(n, deg, w, seed);
+            prop_assert!(net.graph().is_connected());
+            prop_assert_eq!(net.n(), n as usize);
+        }
+
+        #[test]
+        fn grid_oracle_random_dims(d0 in 1u32..5, d1 in 1u32..5, d2 in 1u32..4) {
+            let dims = vec![d0, d1, d2];
+            let net = grid(&dims);
+            // Spot-check a few pairs against Dijkstra.
+            let g = net.graph();
+            let tree = ShortestPathTree::compute(g, NodeId(0));
+            let s = net.structured().unwrap();
+            for v in g.nodes() {
+                prop_assert_eq!(s.dist(v, NodeId(0)), tree.dist(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Identifier newtypes and the discrete time type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Discrete synchronous time step (Section II: "all actions occur at
+/// discrete time steps").
+pub type Time = u64;
+
+/// Identifier of a shared mobile object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identifier of a transaction. Unique across an entire (possibly
+/// unbounded online) execution, hence 64 bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(TxnId(9) > TxnId(3));
+        assert_eq!(format!("{}", ObjectId(4)), "o4");
+        assert_eq!(format!("{:?}", TxnId(7)), "T7");
+        assert_eq!(ObjectId(5).index(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Application-benchmark workload presets.
+//!
+//! The paper's conclusion asks for evaluation "against different
+//! application benchmarks in a practical setting" — these presets model
+//! the transactional access patterns of three classic TM benchmark
+//! families on top of the data-flow model:
+//!
+//! * [`bank`] — money transfers: every transaction touches exactly two
+//!   accounts (objects) drawn from a Zipf popularity distribution (the
+//!   `Bank`/`TL2`-style microbenchmark);
+//! * [`social_graph`] — social-network updates: a small hot set of
+//!   celebrity objects absorbs most writes while the long tail is cold
+//!   (hotspot distribution, k up to 3);
+//! * [`inventory`] — warehouse order processing à la TPC-C: transactions
+//!   touch one of few shared "district" objects plus local "stock"
+//!   objects near their home node (neighborhood locality).
+
+use crate::generator::{ArrivalProcess, ObjectChoice, WorkloadSpec};
+use crate::ids::Time;
+
+/// Bank-transfer workload: `accounts` objects, two per transaction, Zipf
+/// popularity (exponent 1.0), Bernoulli arrivals.
+pub fn bank(accounts: u32, rate: f64, horizon: Time) -> WorkloadSpec {
+    WorkloadSpec {
+        num_objects: accounts.max(2),
+        k: 2,
+        object_choice: ObjectChoice::Zipf { exponent: 1.0 },
+        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+    }
+}
+
+/// Social-graph workload: `objects` entities of which `hot` are
+/// celebrities receiving 80 % of accesses; up to 3 objects per
+/// transaction.
+pub fn social_graph(objects: u32, hot: u32, rate: f64, horizon: Time) -> WorkloadSpec {
+    WorkloadSpec {
+        num_objects: objects.max(1),
+        k: 3,
+        object_choice: ObjectChoice::Hotspot {
+            hot_objects: hot.clamp(1, objects.max(1)),
+            hot_prob: 0.8,
+        },
+        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+    }
+}
+
+/// Inventory / order-processing workload: `stock` objects accessed with
+/// locality radius `radius` (stock is sharded near its warehouse),
+/// two objects per order.
+pub fn inventory(stock: u32, radius: u64, rate: f64, horizon: Time) -> WorkloadSpec {
+    WorkloadSpec {
+        num_objects: stock.max(1),
+        k: 2,
+        object_choice: ObjectChoice::Neighborhood { radius },
+        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use dtm_graph::topology;
+
+    #[test]
+    fn bank_touches_two_accounts() {
+        let net = topology::clique(16);
+        let inst = WorkloadGenerator::new(bank(64, 0.3, 20), 1).generate(&net);
+        assert!(!inst.txns.is_empty());
+        assert!(inst.txns.iter().all(|t| t.k() == 2));
+        // Zipf skew: account 0 should be clearly hotter than account 63.
+        let s = inst.stats();
+        assert!(s.popularity_gini > 0.2, "gini {}", s.popularity_gini);
+    }
+
+    #[test]
+    fn social_graph_concentrates_on_celebrities() {
+        let net = topology::grid(&[5, 5]);
+        let inst =
+            WorkloadGenerator::new(social_graph(100, 3, 0.3, 20), 2).generate(&net);
+        let req = inst.requesters();
+        let hot: usize = (0..3)
+            .map(|i| req.get(&crate::ids::ObjectId(i)).map_or(0, |v| v.len()))
+            .sum();
+        let total: usize = req.values().map(|v| v.len()).sum();
+        assert!(hot * 2 > total, "celebrities got {hot}/{total}");
+    }
+
+    #[test]
+    fn inventory_is_local() {
+        let net = topology::grid(&[6, 6]);
+        let inst = WorkloadGenerator::new(inventory(72, 2, 0.2, 25), 3).generate(&net);
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for t in &inst.txns {
+            for o in t.objects() {
+                total += 1;
+                if net.distance(inst.object(o).unwrap().origin, t.home) <= 2 {
+                    local += 1;
+                }
+            }
+        }
+        assert!(local * 2 >= total, "{local}/{total} local");
+    }
+
+    #[test]
+    fn degenerate_parameters_clamped() {
+        let s = social_graph(0, 9, 0.1, 5);
+        assert_eq!(s.num_objects, 1);
+        let b = bank(1, 0.1, 5);
+        assert_eq!(b.num_objects, 2);
+    }
+}

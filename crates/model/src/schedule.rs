@@ -1,0 +1,155 @@
+//! Execution schedules: assignments of commit times to transactions.
+
+use crate::ids::{Time, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An execution schedule `S`: for each scheduled transaction, the time step
+/// at which it executes (commits). Deterministic iteration order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    times: BTreeMap<TxnId, Time>,
+}
+
+impl Schedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Number of scheduled transactions.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Assign an execution time. Returns the previous time if `txn` was
+    /// already scheduled (schedulers treat that as a bug; the simulator
+    /// rejects re-scheduling).
+    pub fn set(&mut self, txn: TxnId, time: Time) -> Option<Time> {
+        self.times.insert(txn, time)
+    }
+
+    /// The scheduled execution time of `txn`.
+    pub fn get(&self, txn: TxnId) -> Option<Time> {
+        self.times.get(&txn).copied()
+    }
+
+    /// True if `txn` has been scheduled.
+    pub fn contains(&self, txn: TxnId) -> bool {
+        self.times.contains_key(&txn)
+    }
+
+    /// Remove a transaction from the schedule.
+    pub fn remove(&mut self, txn: TxnId) -> Option<Time> {
+        self.times.remove(&txn)
+    }
+
+    /// Iterate `(txn, time)` in transaction-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TxnId, Time)> + '_ {
+        self.times.iter().map(|(&t, &x)| (t, x))
+    }
+
+    /// Iterate `(txn, time)` sorted by time (ties by txn id).
+    pub fn by_time(&self) -> Vec<(TxnId, Time)> {
+        let mut v: Vec<(TxnId, Time)> = self.iter().collect();
+        v.sort_by_key(|&(id, t)| (t, id));
+        v
+    }
+
+    /// Latest scheduled time (`None` when empty).
+    pub fn makespan_end(&self) -> Option<Time> {
+        self.times.values().copied().max()
+    }
+
+    /// Merge another schedule into this one.
+    ///
+    /// # Panics
+    /// Panics if the schedules overlap with different times — merging must
+    /// never silently change an already-announced execution time (the
+    /// paper's algorithms never alter previously scheduled transactions).
+    pub fn merge(&mut self, other: &Schedule) {
+        for (txn, time) in other.iter() {
+            match self.times.insert(txn, time) {
+                None => {}
+                Some(prev) if prev == time => {}
+                Some(prev) => panic!(
+                    "schedule merge conflict for {txn}: {prev} vs {time} — \
+                     scheduled transactions must not be re-timed"
+                ),
+            }
+        }
+    }
+}
+
+impl FromIterator<(TxnId, Time)> for Schedule {
+    fn from_iter<I: IntoIterator<Item = (TxnId, Time)>>(iter: I) -> Self {
+        Schedule {
+            times: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_contains() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.set(TxnId(1), 5), None);
+        assert_eq!(s.set(TxnId(1), 7), Some(5));
+        assert_eq!(s.get(TxnId(1)), Some(7));
+        assert!(s.contains(TxnId(1)));
+        assert!(!s.contains(TxnId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn by_time_sorted() {
+        let s: Schedule = [(TxnId(3), 9), (TxnId(1), 2), (TxnId(2), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            s.by_time(),
+            vec![(TxnId(1), 2), (TxnId(2), 2), (TxnId(3), 9)]
+        );
+        assert_eq!(s.makespan_end(), Some(9));
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let mut a: Schedule = [(TxnId(1), 1)].into_iter().collect();
+        let b: Schedule = [(TxnId(2), 2)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn merge_identical_ok() {
+        let mut a: Schedule = [(TxnId(1), 1)].into_iter().collect();
+        let b: Schedule = [(TxnId(1), 1), (TxnId(2), 2)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge conflict")]
+    fn merge_conflict_panics() {
+        let mut a: Schedule = [(TxnId(1), 1)].into_iter().collect();
+        let b: Schedule = [(TxnId(1), 3)].into_iter().collect();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn remove_and_empty_makespan() {
+        let mut s: Schedule = [(TxnId(1), 4)].into_iter().collect();
+        assert_eq!(s.remove(TxnId(1)), Some(4));
+        assert_eq!(s.makespan_end(), None);
+    }
+}

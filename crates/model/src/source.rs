@@ -1,0 +1,298 @@
+//! Online workload sources: the interface by which the simulator pulls
+//! transaction arrivals, including the closed-loop process of Section III-C
+//! ("once a transaction completes execution, the node ... issues in the
+//! next step a new transaction").
+
+use crate::generator::WorkloadSpec;
+use crate::ids::{Time, TxnId};
+use crate::instance::{Instance, ObjectInfo};
+use crate::txn::Transaction;
+use dtm_graph::{Network, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// A stream of transaction arrivals consumed by the simulator.
+///
+/// The simulator calls [`WorkloadSource::arrivals`] exactly once per time
+/// step with strictly increasing `t`, and [`WorkloadSource::on_commit`]
+/// whenever a transaction commits (closed-loop sources react by issuing a
+/// successor).
+pub trait WorkloadSource {
+    /// Transactions generated at time `t` (their `generated_at` must be `t`).
+    fn arrivals(&mut self, t: Time) -> Vec<Transaction>;
+
+    /// Notification that `txn` committed at time `t`.
+    fn on_commit(&mut self, txn: &Transaction, t: Time);
+
+    /// True when no further arrivals will ever be produced (the run can end
+    /// once all live transactions have committed).
+    fn exhausted(&self) -> bool;
+
+    /// The shared objects of this workload.
+    fn objects(&self) -> &[ObjectInfo];
+}
+
+/// Replays a pre-generated [`Instance`] at its recorded generation times.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    objects: Vec<ObjectInfo>,
+    /// Remaining arrivals, keyed by generation time.
+    pending: BTreeMap<Time, Vec<Transaction>>,
+}
+
+impl TraceSource {
+    /// Replay `instance` as-is.
+    pub fn new(instance: Instance) -> Self {
+        let mut pending: BTreeMap<Time, Vec<Transaction>> = BTreeMap::new();
+        for t in instance.txns {
+            pending.entry(t.generated_at).or_default().push(t);
+        }
+        TraceSource {
+            objects: instance.objects,
+            pending,
+        }
+    }
+
+    /// Total number of transactions still pending.
+    pub fn remaining(&self) -> usize {
+        self.pending.values().map(|v| v.len()).sum()
+    }
+}
+
+impl WorkloadSource for TraceSource {
+    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
+        self.pending.remove(&t).unwrap_or_default()
+    }
+
+    fn on_commit(&mut self, _txn: &Transaction, _t: Time) {}
+
+    fn exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn objects(&self) -> &[ObjectInfo] {
+        &self.objects
+    }
+}
+
+/// All transactions of an instance released at time 0 (offline batch).
+#[derive(Debug, Clone)]
+pub struct BatchSource(TraceSource);
+
+impl BatchSource {
+    /// Release every transaction of `instance` at time 0 regardless of its
+    /// recorded generation time.
+    pub fn new(mut instance: Instance) -> Self {
+        for t in &mut instance.txns {
+            t.generated_at = 0;
+        }
+        BatchSource(TraceSource::new(instance))
+    }
+}
+
+impl WorkloadSource for BatchSource {
+    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
+        self.0.arrivals(t)
+    }
+
+    fn on_commit(&mut self, txn: &Transaction, t: Time) {
+        self.0.on_commit(txn, t)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.0.exhausted()
+    }
+
+    fn objects(&self) -> &[ObjectInfo] {
+        self.0.objects()
+    }
+}
+
+/// Closed-loop source (Section III-C): every node has one outstanding
+/// transaction; when it commits, the node issues a fresh one at the next
+/// step, for `rounds` rounds per node.
+pub struct ClosedLoopSource {
+    network: Network,
+    spec: WorkloadSpec,
+    objects: Vec<ObjectInfo>,
+    rng: ChaCha8Rng,
+    next_txn: u64,
+    /// Remaining re-issues per node (after the initial transaction).
+    rounds_left: Vec<u32>,
+    /// Nodes scheduled to issue at a given future time.
+    queued: BTreeMap<Time, Vec<NodeId>>,
+    /// Owning node of each in-flight transaction.
+    owner: BTreeMap<TxnId, NodeId>,
+}
+
+impl ClosedLoopSource {
+    /// Every node issues `rounds >= 1` transactions total, each drawing
+    /// `spec.k` objects from `spec.object_choice`. Objects are placed
+    /// uniformly at random (seeded).
+    pub fn new(network: Network, spec: WorkloadSpec, rounds: u32, seed: u64) -> Self {
+        assert!(rounds >= 1, "closed loop needs at least one round");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = network.n();
+        let objects: Vec<ObjectInfo> = (0..spec.num_objects)
+            .map(|i| ObjectInfo {
+                id: crate::ids::ObjectId(i),
+                origin: NodeId(rand::Rng::gen_range(&mut rng, 0..n as u32)),
+                created_at: 0,
+            })
+            .collect();
+        let mut queued: BTreeMap<Time, Vec<NodeId>> = BTreeMap::new();
+        queued.insert(0, (0..n).map(NodeId::from_index).collect());
+        ClosedLoopSource {
+            network,
+            spec,
+            objects,
+            rng,
+            next_txn: 0,
+            rounds_left: vec![rounds - 1; n],
+            queued,
+            owner: BTreeMap::new(),
+        }
+    }
+
+    /// Total transactions this source will ever emit.
+    pub fn total_txns(&self) -> usize {
+        self.network.n() * (self.rounds_left.first().map_or(0, |&r| r as usize) + 1)
+    }
+}
+
+impl WorkloadSource for ClosedLoopSource {
+    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
+        let nodes = self.queued.remove(&t).unwrap_or_default();
+        nodes
+            .into_iter()
+            .map(|home| {
+                let objs = self.spec.sample_object_set(
+                    &mut self.rng,
+                    &self.objects,
+                    home,
+                    &self.network,
+                );
+                let id = TxnId(self.next_txn);
+                self.next_txn += 1;
+                self.owner.insert(id, home);
+                Transaction::new(id, home, objs, t)
+            })
+            .collect()
+    }
+
+    fn on_commit(&mut self, txn: &Transaction, t: Time) {
+        if let Some(home) = self.owner.remove(&txn.id) {
+            let left = &mut self.rounds_left[home.index()];
+            if *left > 0 {
+                *left -= 1;
+                self.queued.entry(t + 1).or_default().push(home);
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.queued.is_empty() && self.owner.is_empty()
+    }
+
+    fn objects(&self) -> &[ObjectInfo] {
+        &self.objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadGenerator, WorkloadSpec};
+    use dtm_graph::topology;
+
+    #[test]
+    fn trace_source_replays_times() {
+        let net = topology::line(4);
+        let spec = WorkloadSpec {
+            arrival: crate::generator::ArrivalProcess::Bursts {
+                period: 5,
+                per_burst: 2,
+                bursts: 2,
+            },
+            ..WorkloadSpec::batch_uniform(4, 1)
+        };
+        let inst = WorkloadGenerator::new(spec, 1).generate(&net);
+        let mut src = TraceSource::new(inst.clone());
+        assert_eq!(src.remaining(), 4);
+        let mut seen = 0;
+        for t in 0..=5 {
+            let a = src.arrivals(t);
+            for x in &a {
+                assert_eq!(x.generated_at, t);
+            }
+            seen += a.len();
+        }
+        assert_eq!(seen, 4);
+        assert!(src.exhausted());
+    }
+
+    #[test]
+    fn batch_source_releases_everything_at_zero() {
+        let net = topology::line(4);
+        let spec = WorkloadSpec {
+            arrival: crate::generator::ArrivalProcess::Bursts {
+                period: 7,
+                per_burst: 3,
+                bursts: 2,
+            },
+            ..WorkloadSpec::batch_uniform(4, 1)
+        };
+        let inst = WorkloadGenerator::new(spec, 2).generate(&net);
+        let mut src = BatchSource::new(inst);
+        let a0 = src.arrivals(0);
+        assert_eq!(a0.len(), 6);
+        assert!(src.exhausted());
+        assert!(a0.iter().all(|t| t.generated_at == 0));
+    }
+
+    #[test]
+    fn closed_loop_reissues_after_commit() {
+        let net = topology::clique(3);
+        let spec = WorkloadSpec::batch_uniform(4, 1);
+        let mut src = ClosedLoopSource::new(net, spec, 2, 3);
+        assert_eq!(src.total_txns(), 6);
+        let first = src.arrivals(0);
+        assert_eq!(first.len(), 3);
+        assert!(!src.exhausted());
+        // Commit one transaction; its node must re-issue at t+1.
+        src.on_commit(&first[0], 4);
+        let re = src.arrivals(5);
+        assert_eq!(re.len(), 1);
+        assert_eq!(re[0].home, first[0].home);
+        assert_eq!(re[0].generated_at, 5);
+        // Second-round transaction commits: no further reissue.
+        src.on_commit(&re[0], 9);
+        assert!(src.arrivals(10).is_empty());
+        // Other two still outstanding.
+        assert!(!src.exhausted());
+        src.on_commit(&first[1], 9);
+        src.on_commit(&first[2], 9);
+        let more = src.arrivals(10);
+        assert_eq!(more.len(), 2);
+        src.on_commit(&more[0], 12);
+        src.on_commit(&more[1], 12);
+        assert!(src.exhausted());
+    }
+
+    #[test]
+    fn closed_loop_ids_unique() {
+        let net = topology::clique(4);
+        let spec = WorkloadSpec::batch_uniform(4, 2);
+        let mut src = ClosedLoopSource::new(net, spec, 1, 7);
+        let txns = src.arrivals(0);
+        let mut ids: Vec<u64> = txns.iter().map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        for t in &txns {
+            src.on_commit(t, 3);
+        }
+        assert!(src.exhausted());
+    }
+}

@@ -1,0 +1,169 @@
+//! Workload characterization: the structural quantities the paper's
+//! bounds are expressed in (`k`, `l_max`, conflict degrees) computed for
+//! concrete instances, so experiment reports can state what regime a
+//! workload is in.
+
+use crate::instance::Instance;
+use crate::txn::Transaction;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Structural statistics of a workload instance.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Transactions.
+    pub txns: usize,
+    /// Distinct objects actually requested.
+    pub objects_used: usize,
+    /// Max object-set size (`k`).
+    pub k_max: usize,
+    /// Mean object-set size.
+    pub k_mean: f64,
+    /// Max requesters of one object (`l_max`).
+    pub l_max: usize,
+    /// Edges of the conflict graph (object-sharing pairs).
+    pub conflict_edges: usize,
+    /// Max conflict degree of any transaction (`Δ` in `H_t` terms, over
+    /// the whole instance).
+    pub max_conflict_degree: usize,
+    /// Mean conflict degree.
+    pub mean_conflict_degree: f64,
+    /// Gini coefficient of object popularity (0 = uniform, ->1 = one hot
+    /// object takes all requests).
+    pub popularity_gini: f64,
+}
+
+/// Gini coefficient of a non-negative sample.
+fn gini(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+/// Compute [`WorkloadStats`] for a set of transactions.
+pub fn workload_stats(txns: &[Transaction]) -> WorkloadStats {
+    if txns.is_empty() {
+        return WorkloadStats::default();
+    }
+    let mut per_object: HashMap<crate::ids::ObjectId, Vec<usize>> = HashMap::new();
+    for (i, t) in txns.iter().enumerate() {
+        for o in t.objects() {
+            per_object.entry(o).or_default().push(i);
+        }
+    }
+    // Conflict degrees via shared objects (dedup pairs).
+    let mut degree = vec![std::collections::HashSet::new(); txns.len()];
+    for users in per_object.values() {
+        for (a, &i) in users.iter().enumerate() {
+            for &j in &users[a + 1..] {
+                degree[i].insert(j);
+                degree[j].insert(i);
+            }
+        }
+    }
+    let conflict_edges = degree.iter().map(|d| d.len()).sum::<usize>() / 2;
+    let max_deg = degree.iter().map(|d| d.len()).max().unwrap_or(0);
+    let mean_deg = degree.iter().map(|d| d.len()).sum::<usize>() as f64 / txns.len() as f64;
+    let k_sum: usize = txns.iter().map(|t| t.k()).sum();
+    WorkloadStats {
+        txns: txns.len(),
+        objects_used: per_object.len(),
+        k_max: txns.iter().map(|t| t.k()).max().unwrap_or(0),
+        k_mean: k_sum as f64 / txns.len() as f64,
+        l_max: per_object.values().map(|v| v.len()).max().unwrap_or(0),
+        conflict_edges,
+        max_conflict_degree: max_deg,
+        mean_conflict_degree: mean_deg,
+        popularity_gini: gini(per_object.values().map(|v| v.len() as f64).collect()),
+    }
+}
+
+impl Instance {
+    /// Structural statistics of this instance's transactions.
+    pub fn stats(&self) -> WorkloadStats {
+        workload_stats(&self.txns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, TxnId};
+    use dtm_graph::NodeId;
+
+    fn txn(id: u64, objs: &[u32]) -> Transaction {
+        Transaction::new(TxnId(id), NodeId(0), objs.iter().map(|&o| ObjectId(o)), 0)
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = workload_stats(&[]);
+        assert_eq!(s.txns, 0);
+        assert_eq!(s.popularity_gini, 0.0);
+    }
+
+    #[test]
+    fn chain_of_conflicts() {
+        // T0-T1 share o0, T1-T2 share o1: path conflict graph.
+        let ts = vec![txn(0, &[0]), txn(1, &[0, 1]), txn(2, &[1])];
+        let s = workload_stats(&ts);
+        assert_eq!(s.txns, 3);
+        assert_eq!(s.objects_used, 2);
+        assert_eq!(s.k_max, 2);
+        assert_eq!(s.l_max, 2);
+        assert_eq!(s.conflict_edges, 2);
+        assert_eq!(s.max_conflict_degree, 2); // T1 conflicts with both
+        assert!((s.mean_conflict_degree - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_object_gini() {
+        // One object requested by everyone, three touched once.
+        let ts = vec![
+            txn(0, &[0, 1]),
+            txn(1, &[0, 2]),
+            txn(2, &[0, 3]),
+            txn(3, &[0]),
+        ];
+        let s = workload_stats(&ts);
+        assert_eq!(s.l_max, 4);
+        assert!(s.popularity_gini > 0.3, "skew detected: {}", s.popularity_gini);
+        // Uniform workload has (near-)zero gini.
+        let uniform = vec![txn(0, &[0]), txn(1, &[1]), txn(2, &[2])];
+        assert!(workload_stats(&uniform).popularity_gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn clique_conflicts() {
+        // Everyone shares one object: complete conflict graph.
+        let ts: Vec<Transaction> = (0..5).map(|i| txn(i, &[0])).collect();
+        let s = workload_stats(&ts);
+        assert_eq!(s.conflict_edges, 10);
+        assert_eq!(s.max_conflict_degree, 4);
+    }
+
+    #[test]
+    fn instance_stats_method() {
+        let inst = Instance::new(
+            vec![crate::instance::ObjectInfo {
+                id: ObjectId(0),
+                origin: NodeId(0),
+                created_at: 0,
+            }],
+            vec![txn(0, &[0]), txn(1, &[0])],
+        );
+        assert_eq!(inst.stats().l_max, 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Exact optimal batch scheduling for small instances.
+//!
+//! Finding the optimal makespan is NP-hard in general (the paper cites a
+//! reduction from vertex coloring), but small instances can be solved
+//! exactly: **every feasible schedule is dominated by the earliest-feasible
+//! list schedule of some priority order** (process transactions by
+//! ascending execution time; each object is then served in the same order
+//! and every execution time can only move earlier), so minimizing over all
+//! `n!` permutations yields the true optimum.
+//!
+//! This gives the reproduction two things the paper could only reason
+//! about abstractly:
+//!
+//! * the **true approximation ratio `b_𝒜`** of each heuristic batch
+//!   scheduler (the parameter of Theorem 4), measured in experiment E13;
+//! * a tightness check for the certified lower bounds of
+//!   [`crate::lower_bound`] (`LB <= OPT` always; E13 reports `OPT / LB`).
+
+use crate::list::list_schedule_in_order;
+use crate::traits::{BatchContext, BatchScheduler};
+use dtm_graph::Network;
+use dtm_model::{Schedule, Time, Transaction};
+
+/// Exhaustive optimal scheduler. Cost `O(n! * n * k)`; refuses instances
+/// with more than [`ExactScheduler::MAX_TXNS`] transactions.
+#[derive(Clone, Debug, Default)]
+pub struct ExactScheduler;
+
+impl ExactScheduler {
+    /// Hard cap on instance size (9! = 362 880 permutations).
+    pub const MAX_TXNS: usize = 9;
+}
+
+/// Heap's algorithm over indices, calling `f` for each permutation.
+fn for_each_permutation(n: usize, mut f: impl FnMut(&[usize])) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut c = vec![0usize; n];
+    f(&idx);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                idx.swap(0, i);
+            } else {
+                idx.swap(c[i], i);
+            }
+            f(&idx);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+impl BatchScheduler for ExactScheduler {
+    fn schedule(
+        &mut self,
+        network: &Network,
+        pending: &[Transaction],
+        ctx: &BatchContext,
+    ) -> Schedule {
+        assert!(
+            pending.len() <= Self::MAX_TXNS,
+            "ExactScheduler is exponential; got {} transactions (max {})",
+            pending.len(),
+            Self::MAX_TXNS
+        );
+        if pending.is_empty() {
+            return Schedule::new();
+        }
+        let mut best: Option<Schedule> = None;
+        let mut best_end = Time::MAX;
+        for_each_permutation(pending.len(), |perm| {
+            let order: Vec<&Transaction> = perm.iter().map(|&i| &pending[i]).collect();
+            let s = list_schedule_in_order(network, &order, ctx);
+            let end = s.makespan_end().expect("nonempty");
+            if end < best_end {
+                best_end = end;
+                best = Some(s);
+            }
+        });
+        best.expect("at least one permutation")
+    }
+
+    fn name(&self) -> String {
+        "exact".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound::batch_lower_bound;
+    use crate::traits::validate_batch_schedule;
+    use crate::{LineScheduler, ListScheduler, TspScheduler};
+    use dtm_graph::{topology, NodeId};
+    use dtm_model::{ObjectId, TxnId};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
+        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+    }
+
+    #[test]
+    fn permutation_count() {
+        let mut count = 0;
+        for_each_permutation(4, |_| count += 1);
+        assert_eq!(count, 24);
+        let mut seen = std::collections::HashSet::new();
+        for_each_permutation(3, |p| {
+            seen.insert(p.to_vec());
+        });
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn beats_or_ties_fifo_on_adversarial_line() {
+        let net = topology::line(16);
+        let ctx = BatchContext::fresh([(ObjectId(0), NodeId(0))]);
+        // FIFO order ping-pongs; the optimum sweeps.
+        let pending = vec![
+            txn(0, 15, &[0]),
+            txn(1, 1, &[0]),
+            txn(2, 14, &[0]),
+            txn(3, 2, &[0]),
+        ];
+        let opt = ExactScheduler.schedule(&net, &pending, &ctx);
+        validate_batch_schedule(&net, &pending, &ctx, &opt).unwrap();
+        let fifo = ListScheduler::fifo().schedule(&net, &pending, &ctx);
+        assert!(opt.makespan_end().unwrap() < fifo.makespan_end().unwrap());
+        // The monotone sweep is optimal here: 1, 2, 14, 15.
+        assert_eq!(opt.makespan_end(), Some(15));
+    }
+
+    #[test]
+    fn single_txn_is_trivially_optimal() {
+        let net = topology::line(8);
+        let ctx = BatchContext::fresh([(ObjectId(0), NodeId(0))]);
+        let pending = vec![txn(0, 5, &[0])];
+        let s = ExactScheduler.schedule(&net, &pending, &ctx);
+        assert_eq!(s.makespan_end(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn rejects_large_instances() {
+        let net = topology::line(16);
+        let ctx = BatchContext::fresh([(ObjectId(0), NodeId(0))]);
+        let pending: Vec<Transaction> = (0..12).map(|i| txn(i, i as u32, &[0])).collect();
+        let _ = ExactScheduler.schedule(&net, &pending, &ctx);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(60))]
+
+        /// Sandwich: LB <= OPT <= every heuristic, on random small
+        /// instances across topologies.
+        #[test]
+        fn opt_sandwiched_between_lb_and_heuristics(
+            seed in 0u64..400,
+            n_txns in 1usize..6,
+            w in 1u32..4,
+            k in 1usize..3,
+            topo in 0u8..3,
+        ) {
+            let net = match topo {
+                0 => topology::line(10),
+                1 => topology::clique(8),
+                _ => topology::grid(&[3, 3]),
+            };
+            let n = net.n() as u32;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let objs: Vec<(ObjectId, NodeId)> = (0..w)
+                .map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n))))
+                .collect();
+            let ctx = BatchContext::fresh(objs);
+            let pending: Vec<Transaction> = (0..n_txns)
+                .map(|i| {
+                    let set: Vec<ObjectId> =
+                        (0..k).map(|_| ObjectId(rng.gen_range(0..w))).collect();
+                    Transaction::new(TxnId(i as u64), NodeId(rng.gen_range(0..n)), set, 0)
+                })
+                .collect();
+            let opt_sched = ExactScheduler.schedule(&net, &pending, &ctx);
+            prop_assert!(validate_batch_schedule(&net, &pending, &ctx, &opt_sched).is_ok());
+            let opt = opt_sched.makespan_end().unwrap_or(0);
+            // LB <= OPT.
+            let lb = batch_lower_bound(&net, &pending, &ctx);
+            prop_assert!(
+                lb.object_bound.max(lb.assembly_bound) <= opt,
+                "LB {} > OPT {opt}", lb.object_bound.max(lb.assembly_bound)
+            );
+            // OPT <= heuristics.
+            let fifo = ListScheduler::fifo()
+                .schedule(&net, &pending, &ctx)
+                .makespan_end()
+                .unwrap_or(0);
+            prop_assert!(opt <= fifo, "OPT {opt} > fifo {fifo}");
+            let tsp = TspScheduler
+                .schedule(&net, &pending, &ctx)
+                .makespan_end()
+                .unwrap_or(0);
+            prop_assert!(opt <= tsp);
+            if topo == 0 {
+                let line = LineScheduler
+                    .schedule(&net, &pending, &ctx)
+                    .makespan_end()
+                    .unwrap_or(0);
+                prop_assert!(opt <= line);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Certified lower bounds on the optimal makespan.
+//!
+//! Computing OPT is NP-hard (the paper cites a reduction from vertex
+//! coloring, hard even to approximate within sub-linear factors), so every
+//! reported competitive ratio in this reproduction divides by a quantity
+//! **provably <= OPT**. Ratios are therefore conservative over-estimates:
+//! if the measured ratio tracks a theorem's bound, the theorem holds a
+//! fortiori.
+//!
+//! For a set of transactions with object availability `(node, ready)`:
+//!
+//! * **object travel**: an object must visit the home of each requester;
+//!   the edges it traverses form a connected subgraph spanning its start
+//!   and all requester homes, so its total travel is at least
+//!   `max(ecc, MST/2)` where `ecc` is the distance to the farthest home
+//!   and `MST` is the metric minimum spanning tree over the terminals;
+//! * **object serialization**: requesters of one object commit at pairwise
+//!   distinct steps (exclusive access), adding `count - 1`;
+//! * **assembly**: a transaction cannot execute before its farthest object
+//!   reaches it.
+
+use crate::traits::BatchContext;
+use dtm_graph::{Network, NodeId, Weight};
+use dtm_model::{ObjectId, Time, Transaction};
+use std::collections::BTreeMap;
+
+/// The individual components of a lower bound (for reporting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LowerBoundParts {
+    /// Max over objects of travel + serialization.
+    pub object_bound: Time,
+    /// Max over transactions of assembly time.
+    pub assembly_bound: Time,
+}
+
+impl LowerBoundParts {
+    /// The combined lower bound (at least 1 when there is any work, so it
+    /// is always safe as a ratio denominator).
+    pub fn combined(&self) -> Time {
+        self.object_bound.max(self.assembly_bound).max(1)
+    }
+}
+
+/// Metric MST weight over `terminals` (Prim, `O(t^2)` distance queries).
+fn metric_mst(network: &Network, terminals: &[NodeId]) -> Weight {
+    if terminals.len() <= 1 {
+        return 0;
+    }
+    let mut in_tree = vec![false; terminals.len()];
+    let mut best = vec![Weight::MAX; terminals.len()];
+    in_tree[0] = true;
+    for (i, &t) in terminals.iter().enumerate().skip(1) {
+        best[i] = network.distance(terminals[0], t);
+    }
+    let mut total = 0;
+    for _ in 1..terminals.len() {
+        let (next, _) = best
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !in_tree[i])
+            .min_by_key(|&(_, &w)| w)
+            .expect("some node outside tree");
+        total += best[next];
+        in_tree[next] = true;
+        for (i, &t) in terminals.iter().enumerate() {
+            if !in_tree[i] {
+                best[i] = best[i].min(network.distance(terminals[next], t));
+            }
+        }
+    }
+    total
+}
+
+/// Lower bound contributed by a single object: earliest possible completion
+/// (relative to `now`) of all commits that need it.
+pub fn object_lower_bound(
+    network: &Network,
+    now: Time,
+    avail: (NodeId, Time),
+    requester_homes: &[NodeId],
+) -> Time {
+    if requester_homes.is_empty() {
+        return 0;
+    }
+    let (start, ready) = avail;
+    let lead = ready.saturating_sub(now);
+    let ecc = requester_homes
+        .iter()
+        .map(|&h| network.distance(start, h))
+        .max()
+        .unwrap_or(0);
+    let mut terminals: Vec<NodeId> = Vec::with_capacity(requester_homes.len() + 1);
+    terminals.push(start);
+    terminals.extend_from_slice(requester_homes);
+    terminals.sort_unstable();
+    terminals.dedup();
+    let mst = metric_mst(network, &terminals);
+    // Serialization: distinct commit steps per requester.
+    let serial = (requester_homes.len() as Time).saturating_sub(1);
+    lead + ecc.max(mst / 2).max(serial)
+}
+
+/// Lower bound on the time (relative to `ctx.now`) to execute all of
+/// `txns`, given object availability in `ctx`. Ignores the fixed schedule
+/// beyond its effect on availability, hence certainly `<= OPT`.
+pub fn batch_lower_bound(network: &Network, txns: &[Transaction], ctx: &BatchContext) -> LowerBoundParts {
+    let mut homes: BTreeMap<ObjectId, Vec<NodeId>> = BTreeMap::new();
+    for t in txns {
+        for o in t.objects() {
+            homes.entry(o).or_default().push(t.home);
+        }
+    }
+    let mut object_bound: Time = 0;
+    for (o, hs) in &homes {
+        if let Some(&avail) = ctx.object_avail.get(o) {
+            object_bound = object_bound.max(object_lower_bound(network, ctx.now, avail, hs));
+        }
+    }
+    let mut assembly_bound: Time = 0;
+    for t in txns {
+        for o in t.objects() {
+            if let Some(&(node, ready)) = ctx.object_avail.get(&o) {
+                let need =
+                    ready.saturating_sub(ctx.now) + network.distance(node, t.home);
+                assembly_bound = assembly_bound.max(need);
+            }
+        }
+    }
+    LowerBoundParts {
+        object_bound,
+        assembly_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListScheduler;
+    use crate::traits::BatchScheduler;
+    use dtm_graph::topology;
+    use dtm_model::TxnId;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
+        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+    }
+
+    #[test]
+    fn mst_of_line_terminals() {
+        let net = topology::line(16);
+        assert_eq!(metric_mst(&net, &[NodeId(0), NodeId(5), NodeId(10)]), 10);
+        assert_eq!(metric_mst(&net, &[NodeId(3)]), 0);
+        assert_eq!(metric_mst(&net, &[]), 0);
+    }
+
+    #[test]
+    fn object_bound_eccentricity() {
+        let net = topology::line(16);
+        let lb = object_lower_bound(&net, 0, (NodeId(0), 0), &[NodeId(10), NodeId(4)]);
+        assert_eq!(lb, 10);
+    }
+
+    #[test]
+    fn object_bound_serialization() {
+        let net = topology::clique(8);
+        // 5 requesters, all distance 1: serialization (4) dominates ecc (1).
+        let homes: Vec<NodeId> = (1..6).map(NodeId).collect();
+        let lb = object_lower_bound(&net, 0, (NodeId(0), 0), &homes);
+        assert_eq!(lb, 4);
+    }
+
+    #[test]
+    fn object_bound_respects_ready_time() {
+        let net = topology::line(8);
+        let lb = object_lower_bound(&net, 10, (NodeId(0), 14), &[NodeId(3)]);
+        assert_eq!(lb, 4 + 3);
+    }
+
+    #[test]
+    fn assembly_bound() {
+        let net = topology::line(16);
+        let ctx = BatchContext::fresh([(ObjectId(0), NodeId(0)), (ObjectId(1), NodeId(15))]);
+        let txns = vec![txn(0, 1, &[0, 1])];
+        let parts = batch_lower_bound(&net, &txns, &ctx);
+        assert_eq!(parts.assembly_bound, 14);
+        assert!(parts.combined() >= 14);
+    }
+
+    #[test]
+    fn empty_bound_is_one() {
+        let net = topology::line(4);
+        let ctx = BatchContext::fresh([]);
+        let parts = batch_lower_bound(&net, &[], &ctx);
+        assert_eq!(parts.combined(), 1);
+    }
+
+    proptest! {
+        /// Soundness: any feasible schedule's makespan is >= the bound.
+        #[test]
+        fn never_exceeds_feasible_schedules(
+            seed in 0u64..300,
+            n in 2u32..24,
+            w in 1u32..6,
+            k in 1usize..4,
+            topo in 0u8..3,
+        ) {
+            let net = match topo {
+                0 => topology::line(n),
+                1 => topology::clique(n),
+                _ => topology::random(n.max(2), 3, 3, seed),
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x77);
+            let objs: Vec<(ObjectId, NodeId)> = (0..w)
+                .map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n))))
+                .collect();
+            let ctx = BatchContext::fresh(objs);
+            let pending: Vec<Transaction> = (0..n.min(12))
+                .map(|i| {
+                    let set: Vec<ObjectId> =
+                        (0..k).map(|_| ObjectId(rng.gen_range(0..w))).collect();
+                    Transaction::new(TxnId(i as u64), NodeId(rng.gen_range(0..n)), set, 0)
+                })
+                .collect();
+            let parts = batch_lower_bound(&net, &pending, &ctx);
+            // The list schedule is feasible; its makespan must dominate the
+            // bound (unless the bound is the floor value 1 and the schedule
+            // is fully local/instant).
+            let sched = ListScheduler::fifo().schedule(&net, &pending, &ctx);
+            let end = sched.makespan_end().unwrap_or(0);
+            let lb = parts.object_bound.max(parts.assembly_bound);
+            prop_assert!(lb <= end, "lb {lb} > feasible makespan {end}");
+        }
+    }
+}

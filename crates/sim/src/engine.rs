@@ -1,0 +1,834 @@
+//! The synchronous execution engine.
+//!
+//! Per time step `t` the engine performs, in order:
+//!
+//! 1. **receive** — objects whose edge traversal completes at `t` arrive at
+//!    their next node;
+//! 2. **generate** — the workload source's arrivals for `t` join the live
+//!    set;
+//! 3. **schedule** — the policy is consulted once; returned execution times
+//!    are merged (never re-timing an existing entry);
+//! 4. **execute** — every transaction whose scheduled time is `t` and whose
+//!    objects are all at its home node commits; its objects are released;
+//! 5. **forward** — every resting object moves one hop along a shortest
+//!    path toward the home of its *earliest-scheduled* pending requester.
+//!
+//! Step 5 implements the paper's rule that an object visits the
+//! transactions that request it in ascending scheduled-execution order,
+//! and — because routing decisions are re-taken at every hop — also the
+//! in-transit redirection implicit in the extended dependency graph
+//! (`H'_t` places an in-transit object at its next hop with the residual
+//! travel time as the edge weight, which is exactly where this engine can
+//! first re-route it).
+
+use crate::events::Event;
+use crate::metrics::{LatencySummary, Metrics, RunResult, Violation};
+use crate::policy::SchedulingPolicy;
+use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
+use dtm_graph::{Network, NodeId};
+use dtm_model::{ObjectId, Schedule, Time, Transaction, TxnId, WorkloadSource};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Multiplier on every edge traversal time. 1 = the paper's base model;
+    /// 2 = the half-speed rule of the distributed algorithm (Section V).
+    pub speed_divisor: u64,
+    /// Optional bound on concurrent objects per (undirected) edge — the
+    /// congestion extension from the paper's conclusion. `None` = unbounded
+    /// (the paper's model).
+    pub link_capacity: Option<u32>,
+    /// If true, a transaction whose scheduled step passes without all
+    /// objects present executes as soon as they arrive (used only with
+    /// `link_capacity`, where schedules are knowingly optimistic);
+    /// otherwise a missed execution is a violation.
+    pub allow_late_execution: bool,
+    /// Hard step limit; exceeding it is a violation.
+    pub max_steps: Time,
+    /// Record the full event log (disable for large parameter sweeps).
+    pub record_events: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            speed_divisor: 1,
+            link_capacity: None,
+            allow_late_execution: false,
+            max_steps: 500_000,
+            record_events: true,
+        }
+    }
+}
+
+/// Canonical undirected edge key.
+fn edge_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The simulator. Drives a [`SchedulingPolicy`] against a
+/// [`WorkloadSource`] on a [`Network`].
+pub struct Engine<P> {
+    network: Network,
+    policy: P,
+    config: EngineConfig,
+
+    now: Time,
+    live: BTreeMap<TxnId, LiveTxn>,
+    objects: BTreeMap<ObjectId, ObjectState>,
+    /// All transactions ever seen (kept for the result / validator).
+    txns: BTreeMap<TxnId, Transaction>,
+    schedule: Schedule,
+    commits: BTreeMap<TxnId, Time>,
+    generated: BTreeMap<TxnId, Time>,
+    /// Scheduled, uncommitted transactions ordered by (time, id).
+    exec_queue: BTreeSet<(Time, TxnId)>,
+    /// Per object: scheduled pending requesters ordered by (time, id).
+    requesters: BTreeMap<ObjectId, BTreeSet<(Time, TxnId)>>,
+    /// Objects currently traversing each undirected edge.
+    edge_load: HashMap<(NodeId, NodeId), u32>,
+    /// Node-local forwarding pointers: (object, node) -> where that node
+    /// last sent the object. Grows with distinct (object, node) pairs.
+    forwarding: HashMap<(ObjectId, NodeId), NodeId>,
+
+    events: Vec<Event>,
+    violations: Vec<Violation>,
+    comm_cost: u64,
+    hops: u64,
+    peak_live: usize,
+}
+
+impl<P: SchedulingPolicy> Engine<P> {
+    /// Create an engine.
+    pub fn new(network: Network, policy: P, config: EngineConfig) -> Self {
+        assert!(config.speed_divisor >= 1, "speed divisor must be >= 1");
+        Engine {
+            network,
+            policy,
+            config,
+            now: 0,
+            live: BTreeMap::new(),
+            objects: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            schedule: Schedule::new(),
+            commits: BTreeMap::new(),
+            generated: BTreeMap::new(),
+            exec_queue: BTreeSet::new(),
+            requesters: BTreeMap::new(),
+            edge_load: HashMap::new(),
+            forwarding: HashMap::new(),
+            events: Vec::new(),
+            violations: Vec::new(),
+            comm_cost: 0,
+            hops: 0,
+            peak_live: 0,
+        }
+    }
+
+    fn record(&mut self, e: Event) {
+        if self.config.record_events {
+            self.events.push(e);
+        }
+    }
+
+    /// Run to completion (source exhausted and all live transactions
+    /// committed), or until the step limit.
+    pub fn run<S: WorkloadSource>(mut self, mut source: S) -> RunResult {
+        // Objects are created lazily at their creation step; collect specs.
+        let mut pending_objects: Vec<_> = source.objects().to_vec();
+        pending_objects.sort_by_key(|o| (o.created_at, o.id));
+
+        loop {
+            if source.exhausted() && self.live.is_empty() {
+                break;
+            }
+            if self.now > self.config.max_steps {
+                self.violations.push(Violation::MaxStepsExceeded {
+                    live: self.live.len(),
+                });
+                break;
+            }
+            let t = self.now;
+
+            // 0. Object creation.
+            while let Some(first) = pending_objects.first() {
+                if first.created_at > t {
+                    break;
+                }
+                let info = pending_objects.remove(0);
+                self.record(Event::ObjectCreated {
+                    t,
+                    object: info.id,
+                    node: info.origin,
+                });
+                self.objects.insert(
+                    info.id,
+                    ObjectState {
+                        info,
+                        place: ObjectPlace::At(info.origin),
+                        last_holder: None,
+                    },
+                );
+            }
+
+            // 1. Receive: complete edge traversals.
+            let arriving: Vec<ObjectId> = self
+                .objects
+                .iter()
+                .filter_map(|(&id, st)| match st.place {
+                    ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(id),
+                    _ => None,
+                })
+                .collect();
+            for id in arriving {
+                let st = self.objects.get_mut(&id).expect("object exists");
+                if let ObjectPlace::Hop { from, next, .. } = st.place {
+                    st.place = ObjectPlace::At(next);
+                    let key = edge_key(from, next);
+                    if let Some(load) = self.edge_load.get_mut(&key) {
+                        *load = load.saturating_sub(1);
+                    }
+                    self.record(Event::Arrived {
+                        t,
+                        object: id,
+                        node: next,
+                    });
+                }
+            }
+
+            // 2. Generate.
+            let mut arrival_ids = Vec::new();
+            for txn in source.arrivals(t) {
+                debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
+                self.record(Event::Generated {
+                    t,
+                    txn: txn.id,
+                    node: txn.home,
+                });
+                self.generated.insert(txn.id, t);
+                arrival_ids.push(txn.id);
+                self.txns.insert(txn.id, txn.clone());
+                self.live.insert(
+                    txn.id,
+                    LiveTxn {
+                        txn,
+                        scheduled: None,
+                    },
+                );
+            }
+            self.peak_live = self.peak_live.max(self.live.len());
+
+            // 3. Schedule.
+            let fragment = {
+                let view = SystemView::new(t, &self.network, &self.live, &self.objects)
+                    .with_forwarding(&self.forwarding);
+                self.policy.step(&view, &arrival_ids)
+            };
+            self.apply_fragment(fragment);
+
+            // 4. Execute.
+            self.execute_due(&mut source);
+
+            // 5. Forward.
+            self.forward_objects();
+
+            self.now += 1;
+        }
+
+        let latencies: Vec<Time> = self
+            .commits
+            .iter()
+            .map(|(id, &c)| c - self.generated.get(id).copied().unwrap_or(0))
+            .collect();
+        let metrics = Metrics {
+            makespan: self.commits.values().copied().max().unwrap_or(0),
+            committed: self.commits.len(),
+            comm_cost: self.comm_cost,
+            hops: self.hops,
+            latency: LatencySummary::from_samples(latencies),
+            peak_live: self.peak_live,
+            steps: self.now,
+        };
+        RunResult {
+            schedule: self.schedule,
+            commits: self.commits,
+            generated: self.generated,
+            txns: self.txns,
+            metrics,
+            events: self.events,
+            violations: self.violations,
+            policy: self.policy.name(),
+        }
+    }
+
+    /// Merge a policy's schedule fragment, enforcing the "never re-time"
+    /// and "never in the past" rules.
+    fn apply_fragment(&mut self, fragment: Schedule) {
+        let t = self.now;
+        for (txn, exec_at) in fragment.iter() {
+            match self.live.get_mut(&txn) {
+                None => {
+                    self.violations.push(Violation::UnknownTxn { txn });
+                }
+                Some(lt) => {
+                    if lt.scheduled.is_some() {
+                        self.violations.push(Violation::Rescheduled { txn });
+                        continue;
+                    }
+                    if exec_at < t {
+                        self.violations.push(Violation::ScheduledInPast {
+                            txn,
+                            proposed: exec_at,
+                            now: t,
+                        });
+                        continue;
+                    }
+                    lt.scheduled = Some(exec_at);
+                    self.schedule.set(txn, exec_at);
+                    self.exec_queue.insert((exec_at, txn));
+                    for o in lt.txn.objects() {
+                        self.requesters.entry(o).or_default().insert((exec_at, txn));
+                    }
+                    self.record(Event::Scheduled { t, txn, exec_at });
+                }
+            }
+        }
+    }
+
+    /// Commit every due transaction whose objects are assembled.
+    ///
+    /// Two conflicting transactions never commit at the same step: an
+    /// object consumed by a commit at this step is unavailable to later
+    /// same-step commits (atomicity of the exclusive accesses).
+    fn execute_due<S: WorkloadSource>(&mut self, source: &mut S) {
+        let t = self.now;
+        let due: Vec<(Time, TxnId)> = self
+            .exec_queue
+            .range(..=(t, TxnId(u64::MAX)))
+            .copied()
+            .collect();
+        let mut used_this_step: std::collections::HashSet<ObjectId> =
+            std::collections::HashSet::new();
+        for (exec_at, txn_id) in due {
+            let lt = self.live.get(&txn_id).expect("scheduled txn is live");
+            let home = lt.txn.home;
+            let assembled = lt.txn.objects().all(|o| {
+                !used_this_step.contains(&o)
+                    && matches!(
+                        self.objects.get(&o).map(|s| s.place),
+                        Some(ObjectPlace::At(v)) if v == home
+                    )
+            });
+            if assembled {
+                // Commit.
+                let txn = self.live.remove(&txn_id).expect("live").txn;
+                self.exec_queue.remove(&(exec_at, txn_id));
+                for o in txn.objects() {
+                    used_this_step.insert(o);
+                    if let Some(set) = self.requesters.get_mut(&o) {
+                        set.remove(&(exec_at, txn_id));
+                    }
+                    self.objects.get_mut(&o).expect("object exists").last_holder =
+                        Some(txn_id);
+                }
+                self.commits.insert(txn_id, t);
+                self.record(Event::Committed {
+                    t,
+                    txn: txn_id,
+                    node: home,
+                });
+                source.on_commit(&txn, t);
+            } else if exec_at == t && !self.config.allow_late_execution {
+                // Missed its designated slot: scheduler/infrastructure bug.
+                self.violations.push(Violation::MissedExecution {
+                    txn: txn_id,
+                    scheduled: exec_at,
+                });
+                let txn = self.live.remove(&txn_id).expect("live").txn;
+                self.exec_queue.remove(&(exec_at, txn_id));
+                for o in txn.objects() {
+                    if let Some(set) = self.requesters.get_mut(&o) {
+                        set.remove(&(exec_at, txn_id));
+                    }
+                }
+                // Treat as aborted: tell the source so closed loops go on.
+                source.on_commit(&txn, t);
+            }
+            // else: allow_late_execution — stays queued, retried next step.
+        }
+    }
+
+    /// Move every resting object one hop toward its earliest pending
+    /// scheduled requester.
+    fn forward_objects(&mut self) {
+        let t = self.now;
+        let ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        for id in ids {
+            let (here, target_home) = {
+                let st = &self.objects[&id];
+                let ObjectPlace::At(here) = st.place else {
+                    continue;
+                };
+                let Some(&(_, txn_id)) =
+                    self.requesters.get(&id).and_then(|set| set.iter().next())
+                else {
+                    continue;
+                };
+                let home = self.live[&txn_id].txn.home;
+                (here, home)
+            };
+            if here == target_home {
+                continue; // staged at the requester's node
+            }
+            let next = self.network.next_hop(here, target_home);
+            let w = self
+                .network
+                .graph()
+                .edge_weight(here, next)
+                .expect("next_hop returns an adjacent node");
+            let key = edge_key(here, next);
+            if let Some(cap) = self.config.link_capacity {
+                let load = self.edge_load.get(&key).copied().unwrap_or(0);
+                if load >= cap {
+                    continue; // edge saturated: wait a step
+                }
+            }
+            *self.edge_load.entry(key).or_insert(0) += 1;
+            self.forwarding.insert((id, here), next);
+            let arrive = t + w * self.config.speed_divisor;
+            self.objects.get_mut(&id).expect("object exists").place = ObjectPlace::Hop {
+                from: here,
+                next,
+                arrive,
+            };
+            self.comm_cost += w;
+            self.hops += 1;
+            self.record(Event::Departed {
+                t,
+                object: id,
+                from: here,
+                to: next,
+                arrive,
+            });
+        }
+    }
+
+}
+
+/// Convenience: build an engine and run `source` under `policy`.
+pub fn run_policy<S: WorkloadSource, P: SchedulingPolicy>(
+    network: &Network,
+    source: S,
+    policy: P,
+    config: EngineConfig,
+) -> RunResult {
+    Engine::new(network.clone(), policy, config).run(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::topology;
+    use dtm_model::{Instance, ObjectInfo, TraceSource};
+
+    /// A hand-written fixed schedule as a policy: schedules each arriving
+    /// transaction at a preset absolute time.
+    struct FixedPolicy(BTreeMap<TxnId, Time>);
+
+    impl SchedulingPolicy for FixedPolicy {
+        fn step(&mut self, _view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+            arrivals
+                .iter()
+                .filter_map(|id| self.0.get(id).map(|&t| (*id, t)))
+                .collect()
+        }
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+    }
+
+    fn obj(id: u32, origin: u32) -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(id),
+            origin: NodeId(origin),
+            created_at: 0,
+        }
+    }
+
+    fn txn(id: u64, home: u32, objs: &[u32], t: Time) -> Transaction {
+        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), t)
+    }
+
+    /// Line of 4; object at node 0; two transactions need it: T0 at node 2
+    /// (exec at 2: distance 2), then T1 at node 3 (exec at 3: one more hop).
+    #[test]
+    fn object_moves_in_schedule_order() {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![obj(0, 0)],
+            vec![txn(0, 2, &[0], 0), txn(1, 3, &[0], 0)],
+        );
+        let sched: BTreeMap<TxnId, Time> = [(TxnId(0), 2), (TxnId(1), 3)].into();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy(sched),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        assert_eq!(res.commits[&TxnId(0)], 2);
+        assert_eq!(res.commits[&TxnId(1)], 3);
+        assert_eq!(res.metrics.makespan, 3);
+        assert_eq!(res.metrics.comm_cost, 3); // 2 hops to n2, 1 hop to n3
+        assert_eq!(res.metrics.committed, 2);
+    }
+
+    /// Too-tight schedule: T0 at distance 2 scheduled at time 1 must be a
+    /// missed execution.
+    #[test]
+    fn infeasible_schedule_detected() {
+        let net = topology::line(4);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0], 0)]);
+        let sched: BTreeMap<TxnId, Time> = [(TxnId(0), 1)].into();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy(sched),
+            EngineConfig::default(),
+        );
+        assert!(!res.ok());
+        assert!(matches!(
+            res.violations[0],
+            Violation::MissedExecution {
+                txn: TxnId(0),
+                scheduled: 1
+            }
+        ));
+    }
+
+    /// A transaction whose objects are local can execute the step it
+    /// arrives.
+    #[test]
+    fn local_objects_execute_instantly() {
+        let net = topology::line(4);
+        let inst = Instance::new(vec![obj(0, 1), obj(1, 1)], vec![txn(0, 1, &[0, 1], 0)]);
+        let sched: BTreeMap<TxnId, Time> = [(TxnId(0), 0)].into();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy(sched),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        assert_eq!(res.commits[&TxnId(0)], 0);
+        assert_eq!(res.metrics.comm_cost, 0);
+    }
+
+    /// Speed divisor 2 doubles travel time: distance 2 requires exec >= 4.
+    #[test]
+    fn speed_divisor_halves_object_speed() {
+        let net = topology::line(4);
+        let make = || {
+            TraceSource::new(Instance::new(
+                vec![obj(0, 0)],
+                vec![txn(0, 2, &[0], 0)],
+            ))
+        };
+        let cfg = EngineConfig {
+            speed_divisor: 2,
+            ..EngineConfig::default()
+        };
+        // exec at 3 is now too early...
+        let res = run_policy(
+            &net,
+            make(),
+            FixedPolicy([(TxnId(0), 3)].into()),
+            cfg.clone(),
+        );
+        assert!(!res.ok());
+        // ...but exec at 4 works.
+        let res = run_policy(&net, make(), FixedPolicy([(TxnId(0), 4)].into()), cfg);
+        res.expect_ok();
+        assert_eq!(res.commits[&TxnId(0)], 4);
+    }
+
+    /// Weighted edges delay arrival by their weight.
+    #[test]
+    fn weighted_edge_travel_time() {
+        let net = topology::cluster(2, 2, 5);
+        // Object at bridge 0 (node 0); txn at bridge 1 (node 2): distance 5.
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0], 0)]);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy([(TxnId(0), 5)].into()),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        assert_eq!(res.metrics.comm_cost, 5);
+        assert_eq!(res.metrics.hops, 1);
+    }
+
+    /// Rescheduling and past-scheduling attempts are flagged.
+    struct NaughtyPolicy {
+        step: u32,
+    }
+    impl SchedulingPolicy for NaughtyPolicy {
+        fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+            self.step += 1;
+            match self.step {
+                1 => arrivals.iter().map(|&id| (id, view.now + 10)).collect(),
+                2 => [(TxnId(0), view.now + 20)].into_iter().collect(), // re-time
+                3 => [(TxnId(999), view.now)].into_iter().collect(),    // unknown
+                _ => Schedule::new(),
+            }
+        }
+        fn name(&self) -> String {
+            "naughty".into()
+        }
+    }
+
+    #[test]
+    fn policy_misbehavior_flagged() {
+        let net = topology::line(2);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 0, &[0], 0)]);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            NaughtyPolicy { step: 0 },
+            EngineConfig::default(),
+        );
+        assert!(res
+            .violations
+            .contains(&Violation::Rescheduled { txn: TxnId(0) }));
+        assert!(res
+            .violations
+            .contains(&Violation::UnknownTxn { txn: TxnId(999) }));
+        // The original scheduling still succeeded.
+        assert_eq!(res.commits[&TxnId(0)], 10);
+    }
+
+    /// A policy that never schedules exhausts the step limit.
+    struct SilentPolicy;
+    impl SchedulingPolicy for SilentPolicy {
+        fn step(&mut self, _: &SystemView<'_>, _: &[TxnId]) -> Schedule {
+            Schedule::new()
+        }
+        fn name(&self) -> String {
+            "silent".into()
+        }
+    }
+
+    #[test]
+    fn unscheduled_txns_hit_step_limit() {
+        let net = topology::line(2);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 1, &[0], 0)]);
+        let cfg = EngineConfig {
+            max_steps: 50,
+            ..EngineConfig::default()
+        };
+        let res = run_policy(&net, TraceSource::new(inst), SilentPolicy, cfg);
+        assert!(matches!(
+            res.violations[0],
+            Violation::MaxStepsExceeded { live: 1 }
+        ));
+    }
+
+    /// Link capacity 1 with two objects crossing the same edge: with late
+    /// execution allowed, the second is delayed but the run completes.
+    #[test]
+    fn link_capacity_delays_but_completes() {
+        let net = topology::line(2);
+        let inst = Instance::new(
+            vec![obj(0, 0), obj(1, 0)],
+            vec![txn(0, 1, &[0], 0), txn(1, 1, &[1], 0)],
+        );
+        let cfg = EngineConfig {
+            link_capacity: Some(1),
+            allow_late_execution: true,
+            ..EngineConfig::default()
+        };
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy([(TxnId(0), 1), (TxnId(1), 1)].into()),
+            cfg,
+        );
+        res.expect_ok();
+        assert_eq!(res.commits[&TxnId(0)], 1);
+        assert_eq!(res.commits[&TxnId(1)], 2); // waited one step for the edge
+    }
+
+    /// Two transactions at the same home sharing an object serialize by
+    /// schedule order without any movement.
+    #[test]
+    fn same_home_serialization() {
+        let net = topology::line(3);
+        let inst = Instance::new(
+            vec![obj(0, 1)],
+            vec![txn(0, 1, &[0], 0), txn(1, 1, &[0], 0)],
+        );
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy([(TxnId(0), 0), (TxnId(1), 1)].into()),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        assert_eq!(res.metrics.comm_cost, 0);
+        assert_eq!(res.metrics.makespan, 1);
+    }
+
+    /// Object redirection: object heads toward a later transaction, then an
+    /// earlier one is scheduled; the object must serve the earlier first.
+    struct TwoPhase {
+        fired: bool,
+    }
+    impl SchedulingPolicy for TwoPhase {
+        fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+            let mut s = Schedule::new();
+            for &id in arrivals {
+                if id == TxnId(0) {
+                    s.set(id, 20); // far future: object starts moving to n3
+                }
+            }
+            if view.now == 2 && !self.fired {
+                self.fired = true;
+                // T1 at node 1 wants the object sooner. The object left n0
+                // at t=0 toward n3; at t=2 it is at/near n2... schedule T1
+                // late enough to be reachable: it is at distance <= 3 from
+                // anywhere on the line, so now+6 is safe.
+                s.set(TxnId(1), 8);
+            }
+            s
+        }
+        fn name(&self) -> String {
+            "two-phase".into()
+        }
+    }
+
+    #[test]
+    fn object_redirects_to_earlier_requester() {
+        let net = topology::line(4);
+        let mut txn1 = txn(1, 1, &[0], 0);
+        txn1.generated_at = 0;
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 3, &[0], 0), txn1]);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            TwoPhase { fired: false },
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        // T1 (exec 8) must commit before T0 (exec 20).
+        assert_eq!(res.commits[&TxnId(1)], 8);
+        assert_eq!(res.commits[&TxnId(0)], 20);
+    }
+
+    /// Metrics: peak_live and steps populated.
+    #[test]
+    fn metrics_populated() {
+        let net = topology::line(3);
+        let inst = Instance::new(
+            vec![obj(0, 0)],
+            vec![txn(0, 1, &[0], 0), txn(1, 2, &[0], 0)],
+        );
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedPolicy([(TxnId(0), 1), (TxnId(1), 3)].into()),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        assert_eq!(res.metrics.peak_live, 2);
+        assert!(res.metrics.steps >= 4);
+        assert_eq!(res.metrics.latency.count, 2);
+        assert_eq!(res.txns.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod creation_tests {
+    use super::*;
+    use crate::policy::FixedSchedulePolicy;
+    use dtm_graph::topology;
+    use dtm_model::{Instance, ObjectInfo, TraceSource};
+
+    /// Objects created after time 0 appear at their creation step and only
+    /// then become routable.
+    #[test]
+    fn late_created_objects() {
+        let net = topology::line(4);
+        let late = ObjectInfo {
+            id: ObjectId(0),
+            origin: NodeId(0),
+            created_at: 5,
+        };
+        let txn = Transaction::new(TxnId(0), NodeId(2), [ObjectId(0)], 6);
+        let inst = Instance::new(vec![late], vec![txn]);
+        // The object exists from t=5 but only starts moving once its
+        // requester is scheduled (t=6); travel 2 -> earliest exec 8.
+        let sched: Schedule = [(TxnId(0), 8)].into_iter().collect();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst.clone()),
+            FixedSchedulePolicy::new(sched),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        assert_eq!(res.commits[&TxnId(0)], 8);
+        // One step earlier is impossible.
+        let sched: Schedule = [(TxnId(0), 7)].into_iter().collect();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedSchedulePolicy::new(sched),
+            EngineConfig::default(),
+        );
+        assert!(!res.ok());
+    }
+
+    /// Disabling event recording must not change commits or metrics.
+    #[test]
+    fn event_recording_toggle_is_observationally_equivalent() {
+        let net = topology::line(5);
+        let inst = Instance::new(
+            vec![ObjectInfo {
+                id: ObjectId(0),
+                origin: NodeId(0),
+                created_at: 0,
+            }],
+            vec![
+                Transaction::new(TxnId(0), NodeId(2), [ObjectId(0)], 0),
+                Transaction::new(TxnId(1), NodeId(4), [ObjectId(0)], 0),
+            ],
+        );
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 4)].into_iter().collect();
+        let with_events = run_policy(
+            &net,
+            TraceSource::new(inst.clone()),
+            FixedSchedulePolicy::new(sched.clone()),
+            EngineConfig::default(),
+        );
+        let without = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedSchedulePolicy::new(sched),
+            EngineConfig {
+                record_events: false,
+                ..EngineConfig::default()
+            },
+        );
+        with_events.expect_ok();
+        without.expect_ok();
+        assert_eq!(with_events.commits, without.commits);
+        assert_eq!(with_events.metrics.comm_cost, without.metrics.comm_cost);
+        assert!(without.events.is_empty());
+        assert!(!with_events.events.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! The run event log: everything the engine does, in order, so that
+//! [`crate::validate`] can re-check the execution independently and
+//! experiments can post-process traces.
+
+use dtm_graph::NodeId;
+use dtm_model::{ObjectId, Time, TxnId};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped simulator event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// An object came into existence at a node.
+    ObjectCreated {
+        /// Time step.
+        t: Time,
+        /// The object.
+        object: ObjectId,
+        /// Where it appeared.
+        node: NodeId,
+    },
+    /// A transaction was generated at its home node.
+    Generated {
+        /// Time step.
+        t: Time,
+        /// The transaction.
+        txn: TxnId,
+        /// Home node.
+        node: NodeId,
+    },
+    /// A transaction received its designated execution time.
+    Scheduled {
+        /// Time step at which the decision was made.
+        t: Time,
+        /// The transaction.
+        txn: TxnId,
+        /// Designated execution time.
+        exec_at: Time,
+    },
+    /// An object started traversing an edge.
+    Departed {
+        /// Departure time.
+        t: Time,
+        /// The object.
+        object: ObjectId,
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+        /// Arrival time at `to`.
+        arrive: Time,
+    },
+    /// An object finished traversing an edge.
+    Arrived {
+        /// Arrival time.
+        t: Time,
+        /// The object.
+        object: ObjectId,
+        /// The node reached.
+        node: NodeId,
+    },
+    /// A transaction executed (committed), having assembled its objects.
+    Committed {
+        /// Commit time.
+        t: Time,
+        /// The transaction.
+        txn: TxnId,
+        /// Home node.
+        node: NodeId,
+    },
+}
+
+impl Event {
+    /// The event's time step.
+    pub fn time(&self) -> Time {
+        match *self {
+            Event::ObjectCreated { t, .. }
+            | Event::Generated { t, .. }
+            | Event::Scheduled { t, .. }
+            | Event::Departed { t, .. }
+            | Event::Arrived { t, .. }
+            | Event::Committed { t, .. } => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_times() {
+        let e = Event::Committed {
+            t: 9,
+            txn: TxnId(1),
+            node: NodeId(0),
+        };
+        assert_eq!(e.time(), 9);
+        let d = Event::Departed {
+            t: 2,
+            object: ObjectId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            arrive: 5,
+        };
+        assert_eq!(d.time(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::Scheduled {
+            t: 1,
+            txn: TxnId(2),
+            exec_at: 7,
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+    }
+}

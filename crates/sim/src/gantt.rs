@@ -1,0 +1,218 @@
+//! ASCII timeline rendering of a run: per-object Gantt-style charts of
+//! where each object was at every step, with commits marked. Invaluable
+//! when debugging a scheduler — the entire data-flow execution becomes
+//! visible at a glance.
+//!
+//! ```text
+//! o0 | 0 0 0>1>2 2 2*3 3 ...
+//!          ^ resting at n0, hops to n1 then n2, commit (*) at n2 ...
+//! ```
+
+use crate::events::Event;
+use crate::metrics::RunResult;
+use dtm_model::{ObjectId, Time};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options for [`render_timeline`].
+#[derive(Clone, Debug)]
+pub struct TimelineOptions {
+    /// Inclusive time range to render (`None` = full run).
+    pub until: Option<Time>,
+    /// Maximum number of objects to render (`None` = all).
+    pub max_objects: Option<usize>,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            until: None,
+            max_objects: Some(16),
+        }
+    }
+}
+
+/// What an object was doing during one step.
+#[derive(Clone, Copy, PartialEq)]
+enum Cell {
+    Unknown,
+    At(u32),
+    Moving,
+}
+
+/// Render per-object timelines from a run's event log.
+///
+/// Requires the run to have been recorded with events enabled; returns a
+/// multi-line string. Each object row shows the node id while resting,
+/// `>` while traversing an edge, and `*` on a step where a transaction
+/// committed holding it.
+pub fn render_timeline(result: &RunResult, opts: &TimelineOptions) -> String {
+    let end = opts
+        .until
+        .unwrap_or(result.metrics.makespan)
+        .min(result.metrics.makespan);
+    let steps = (end + 1) as usize;
+
+    // Replay positions.
+    let mut rows: BTreeMap<ObjectId, Vec<Cell>> = BTreeMap::new();
+    let mut commits_at: BTreeMap<(ObjectId, Time), bool> = BTreeMap::new();
+    let mut state: BTreeMap<ObjectId, Cell> = BTreeMap::new();
+    let mut moving_until: BTreeMap<ObjectId, (Time, u32)> = BTreeMap::new();
+    let mut cursor: Time = 0;
+
+    let flush_to = |t: Time,
+                        rows: &mut BTreeMap<ObjectId, Vec<Cell>>,
+                        state: &BTreeMap<ObjectId, Cell>,
+                        moving_until: &mut BTreeMap<ObjectId, (Time, u32)>,
+                        cursor: &mut Time| {
+        while *cursor < t.min(end + 1) {
+            for (&o, &cell) in state.iter() {
+                let row = rows.entry(o).or_default();
+                let effective = match moving_until.get(&o) {
+                    Some(&(arrive, _)) if *cursor < arrive => Cell::Moving,
+                    _ => cell,
+                };
+                row.resize((*cursor) as usize, Cell::Unknown);
+                row.push(effective);
+            }
+            *cursor += 1;
+        }
+    };
+
+    for e in &result.events {
+        flush_to(e.time(), &mut rows, &state, &mut moving_until, &mut cursor);
+        match *e {
+            Event::ObjectCreated { object, node, .. } => {
+                state.insert(object, Cell::At(node.0));
+            }
+            Event::Departed {
+                object, to, arrive, ..
+            } => {
+                moving_until.insert(object, (arrive, to.0));
+                state.insert(object, Cell::At(to.0));
+            }
+            Event::Arrived { object, node, .. } => {
+                moving_until.remove(&object);
+                state.insert(object, Cell::At(node.0));
+            }
+            Event::Committed { t, txn, .. } => {
+                if let Some(tx) = result.txns.get(&txn) {
+                    for o in tx.objects() {
+                        commits_at.insert((o, t), true);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    flush_to(end + 1, &mut rows, &state, &mut moving_until, &mut cursor);
+
+    // Render.
+    let mut out = String::new();
+    let _ = writeln!(out, "timeline 0..={end} (makespan {})", result.metrics.makespan);
+    let width = rows
+        .values()
+        .flat_map(|r| r.iter())
+        .filter_map(|c| match c {
+            Cell::At(n) => Some(format!("{n}").len()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1);
+    let limit = opts.max_objects.unwrap_or(usize::MAX);
+    for (o, row) in rows.iter().take(limit) {
+        let _ = write!(out, "{o:>4} |");
+        for (t, cell) in row.iter().take(steps).enumerate() {
+            let committed = commits_at.contains_key(&(*o, t as Time));
+            let mark = if committed { '*' } else { ' ' };
+            match cell {
+                Cell::At(n) => {
+                    let _ = write!(out, "{mark}{n:>width$}");
+                }
+                Cell::Moving => {
+                    let _ = write!(out, "{mark}{:>width$}", ">");
+                }
+                Cell::Unknown => {
+                    let _ = write!(out, "{mark}{:>width$}", ".");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    if rows.len() > limit {
+        let _ = writeln!(out, "  ... {} more objects elided", rows.len() - limit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_policy, EngineConfig};
+    use crate::policy::FixedSchedulePolicy;
+    use dtm_graph::{topology, NodeId};
+    use dtm_model::{Instance, ObjectInfo, Schedule, TraceSource, Transaction, TxnId};
+
+    fn small_run() -> RunResult {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![ObjectInfo {
+                id: ObjectId(0),
+                origin: NodeId(0),
+                created_at: 0,
+            }],
+            vec![
+                Transaction::new(TxnId(0), NodeId(2), [ObjectId(0)], 0),
+                Transaction::new(TxnId(1), NodeId(3), [ObjectId(0)], 0),
+            ],
+        );
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 3)].into_iter().collect();
+        run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedSchedulePolicy::new(sched),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn renders_positions_and_commits() {
+        let res = small_run();
+        res.expect_ok();
+        let text = render_timeline(&res, &TimelineOptions::default());
+        assert!(text.contains("timeline 0..=3"));
+        assert!(text.contains("o0 |"));
+        // Two commits -> two '*' marks.
+        assert_eq!(text.matches('*').count(), 2);
+        // The object moved: at least one '>' hop cell.
+        assert!(text.contains('>'));
+    }
+
+    #[test]
+    fn truncation_options() {
+        let res = small_run();
+        let text = render_timeline(
+            &res,
+            &TimelineOptions {
+                until: Some(1),
+                max_objects: Some(0),
+            },
+        );
+        assert!(text.contains("elided"));
+        assert!(text.contains("timeline 0..=1"));
+    }
+
+    #[test]
+    fn empty_run_renders() {
+        let net = topology::line(2);
+        let inst = Instance::new(vec![], vec![]);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedSchedulePolicy::new(Schedule::new()),
+            EngineConfig::default(),
+        );
+        let text = render_timeline(&res, &TimelineOptions::default());
+        assert!(text.contains("timeline"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Run results and execution-quality metrics.
+
+use crate::events::Event;
+use dtm_model::{Schedule, Time, Transaction, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Ways a run can go wrong. A correct scheduler on a correct engine
+/// produces none; experiments assert emptiness.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A transaction's scheduled time arrived but some object was missing.
+    MissedExecution {
+        /// The transaction.
+        txn: TxnId,
+        /// The scheduled time that was missed.
+        scheduled: Time,
+    },
+    /// A policy tried to schedule a transaction in the past.
+    ScheduledInPast {
+        /// The transaction.
+        txn: TxnId,
+        /// The (invalid) proposed time.
+        proposed: Time,
+        /// Current time when proposed.
+        now: Time,
+    },
+    /// A policy tried to re-time an already scheduled transaction.
+    Rescheduled {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A policy scheduled an unknown / already-committed transaction.
+    UnknownTxn {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The run hit the step limit with live transactions remaining.
+    MaxStepsExceeded {
+        /// Number of transactions still live.
+        live: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissedExecution { txn, scheduled } => {
+                write!(f, "{txn} missed its scheduled execution at {scheduled}")
+            }
+            Violation::ScheduledInPast { txn, proposed, now } => {
+                write!(f, "{txn} scheduled at {proposed} < now {now}")
+            }
+            Violation::Rescheduled { txn } => write!(f, "{txn} re-scheduled"),
+            Violation::UnknownTxn { txn } => write!(f, "unknown {txn} scheduled"),
+            Violation::MaxStepsExceeded { live } => {
+                write!(f, "step limit reached with {live} live transactions")
+            }
+        }
+    }
+}
+
+/// Latency distribution summary (execution duration `t_T - t` per
+/// transaction, the quantity the competitive ratio bounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of committed transactions.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median latency.
+    pub p50: Time,
+    /// 95th percentile latency.
+    pub p95: Time,
+    /// Maximum latency.
+    pub max: Time,
+}
+
+impl LatencySummary {
+    /// Summarize a latency sample (unsorted).
+    pub fn from_samples(mut samples: Vec<Time>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&x| x as u128).sum();
+        let pct = |p: f64| -> Time {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            samples[idx.min(count - 1)]
+        };
+        LatencySummary {
+            count,
+            mean: sum as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: *samples.last().unwrap(),
+        }
+    }
+}
+
+/// Aggregate metrics of one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Time of the last commit (total execution time / makespan).
+    pub makespan: Time,
+    /// Committed transaction count.
+    pub committed: usize,
+    /// Total weighted distance traveled by all objects (the paper's
+    /// *communication cost*).
+    pub comm_cost: u64,
+    /// Total number of edge traversals (hops).
+    pub hops: u64,
+    /// Latency summary over committed transactions.
+    pub latency: LatencySummary,
+    /// Peak number of simultaneously live transactions.
+    pub peak_live: usize,
+    /// Number of time steps simulated.
+    pub steps: Time,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Final merged schedule (txn -> execution time).
+    pub schedule: Schedule,
+    /// Commit time per transaction.
+    pub commits: BTreeMap<TxnId, Time>,
+    /// Generation time per transaction.
+    pub generated: BTreeMap<TxnId, Time>,
+    /// Every transaction seen during the run (needed by the validator and
+    /// by post-processing).
+    pub txns: BTreeMap<TxnId, Transaction>,
+    /// Aggregate metrics.
+    pub metrics: Metrics,
+    /// Event log (empty when event recording is disabled).
+    pub events: Vec<Event>,
+    /// Violations (empty for a correct run).
+    pub violations: Vec<Violation>,
+    /// Name of the policy that produced the run.
+    pub policy: String,
+}
+
+impl RunResult {
+    /// True when the run completed with no violations.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-transaction execution duration `commit - generated`.
+    pub fn latencies(&self) -> Vec<(TxnId, Time)> {
+        self.commits
+            .iter()
+            .map(|(&id, &c)| (id, c - self.generated.get(&id).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Assert the run is clean; panics with diagnostics otherwise.
+    /// Convenient in tests and experiment harnesses.
+    pub fn expect_ok(&self) -> &Self {
+        assert!(
+            self.ok(),
+            "run with policy {} had violations: {:?}",
+            self.policy,
+            self.violations
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_basic() {
+        let s = LatencySummary::from_samples(vec![5, 1, 3, 2, 4]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.max, 5);
+    }
+
+    #[test]
+    fn latency_summary_empty() {
+        let s = LatencySummary::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn latency_summary_p95() {
+        let samples: Vec<Time> = (1..=100).collect();
+        let s = LatencySummary::from_samples(samples);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p50, 51); // index round(99 * 0.5) = 50 -> sample 51
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::MissedExecution {
+            txn: TxnId(3),
+            scheduled: 9,
+        };
+        assert!(v.to_string().contains("T3"));
+    }
+}
+
+/// Peak concurrent object count per undirected edge, recovered from the
+/// event log by interval sweep. The congestion quantity the paper's
+/// conclusion asks about (§VI) — complements the engine's optional
+/// `link_capacity` enforcement.
+pub fn edge_congestion(
+    result: &RunResult,
+) -> BTreeMap<(dtm_graph::NodeId, dtm_graph::NodeId), u32> {
+    use crate::events::Event;
+    let key = |a: dtm_graph::NodeId, b: dtm_graph::NodeId| if a <= b { (a, b) } else { (b, a) };
+    let mut intervals: BTreeMap<_, Vec<(Time, Time)>> = BTreeMap::new();
+    for e in &result.events {
+        if let Event::Departed {
+            t, from, to, arrive, ..
+        } = *e
+        {
+            intervals.entry(key(from, to)).or_default().push((t, arrive));
+        }
+    }
+    intervals
+        .into_iter()
+        .map(|(edge, mut ivs)| {
+            ivs.sort_unstable();
+            let peak = ivs
+                .iter()
+                .enumerate()
+                .map(|(i, &(start, _))| {
+                    ivs[..i]
+                        .iter()
+                        .filter(|&&(s, e)| s <= start && e > start)
+                        .count() as u32
+                        + 1
+                })
+                .max()
+                .unwrap_or(0);
+            (edge, peak)
+        })
+        .collect()
+}
+
+/// The maximum of [`edge_congestion`] over all edges (0 if nothing moved).
+pub fn peak_congestion(result: &RunResult) -> u32 {
+    edge_congestion(result).values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod congestion_tests {
+    use super::*;
+    use crate::events::Event;
+    use dtm_graph::NodeId;
+    use dtm_model::ObjectId;
+
+    fn result_with_events(events: Vec<Event>) -> RunResult {
+        RunResult {
+            schedule: Schedule::new(),
+            commits: BTreeMap::new(),
+            generated: BTreeMap::new(),
+            txns: BTreeMap::new(),
+            metrics: Metrics::default(),
+            events,
+            violations: vec![],
+            policy: "test".into(),
+        }
+    }
+
+    #[test]
+    fn overlapping_traversals_counted() {
+        let res = result_with_events(vec![
+            Event::Departed {
+                t: 0,
+                object: ObjectId(0),
+                from: NodeId(0),
+                to: NodeId(1),
+                arrive: 5,
+            },
+            Event::Departed {
+                t: 2,
+                object: ObjectId(1),
+                from: NodeId(1),
+                to: NodeId(0),
+                arrive: 7,
+            },
+            Event::Departed {
+                t: 6,
+                object: ObjectId(2),
+                from: NodeId(0),
+                to: NodeId(1),
+                arrive: 11,
+            },
+        ]);
+        let peaks = edge_congestion(&res);
+        // Intervals [0,5), [2,7), [6,11): peak overlap 2.
+        assert_eq!(peaks[&(NodeId(0), NodeId(1))], 2);
+        assert_eq!(peak_congestion(&res), 2);
+    }
+
+    #[test]
+    fn empty_run_has_zero_congestion() {
+        let res = result_with_events(vec![]);
+        assert_eq!(peak_congestion(&res), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Runtime state of objects and live transactions, and the read-only
+//! [`SystemView`] handed to scheduling policies each step.
+
+use dtm_graph::{Network, NodeId, Weight};
+use dtm_model::{ObjectId, ObjectInfo, Time, Transaction, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Where an object is right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectPlace {
+    /// Resting at a node (free or waiting for a transaction there).
+    At(NodeId),
+    /// Traversing the edge `from -> next`; arrives at `next` at `arrive`.
+    Hop {
+        /// The node the object departed from.
+        from: NodeId,
+        /// The node being approached.
+        next: NodeId,
+        /// Arrival time at `next`.
+        arrive: Time,
+    },
+}
+
+/// Full runtime state of one object.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObjectState {
+    /// Static info (id, origin, creation time).
+    pub info: ObjectInfo,
+    /// Current place.
+    pub place: ObjectPlace,
+    /// The last transaction that acquired the object (`L_t(o_i)` in the
+    /// paper once that transaction has executed), or `None` if no
+    /// transaction has acquired it yet.
+    pub last_holder: Option<TxnId>,
+}
+
+impl ObjectState {
+    /// The paper's *current position* of the object at time `now`, as used
+    /// by the extended dependency graph `H'_t`: a pair `(node, ready_at)`
+    /// meaning the object can start moving from `node` at time `ready_at`.
+    ///
+    /// For a resting object this is its node, ready now. For an in-transit
+    /// object the paper places a temporary transaction at an artificial
+    /// node connected to the next hop `v` with weight equal to the
+    /// remaining travel time — equivalently, the object is available at
+    /// `v` at its arrival time.
+    pub fn position(&self, now: Time) -> (NodeId, Time) {
+        match self.place {
+            ObjectPlace::At(v) => (v, now),
+            ObjectPlace::Hop { next, arrive, .. } => (next, arrive),
+        }
+    }
+
+    /// Effective distance from the object's current position to `target`:
+    /// residual transit time plus the shortest-path distance onward. This
+    /// is the edge weight to the temporary transaction in `H'_t`.
+    pub fn effective_distance(&self, network: &Network, target: NodeId, now: Time) -> Weight {
+        let (node, ready_at) = self.position(now);
+        ready_at.saturating_sub(now) + network.distance(node, target)
+    }
+}
+
+/// A live (generated, not yet committed) transaction and its schedule
+/// status.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LiveTxn {
+    /// The transaction.
+    pub txn: Transaction,
+    /// Its designated execution time, once assigned. The paper's
+    /// algorithms never change this after assignment.
+    pub scheduled: Option<Time>,
+}
+
+/// Read-only snapshot of the system handed to policies each step.
+pub struct SystemView<'a> {
+    /// Current time step.
+    pub now: Time,
+    /// The communication network.
+    pub network: &'a Network,
+    live: &'a BTreeMap<TxnId, LiveTxn>,
+    objects: &'a BTreeMap<ObjectId, ObjectState>,
+    /// Node-local forwarding pointers: where each node last sent each
+    /// object (the trail that object-tracking messages follow, Section V:
+    /// "we can track objects in transit by reaching the node that the
+    /// object departs from").
+    forwarding: Option<&'a HashMap<(ObjectId, NodeId), NodeId>>,
+}
+
+impl<'a> SystemView<'a> {
+    /// Construct a view (used by the engine; tests may build one directly).
+    pub fn new(
+        now: Time,
+        network: &'a Network,
+        live: &'a BTreeMap<TxnId, LiveTxn>,
+        objects: &'a BTreeMap<ObjectId, ObjectState>,
+    ) -> Self {
+        SystemView {
+            now,
+            network,
+            live,
+            objects,
+            forwarding: None,
+        }
+    }
+
+    /// Attach the engine's forwarding-pointer table (see
+    /// [`SystemView::forwarded_to`]).
+    pub fn with_forwarding(
+        mut self,
+        forwarding: &'a HashMap<(ObjectId, NodeId), NodeId>,
+    ) -> Self {
+        self.forwarding = Some(forwarding);
+        self
+    }
+
+    /// Node-local knowledge at `node`: where it last forwarded `object`
+    /// (`None` if the node never forwarded it, or no table is attached).
+    pub fn forwarded_to(&self, object: ObjectId, node: NodeId) -> Option<NodeId> {
+        self.forwarding?.get(&(object, node)).copied()
+    }
+
+    /// All live transactions (`T_t` in the paper), in id order.
+    pub fn live_txns(&self) -> impl Iterator<Item = &LiveTxn> + '_ {
+        self.live.values()
+    }
+
+    /// Number of live transactions.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Look up a live transaction.
+    pub fn live(&self, id: TxnId) -> Option<&LiveTxn> {
+        self.live.get(&id)
+    }
+
+    /// State of an object (if it exists yet).
+    pub fn object(&self, id: ObjectId) -> Option<&ObjectState> {
+        self.objects.get(&id)
+    }
+
+    /// All objects, in id order.
+    pub fn objects(&self) -> impl Iterator<Item = &ObjectState> + '_ {
+        self.objects.values()
+    }
+
+    /// Live transactions requesting `o`, in id order.
+    pub fn requesters_of(&self, o: ObjectId) -> Vec<TxnId> {
+        self.live
+            .values()
+            .filter(|lt| lt.txn.uses(o))
+            .map(|lt| lt.txn.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtm_graph::topology;
+
+    fn obj(place: ObjectPlace) -> ObjectState {
+        ObjectState {
+            info: ObjectInfo {
+                id: ObjectId(0),
+                origin: NodeId(0),
+                created_at: 0,
+            },
+            place,
+            last_holder: None,
+        }
+    }
+
+    #[test]
+    fn resting_position() {
+        let net = topology::line(8);
+        let o = obj(ObjectPlace::At(NodeId(3)));
+        assert_eq!(o.position(10), (NodeId(3), 10));
+        assert_eq!(o.effective_distance(&net, NodeId(6), 10), 3);
+        assert_eq!(o.effective_distance(&net, NodeId(3), 10), 0);
+    }
+
+    #[test]
+    fn in_transit_position_counts_residual() {
+        let net = topology::line(8);
+        let o = obj(ObjectPlace::Hop {
+            from: NodeId(2),
+            next: NodeId(3),
+            arrive: 14,
+        });
+        // At time 10: 4 residual steps to node 3, then 3 more to node 6.
+        assert_eq!(o.position(10), (NodeId(3), 14));
+        assert_eq!(o.effective_distance(&net, NodeId(6), 10), 4 + 3);
+        // Going "backwards" still pays the residual first.
+        assert_eq!(o.effective_distance(&net, NodeId(2), 10), 4 + 1);
+    }
+
+    #[test]
+    fn view_queries() {
+        let net = topology::line(4);
+        let t1 = Transaction::new(TxnId(1), NodeId(0), [ObjectId(0)], 0);
+        let t2 = Transaction::new(TxnId(2), NodeId(1), [ObjectId(1)], 0);
+        let mut live = BTreeMap::new();
+        live.insert(
+            TxnId(1),
+            LiveTxn {
+                txn: t1,
+                scheduled: Some(5),
+            },
+        );
+        live.insert(
+            TxnId(2),
+            LiveTxn {
+                txn: t2,
+                scheduled: None,
+            },
+        );
+        let mut objects = BTreeMap::new();
+        objects.insert(ObjectId(0), obj(ObjectPlace::At(NodeId(0))));
+        let view = SystemView::new(3, &net, &live, &objects);
+        assert_eq!(view.live_count(), 2);
+        assert_eq!(view.requesters_of(ObjectId(0)), vec![TxnId(1)]);
+        assert!(view.requesters_of(ObjectId(9)).is_empty());
+        assert_eq!(view.live(TxnId(1)).unwrap().scheduled, Some(5));
+        assert!(view.object(ObjectId(0)).is_some());
+        assert!(view.object(ObjectId(1)).is_none());
+    }
+}

@@ -1,0 +1,505 @@
+//! Independent re-validation of a run's event log.
+//!
+//! The engine is trusted nowhere: this module replays the event log with
+//! its own object-position state machine and proves that the execution was
+//! physically possible and conflict-free under the data-flow model:
+//!
+//! * objects move only over existing edges, paying exactly
+//!   `weight * speed_divisor` per traversal, and are in one place at a time;
+//! * link-capacity limits (when configured) are never exceeded;
+//! * every commit happens at the transaction's home with **all** its
+//!   objects present, at (or, in late mode, after) its scheduled time;
+//! * no two conflicting transactions commit at the same step;
+//! * scheduling decisions are made at or after generation, never in the
+//!   past, and never revised.
+
+use crate::events::Event;
+use crate::metrics::RunResult;
+use dtm_graph::{Network, NodeId};
+use dtm_model::{ObjectId, Time, TxnId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// What went wrong during validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// An object moved from a node it was not at (or while in flight).
+    TeleportDeparture {
+        /// Object.
+        object: ObjectId,
+        /// Claimed departure node.
+        from: NodeId,
+        /// Time.
+        t: Time,
+    },
+    /// Departure over a non-existent edge.
+    NoSuchEdge {
+        /// Object.
+        object: ObjectId,
+        /// Edge endpoints.
+        edge: (NodeId, NodeId),
+    },
+    /// Arrival time inconsistent with the edge weight and speed divisor.
+    BadTravelTime {
+        /// Object.
+        object: ObjectId,
+        /// Expected arrival.
+        expected: Time,
+        /// Claimed arrival.
+        actual: Time,
+    },
+    /// Arrival event without a matching in-flight traversal.
+    PhantomArrival {
+        /// Object.
+        object: ObjectId,
+        /// Node.
+        node: NodeId,
+        /// Time.
+        t: Time,
+    },
+    /// Concurrent objects on an edge exceeded the configured capacity.
+    CapacityExceeded {
+        /// Edge endpoints.
+        edge: (NodeId, NodeId),
+        /// Time.
+        t: Time,
+    },
+    /// A commit happened away from the transaction's home.
+    WrongHome {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// A commit happened without one of its objects present.
+    ObjectMissing {
+        /// Transaction.
+        txn: TxnId,
+        /// The missing object.
+        object: ObjectId,
+        /// Commit time.
+        t: Time,
+    },
+    /// Two conflicting transactions committed at the same step.
+    ConflictSameStep {
+        /// First transaction.
+        a: TxnId,
+        /// Second transaction.
+        b: TxnId,
+        /// Shared object.
+        object: ObjectId,
+        /// Time.
+        t: Time,
+    },
+    /// Commit at a time different from the scheduled time (strict mode),
+    /// or before it (late mode).
+    OffSchedule {
+        /// Transaction.
+        txn: TxnId,
+        /// Scheduled time.
+        scheduled: Time,
+        /// Actual commit time.
+        committed: Time,
+    },
+    /// A transaction committed twice, or committed without being generated
+    /// or scheduled.
+    LifecycleBroken {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// A scheduling decision precedes generation or targets the past.
+    BadSchedulingDecision {
+        /// Transaction.
+        txn: TxnId,
+    },
+    /// Some generated transaction never committed (when completeness is
+    /// required).
+    Unfinished {
+        /// Number of unfinished transactions.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validation parameters (mirror of the engine config used for the run).
+#[derive(Clone, Debug)]
+pub struct ValidationConfig {
+    /// Speed divisor the run used.
+    pub speed_divisor: u64,
+    /// Link capacity the run used.
+    pub link_capacity: Option<u32>,
+    /// Whether late execution was allowed.
+    pub allow_late_execution: bool,
+    /// Require every generated transaction to have committed.
+    pub require_all_committed: bool,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            speed_divisor: 1,
+            link_capacity: None,
+            allow_late_execution: false,
+            require_all_committed: true,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pos {
+    At(NodeId),
+    Moving { to: NodeId, arrive: Time },
+}
+
+/// Replay and validate the event log of `result` against `network`.
+///
+/// Returns the number of commits checked.
+pub fn validate_events(
+    network: &Network,
+    result: &RunResult,
+    cfg: &ValidationConfig,
+) -> Result<usize, ValidationError> {
+    let mut pos: BTreeMap<ObjectId, Pos> = BTreeMap::new();
+    let mut gen_time: BTreeMap<TxnId, Time> = BTreeMap::new();
+    let mut sched_time: BTreeMap<TxnId, Time> = BTreeMap::new();
+    let mut committed: BTreeMap<TxnId, Time> = BTreeMap::new();
+    // Objects consumed by a commit at the current step.
+    let mut step_objects: HashMap<ObjectId, TxnId> = HashMap::new();
+    let mut step_time: Time = 0;
+    let mut commit_count = 0usize;
+
+    for e in &result.events {
+        if e.time() != step_time {
+            step_time = e.time();
+            step_objects.clear();
+        }
+        match *e {
+            Event::ObjectCreated { object, node, .. } => {
+                pos.insert(object, Pos::At(node));
+            }
+            Event::Generated { t, txn, .. } => {
+                gen_time.insert(txn, t);
+            }
+            Event::Scheduled { t, txn, exec_at } => {
+                let generated = gen_time
+                    .get(&txn)
+                    .copied()
+                    .ok_or(ValidationError::LifecycleBroken { txn })?;
+                if t < generated || exec_at < t || sched_time.contains_key(&txn) {
+                    return Err(ValidationError::BadSchedulingDecision { txn });
+                }
+                sched_time.insert(txn, exec_at);
+            }
+            Event::Departed {
+                t,
+                object,
+                from,
+                to,
+                arrive,
+            } => {
+                match pos.get(&object) {
+                    Some(&Pos::At(v)) if v == from => {}
+                    _ => {
+                        return Err(ValidationError::TeleportDeparture { object, from, t })
+                    }
+                }
+                let w = network
+                    .graph()
+                    .edge_weight(from, to)
+                    .ok_or(ValidationError::NoSuchEdge {
+                        object,
+                        edge: (from, to),
+                    })?;
+                let expected = t + w * cfg.speed_divisor;
+                if arrive != expected {
+                    return Err(ValidationError::BadTravelTime {
+                        object,
+                        expected,
+                        actual: arrive,
+                    });
+                }
+                pos.insert(object, Pos::Moving { to, arrive });
+            }
+            Event::Arrived { t, object, node } => {
+                match pos.get(&object) {
+                    Some(&Pos::Moving { to, arrive }) if to == node && arrive == t => {}
+                    _ => return Err(ValidationError::PhantomArrival { object, node, t }),
+                }
+                pos.insert(object, Pos::At(node));
+                // Release edge occupancy: find the edge by the arrival
+                // node; we tracked it at departure, so decrement whichever
+                // edge ends at `node` — reconstructed from the Moving state
+                // is enough because each object occupies one edge at a time.
+                // (Handled conservatively: loads are decremented lazily via
+                // the recount below.)
+            }
+            Event::Committed { t, txn, node } => {
+                let tx = result
+                    .txns
+                    .get(&txn)
+                    .ok_or(ValidationError::LifecycleBroken { txn })?;
+                if tx.home != node {
+                    return Err(ValidationError::WrongHome { txn });
+                }
+                if committed.contains_key(&txn) || !gen_time.contains_key(&txn) {
+                    return Err(ValidationError::LifecycleBroken { txn });
+                }
+                let scheduled = sched_time
+                    .get(&txn)
+                    .copied()
+                    .ok_or(ValidationError::LifecycleBroken { txn })?;
+                let on_time = if cfg.allow_late_execution {
+                    t >= scheduled
+                } else {
+                    t == scheduled
+                };
+                if !on_time {
+                    return Err(ValidationError::OffSchedule {
+                        txn,
+                        scheduled,
+                        committed: t,
+                    });
+                }
+                for o in tx.objects() {
+                    match pos.get(&o) {
+                        Some(&Pos::At(v)) if v == node => {}
+                        _ => {
+                            return Err(ValidationError::ObjectMissing { txn, object: o, t })
+                        }
+                    }
+                    if let Some(&other) = step_objects.get(&o) {
+                        return Err(ValidationError::ConflictSameStep {
+                            a: other,
+                            b: txn,
+                            object: o,
+                            t,
+                        });
+                    }
+                    step_objects.insert(o, txn);
+                }
+                committed.insert(txn, t);
+                commit_count += 1;
+            }
+        }
+    }
+
+    if let Some(cap) = cfg.link_capacity {
+        validate_capacity(result, cap)?;
+    }
+    if cfg.require_all_committed {
+        let unfinished = gen_time.keys().filter(|t| !committed.contains_key(t)).count();
+        if unfinished > 0 {
+            return Err(ValidationError::Unfinished { count: unfinished });
+        }
+    }
+    Ok(commit_count)
+}
+
+/// Validate capacity precisely: recount concurrent edge occupancy over time
+/// from the event log. Separate pass because occupancy requires interval
+/// overlap accounting.
+pub fn validate_capacity(
+    result: &RunResult,
+    capacity: u32,
+) -> Result<(), ValidationError> {
+    // Collect (edge, start, end) intervals.
+    let mut intervals: HashMap<(NodeId, NodeId), Vec<(Time, Time)>> = HashMap::new();
+    let key = |a: NodeId, b: NodeId| if a <= b { (a, b) } else { (b, a) };
+    for e in &result.events {
+        if let Event::Departed {
+            t, from, to, arrive, ..
+        } = *e
+        {
+            intervals.entry(key(from, to)).or_default().push((t, arrive));
+        }
+    }
+    for (edge, mut ivs) in intervals {
+        ivs.sort_unstable();
+        // Sweep: at each start, count how many previous intervals still run.
+        for (i, &(start, _)) in ivs.iter().enumerate() {
+            let overlapping = ivs[..i]
+                .iter()
+                .filter(|&&(s, e)| s <= start && e > start)
+                .count() as u32
+                + 1;
+            if overlapping > capacity {
+                return Err(ValidationError::CapacityExceeded { edge, t: start });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_policy, EngineConfig};
+    use crate::policy::SchedulingPolicy;
+    use crate::state::SystemView;
+    use dtm_graph::topology;
+    use dtm_model::{Instance, ObjectInfo, Schedule, TraceSource, Transaction};
+
+    struct Fixed(BTreeMap<TxnId, Time>);
+    impl SchedulingPolicy for Fixed {
+        fn step(&mut self, _: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+            arrivals
+                .iter()
+                .filter_map(|id| self.0.get(id).map(|&t| (*id, t)))
+                .collect()
+        }
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+    }
+
+    fn obj(id: u32, origin: u32) -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(id),
+            origin: NodeId(origin),
+            created_at: 0,
+        }
+    }
+
+    fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
+        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+    }
+
+    #[test]
+    fn valid_run_passes() {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![obj(0, 0)],
+            vec![txn(0, 2, &[0]), txn(1, 3, &[0])],
+        );
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            Fixed([(TxnId(0), 2), (TxnId(1), 3)].into()),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        let n = validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn tampered_commit_detected() {
+        let net = topology::line(4);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0])]);
+        let mut res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            Fixed([(TxnId(0), 2)].into()),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        // Forge an extra commit at t=0, before the object could arrive.
+        res.events.insert(
+            0,
+            Event::Committed {
+                t: 0,
+                txn: TxnId(0),
+                node: NodeId(2),
+            },
+        );
+        let err = validate_events(&net, &res, &ValidationConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::LifecycleBroken { .. } | ValidationError::ObjectMissing { .. }
+        ));
+    }
+
+    #[test]
+    fn tampered_travel_time_detected() {
+        let net = topology::line(4);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0])]);
+        let mut res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            Fixed([(TxnId(0), 2)].into()),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        for e in &mut res.events {
+            if let Event::Departed { arrive, .. } = e {
+                *arrive = arrive.saturating_sub(1); // objects now teleport faster
+                break;
+            }
+        }
+        let err = validate_events(&net, &res, &ValidationConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidationError::BadTravelTime { .. } | ValidationError::PhantomArrival { .. }
+        ));
+    }
+
+    #[test]
+    fn validates_speed_divisor() {
+        let net = topology::line(3);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0])]);
+        let cfg = EngineConfig {
+            speed_divisor: 3,
+            ..EngineConfig::default()
+        };
+        let res = run_policy(&net, TraceSource::new(inst), Fixed([(TxnId(0), 6)].into()), cfg);
+        res.expect_ok();
+        let vcfg = ValidationConfig {
+            speed_divisor: 3,
+            ..ValidationConfig::default()
+        };
+        validate_events(&net, &res, &vcfg).unwrap();
+        // Wrong divisor must fail.
+        let bad = ValidationConfig::default();
+        assert!(validate_events(&net, &res, &bad).is_err());
+    }
+
+    #[test]
+    fn unfinished_detected() {
+        let net = topology::line(3);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0])]);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            Fixed(BTreeMap::new()), // never schedules
+            EngineConfig {
+                max_steps: 10,
+                ..EngineConfig::default()
+            },
+        );
+        let err = validate_events(&net, &res, &ValidationConfig::default()).unwrap_err();
+        assert_eq!(err, ValidationError::Unfinished { count: 1 });
+    }
+
+    #[test]
+    fn capacity_validation() {
+        let net = topology::line(2);
+        let inst = Instance::new(
+            vec![obj(0, 0), obj(1, 0)],
+            vec![txn(0, 1, &[0]), txn(1, 1, &[1])],
+        );
+        let cfg = EngineConfig {
+            link_capacity: Some(1),
+            allow_late_execution: true,
+            ..EngineConfig::default()
+        };
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            Fixed([(TxnId(0), 1), (TxnId(1), 1)].into()),
+            cfg,
+        );
+        res.expect_ok();
+        validate_capacity(&res, 1).unwrap();
+        let vcfg = ValidationConfig {
+            link_capacity: Some(1),
+            allow_late_execution: true,
+            ..ValidationConfig::default()
+        };
+        validate_events(&net, &res, &vcfg).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline vs online on the same batch instance — the paper's central
+//! contrast made concrete.
+//!
+//! The same transaction sequence — arriving one step apart in an
+//! adversarial ping-pong order along a line — is scheduled three ways and
+//! each schedule is *executed* on the simulator:
+//!
+//! 1. the **exact optimum** with full clairvoyance (exhaustive search —
+//!    instance kept tiny), which may reorder the whole future;
+//! 2. the **offline heuristic** for the topology (line sweep), also
+//!    clairvoyant;
+//! 3. the **online greedy** (Algorithm 1), which commits to an execution
+//!    time the moment each transaction arrives, with no lookahead.
+//!
+//! ```text
+//! cargo run -p dtm-examples --release --bin offline_vs_online
+//! ```
+
+use dtm_core::GreedyPolicy;
+use dtm_graph::{topology, NodeId};
+use dtm_model::{Instance, ObjectId, ObjectInfo, TraceSource, Transaction, TxnId};
+use dtm_offline::{BatchContext, BatchScheduler, ExactScheduler, LineScheduler};
+use dtm_sim::{run_policy, EngineConfig, FixedSchedulePolicy};
+
+fn main() {
+    let net = topology::line(16);
+    // A small adversarial instance: one hot object requested from
+    // alternating ends of the line.
+    let objects = vec![ObjectInfo {
+        id: ObjectId(0),
+        origin: NodeId(8),
+        created_at: 0,
+    }];
+    // Arrivals one step apart, ping-ponging across the line: an online
+    // scheduler is forced to commit before it sees the pattern.
+    let homes = [15u32, 1, 12, 3, 10, 5];
+    let txns: Vec<Transaction> = homes
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| Transaction::new(TxnId(i as u64), NodeId(h), [ObjectId(0)], i as u64))
+        .collect();
+    let instance = Instance::new(objects.clone(), txns.clone());
+    // Clairvoyant variant: the same transactions, all known at time 0
+    // (objects can head to them immediately — full lookahead).
+    let batch_txns: Vec<Transaction> = txns
+        .iter()
+        .map(|t| Transaction::new(t.id, t.home, t.objects(), 0))
+        .collect();
+    let batch_instance = Instance::new(objects, batch_txns);
+    let ctx = BatchContext::fresh(
+        batch_instance.objects.iter().map(|o| (o.id, o.origin)),
+    );
+
+    println!(
+        "line(16), one hot object at n8, requesters at {homes:?},\n\
+         arriving one step apart in that (ping-pong) order\n"
+    );
+    println!("{:<22} {:>9}", "scheduler", "makespan");
+
+    // 1. Exact optimum (clairvoyant), executed.
+    let opt = ExactScheduler.schedule(&net, &batch_instance.txns, &ctx);
+    let res = run_policy(
+        &net,
+        TraceSource::new(batch_instance.clone()),
+        FixedSchedulePolicy::new(opt),
+        EngineConfig::default(),
+    );
+    res.expect_ok();
+    println!("{:<22} {:>9}", "exact optimum", res.metrics.makespan);
+
+    // 2. Offline line sweep (clairvoyant), executed.
+    let sweep = LineScheduler.schedule(&net, &batch_instance.txns, &ctx);
+    let res = run_policy(
+        &net,
+        TraceSource::new(batch_instance),
+        FixedSchedulePolicy::new(sweep),
+        EngineConfig::default(),
+    );
+    res.expect_ok();
+    println!("{:<22} {:>9}", "offline line-sweep", res.metrics.makespan);
+
+    // 3. Online greedy (no lookahead).
+    let res = run_policy(
+        &net,
+        TraceSource::new(instance),
+        GreedyPolicy::new(),
+        EngineConfig::default(),
+    );
+    res.expect_ok();
+    println!("{:<22} {:>9}", "online greedy (Alg 1)", res.metrics.makespan);
+
+    println!(
+        "\nThe gap between row 3 and row 1 is the *price of being online*.\n\
+         On instances this small the greedy coloring's gap-filling often\n\
+         matches the optimum exactly (as the paper's Theorem 1 slack\n\
+         suggests); experiment E8 (`cargo run -p dtm-bench --release --bin\n\
+         exp_e8`) shows where online schedulers separate at scale."
+    );
+}

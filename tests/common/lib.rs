@@ -1,0 +1,28 @@
+//! Shared scaffolding for the `dtm-integration` test package.
+//!
+//! The integration tests live as flat files in the package root (declared
+//! as `[[test]]` targets in `Cargo.toml`); this library crate exists only
+//! to anchor the package and hosts small shared helpers.
+
+use dtm_graph::{topology, Network};
+
+/// The standard small-topology zoo used across integration tests.
+pub fn small_topologies() -> Vec<Network> {
+    vec![
+        topology::clique(10),
+        topology::line(16),
+        topology::grid(&[4, 4]),
+        topology::star(3, 4),
+        topology::cluster(3, 3, 4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn zoo_is_connected() {
+        for net in super::small_topologies() {
+            assert!(net.graph().is_connected(), "{}", net.name());
+        }
+    }
+}

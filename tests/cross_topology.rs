@@ -1,0 +1,105 @@
+//! The full scheduler x topology matrix: every policy must produce clean,
+//! validated, complete executions on every architecture the paper names
+//! (and a few extras).
+
+use dtm_core::{BucketPolicy, CentralizedWrapper, FifoPolicy, GreedyPolicy, TspPolicy};
+use dtm_graph::{topology, Network, NodeId};
+use dtm_model::{ClosedLoopSource, WorkloadSpec};
+use dtm_offline::{ClusterScheduler, LineScheduler, ListScheduler, StarScheduler};
+use dtm_sim::{run_policy, validate_events, EngineConfig, SchedulingPolicy, ValidationConfig};
+
+fn topologies() -> Vec<Network> {
+    vec![
+        topology::clique(10),
+        topology::line(16),
+        topology::ring(12),
+        topology::grid(&[4, 4]),
+        topology::hypercube(4),
+        topology::butterfly(2),
+        topology::star(3, 4),
+        topology::cluster(3, 3, 4),
+        topology::torus(&[4, 4]),
+        topology::tree(3),
+        topology::random(16, 3, 3, 5),
+    ]
+}
+
+fn run_matrix(make_policy: &dyn Fn(&Network) -> Box<dyn SchedulingPolicy>) {
+    for net in topologies() {
+        let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+        let src = ClosedLoopSource::new(net.clone(), spec, 2, 21);
+        let expected = src.total_txns();
+        let res = run_policy(&net, src, make_policy(&net), EngineConfig::default());
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+        assert_eq!(res.metrics.committed, expected, "{}", net.name());
+    }
+}
+
+#[test]
+fn greedy_on_all_topologies() {
+    run_matrix(&|_| Box::new(GreedyPolicy::new()));
+}
+
+#[test]
+fn bucket_with_topology_substrate_on_all_topologies() {
+    run_matrix(&|net| {
+        use dtm_graph::Structured;
+        match net.structured() {
+            Some(Structured::Line { .. }) => Box::new(BucketPolicy::new(LineScheduler)),
+            Some(Structured::Cluster { .. }) => {
+                Box::new(BucketPolicy::new(ClusterScheduler::default()))
+            }
+            Some(Structured::Star { .. }) => {
+                Box::new(BucketPolicy::new(StarScheduler::default()))
+            }
+            _ => Box::new(BucketPolicy::new(ListScheduler::fifo())),
+        }
+    });
+}
+
+#[test]
+fn fifo_on_all_topologies() {
+    run_matrix(&|_| Box::new(FifoPolicy::new()));
+}
+
+#[test]
+fn tsp_on_all_topologies() {
+    run_matrix(&|_| Box::new(TspPolicy));
+}
+
+#[test]
+fn centralized_greedy_on_all_topologies() {
+    run_matrix(&|_| Box::new(CentralizedWrapper::new(GreedyPolicy::new(), NodeId(0))));
+}
+
+/// Weighted random graphs exercise non-unit edge weights end to end.
+#[test]
+fn weighted_random_graphs() {
+    for seed in 0..4u64 {
+        let net = topology::random(20, 4, 5, seed);
+        let spec = WorkloadSpec::batch_uniform(8, 2);
+        let src = ClosedLoopSource::new(net.clone(), spec, 2, seed);
+        let expected = src.total_txns();
+        let res = run_policy(&net, src, GreedyPolicy::new(), EngineConfig::default());
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(res.metrics.committed, expected);
+    }
+}
+
+/// k = 1 (single object per transaction, the classic DTM setting of
+/// Herlihy & Sun) and large k both work.
+#[test]
+fn extreme_k_values() {
+    let net = topology::grid(&[4, 4]);
+    for k in [1usize, 6] {
+        let spec = WorkloadSpec::batch_uniform(8, k);
+        let src = ClosedLoopSource::new(net.clone(), spec, 2, 3);
+        let expected = src.total_txns();
+        let res = run_policy(&net, src, GreedyPolicy::new(), EngineConfig::default());
+        res.expect_ok();
+        assert_eq!(res.metrics.committed, expected);
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration: workload generation -> online scheduling ->
+//! synchronous execution -> independent event validation -> competitive
+//! ratio analysis, across the full public API surface.
+
+use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
+use dtm_graph::topology;
+use dtm_model::{
+    ArrivalProcess, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
+};
+use dtm_offline::{competitive_ratio, ListScheduler};
+use dtm_sim::{run_policy, validate_events, EngineConfig, SchedulingPolicy, ValidationConfig};
+
+fn online_workload(net: &dtm_graph::Network, seed: u64) -> Instance {
+    let spec = WorkloadSpec {
+        num_objects: (net.n() as u32 / 2).max(2),
+        k: 2,
+        object_choice: ObjectChoice::Uniform,
+        arrival: ArrivalProcess::Bernoulli {
+            rate: 0.2,
+            horizon: 25,
+        },
+    };
+    WorkloadGenerator::new(spec, seed).generate(net)
+}
+
+fn full_pipeline(policy: Box<dyn SchedulingPolicy>) {
+    let net = topology::grid(&[4, 4]);
+    let inst = online_workload(&net, 17);
+    let n = inst.num_txns();
+    inst.validate(&net).unwrap();
+    let res = run_policy(&net, TraceSource::new(inst), policy, EngineConfig::default());
+    res.expect_ok();
+    assert_eq!(res.metrics.committed, n);
+    validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+    let report = competitive_ratio(&net, &res);
+    assert!(report.max_ratio.is_finite());
+    assert!(report.max_ratio >= 0.0);
+    // Every commit is at the scheduled time.
+    for (txn, commit) in &res.commits {
+        assert_eq!(res.schedule.get(*txn), Some(*commit));
+    }
+    // Latencies are non-negative and bounded by the makespan.
+    for (_, lat) in res.latencies() {
+        assert!(lat <= res.metrics.makespan);
+    }
+}
+
+#[test]
+fn greedy_full_pipeline() {
+    full_pipeline(Box::new(GreedyPolicy::new()));
+}
+
+#[test]
+fn bucket_full_pipeline() {
+    full_pipeline(Box::new(BucketPolicy::new(ListScheduler::fifo())));
+}
+
+#[test]
+fn fifo_full_pipeline() {
+    full_pipeline(Box::new(FifoPolicy::new()));
+}
+
+#[test]
+fn tsp_full_pipeline() {
+    full_pipeline(Box::new(TspPolicy));
+}
+
+#[test]
+fn instance_json_roundtrip_preserves_execution() {
+    let net = topology::line(10);
+    let inst = online_workload(&net, 23);
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    let a = run_policy(
+        &net,
+        TraceSource::new(inst),
+        GreedyPolicy::new(),
+        EngineConfig::default(),
+    );
+    let b = run_policy(
+        &net,
+        TraceSource::new(back),
+        GreedyPolicy::new(),
+        EngineConfig::default(),
+    );
+    a.expect_ok();
+    b.expect_ok();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.commits, b.commits);
+}
+
+#[test]
+fn zipf_contention_still_clean() {
+    let net = topology::clique(12);
+    let spec = WorkloadSpec {
+        num_objects: 8,
+        k: 3,
+        object_choice: ObjectChoice::Zipf { exponent: 1.2 },
+        arrival: ArrivalProcess::Bernoulli {
+            rate: 0.3,
+            horizon: 20,
+        },
+    };
+    let inst = WorkloadGenerator::new(spec, 31).generate(&net);
+    let n = inst.num_txns();
+    let res = run_policy(
+        &net,
+        TraceSource::new(inst),
+        GreedyPolicy::new(),
+        EngineConfig::default(),
+    );
+    res.expect_ok();
+    validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+    assert_eq!(res.metrics.committed, n);
+}
+
+#[test]
+fn burst_arrivals_all_policies() {
+    let net = topology::star(3, 4);
+    let spec = WorkloadSpec {
+        num_objects: 6,
+        k: 2,
+        object_choice: ObjectChoice::Uniform,
+        arrival: ArrivalProcess::Bursts {
+            period: 12,
+            per_burst: 8,
+            bursts: 3,
+        },
+    };
+    let inst = WorkloadGenerator::new(spec, 41).generate(&net);
+    for policy in [
+        Box::new(GreedyPolicy::new()) as Box<dyn SchedulingPolicy>,
+        Box::new(BucketPolicy::new(ListScheduler::fifo())),
+        Box::new(FifoPolicy::new()),
+    ] {
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst.clone()),
+            policy,
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        validate_events(&net, &res, &ValidationConfig::default()).unwrap();
+        assert_eq!(res.metrics.committed, 24);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-check between the offline feasibility validator and the engine:
+//! any batch schedule that `validate_batch_schedule` accepts must execute
+//! on the engine without violations, for every batch scheduler on random
+//! workloads. This ties the offline substrate's notion of feasibility to
+//! the actual data-flow semantics.
+
+use dtm_graph::{topology, Network, NodeId};
+use dtm_model::{Instance, ObjectId, ObjectInfo, TraceSource, Transaction, TxnId};
+use dtm_offline::{
+    validate_batch_schedule, BatchContext, BatchScheduler, CliqueScheduler, ClusterScheduler,
+    LineScheduler, ListScheduler, StarScheduler, TspScheduler,
+};
+use dtm_sim::{
+    run_policy, validate_events, EngineConfig, FixedSchedulePolicy, ValidationConfig,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Build a random batch instance on `net`.
+fn random_batch(net: &Network, w: u32, k: usize, seed: u64) -> Instance {
+    let n = net.n() as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let objects: Vec<ObjectInfo> = (0..w)
+        .map(|i| ObjectInfo {
+            id: ObjectId(i),
+            origin: NodeId(rng.gen_range(0..n)),
+            created_at: 0,
+        })
+        .collect();
+    let txns: Vec<Transaction> = (0..n.min(14))
+        .map(|i| {
+            let set: Vec<ObjectId> = (0..k).map(|_| ObjectId(rng.gen_range(0..w))).collect();
+            Transaction::new(TxnId(i as u64), NodeId(rng.gen_range(0..n)), set, 0)
+        })
+        .collect();
+    Instance::new(objects, txns)
+}
+
+/// Schedule `inst` with `scheduler`, check the offline validator accepts,
+/// then run the schedule on the engine and check it executes cleanly.
+fn agree<S: BatchScheduler>(net: &Network, mut scheduler: S, inst: Instance) {
+    let ctx = BatchContext::fresh(inst.objects.iter().map(|o| (o.id, o.origin)));
+    let schedule = scheduler.schedule(net, &inst.txns, &ctx);
+    validate_batch_schedule(net, &inst.txns, &ctx, &schedule)
+        .unwrap_or_else(|e| panic!("{} offline-invalid: {e}", scheduler.name()));
+    let res = run_policy(
+        net,
+        TraceSource::new(inst),
+        FixedSchedulePolicy::new(schedule),
+        EngineConfig::default(),
+    );
+    assert!(
+        res.ok(),
+        "{}: engine violations {:?}",
+        scheduler.name(),
+        res.violations
+    );
+    validate_events(net, &res, &ValidationConfig::default()).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn list_schedules_execute(seed in 0u64..500, w in 1u32..6, k in 1usize..4) {
+        let net = topology::grid(&[4, 4]);
+        agree(&net, ListScheduler::fifo(), random_batch(&net, w, k, seed));
+    }
+
+    #[test]
+    fn clique_schedules_execute(seed in 0u64..500, w in 1u32..6, k in 1usize..4) {
+        let net = topology::clique(10);
+        agree(&net, CliqueScheduler, random_batch(&net, w, k, seed));
+    }
+
+    #[test]
+    fn line_schedules_execute(seed in 0u64..500, w in 1u32..6, k in 1usize..4) {
+        let net = topology::line(18);
+        agree(&net, LineScheduler, random_batch(&net, w, k, seed));
+    }
+
+    #[test]
+    fn cluster_schedules_execute(seed in 0u64..300, w in 1u32..6, k in 1usize..4) {
+        let net = topology::cluster(3, 4, 5);
+        agree(&net, ClusterScheduler::default(), random_batch(&net, w, k, seed));
+    }
+
+    #[test]
+    fn star_schedules_execute(seed in 0u64..300, w in 1u32..6, k in 1usize..4) {
+        let net = topology::star(3, 4);
+        agree(&net, StarScheduler::default(), random_batch(&net, w, k, seed));
+    }
+
+    #[test]
+    fn tsp_schedules_execute(seed in 0u64..300, w in 1u32..6, k in 1usize..4) {
+        let net = topology::random(16, 3, 3, 9);
+        agree(&net, TspScheduler, random_batch(&net, w, k, seed));
+    }
+}
