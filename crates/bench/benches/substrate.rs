@@ -1,14 +1,22 @@
 //! Criterion micro-benchmarks of the substrates: shortest paths, sparse
-//! cover construction, weighted coloring, batch scheduling and lower
-//! bounds. These dominate each simulated "time step" in practice.
+//! cover construction, weighted coloring, batch scheduling, lower bounds,
+//! the runtime-state query layer and a full engine run. These dominate
+//! each simulated "time step" in practice.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dtm_core::{smallest_valid_color, ColorConstraint};
+use dtm_core::{smallest_valid_color, ColorConstraint, GreedyPolicy};
 use dtm_graph::{topology, NodeId, ShortestPathTree, SparseCover};
-use dtm_model::{ObjectId, Transaction, TxnId};
+use dtm_model::{
+    ArrivalProcess, ObjectChoice, ObjectId, ObjectInfo, TraceSource, Transaction, TxnId,
+    WorkloadGenerator, WorkloadSpec,
+};
 use dtm_offline::{batch_lower_bound, BatchContext, BatchScheduler, ListScheduler};
+use dtm_sim::{
+    run_policy, EngineConfig, LiveTxn, ObjectPlace, ObjectState, RuntimeState, SystemView,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
 
 fn bench_dijkstra(c: &mut Criterion) {
     let net = topology::grid(&[32, 32]);
@@ -42,11 +50,15 @@ fn bench_coloring(c: &mut Criterion) {
     });
 }
 
-fn batch_instance(n: u32, txns: usize, w: u32, k: usize, seed: u64) -> (Vec<Transaction>, BatchContext) {
+fn batch_instance(
+    n: u32,
+    txns: usize,
+    w: u32,
+    k: usize,
+    seed: u64,
+) -> (Vec<Transaction>, BatchContext) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let ctx = BatchContext::fresh(
-        (0..w).map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n)))),
-    );
+    let ctx = BatchContext::fresh((0..w).map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n)))));
     let pending: Vec<Transaction> = (0..txns)
         .map(|i| {
             let set: Vec<ObjectId> = (0..k).map(|_| ObjectId(rng.gen_range(0..w))).collect();
@@ -75,6 +87,104 @@ fn bench_lower_bound(c: &mut Criterion) {
     });
 }
 
+/// One live population two ways: map-backed (the legacy `SystemView::new`
+/// backing, where `requesters_of` rescans every live transaction) and
+/// arena-backed (the requester index answers directly).
+fn live_population(
+    seed: u64,
+) -> (
+    BTreeMap<TxnId, LiveTxn>,
+    BTreeMap<ObjectId, ObjectState>,
+    RuntimeState,
+) {
+    const N_NODES: u32 = 256; // hypercube(8)
+    const N_TXNS: u64 = 512;
+    const N_OBJS: u32 = 64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut live = BTreeMap::new();
+    let mut objects = BTreeMap::new();
+    let mut state = RuntimeState::new();
+    for o in 0..N_OBJS {
+        let st = ObjectState {
+            info: ObjectInfo {
+                id: ObjectId(o),
+                origin: NodeId(rng.gen_range(0..N_NODES)),
+                created_at: 0,
+            },
+            place: ObjectPlace::At(NodeId(rng.gen_range(0..N_NODES))),
+            last_holder: None,
+        };
+        objects.insert(ObjectId(o), st.clone());
+        state.insert_object(st);
+    }
+    for id in 0..N_TXNS {
+        let set: Vec<ObjectId> = (0..2).map(|_| ObjectId(rng.gen_range(0..N_OBJS))).collect();
+        let lt = LiveTxn {
+            txn: Transaction::new(TxnId(id), NodeId(rng.gen_range(0..N_NODES)), set, 0),
+            scheduled: (id % 2 == 0).then_some(id),
+        };
+        live.insert(TxnId(id), lt.clone());
+        state.insert_txn(lt);
+    }
+    (live, objects, state)
+}
+
+fn bench_requesters_of(c: &mut Criterion) {
+    let net = topology::hypercube(8);
+    let (live, objects, state) = live_population(17);
+    c.bench_function("substrate/requesters-of/maps-scan-512txns", |b| {
+        let view = SystemView::new(0, &net, &live, &objects);
+        b.iter(|| {
+            let mut total = 0usize;
+            for o in 0..64u32 {
+                total += view.requesters_of(ObjectId(o)).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    c.bench_function("substrate/requesters-of/indexed-512txns", |b| {
+        let view = SystemView::from_state(0, &net, &state);
+        b.iter(|| {
+            let mut total = 0usize;
+            for o in 0..64u32 {
+                total += view.requesters_of(ObjectId(o)).len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+fn bench_engine_run(c: &mut Criterion) {
+    let net = topology::hypercube(8);
+    let spec = WorkloadSpec {
+        num_objects: 32,
+        k: 2,
+        object_choice: ObjectChoice::Uniform,
+        // Bernoulli is per node per step: 256 nodes × 0.004 × 1000 steps
+        // ≈ 1000 transactions over the 1000-step arrival window.
+        arrival: ArrivalProcess::Bernoulli {
+            rate: 0.004,
+            horizon: 1000,
+        },
+    };
+    let inst = WorkloadGenerator::new(spec, 23).generate(&net);
+    let cfg = EngineConfig {
+        record_events: false,
+        ..EngineConfig::default()
+    };
+    c.bench_function("substrate/engine/greedy-hypercube8-1000steps", |b| {
+        b.iter(|| {
+            let res = run_policy(
+                &net,
+                TraceSource::new(inst.clone()),
+                GreedyPolicy::new(),
+                cfg.clone(),
+            );
+            std::hint::black_box(res.metrics.committed)
+        })
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -85,6 +195,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dijkstra, bench_sparse_cover, bench_coloring, bench_list_scheduler, bench_lower_bound
+    targets = bench_dijkstra, bench_sparse_cover, bench_coloring, bench_list_scheduler, bench_lower_bound, bench_requesters_of, bench_engine_run
 }
 criterion_main!(benches);

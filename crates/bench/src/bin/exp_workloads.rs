@@ -14,8 +14,14 @@ fn main() {
     let mut t = Table::new(
         "Workload characterization (seed 1 of each canonical spec)",
         &[
-            "workload", "txns", "objs", "k max", "l_max", "conflict edges",
-            "max degree", "gini",
+            "workload",
+            "txns",
+            "objs",
+            "k max",
+            "l_max",
+            "conflict edges",
+            "max degree",
+            "gini",
         ],
     );
     let cases: Vec<(&str, Network, WorkloadSpec)> = vec![

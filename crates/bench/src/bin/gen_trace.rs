@@ -40,7 +40,9 @@ fn main() {
         arrival: ArrivalProcess::Bernoulli { rate, horizon },
     };
     let instance = WorkloadGenerator::new(spec, seed).generate(&net);
-    instance.validate(&net).expect("generated instance is valid");
+    instance
+        .validate(&net)
+        .expect("generated instance is valid");
     eprintln!(
         "generated {} transactions / {} objects on {}",
         instance.num_txns(),

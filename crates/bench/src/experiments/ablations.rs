@@ -84,7 +84,10 @@ fn a2_batch_scheduler_quality(quick: bool) -> Table {
     let wl = || line_workload(n, 2100);
     let cases: Vec<(&str, Box<dyn dtm_sim::SchedulingPolicy>)> = vec![
         ("line-sweep", Box::new(BucketPolicy::new(LineScheduler))),
-        ("list(fifo)", Box::new(BucketPolicy::new(ListScheduler::fifo()))),
+        (
+            "list(fifo)",
+            Box::new(BucketPolicy::new(ListScheduler::fifo())),
+        ),
         (
             "list(random)",
             Box::new(BucketPolicy::new(ListScheduler {
@@ -157,7 +160,13 @@ fn a4_link_capacity(quick: bool) -> Table {
     };
     let mut t = Table::new(
         "A4 — bounded link capacity (congestion extension, paper §VI)",
-        &["capacity", "makespan", "mean lat", "max lat", "peak edge load"],
+        &[
+            "capacity",
+            "makespan",
+            "mean lat",
+            "max lat",
+            "peak edge load",
+        ],
     );
     let spec = WorkloadSpec {
         num_objects: net.n() as u32 / 2,

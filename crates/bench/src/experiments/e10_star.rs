@@ -20,17 +20,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     let cases: Vec<(u32, u32, usize)> = if quick {
         vec![(3, 4, 2), (3, 12, 2)]
     } else {
-        vec![
-            (4, 8, 1),
-            (4, 8, 4),
-            (8, 8, 2),
-            (4, 24, 2),
-            (4, 48, 2),
-        ]
+        vec![(4, 8, 1), (4, 8, 4), (8, 8, 2), (4, 24, 2), (4, 48, 2)]
     };
     let mut t = Table::new(
         "E10 — star graph: bucket(star) vs baselines",
-        &["rays", "ray len", "k", "policy", "txns", "makespan", "ratio"],
+        &[
+            "rays", "ray len", "k", "policy", "txns", "makespan", "ratio",
+        ],
     );
     for &(alpha, beta, k) in &cases {
         let net = topology::star(alpha, beta);
@@ -57,8 +53,18 @@ pub fn run(quick: bool) -> Vec<Table> {
             BucketPolicy::new(StarScheduler::default()),
             EngineConfig::default(),
         ));
-        push(run_summary(&net, wl(1000), GreedyPolicy::new(), EngineConfig::default()));
-        push(run_summary(&net, wl(1000), FifoPolicy::new(), EngineConfig::default()));
+        push(run_summary(
+            &net,
+            wl(1000),
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            &net,
+            wl(1000),
+            FifoPolicy::new(),
+            EngineConfig::default(),
+        ));
     }
     vec![t]
 }

@@ -78,7 +78,12 @@ pub fn run(quick: bool) -> Vec<Table> {
             fmt_ratio(central.ratio),
             fmt_ratio(dist.ratio),
             s.messages.to_string(),
-            s.report_latency.iter().copied().max().unwrap_or(0).to_string(),
+            s.report_latency
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     vec![t]

@@ -17,9 +17,7 @@ use dtm_sim::EngineConfig;
 
 fn bucket_for(net: &Network) -> Box<dyn dtm_sim::SchedulingPolicy> {
     match net.structured() {
-        Some(dtm_graph::Structured::Line { .. }) => {
-            Box::new(BucketPolicy::new(LineScheduler))
-        }
+        Some(dtm_graph::Structured::Line { .. }) => Box::new(BucketPolicy::new(LineScheduler)),
         Some(dtm_graph::Structured::Cluster { .. }) => {
             Box::new(BucketPolicy::new(ClusterScheduler::default()))
         }
@@ -48,7 +46,9 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
     let mut t = Table::new(
         "E12 — shoot-out: Algorithms 1 & 2 vs FIFO and TSP baselines",
-        &["topology", "policy", "txns", "makespan", "mean lat", "max lat", "comm", "ratio"],
+        &[
+            "topology", "policy", "txns", "makespan", "mean lat", "max lat", "comm", "ratio",
+        ],
     );
     for net in &nets {
         let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
@@ -69,19 +69,50 @@ pub fn run(quick: bool) -> Vec<Table> {
                 fmt_ratio(s.ratio),
             ]);
         };
-        push(run_summary(net, wl(1200), GreedyPolicy::new(), EngineConfig::default()));
-        push(run_summary(net, wl(1200), bucket_for(net), EngineConfig::default()));
-        push(run_summary(net, wl(1200), FifoPolicy::new(), EngineConfig::default()));
-        push(run_summary(net, wl(1200), TspPolicy, EngineConfig::default()));
+        push(run_summary(
+            net,
+            wl(1200),
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            net,
+            wl(1200),
+            bucket_for(net),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            net,
+            wl(1200),
+            FifoPolicy::new(),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            net,
+            wl(1200),
+            TspPolicy,
+            EngineConfig::default(),
+        ));
     }
 
     // Load sweep: latency vs arrival rate under the greedy scheduler and
     // FIFO on a grid.
     let mut sweep = Table::new(
         "E12b — load sweep on grid(6x6): latency vs arrival rate",
-        &["rate", "policy", "txns", "mean lat", "p95-ish max lat", "ratio"],
+        &[
+            "rate",
+            "policy",
+            "txns",
+            "mean lat",
+            "p95-ish max lat",
+            "ratio",
+        ],
     );
-    let rates: Vec<f64> = if quick { vec![0.05, 0.2] } else { vec![0.02, 0.05, 0.1, 0.2, 0.4] };
+    let rates: Vec<f64> = if quick {
+        vec![0.05, 0.2]
+    } else {
+        vec![0.02, 0.05, 0.1, 0.2, 0.4]
+    };
     let net = topology::grid(&[6, 6]);
     for &rate in &rates {
         let spec = WorkloadSpec {

@@ -18,7 +18,13 @@ use dtm_offline::{
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn random_case(net: &Network, txns: usize, w: u32, k: usize, seed: u64) -> (Vec<Transaction>, BatchContext) {
+fn random_case(
+    net: &Network,
+    txns: usize,
+    w: u32,
+    k: usize,
+    seed: u64,
+) -> (Vec<Transaction>, BatchContext) {
     let n = net.n() as u32;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let ctx = BatchContext::fresh((0..w).map(|i| (ObjectId(i), NodeId(rng.gen_range(0..n)))));
@@ -44,14 +50,25 @@ pub fn run(quick: bool) -> Vec<Table> {
     let cases = if quick { 15 } else { 100 };
     let mut t = Table::new(
         "E13 — batch approximation ratios b_𝒜 vs exact OPT (small instances)",
-        &["topology", "scheduler", "cases", "mean b_A", "worst b_A", "mean OPT/LB", "worst OPT/LB"],
+        &[
+            "topology",
+            "scheduler",
+            "cases",
+            "mean b_A",
+            "worst b_A",
+            "mean OPT/LB",
+            "worst OPT/LB",
+        ],
     );
     type Mk = Box<dyn Fn() -> Box<dyn BatchScheduler>>;
     let setups: Vec<(Network, Vec<(&str, Mk)>)> = vec![
         (
             topology::clique(8),
             vec![
-                ("clique-coloring", Box::new(|| Box::new(CliqueScheduler) as Box<dyn BatchScheduler>) as Mk),
+                (
+                    "clique-coloring",
+                    Box::new(|| Box::new(CliqueScheduler) as Box<dyn BatchScheduler>) as Mk,
+                ),
                 ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
                 ("tsp-tour", Box::new(|| Box::new(TspScheduler))),
             ],
@@ -59,7 +76,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         (
             topology::line(12),
             vec![
-                ("line-sweep", Box::new(|| Box::new(LineScheduler) as Box<dyn BatchScheduler>) as Mk),
+                (
+                    "line-sweep",
+                    Box::new(|| Box::new(LineScheduler) as Box<dyn BatchScheduler>) as Mk,
+                ),
                 ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
                 ("tsp-tour", Box::new(|| Box::new(TspScheduler))),
             ],
@@ -67,14 +87,22 @@ pub fn run(quick: bool) -> Vec<Table> {
         (
             topology::cluster(3, 3, 4),
             vec![
-                ("cluster(2-phase)", Box::new(|| Box::new(ClusterScheduler::default()) as Box<dyn BatchScheduler>) as Mk),
+                (
+                    "cluster(2-phase)",
+                    Box::new(|| Box::new(ClusterScheduler::default()) as Box<dyn BatchScheduler>)
+                        as Mk,
+                ),
                 ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
             ],
         ),
         (
             topology::star(3, 3),
             vec![
-                ("star(randomized)", Box::new(|| Box::new(StarScheduler::default()) as Box<dyn BatchScheduler>) as Mk),
+                (
+                    "star(randomized)",
+                    Box::new(|| Box::new(StarScheduler::default()) as Box<dyn BatchScheduler>)
+                        as Mk,
+                ),
                 ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
             ],
         ),

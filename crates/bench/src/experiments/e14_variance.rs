@@ -26,7 +26,11 @@ fn mean_std(samples: &[f64]) -> (f64, f64) {
 
 /// Run E14.
 pub fn run(quick: bool) -> Vec<Table> {
-    let seeds: Vec<u64> = if quick { (0..4).collect() } else { (0..16).collect() };
+    let seeds: Vec<u64> = if quick {
+        (0..4).collect()
+    } else {
+        (0..16).collect()
+    };
 
     // Part 1: clique ratio vs k across seeds.
     let mut t1 = Table::new(

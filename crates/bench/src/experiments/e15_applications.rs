@@ -22,7 +22,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E15 — application benchmarks: bank / social graph / inventory",
         &[
-            "benchmark", "topology", "policy", "txns", "makespan", "mean lat", "p-edge", "ratio",
+            "benchmark",
+            "topology",
+            "policy",
+            "txns",
+            "makespan",
+            "mean lat",
+            "p-edge",
+            "ratio",
         ],
     );
     let scale = if quick { 0.5 } else { 1.0 };

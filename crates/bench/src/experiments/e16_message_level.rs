@@ -37,8 +37,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E16 — Algorithm 3: idealized (global-info) vs message-level (local-info)",
         &[
-            "topology", "variant", "txns", "makespan", "ratio", "messages",
-            "mean late", "max late",
+            "topology",
+            "variant",
+            "txns",
+            "makespan",
+            "ratio",
+            "messages",
+            "mean late",
+            "max late",
         ],
     );
     let nets: Vec<Network> = if quick {

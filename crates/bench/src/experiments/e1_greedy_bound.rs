@@ -12,9 +12,7 @@ use crate::table::fmt_ratio;
 use crate::Table;
 use dtm_core::{GreedyPolicy, GreedyStats};
 use dtm_graph::{topology, Network};
-use dtm_model::{
-    ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
-};
+use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 use dtm_sim::{run_policy, EngineConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -37,7 +35,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     let seeds: Vec<u64> = if quick { vec![1] } else { (1..=5).collect() };
     let mut t1 = Table::new(
         "E1 — Theorem 1: greedy color <= 2Γ' - Δ' (general weights)",
-        &["topology", "txns", "max color", "max bound", "worst util", "violations"],
+        &[
+            "topology",
+            "txns",
+            "max color",
+            "max bound",
+            "worst util",
+            "violations",
+        ],
     );
     let topologies: Vec<Network> = vec![
         topology::clique(16),
@@ -82,7 +87,14 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t2 = Table::new(
         "E2 — Theorem 2: uniform-weight greedy colors (multiples of β)",
-        &["topology", "beta", "txns", "max color", "worst util", "violations"],
+        &[
+            "topology",
+            "beta",
+            "txns",
+            "max color",
+            "worst util",
+            "violations",
+        ],
     );
     let uniform_cases: Vec<(Network, u64)> = vec![
         (topology::clique(16), 1),

@@ -16,7 +16,11 @@ use dtm_sim::EngineConfig;
 
 /// Run E3.
 pub fn run(quick: bool) -> Vec<Table> {
-    let ns: Vec<u32> = if quick { vec![16, 32] } else { vec![16, 64, 128] };
+    let ns: Vec<u32> = if quick {
+        vec![16, 32]
+    } else {
+        vec![16, 64, 128]
+    };
     let ks: Vec<usize> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
     let mut t = Table::new(
         "E3 — Theorem 3: clique greedy is O(k)-competitive",

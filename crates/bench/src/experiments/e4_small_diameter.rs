@@ -42,16 +42,26 @@ fn run_case(t: &mut Table, net: &Network, k: usize, seed: u64) {
 
 /// Run E4 (hypercube) and E5 (butterfly, log n-dim grid).
 pub fn run(quick: bool) -> Vec<Table> {
-    let headers = ["topology", "n", "k", "txns", "makespan", "ratio", "ratio/(k·log n)"];
-    let mut t4 = Table::new(
-        "E4 — hypercube greedy is O(k log n)-competitive",
-        &headers,
-    );
+    let headers = [
+        "topology",
+        "n",
+        "k",
+        "txns",
+        "makespan",
+        "ratio",
+        "ratio/(k·log n)",
+    ];
+    let mut t4 = Table::new("E4 — hypercube greedy is O(k log n)-competitive", &headers);
     let dims: Vec<u32> = if quick { vec![3, 5] } else { vec![3, 5, 7, 8] };
     let ks: Vec<usize> = if quick { vec![2] } else { vec![1, 2, 4] };
     for &d in &dims {
         for &k in &ks {
-            run_case(&mut t4, &topology::hypercube(d), k, 40 + d as u64 + k as u64);
+            run_case(
+                &mut t4,
+                &topology::hypercube(d),
+                k,
+                40 + d as u64 + k as u64,
+            );
         }
     }
 
@@ -62,7 +72,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let bf_dims: Vec<u32> = if quick { vec![2] } else { vec![2, 3, 4] };
     for &d in &bf_dims {
         for &k in &ks {
-            run_case(&mut t5, &topology::butterfly(d), k, 60 + d as u64 + k as u64);
+            run_case(
+                &mut t5,
+                &topology::butterfly(d),
+                k,
+                60 + d as u64 + k as u64,
+            );
         }
     }
     // log n-dimensional grids: side-2 grids of dimension d have n = 2^d.

@@ -9,9 +9,7 @@ use crate::table::fmt_ratio;
 use crate::Table;
 use dtm_core::{BucketPolicy, BucketStats};
 use dtm_graph::{topology, Network};
-use dtm_model::{
-    ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
-};
+use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::{BatchScheduler, LineScheduler, ListScheduler};
 use dtm_sim::{run_policy, EngineConfig, RunResult};
 use parking_lot::Mutex;
@@ -109,7 +107,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         hist.row(vec![
             lvl.to_string(),
             cnt.to_string(),
-            stats.activations.get(&lvl).copied().unwrap_or(0).to_string(),
+            stats
+                .activations
+                .get(&lvl)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     vec![t, hist]

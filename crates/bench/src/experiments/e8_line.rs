@@ -41,7 +41,15 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
     let mut t = Table::new(
         "E8 — line graph: bucket(line-sweep) O(log^3 n) vs baselines",
-        &["n", "policy", "txns", "makespan", "max latency", "ratio", "ratio/log^3 n"],
+        &[
+            "n",
+            "policy",
+            "txns",
+            "makespan",
+            "max latency",
+            "ratio",
+            "ratio/log^3 n",
+        ],
     );
     for &n in &ns {
         let net = topology::line(n);
@@ -93,7 +101,7 @@ mod tests {
         let tables = super::run(true);
         let t = &tables[0];
         assert_eq!(t.len(), 8); // 2 sizes x 4 policies
-        // bucket rows exist and their normalized column is finite.
+                                // bucket rows exist and their normalized column is finite.
         let csv = t.to_csv();
         assert!(csv.contains("bucket(line-sweep)"));
     }

@@ -60,8 +60,18 @@ pub fn run(quick: bool) -> Vec<Table> {
             BucketPolicy::new(ClusterScheduler::default()),
             EngineConfig::default(),
         ));
-        push(run_summary(&net, wl(900), GreedyPolicy::new(), EngineConfig::default()));
-        push(run_summary(&net, wl(900), FifoPolicy::new(), EngineConfig::default()));
+        push(run_summary(
+            &net,
+            wl(900),
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+        ));
+        push(run_summary(
+            &net,
+            wl(900),
+            FifoPolicy::new(),
+            EngineConfig::default(),
+        ));
     }
     vec![t]
 }

@@ -5,12 +5,6 @@
 //! shrinks parameter grids for smoke tests and CI.
 
 pub mod ablations;
-pub mod e1_greedy_bound;
-pub mod e3_clique;
-pub mod e4_small_diameter;
-pub mod e6_bucket_lemmas;
-pub mod e8_line;
-pub mod e9_cluster;
 pub mod e10_star;
 pub mod e11_distributed;
 pub mod e12_shootout;
@@ -18,6 +12,12 @@ pub mod e13_batch_quality;
 pub mod e14_variance;
 pub mod e15_applications;
 pub mod e16_message_level;
+pub mod e1_greedy_bound;
+pub mod e3_clique;
+pub mod e4_small_diameter;
+pub mod e6_bucket_lemmas;
+pub mod e8_line;
+pub mod e9_cluster;
 
 use crate::Table;
 

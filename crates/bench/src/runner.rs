@@ -104,8 +104,7 @@ mod tests {
     #[test]
     fn summarizes_clean_run() {
         let net = topology::clique(6);
-        let inst =
-            WorkloadGenerator::new(WorkloadSpec::batch_uniform(4, 2), 1).generate(&net);
+        let inst = WorkloadGenerator::new(WorkloadSpec::batch_uniform(4, 2), 1).generate(&net);
         let s = run_summary(
             &net,
             WorkloadKind::Trace(inst),

@@ -61,7 +61,12 @@ impl SchedulingPolicy for RandomizedBackoffPolicy {
             // Push past every violated constraint (ascending scan).
             let mut intervals: Vec<(Time, Time)> = constraints
                 .iter()
-                .map(|c| ((c.color + 1).saturating_sub(c.weight), c.color + c.weight - 1))
+                .map(|c| {
+                    (
+                        (c.color + 1).saturating_sub(c.weight),
+                        c.color + c.weight - 1,
+                    )
+                })
                 .collect();
             intervals.sort_unstable();
             for (lo, hi) in intervals {
@@ -164,8 +169,7 @@ mod tests {
     fn backoff_deterministic_per_seed() {
         let net = topology::clique(8);
         let mk = |seed| {
-            let src =
-                ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 7);
+            let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 7);
             run_policy(
                 &net,
                 src,
@@ -214,8 +218,7 @@ mod tests {
             topology::ring(40),
             topology::grid(&[4, 4]),
         ] {
-            let src =
-                ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 9);
+            let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 9);
             let expected = src.total_txns();
             let res = run_policy(
                 &net,

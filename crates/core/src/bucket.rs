@@ -15,7 +15,7 @@
 //! competitive; Lemma 3 bounds bucket levels by `log(nD) + 1`; Lemma 4
 //! bounds the completion of a level-`i` insertion by `t + (i+1) 2^{i+2}`.
 
-use crate::viewctx::batch_context_from_view;
+use crate::viewctx::FixedCache;
 use dtm_model::{Schedule, Time, Transaction, TxnId};
 use dtm_offline::{BatchContext, BatchScheduler};
 use dtm_sim::{SchedulingPolicy, SystemView};
@@ -45,6 +45,7 @@ pub struct BucketPolicy<A> {
     max_level: Option<u32>,
     period_multiplier: u64,
     stats: Option<Arc<Mutex<BucketStats>>>,
+    cache: FixedCache,
 }
 
 impl<A: BatchScheduler> BucketPolicy<A> {
@@ -56,6 +57,7 @@ impl<A: BatchScheduler> BucketPolicy<A> {
             max_level: None,
             period_multiplier: 1,
             stats: None,
+            cache: FixedCache::default(),
         }
     }
 
@@ -82,8 +84,7 @@ impl<A: BatchScheduler> BucketPolicy<A> {
         let max_level = self.max_level.expect("set in step");
         let mut chosen = None;
         for i in 0..=max_level {
-            let mut probe: Vec<Transaction> =
-                self.buckets.get(&i).cloned().unwrap_or_default();
+            let mut probe: Vec<Transaction> = self.buckets.get(&i).cloned().unwrap_or_default();
             probe.push(txn.clone());
             let f = self.scheduler.makespan(view.network, &probe, ctx);
             if f <= 1u64 << i {
@@ -112,7 +113,8 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
         let max_level = *self
             .max_level
             .get_or_insert_with(|| view.network.max_bucket_level());
-        let mut ctx = batch_context_from_view(view);
+        self.cache.refresh(view);
+        let mut ctx = self.cache.context(view);
 
         // Insertion (before activation, as in Algorithm 2).
         let mut order: Vec<TxnId> = arrivals.to_vec();
@@ -138,8 +140,7 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
             }
             let s = self.scheduler.schedule(view.network, &bucket, &ctx);
             for t in &bucket {
-                ctx.fixed
-                    .push((t.clone(), s.get(t.id).expect("scheduled")));
+                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
             }
             fragment.merge(&s);
             if let Some(stats) = &self.stats {
@@ -158,11 +159,11 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
 mod tests {
     use super::*;
     use dtm_graph::topology;
+    use dtm_graph::NodeId;
     use dtm_model::{
         ArrivalProcess, ClosedLoopSource, Instance, ObjectChoice, ObjectId, ObjectInfo,
         TraceSource, WorkloadGenerator, WorkloadSpec,
     };
-    use dtm_graph::NodeId;
     use dtm_offline::{LineScheduler, ListScheduler};
     use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
 
@@ -175,7 +176,12 @@ mod tests {
     }
 
     fn txn(id: u64, home: u32, objs: &[u32], t: Time) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), t)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            t,
+        )
     }
 
     #[test]
@@ -324,8 +330,8 @@ mod tests {
 mod period_tests {
     use super::*;
     use dtm_graph::topology;
-    use dtm_model::{Instance, ObjectId, ObjectInfo, TraceSource, Transaction};
     use dtm_graph::NodeId;
+    use dtm_model::{Instance, ObjectId, ObjectInfo, TraceSource, Transaction};
     use dtm_offline::ListScheduler;
     use dtm_sim::{run_policy, EngineConfig};
 

@@ -70,7 +70,9 @@ mod tests {
     use super::*;
     use crate::greedy::GreedyPolicy;
     use dtm_graph::topology;
-    use dtm_model::{Instance, ObjectId, ObjectInfo, TraceSource, Transaction, WorkloadGenerator, WorkloadSpec};
+    use dtm_model::{
+        Instance, ObjectId, ObjectInfo, TraceSource, Transaction, WorkloadGenerator, WorkloadSpec,
+    };
     use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
 
     #[test]

@@ -112,11 +112,7 @@ pub fn smallest_valid_color_uniform(beta: Weight, taken: &[Time]) -> Time {
 /// clock advances, which would silently break Lemma 2's premise).
 /// Constraint colors here are absolute times; in-transit holders may carry
 /// weights other than `beta`.
-pub fn smallest_valid_multiple(
-    beta: Weight,
-    after: Time,
-    constraints: &[ColorConstraint],
-) -> Time {
+pub fn smallest_valid_multiple(beta: Weight, after: Time, constraints: &[ColorConstraint]) -> Time {
     assert!(beta >= 1, "beta must be positive");
     let mut forbidden: Vec<Time> = Vec::new();
     for c in constraints {

@@ -59,10 +59,10 @@ pub fn constraints_for(
 ) -> Vec<ColorConstraint> {
     let now = view.now;
     let mut constraints = Vec::new();
-    for other in view.live_txns() {
-        if other.txn.id == txn.id || !txn.shares_objects(&other.txn) {
-            continue;
-        }
+    // `conflicting_live` answers from the per-object requester index when
+    // the view is arena-backed (no full live-set rescan) and from a linear
+    // scan otherwise; both return the same transactions in id order.
+    for other in view.conflicting_live(txn) {
         let color = match (other.scheduled, extra_colored.get(&other.txn.id)) {
             (Some(t), _) => t.saturating_sub(now),
             (None, Some(&c)) => c,
@@ -87,11 +87,9 @@ pub fn constraints_for(
 /// current transactions). Used to check the Theorem 1 / 2 bounds.
 pub fn extended_degrees(view: &SystemView<'_>, txn: &Transaction) -> ExtendedDegrees {
     let mut deg = ExtendedDegrees::default();
-    for other in view.live_txns() {
-        if other.txn.id != txn.id && txn.shares_objects(&other.txn) {
-            deg.degree += 1;
-            deg.weighted_degree += view.network.distance(txn.home, other.txn.home).max(1);
-        }
+    for other in view.conflicting_live(txn) {
+        deg.degree += 1;
+        deg.weighted_degree += view.network.distance(txn.home, other.txn.home).max(1);
     }
     for o in txn.objects() {
         if let Some(state) = view.object(o) {
@@ -128,7 +126,12 @@ mod tests {
     }
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]
@@ -271,11 +274,11 @@ mod tests {
 
 #[cfg(test)]
 mod read_mode_tests {
-    
+
     use dtm_graph::topology;
-    use dtm_model::{AccessMode, Instance, ObjectId, ObjectInfo, TraceSource, Transaction};
     use dtm_graph::NodeId;
     use dtm_model::TxnId;
+    use dtm_model::{AccessMode, Instance, ObjectId, ObjectInfo, TraceSource, Transaction};
     use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
 
     /// Two *readers* of the same single-copy object must still serialize:

@@ -27,10 +27,10 @@
 //! order, each seeing the previous leaders' output as fixed — the
 //! centralized simulation of the same serialization.
 
-use crate::viewctx::batch_context_from_view;
+use crate::viewctx::FixedCache;
 use dtm_graph::{ClusterId, Graph, Network, SparseCover};
 use dtm_model::{Schedule, Time, Transaction, TxnId};
-use dtm_offline::{BatchContext, BatchScheduler};
+use dtm_offline::BatchScheduler;
 use dtm_sim::{EngineConfig, SchedulingPolicy, SystemView};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -79,6 +79,7 @@ pub struct DistributedBucketPolicy<A> {
     /// fresh global state — stricter locality of knowledge (ablation A5).
     stale_knowledge: bool,
     stats: Option<Arc<Mutex<DistStats>>>,
+    cache: FixedCache,
 }
 
 /// Double every edge weight of a network (dropping any structured oracle —
@@ -106,6 +107,7 @@ impl<A: BatchScheduler> DistributedBucketPolicy<A> {
             partials: BTreeMap::new(),
             stale_knowledge: false,
             stats: None,
+            cache: FixedCache::default(),
         }
     }
 
@@ -147,13 +149,6 @@ impl<A: BatchScheduler> DistributedBucketPolicy<A> {
         &self.cover
     }
 
-    /// Build the scheduling context against the doubled network. Positions
-    /// come from the view; ready times are real times (the engine already
-    /// runs objects at half speed, so no further scaling is needed there).
-    fn ctx(&self, view: &SystemView<'_>) -> BatchContext {
-        batch_context_from_view(view)
-    }
-
     fn bump_messages(&self, by: u64) {
         if let Some(stats) = &self.stats {
             stats.lock().messages += by;
@@ -167,6 +162,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
         let max_level = *self
             .max_level
             .get_or_insert_with(|| view.network.max_bucket_level());
+        self.cache.refresh(view);
 
         // 1-3. Discovery + report for this step's arrivals.
         let mut order: Vec<TxnId> = arrivals.to_vec();
@@ -182,10 +178,11 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
                 })
                 .max()
                 .unwrap_or(0);
-            // Conflict radius: furthest conflicting live transaction.
-            let conflict_radius: Time = view
-                .live_txns()
-                .filter(|lt| lt.txn.id != txn.id && txn.shares_objects(&lt.txn))
+            // Conflict radius: furthest conflicting live transaction
+            // (answered from the requester index on arena-backed views).
+            let conflicting = view.conflicting_live(&txn);
+            let conflict_radius: Time = conflicting
+                .iter()
                 .map(|lt| view.network.distance(txn.home, lt.txn.home))
                 .max()
                 .unwrap_or(0);
@@ -198,11 +195,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             let t_report = now + discovery_delay + report_delay;
             // Messages: discovery round trip per object, one conflict
             // notice per conflicting txn, one report.
-            let conflicts = view
-                .live_txns()
-                .filter(|lt| lt.txn.id != txn.id && txn.shares_objects(&lt.txn))
-                .count() as u64;
-            self.bump_messages(2 * txn.k() as u64 + conflicts + 1);
+            self.bump_messages(2 * txn.k() as u64 + conflicting.len() as u64 + 1);
             if let Some(stats) = &self.stats {
                 let mut s = stats.lock();
                 *s.reports_per_layer.entry(layer).or_insert(0) += 1;
@@ -210,25 +203,22 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             }
             let snapshot = txn
                 .objects()
-                .filter_map(|o| {
-                    view.object(o).map(|st| (o, st.position(now)))
-                })
+                .filter_map(|o| view.object(o).map(|st| (o, st.position(now))))
                 .collect();
-            self.reporting.entry(t_report).or_default().push(PendingReport {
-                txn,
-                cluster: cluster.id,
-                snapshot,
-            });
+            self.reporting
+                .entry(t_report)
+                .or_default()
+                .push(PendingReport {
+                    txn,
+                    cluster: cluster.id,
+                    snapshot,
+                });
         }
 
         // 4. Reports that reached their leader by now: partial-bucket
         // insertion (leader-local probe against the doubled network).
-        let due: Vec<Time> = self
-            .reporting
-            .range(..=now)
-            .map(|(&t, _)| t)
-            .collect();
-        let ctx = self.ctx(view);
+        let due: Vec<Time> = self.reporting.range(..=now).map(|(&t, _)| t).collect();
+        let ctx = self.cache.context(view);
         for t in due {
             for report in self.reporting.remove(&t).expect("key exists") {
                 // Under stale knowledge the probe sees the object

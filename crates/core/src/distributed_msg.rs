@@ -242,8 +242,7 @@ impl<A: BatchScheduler> DistributedMsgPolicy<A> {
                     return; // transaction already reported (duplicate reply)
                 };
                 d.positions.push((object, position));
-                d.conflict_homes
-                    .extend(users.iter().map(|&(_, home)| home));
+                d.conflict_homes.extend(users.iter().map(|&(_, home)| home));
                 d.awaiting -= 1;
                 if d.awaiting == 0 {
                     let d = self.discovering.remove(&txn).expect("present");
@@ -269,7 +268,11 @@ impl<A: BatchScheduler> DistributedMsgPolicy<A> {
             .positions
             .iter()
             .map(|&(_, pos)| view.network.distance(home, pos))
-            .chain(d.conflict_homes.iter().map(|&h| view.network.distance(home, h)))
+            .chain(
+                d.conflict_homes
+                    .iter()
+                    .map(|&h| view.network.distance(home, h)),
+            )
             .max()
             .unwrap_or(0);
         let layer = self.cover.lowest_covering_layer(y);
@@ -317,9 +320,12 @@ impl<A: BatchScheduler> DistributedMsgPolicy<A> {
         // Bucket members' carried info also feeds the probe.
         let mut chosen = None;
         for i in 0..=max_level {
-            let members = self.partials.get(&(i, cluster)).cloned().unwrap_or_default();
-            let mut probe: Vec<Transaction> =
-                members.iter().map(|(t, _)| t.clone()).collect();
+            let members = self
+                .partials
+                .get(&(i, cluster))
+                .cloned()
+                .unwrap_or_default();
+            let mut probe: Vec<Transaction> = members.iter().map(|(t, _)| t.clone()).collect();
             for (_, info) in &members {
                 for &(o, v) in info {
                     ctx.object_avail.entry(o).or_insert((v, now));
@@ -376,10 +382,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
                 },
             );
             for o in objects {
-                let origin = view
-                    .object(o)
-                    .map(|st| st.info.origin)
-                    .unwrap_or(home);
+                let origin = view.object(o).map(|st| st.info.origin).unwrap_or(home);
                 self.send(
                     now + view.network.distance(home, origin),
                     Msg::Find {
@@ -430,11 +433,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
             let mut ctx = BatchContext {
                 now: now + notify,
                 object_avail: BTreeMap::new(),
-                fixed: self
-                    .leader_fixed
-                    .get(&key.1)
-                    .cloned()
-                    .unwrap_or_default(),
+                fixed: self.leader_fixed.get(&key.1).cloned().unwrap_or_default(),
             };
             for (_, info) in &members {
                 for &(o, v) in info {
@@ -679,8 +678,7 @@ mod tests {
     fn deterministic() {
         let net = topology::grid(&[4, 4]);
         let mk = || {
-            let src =
-                ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 1, 3);
+            let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 1, 3);
             run_policy(
                 &net,
                 src,

@@ -6,7 +6,7 @@
 //! practitioner would write without the paper's machinery, and experiment
 //! E12 compares them against Algorithms 1 and 2.
 
-use crate::viewctx::batch_context_from_view;
+use crate::viewctx::{batch_context_from_view, FixedCache};
 use dtm_model::{Schedule, TxnId};
 use dtm_offline::{BatchScheduler, ListScheduler, TspScheduler};
 use dtm_sim::{SchedulingPolicy, SystemView};
@@ -16,6 +16,7 @@ use dtm_sim::{SchedulingPolicy, SystemView};
 #[derive(Debug, Default)]
 pub struct FifoPolicy {
     inner: Option<ListScheduler>,
+    cache: FixedCache,
 }
 
 impl FifoPolicy {
@@ -23,16 +24,20 @@ impl FifoPolicy {
     pub fn new() -> Self {
         FifoPolicy {
             inner: Some(ListScheduler::fifo()),
+            cache: FixedCache::default(),
         }
     }
 }
 
 impl SchedulingPolicy for FifoPolicy {
     fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        // Fold this step's delta in *before* the early return, or quiet
+        // steps would silently drop schedule/commit changes.
+        self.cache.refresh(view);
         if arrivals.is_empty() {
             return Schedule::new();
         }
-        let ctx = batch_context_from_view(view);
+        let ctx = self.cache.context(view);
         let pending: Vec<_> = {
             let mut ids: Vec<TxnId> = arrivals.to_vec();
             ids.sort_unstable();

@@ -154,11 +154,11 @@ impl SchedulingPolicy for GreedyPolicy {
 mod tests {
     use super::*;
     use dtm_graph::topology;
+    use dtm_graph::NodeId;
     use dtm_model::{
         ArrivalProcess, Instance, ObjectChoice, ObjectId, ObjectInfo, TraceSource, Transaction,
         WorkloadGenerator, WorkloadSpec,
     };
-    use dtm_graph::NodeId;
     use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
 
     fn obj(id: u32, origin: u32) -> ObjectInfo {
@@ -170,7 +170,12 @@ mod tests {
     }
 
     fn txn(id: u64, home: u32, objs: &[u32], t: Time) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), t)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            t,
+        )
     }
 
     #[test]
@@ -193,11 +198,7 @@ mod tests {
         let net = topology::line(8);
         let inst = Instance::new(
             vec![obj(0, 0)],
-            vec![
-                txn(0, 1, &[0], 0),
-                txn(1, 3, &[0], 0),
-                txn(2, 5, &[0], 0),
-            ],
+            vec![txn(0, 1, &[0], 0), txn(1, 3, &[0], 0), txn(2, 5, &[0], 0)],
         );
         let res = run_policy(
             &net,
@@ -240,7 +241,10 @@ mod tests {
         let stats = stats.lock();
         assert!(!stats.assigned.is_empty());
         for &(id, color, bound) in &stats.assigned {
-            assert!(color <= bound, "{id}: color {color} > theorem bound {bound}");
+            assert!(
+                color <= bound,
+                "{id}: color {color} > theorem bound {bound}"
+            );
         }
     }
 
@@ -287,11 +291,7 @@ mod tests {
         // Staggered conflicting arrivals.
         let inst = Instance::new(
             vec![obj(0, 0)],
-            vec![
-                txn(0, 11, &[0], 0),
-                txn(1, 2, &[0], 1),
-                txn(2, 7, &[0], 2),
-            ],
+            vec![txn(0, 11, &[0], 0), txn(1, 2, &[0], 1), txn(2, 7, &[0], 2)],
         );
         let res = run_policy(
             &net,

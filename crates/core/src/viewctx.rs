@@ -4,24 +4,93 @@
 //! `T_t^s`, which new schedules must work around — basic modification 1 of
 //! Section IV-A).
 
+use dtm_model::{Time, Transaction, TxnId};
 use dtm_offline::BatchContext;
 use dtm_sim::SystemView;
+use std::collections::BTreeMap;
 
 /// Snapshot the view into a batch-scheduling context at `view.now`.
 pub fn batch_context_from_view(view: &SystemView<'_>) -> BatchContext {
     BatchContext {
         now: view.now,
-        object_avail: view
-            .objects()
-            .map(|st| {
-                let (node, ready) = st.position(view.now);
-                (st.info.id, (node, ready))
-            })
-            .collect(),
+        object_avail: object_avail(view),
         fixed: view
             .live_txns()
             .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.clone(), t)))
             .collect(),
+    }
+}
+
+/// Current object positions projected to availability points.
+fn object_avail(view: &SystemView<'_>) -> BTreeMap<dtm_model::ObjectId, (dtm_graph::NodeId, Time)> {
+    view.objects()
+        .map(|st| {
+            let (node, ready) = st.position(view.now);
+            (st.info.id, (node, ready))
+        })
+        .collect()
+}
+
+/// Incrementally-maintained fixed context: the scheduled live transactions
+/// `T_t^s` with their execution times, which new schedules must work
+/// around (basic modification 1 of Section IV-A).
+///
+/// When the view is arena-backed, [`FixedCache::refresh`] folds the
+/// [`dtm_sim::StepDelta`] accumulated since the previous policy call into
+/// the cached map instead of rescanning the whole live set; with a
+/// map-backed view (no delta) it falls back to a full rebuild, so the
+/// cache is safe to use with either backing.
+#[derive(Debug, Default)]
+pub struct FixedCache {
+    fixed: BTreeMap<TxnId, (Transaction, Time)>,
+    init: bool,
+}
+
+impl FixedCache {
+    /// Bring the cached fixed set up to date with `view`. Must be called
+    /// once per policy step, *before* the early-returns a policy may take
+    /// (otherwise a step's delta is silently dropped).
+    pub fn refresh(&mut self, view: &SystemView<'_>) {
+        match view.step_delta() {
+            Some(delta) if self.init => {
+                for &(id, t) in &delta.scheduled {
+                    // Scheduled and committed within the same inter-policy
+                    // window: no longer live, never enters the fixed set.
+                    if let Some(lt) = view.live(id) {
+                        self.fixed.insert(id, (lt.txn.clone(), t));
+                    }
+                }
+                for id in &delta.removed {
+                    self.fixed.remove(id);
+                }
+            }
+            _ => {
+                self.fixed = view
+                    .live_txns()
+                    .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t))))
+                    .collect();
+                self.init = true;
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let full: BTreeMap<TxnId, (Transaction, Time)> = view
+                .live_txns()
+                .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t))))
+                .collect();
+            debug_assert_eq!(self.fixed, full, "incremental fixed context diverged");
+        }
+    }
+
+    /// Build this step's [`BatchContext`]. Object positions change every
+    /// step, so they are re-projected; the fixed set comes from the cache
+    /// (id order, identical to a full scan).
+    pub fn context(&self, view: &SystemView<'_>) -> BatchContext {
+        BatchContext {
+            now: view.now,
+            object_avail: object_avail(view),
+            fixed: self.fixed.values().cloned().collect(),
+        }
     }
 }
 
@@ -74,5 +143,69 @@ mod tests {
         assert_eq!(ctx.object_avail[&ObjectId(0)], (NodeId(2), 7));
         assert_eq!(ctx.fixed.len(), 1);
         assert_eq!(ctx.fixed[0].1, 9);
+    }
+
+    /// The incremental cache tracks schedule/commit deltas on an
+    /// arena-backed view and matches a from-scratch snapshot at each step.
+    #[test]
+    fn fixed_cache_follows_deltas() {
+        let net = topology::line(8);
+        let mut state = dtm_sim::RuntimeState::new();
+        let mk = |id: u64, home: u32| Transaction::new(TxnId(id), NodeId(home), [ObjectId(0)], 0);
+        for id in 0..4 {
+            state.insert_txn(LiveTxn {
+                txn: mk(id, id as u32),
+                scheduled: None,
+            });
+        }
+        let mut cache = FixedCache::default();
+        // Step 0: nothing scheduled yet.
+        cache.refresh(&SystemView::from_state(0, &net, &state));
+        assert!(cache
+            .context(&SystemView::from_state(0, &net, &state))
+            .fixed
+            .is_empty());
+
+        // Schedule 1 and 3 (as the engine would: mutate + record delta).
+        state.delta_mut().clear();
+        for (id, t) in [(TxnId(1), 5), (TxnId(3), 9)] {
+            state.txn_mut(id).unwrap().scheduled = Some(t);
+            state.delta_mut().scheduled.push((id, t));
+        }
+        let view = SystemView::from_state(1, &net, &state);
+        cache.refresh(&view);
+        let fixed = cache.context(&view).fixed;
+        assert_eq!(
+            fixed.iter().map(|(t, at)| (t.id, *at)).collect::<Vec<_>>(),
+            vec![(TxnId(1), 5), (TxnId(3), 9)]
+        );
+        assert_eq!(fixed, batch_context_from_view(&view).fixed);
+
+        // Commit 1; schedule 0.
+        state.delta_mut().clear();
+        state.remove_txn(TxnId(1));
+        state.delta_mut().removed.push(TxnId(1));
+        state.txn_mut(TxnId(0)).unwrap().scheduled = Some(7);
+        state.delta_mut().scheduled.push((TxnId(0), 7));
+        let view = SystemView::from_state(2, &net, &state);
+        cache.refresh(&view);
+        let fixed = cache.context(&view).fixed;
+        assert_eq!(
+            fixed.iter().map(|(t, at)| (t.id, *at)).collect::<Vec<_>>(),
+            vec![(TxnId(0), 7), (TxnId(3), 9)]
+        );
+        assert_eq!(fixed, batch_context_from_view(&view).fixed);
+
+        // Scheduled-then-committed inside one window never enters.
+        state.delta_mut().clear();
+        state.txn_mut(TxnId(2)).unwrap().scheduled = Some(3);
+        state.delta_mut().scheduled.push((TxnId(2), 3));
+        state.remove_txn(TxnId(2));
+        state.delta_mut().removed.push(TxnId(2));
+        let view = SystemView::from_state(3, &net, &state);
+        cache.refresh(&view);
+        let fixed = cache.context(&view).fixed;
+        assert_eq!(fixed, batch_context_from_view(&view).fixed);
+        assert!(!fixed.iter().any(|(t, _)| t.id == TxnId(2)));
     }
 }

@@ -5,13 +5,48 @@
 //! ([`crate::structured`]); otherwise it lazily computes and caches one
 //! Dijkstra shortest-path tree per *target* node (routing in the data-flow
 //! model is always "toward the next requesting transaction", so trees are
-//! naturally keyed by destination).
+//! naturally keyed by destination). Small unstructured graphs additionally
+//! get a dense `n × n` all-pairs table ([`DenseRouting`]) so the hot
+//! `distance` / `next_hop` calls are two flat array reads instead of a
+//! lock acquisition and two pointer chases.
 
 use crate::graph::{Graph, NodeId, Weight};
 use crate::shortest_paths::ShortestPathTree;
 use crate::structured::Structured;
 use parking_lot::RwLock;
 use std::sync::{Arc, OnceLock};
+
+/// Largest unstructured graph for which the dense all-pairs fast path is
+/// materialized (`n²` table entries; 256² × 12 bytes ≈ 0.8 MB).
+const DENSE_LIMIT: usize = 256;
+
+/// Dense all-pairs routing table, row-major by *target* node:
+/// `dist[target.index() * n + from.index()]`. Built from the same
+/// per-target [`ShortestPathTree`]s the lazy cache would compute, so its
+/// answers (including tie-breaking) are identical by construction.
+struct DenseRouting {
+    n: usize,
+    dist: Vec<Weight>,
+    /// First hop from `from` toward `target`; `u32::MAX` on the diagonal.
+    next: Vec<u32>,
+}
+
+impl DenseRouting {
+    fn build(graph: &Graph) -> Self {
+        let n = graph.n();
+        let mut dist = vec![0; n * n];
+        let mut next = vec![u32::MAX; n * n];
+        for target in graph.nodes() {
+            let tree = ShortestPathTree::compute(graph, target);
+            let row = target.index() * n;
+            for from in graph.nodes() {
+                dist[row + from.index()] = tree.dist(from);
+                next[row + from.index()] = tree.next_hop(from).map_or(u32::MAX, |p| p.0);
+            }
+        }
+        DenseRouting { n, dist, next }
+    }
+}
 
 /// A communication graph with a distance / routing oracle.
 ///
@@ -26,6 +61,9 @@ struct Inner {
     structured: Option<Structured>,
     /// Lazily computed shortest-path trees, indexed by *target* node.
     trees: RwLock<Vec<Option<Arc<ShortestPathTree>>>>,
+    /// Dense all-pairs fast path; `None` inside once initialized means
+    /// "not applicable" (structured oracle present, or graph too large).
+    dense: OnceLock<Option<DenseRouting>>,
     diameter: OnceLock<Weight>,
 }
 
@@ -54,6 +92,7 @@ impl Network {
                 graph,
                 structured,
                 trees: RwLock::new(vec![None; n]),
+                dense: OnceLock::new(),
                 diameter: OnceLock::new(),
             }),
         }
@@ -89,6 +128,9 @@ impl Network {
         if let Some(s) = &self.inner.structured {
             return s.dist(u, v);
         }
+        if let Some(d) = self.dense() {
+            return d.dist[v.index() * d.n + u.index()];
+        }
         self.tree(v).dist(u)
     }
 
@@ -100,6 +142,11 @@ impl Network {
         assert_ne!(from, target, "next_hop requires distinct endpoints");
         if let Some(s) = &self.inner.structured {
             return s.next_hop(from, target);
+        }
+        if let Some(d) = self.dense() {
+            let hop = d.next[target.index() * d.n + from.index()];
+            debug_assert_ne!(hop, u32::MAX, "connected graph routes everywhere");
+            return NodeId(hop);
         }
         self.tree(target)
             .next_hop(from)
@@ -140,6 +187,18 @@ impl Network {
         // ceil(log2(nd)) + 1.
         let ceil_log = 64 - (nd - 1).leading_zeros();
         ceil_log + 1
+    }
+
+    /// The dense all-pairs table, built on first use for unstructured
+    /// graphs with at most [`DENSE_LIMIT`] nodes; `None` otherwise.
+    fn dense(&self) -> Option<&DenseRouting> {
+        self.inner
+            .dense
+            .get_or_init(|| {
+                (self.inner.structured.is_none() && self.inner.graph.n() <= DENSE_LIMIT)
+                    .then(|| DenseRouting::build(&self.inner.graph))
+            })
+            .as_ref()
     }
 
     /// Shortest-path tree toward `target`, computing and caching on demand.
@@ -233,6 +292,42 @@ mod tests {
         let mut g = Graph::new(3, "bad");
         g.add_edge(NodeId(0), NodeId(1), 1).unwrap();
         let _ = Network::new(g, None);
+    }
+
+    #[test]
+    fn dense_fast_path_matches_trees() {
+        // Random weighted graph small enough for the dense table: every
+        // distance/next_hop answer must equal the per-target tree's.
+        let net = crate::topology::random(24, 3, 5, 42);
+        assert!(net.dense().is_some(), "small unstructured graph is dense");
+        for t in 0..24u32 {
+            let tree = ShortestPathTree::compute(net.graph(), NodeId(t));
+            for u in 0..24u32 {
+                assert_eq!(net.distance(NodeId(u), NodeId(t)), tree.dist(NodeId(u)));
+                if u != t {
+                    assert_eq!(
+                        net.next_hop(NodeId(u), NodeId(t)),
+                        tree.next_hop(NodeId(u)).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_fast_path_gating() {
+        // Structured topologies answer via closed forms: no dense table.
+        let net = crate::topology::hypercube(4);
+        let _ = net.distance(NodeId(0), NodeId(5));
+        assert!(net.dense().is_none());
+        // Graphs above the size limit fall back to the lazy tree cache.
+        let mut g = Graph::new(DENSE_LIMIT + 1, "bigpath");
+        for u in 0..DENSE_LIMIT as u32 {
+            g.add_edge(NodeId(u), NodeId(u + 1), 1).unwrap();
+        }
+        let net = Network::new(g, None);
+        assert_eq!(net.distance(NodeId(0), NodeId(10)), 10);
+        assert!(net.dense().is_none());
     }
 
     #[test]

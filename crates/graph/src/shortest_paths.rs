@@ -53,7 +53,10 @@ impl ShortestPathTree {
                 if nd < dist[nbi] || (nd == dist[nbi] && v < parent[nbi]) {
                     dist[nbi] = nd;
                     parent[nbi] = v;
-                    if nd < dist[nbi] || !done[nbi] {
+                    // An equal-distance parent swap on a settled node needs
+                    // no re-push: its distance is final and its children were
+                    // relaxed against that distance already.
+                    if !done[nbi] {
                         heap.push(Reverse((nd, nb.0)));
                     }
                 }
@@ -192,7 +195,11 @@ mod tests {
         // Make the direct edge competitive.
         let mut g2 = Graph::new(4, "t2");
         for (u, v, w) in g.edges() {
-            let w = if (u, v) == (NodeId(0), NodeId(3)) { 2 } else { w };
+            let w = if (u, v) == (NodeId(0), NodeId(3)) {
+                2
+            } else {
+                w
+            };
             g2.add_edge(u, v, w).unwrap();
         }
         g = g2;
@@ -240,6 +247,44 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(3), 1).unwrap();
         let t = ShortestPathTree::compute(&g, NodeId(0));
         assert_eq!(t.next_hop(NodeId(3)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn tie_break_picks_smallest_id_parent_everywhere() {
+        // Stacked equal-weight diamonds: 0-{1,2}-3-{4,5}-6, all weight 1.
+        // Every node with several optimal predecessors must route through
+        // the smallest-id one, regardless of heap pop order.
+        let mut g = Graph::new(7, "diamonds");
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+        ] {
+            g.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        let t = ShortestPathTree::compute(&g, NodeId(0));
+        for v in g.nodes() {
+            let Some(p) = t.next_hop(v) else { continue };
+            // The chosen parent lies on a shortest path...
+            let w = g.edge_weight(v, p).unwrap();
+            assert_eq!(t.dist(p) + w, t.dist(v), "parent of {v} not optimal");
+            // ...and is the smallest-id neighbor among all optimal ones.
+            let best = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&(u, w)| t.dist(u) + w == t.dist(v))
+                .map(|&(u, _)| u)
+                .min()
+                .unwrap();
+            assert_eq!(p, best, "parent of {v} not the smallest-id option");
+        }
+        assert_eq!(t.next_hop(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.next_hop(NodeId(6)), Some(NodeId(4)));
     }
 
     #[test]

@@ -225,7 +225,10 @@ pub fn grid(dims: &[u32]) -> Network {
 
 /// d-dimensional torus with side lengths `dims`, unit weights.
 pub fn torus(dims: &[u32]) -> Network {
-    assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 3), "torus sides must be >= 3");
+    assert!(
+        !dims.is_empty() && dims.iter().all(|&d| d >= 3),
+        "torus sides must be >= 3"
+    );
     let n: usize = dims.iter().map(|&d| d as usize).product();
     let s = Structured::Torus {
         dims: dims.to_vec(),
@@ -376,8 +379,8 @@ pub fn random(n: u32, avg_degree: u32, max_weight: Weight, seed: u64) -> Network
         let w = rng.gen_range(1..=max_weight);
         g.add_edge(NodeId(order[i]), NodeId(parent), w).unwrap();
     }
-    let target_edges = ((n as usize) * (avg_degree as usize) / 2)
-        .min(n as usize * (n as usize - 1) / 2);
+    let target_edges =
+        ((n as usize) * (avg_degree as usize) / 2).min(n as usize * (n as usize - 1) / 2);
     let mut attempts = 0;
     while g.edge_count() < target_edges && attempts < 50 * target_edges {
         attempts += 1;

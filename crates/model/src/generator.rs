@@ -353,7 +353,9 @@ mod tests {
         let mut g = WorkloadGenerator::new(spec, 6);
         let inst = g.generate(&net);
         let req = inst.requesters();
-        let hot: usize = (0..2).map(|i| req.get(&ObjectId(i)).map_or(0, |v| v.len())).sum();
+        let hot: usize = (0..2)
+            .map(|i| req.get(&ObjectId(i)).map_or(0, |v| v.len()))
+            .sum();
         let total: usize = req.values().map(|v| v.len()).sum();
         assert!(hot * 2 > total, "hot set should draw most requests");
     }
@@ -425,12 +427,7 @@ mod tests {
         let mut g = WorkloadGenerator::new(WorkloadSpec::batch_uniform(4, 1), 9);
         let a = g.generate(&net);
         let b = g.generate(&net);
-        let mut ids: Vec<u64> = a
-            .txns
-            .iter()
-            .chain(b.txns.iter())
-            .map(|t| t.id.0)
-            .collect();
+        let mut ids: Vec<u64> = a.txns.iter().chain(b.txns.iter()).map(|t| t.id.0).collect();
         let before = ids.len();
         ids.sort_unstable();
         ids.dedup();

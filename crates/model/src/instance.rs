@@ -194,7 +194,12 @@ mod tests {
     }
 
     fn txn(id: u64, home: u32, objs: &[u32], t: Time) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), t)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            t,
+        )
     }
 
     fn sample() -> Instance {
@@ -258,10 +263,7 @@ mod tests {
     #[test]
     fn rejects_duplicate_ids() {
         let net = topology::line(4);
-        let inst = Instance::new(
-            vec![obj(0, 0), obj(0, 1)],
-            vec![],
-        );
+        let inst = Instance::new(vec![obj(0, 0), obj(0, 1)], vec![]);
         assert_eq!(
             inst.validate(&net),
             Err(InstanceError::DuplicateObject(ObjectId(0)))

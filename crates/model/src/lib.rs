@@ -30,8 +30,8 @@
 pub mod generator;
 pub mod ids;
 pub mod instance;
-pub mod schedule;
 pub mod presets;
+pub mod schedule;
 pub mod source;
 pub mod stats;
 pub mod txn;

@@ -76,8 +76,7 @@ mod tests {
     #[test]
     fn social_graph_concentrates_on_celebrities() {
         let net = topology::grid(&[5, 5]);
-        let inst =
-            WorkloadGenerator::new(social_graph(100, 3, 0.3, 20), 2).generate(&net);
+        let inst = WorkloadGenerator::new(social_graph(100, 3, 0.3, 20), 2).generate(&net);
         let req = inst.requesters();
         let hot: usize = (0..3)
             .map(|i| req.get(&crate::ids::ObjectId(i)).map_or(0, |v| v.len()))

@@ -167,12 +167,9 @@ impl WorkloadSource for ClosedLoopSource {
         nodes
             .into_iter()
             .map(|home| {
-                let objs = self.spec.sample_object_set(
-                    &mut self.rng,
-                    &self.objects,
-                    home,
-                    &self.network,
-                );
+                let objs =
+                    self.spec
+                        .sample_object_set(&mut self.rng, &self.objects, home, &self.network);
                 let id = TxnId(self.next_txn);
                 self.next_txn += 1;
                 self.owner.insert(id, home);

@@ -139,7 +139,11 @@ mod tests {
         ];
         let s = workload_stats(&ts);
         assert_eq!(s.l_max, 4);
-        assert!(s.popularity_gini > 0.3, "skew detected: {}", s.popularity_gini);
+        assert!(
+            s.popularity_gini > 0.3,
+            "skew detected: {}",
+            s.popularity_gini
+        );
         // Uniform workload has (near-)zero gini.
         let uniform = vec![txn(0, &[0]), txn(1, &[1]), txn(2, &[2])];
         assert!(workload_stats(&uniform).popularity_gini.abs() < 1e-9);

@@ -45,7 +45,12 @@ pub struct Transaction {
 impl Transaction {
     /// Build a write-mode (paper model) transaction. Objects are sorted and
     /// deduplicated.
-    pub fn new(id: TxnId, home: NodeId, objects: impl IntoIterator<Item = ObjectId>, generated_at: Time) -> Self {
+    pub fn new(
+        id: TxnId,
+        home: NodeId,
+        objects: impl IntoIterator<Item = ObjectId>,
+        generated_at: Time,
+    ) -> Self {
         let mut accesses: Vec<ObjectAccess> = objects
             .into_iter()
             .map(|object| ObjectAccess {
@@ -178,12 +183,7 @@ mod tests {
     use super::*;
 
     fn t(id: u64, objs: &[u32]) -> Transaction {
-        Transaction::new(
-            TxnId(id),
-            NodeId(0),
-            objs.iter().map(|&o| ObjectId(o)),
-            0,
-        )
+        Transaction::new(TxnId(id), NodeId(0), objs.iter().map(|&o| ObjectId(o)), 0)
     }
 
     #[test]
@@ -207,24 +207,9 @@ mod tests {
 
     #[test]
     fn read_read_does_not_conflict() {
-        let a = Transaction::with_modes(
-            TxnId(1),
-            NodeId(0),
-            [(ObjectId(1), AccessMode::Read)],
-            0,
-        );
-        let b = Transaction::with_modes(
-            TxnId(2),
-            NodeId(1),
-            [(ObjectId(1), AccessMode::Read)],
-            0,
-        );
-        let w = Transaction::with_modes(
-            TxnId(3),
-            NodeId(2),
-            [(ObjectId(1), AccessMode::Write)],
-            0,
-        );
+        let a = Transaction::with_modes(TxnId(1), NodeId(0), [(ObjectId(1), AccessMode::Read)], 0);
+        let b = Transaction::with_modes(TxnId(2), NodeId(1), [(ObjectId(1), AccessMode::Read)], 0);
+        let w = Transaction::with_modes(TxnId(3), NodeId(2), [(ObjectId(1), AccessMode::Write)], 0);
         assert!(!a.conflicts_with(&b));
         assert!(a.conflicts_with(&w));
         assert!(w.conflicts_with(&b));

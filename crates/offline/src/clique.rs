@@ -105,7 +105,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]
@@ -127,8 +132,7 @@ mod tests {
     fn hot_object_serializes() {
         let net = topology::clique(6);
         let ctx = BatchContext::fresh([(ObjectId(0), NodeId(0))]);
-        let pending: Vec<Transaction> =
-            (0..5).map(|i| txn(i, i as u32 + 1, &[0])).collect();
+        let pending: Vec<Transaction> = (0..5).map(|i| txn(i, i as u32 + 1, &[0])).collect();
         let sched = CliqueScheduler.schedule(&net, &pending, &ctx);
         validate_batch_schedule(&net, &pending, &ctx, &sched).unwrap();
         // l_max = 5 -> exactly colors 1..=5.
@@ -146,8 +150,7 @@ mod tests {
         let k = 3;
         let pending: Vec<Transaction> = (0..16)
             .map(|i| {
-                let set: Vec<ObjectId> =
-                    (0..k).map(|_| ObjectId(rng.gen_range(0..8))).collect();
+                let set: Vec<ObjectId> = (0..k).map(|_| ObjectId(rng.gen_range(0..8))).collect();
                 Transaction::new(TxnId(i), NodeId(i as u32), set, 0)
             })
             .collect();

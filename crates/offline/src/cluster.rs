@@ -160,7 +160,12 @@ mod tests {
     use rand::Rng;
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     /// cluster(3, 4, 5): nodes 0..12, bridges 0, 4, 8.
@@ -197,14 +202,11 @@ mod tests {
     #[test]
     fn mixed_local_and_cross() {
         let net = net3x4();
-        let ctx = BatchContext::fresh([
-            (ObjectId(0), NodeId(1)),
-            (ObjectId(1), NodeId(5)),
-        ]);
+        let ctx = BatchContext::fresh([(ObjectId(0), NodeId(1)), (ObjectId(1), NodeId(5))]);
         let pending = vec![
-            txn(0, 2, &[0]),  // local in clique 0
-            txn(1, 6, &[0]),  // cross: needs o0 from clique 0
-            txn(2, 7, &[1]),  // local in clique 1
+            txn(0, 2, &[0]), // local in clique 0
+            txn(1, 6, &[0]), // cross: needs o0 from clique 0
+            txn(2, 7, &[1]), // local in clique 1
         ];
         let sched = ClusterScheduler::default().schedule(&net, &pending, &ctx);
         validate_batch_schedule(&net, &pending, &ctx, &sched).unwrap();

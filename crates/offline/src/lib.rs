@@ -58,8 +58,8 @@
 #![forbid(unsafe_code)]
 
 pub mod clique;
-pub mod exact;
 pub mod cluster;
+pub mod exact;
 pub mod line;
 pub mod list;
 pub mod lower_bound;
@@ -69,8 +69,8 @@ pub mod traits;
 pub mod tsp;
 
 pub use clique::CliqueScheduler;
-pub use exact::ExactScheduler;
 pub use cluster::ClusterScheduler;
+pub use exact::ExactScheduler;
 pub use line::LineScheduler;
 pub use list::{ListOrder, ListScheduler};
 pub use lower_bound::{batch_lower_bound, object_lower_bound, LowerBoundParts};

@@ -58,11 +58,7 @@ pub fn list_schedule_in_order(
     let mut avail = object_release(network, ctx);
     // Objects that already had a transactional user (handoffs from them pay
     // the >= 1 serialization gap even at distance 0).
-    let mut used: HashSet<ObjectId> = ctx
-        .fixed
-        .iter()
-        .flat_map(|(t, _)| t.objects())
-        .collect();
+    let mut used: HashSet<ObjectId> = ctx.fixed.iter().flat_map(|(t, _)| t.objects()).collect();
     let mut schedule = Schedule::new();
     for t in order {
         let mut exec: Time = ctx.now.max(t.generated_at);
@@ -124,7 +120,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]

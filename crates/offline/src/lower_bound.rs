@@ -103,7 +103,11 @@ pub fn object_lower_bound(
 /// Lower bound on the time (relative to `ctx.now`) to execute all of
 /// `txns`, given object availability in `ctx`. Ignores the fixed schedule
 /// beyond its effect on availability, hence certainly `<= OPT`.
-pub fn batch_lower_bound(network: &Network, txns: &[Transaction], ctx: &BatchContext) -> LowerBoundParts {
+pub fn batch_lower_bound(
+    network: &Network,
+    txns: &[Transaction],
+    ctx: &BatchContext,
+) -> LowerBoundParts {
     let mut homes: BTreeMap<ObjectId, Vec<NodeId>> = BTreeMap::new();
     for t in txns {
         for o in t.objects() {
@@ -120,8 +124,7 @@ pub fn batch_lower_bound(network: &Network, txns: &[Transaction], ctx: &BatchCon
     for t in txns {
         for o in t.objects() {
             if let Some(&(node, ready)) = ctx.object_avail.get(&o) {
-                let need =
-                    ready.saturating_sub(ctx.now) + network.distance(node, t.home);
+                let need = ready.saturating_sub(ctx.now) + network.distance(node, t.home);
                 assembly_bound = assembly_bound.max(need);
             }
         }
@@ -144,7 +147,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]

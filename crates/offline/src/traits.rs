@@ -78,12 +78,7 @@ pub trait BatchScheduler {
     /// `F_𝒜(X)`: the time to execute all of `pending` (relative to
     /// `ctx.now`) under this scheduler, given the fixed context. Used by
     /// the bucket algorithm's insertion probe.
-    fn makespan(
-        &mut self,
-        network: &Network,
-        pending: &[Transaction],
-        ctx: &BatchContext,
-    ) -> Time {
+    fn makespan(&mut self, network: &Network, pending: &[Transaction], ctx: &BatchContext) -> Time {
         let s = self.schedule(network, pending, ctx);
         s.makespan_end().map_or(0, |end| end - ctx.now)
     }
@@ -200,7 +195,12 @@ mod tests {
     use dtm_graph::topology;
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]

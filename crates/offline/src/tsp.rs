@@ -88,7 +88,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Dense, generational arenas for the engine's runtime state.
+//!
+//! The engine previously kept live transactions and objects in
+//! `BTreeMap`s keyed by their id newtypes. Both id spaces are dense
+//! (workload generators number transactions and objects from zero), so a
+//! slot-per-id arena gives O(1) lookup and cache-friendly iteration. A
+//! live-id `BTreeSet` preserves the id-ordered iteration the paper's
+//! algorithms (and the golden traces) depend on without scanning dead
+//! slots, and per-slot generation counters catch stale-id reuse in debug
+//! builds.
+//!
+//! [`RuntimeState`] bundles the two arenas with the per-object requester
+//! index (every live transaction requesting each object) and the
+//! [`StepDelta`] accumulated between consecutive policy invocations —
+//! the raw material for incremental `H'_t` maintenance in `dtm-core`.
+
+use crate::state::{LiveTxn, ObjectState};
+use dtm_model::{ObjectId, Time, TxnId};
+use std::collections::BTreeSet;
+
+/// Dense arena of live transactions, indexed by [`TxnId`].
+///
+/// Slots are never shrunk; a slot's generation counter increments on each
+/// insertion so debug assertions can detect stale references. Iteration
+/// follows the live-id set, i.e. ascending transaction id.
+#[derive(Clone, Debug, Default)]
+pub struct TxnArena {
+    slots: Vec<Option<LiveTxn>>,
+    generations: Vec<u32>,
+    ids: BTreeSet<TxnId>,
+}
+
+impl TxnArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no transaction is live.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Look up a live transaction.
+    #[inline]
+    pub fn get(&self, id: TxnId) -> Option<&LiveTxn> {
+        self.slots.get(id.0 as usize)?.as_ref()
+    }
+
+    /// Mutable lookup. Callers must not alter the transaction's object
+    /// set (the requester index in [`RuntimeState`] is keyed by it).
+    #[inline]
+    pub fn get_mut(&mut self, id: TxnId) -> Option<&mut LiveTxn> {
+        self.slots.get_mut(id.0 as usize)?.as_mut()
+    }
+
+    /// Insert a live transaction at its id slot.
+    ///
+    /// # Panics
+    /// Panics if a transaction with the same id is already live.
+    pub fn insert(&mut self, lt: LiveTxn) {
+        let i = lt.txn.id.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+            self.generations.resize(i + 1, 0);
+        }
+        assert!(self.slots[i].is_none(), "txn {} already live", lt.txn.id);
+        self.generations[i] = self.generations[i].wrapping_add(1);
+        self.ids.insert(lt.txn.id);
+        self.slots[i] = Some(lt);
+    }
+
+    /// Remove a live transaction, returning it.
+    pub fn remove(&mut self, id: TxnId) -> Option<LiveTxn> {
+        let lt = self.slots.get_mut(id.0 as usize)?.take()?;
+        self.ids.remove(&id);
+        Some(lt)
+    }
+
+    /// Generation of the slot for `id` (bumped on every insertion).
+    pub fn generation(&self, id: TxnId) -> u32 {
+        self.generations.get(id.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Live transaction ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Live transactions in ascending id order.
+    pub fn iter(&self) -> TxnIter<'_> {
+        TxnIter {
+            ids: self.ids.iter(),
+            slots: &self.slots,
+        }
+    }
+}
+
+/// Id-ordered iterator over a [`TxnArena`].
+pub struct TxnIter<'a> {
+    ids: std::collections::btree_set::Iter<'a, TxnId>,
+    slots: &'a [Option<LiveTxn>],
+}
+
+impl<'a> Iterator for TxnIter<'a> {
+    type Item = &'a LiveTxn;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.ids.next()?;
+        self.slots[id.0 as usize].as_ref()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+/// Dense arena of object states, indexed by [`ObjectId`]. Objects are
+/// created once and never removed, so slot order *is* id order.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectArena {
+    slots: Vec<Option<ObjectState>>,
+    count: usize,
+}
+
+impl ObjectArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of existing objects.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no object exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Look up an object.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> Option<&ObjectState> {
+        self.slots.get(id.index())?.as_ref()
+    }
+
+    /// Mutable lookup.
+    #[inline]
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut ObjectState> {
+        self.slots.get_mut(id.index())?.as_mut()
+    }
+
+    /// Insert an object at its id slot.
+    ///
+    /// # Panics
+    /// Panics if the object already exists.
+    pub fn insert(&mut self, st: ObjectState) {
+        let i = st.info.id.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        assert!(
+            self.slots[i].is_none(),
+            "object {} already exists",
+            st.info.id
+        );
+        self.slots[i] = Some(st);
+        self.count += 1;
+    }
+
+    /// Existing object ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.iter().map(|st| st.info.id)
+    }
+
+    /// Objects in ascending id order.
+    pub fn iter(&self) -> ObjectIter<'_> {
+        ObjectIter {
+            slots: self.slots.iter(),
+        }
+    }
+}
+
+/// Id-ordered iterator over an [`ObjectArena`].
+pub struct ObjectIter<'a> {
+    slots: std::slice::Iter<'a, Option<ObjectState>>,
+}
+
+impl<'a> Iterator for ObjectIter<'a> {
+    type Item = &'a ObjectState;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for slot in self.slots.by_ref() {
+            if let Some(st) = slot.as_ref() {
+                return Some(st);
+            }
+        }
+        None
+    }
+}
+
+/// Changes to the runtime state accumulated between two consecutive
+/// policy invocations, exposed to policies via
+/// [`crate::SystemView::step_delta`]. Policies maintaining incremental
+/// caches (the `H'_t` fixed context in `dtm-core`) apply these instead of
+/// rescanning the live set every step.
+#[derive(Clone, Debug, Default)]
+pub struct StepDelta {
+    /// Transactions assigned an execution time since the last policy call
+    /// (a transaction may appear here and in `removed` when it commits the
+    /// same step it was scheduled).
+    pub scheduled: Vec<(TxnId, Time)>,
+    /// Transactions that left the live set (committed or aborted).
+    pub removed: Vec<TxnId>,
+    /// Objects whose place changed (departed on or arrived from an edge).
+    pub moved: Vec<ObjectId>,
+}
+
+impl StepDelta {
+    /// Drop all recorded changes (the engine calls this right after each
+    /// policy invocation, so the next view's delta starts fresh).
+    pub fn clear(&mut self) {
+        self.scheduled.clear();
+        self.removed.clear();
+        self.moved.clear();
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty() && self.removed.is_empty() && self.moved.is_empty()
+    }
+}
+
+/// The engine's complete mutable runtime state: transaction and object
+/// arenas, the per-object requester index, and the current [`StepDelta`].
+///
+/// The requester index maps each object to *all* live transactions
+/// requesting it (scheduled or not), in id order — the indexed backing
+/// for [`crate::SystemView::requesters_of`] and the conflict queries of
+/// `dtm-core`, replacing an O(live · k) rescan per query.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeState {
+    txns: TxnArena,
+    objects: ObjectArena,
+    /// Per object id: live requesters, maintained on insert/remove.
+    requesters: Vec<BTreeSet<TxnId>>,
+    delta: StepDelta,
+}
+
+impl RuntimeState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The live-transaction arena.
+    pub fn txns(&self) -> &TxnArena {
+        &self.txns
+    }
+
+    /// The object arena.
+    pub fn objects(&self) -> &ObjectArena {
+        &self.objects
+    }
+
+    /// Insert a newly generated live transaction, indexing it as a
+    /// requester of each of its objects.
+    pub fn insert_txn(&mut self, lt: LiveTxn) {
+        let id = lt.txn.id;
+        for o in lt.txn.objects() {
+            let i = o.index();
+            if i >= self.requesters.len() {
+                self.requesters.resize_with(i + 1, BTreeSet::new);
+            }
+            self.requesters[i].insert(id);
+        }
+        self.txns.insert(lt);
+    }
+
+    /// Remove a live transaction (commit or abort), unindexing it.
+    pub fn remove_txn(&mut self, id: TxnId) -> Option<LiveTxn> {
+        let lt = self.txns.remove(id)?;
+        for o in lt.txn.objects() {
+            if let Some(set) = self.requesters.get_mut(o.index()) {
+                set.remove(&id);
+            }
+        }
+        Some(lt)
+    }
+
+    /// Mutable access to a live transaction. Callers must not alter the
+    /// transaction's object set (it keys the requester index).
+    pub fn txn_mut(&mut self, id: TxnId) -> Option<&mut LiveTxn> {
+        self.txns.get_mut(id)
+    }
+
+    /// Create an object.
+    pub fn insert_object(&mut self, st: ObjectState) {
+        self.objects.insert(st);
+    }
+
+    /// Mutable access to an object.
+    pub fn object_mut(&mut self, id: ObjectId) -> Option<&mut ObjectState> {
+        self.objects.get_mut(id)
+    }
+
+    /// All live transactions requesting `o` (scheduled or not), in id
+    /// order.
+    pub fn requesters_of(&self, o: ObjectId) -> impl Iterator<Item = TxnId> + '_ {
+        self.requesters
+            .get(o.index())
+            .into_iter()
+            .flat_map(|set| set.iter().copied())
+    }
+
+    /// The delta accumulated since the last policy invocation.
+    pub fn delta(&self) -> &StepDelta {
+        &self.delta
+    }
+
+    /// Mutable delta (engine-internal bookkeeping; exposed so harnesses
+    /// and benchmarks can drive the state like the engine does).
+    pub fn delta_mut(&mut self) -> &mut StepDelta {
+        &mut self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ObjectPlace;
+    use dtm_graph::NodeId;
+    use dtm_model::{ObjectInfo, Transaction};
+
+    fn lt(id: u64, objs: &[u32]) -> LiveTxn {
+        LiveTxn {
+            txn: Transaction::new(TxnId(id), NodeId(0), objs.iter().map(|&o| ObjectId(o)), 0),
+            scheduled: None,
+        }
+    }
+
+    fn obj(id: u32) -> ObjectState {
+        ObjectState {
+            info: ObjectInfo {
+                id: ObjectId(id),
+                origin: NodeId(0),
+                created_at: 0,
+            },
+            place: ObjectPlace::At(NodeId(0)),
+            last_holder: None,
+        }
+    }
+
+    #[test]
+    fn txn_arena_iterates_in_id_order() {
+        let mut a = TxnArena::new();
+        for id in [5u64, 1, 9, 3] {
+            a.insert(lt(id, &[0]));
+        }
+        let order: Vec<u64> = a.iter().map(|l| l.txn.id.0).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+        assert_eq!(a.len(), 4);
+        a.remove(TxnId(5)).unwrap();
+        assert_eq!(a.ids().map(|i| i.0).collect::<Vec<_>>(), vec![1, 3, 9]);
+        assert!(a.get(TxnId(5)).is_none());
+        assert!(a.remove(TxnId(5)).is_none());
+    }
+
+    #[test]
+    fn txn_arena_generations_bump_on_reuse() {
+        let mut a = TxnArena::new();
+        a.insert(lt(2, &[0]));
+        assert_eq!(a.generation(TxnId(2)), 1);
+        a.remove(TxnId(2));
+        a.insert(lt(2, &[0]));
+        assert_eq!(a.generation(TxnId(2)), 2);
+        assert_eq!(a.generation(TxnId(77)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already live")]
+    fn txn_arena_rejects_duplicate() {
+        let mut a = TxnArena::new();
+        a.insert(lt(1, &[0]));
+        a.insert(lt(1, &[0]));
+    }
+
+    #[test]
+    fn object_arena_slot_order_is_id_order() {
+        let mut a = ObjectArena::new();
+        a.insert(obj(4));
+        a.insert(obj(0));
+        a.insert(obj(2));
+        let order: Vec<u32> = a.iter().map(|st| st.info.id.0).collect();
+        assert_eq!(order, vec![0, 2, 4]);
+        assert_eq!(a.len(), 3);
+        assert!(a.get(ObjectId(1)).is_none());
+        assert!(a.get(ObjectId(2)).is_some());
+    }
+
+    #[test]
+    fn requester_index_tracks_inserts_and_removes() {
+        let mut s = RuntimeState::new();
+        s.insert_object(obj(0));
+        s.insert_object(obj(1));
+        s.insert_txn(lt(3, &[0, 1]));
+        s.insert_txn(lt(1, &[1]));
+        let reqs = |s: &RuntimeState, o: u32| -> Vec<u64> {
+            s.requesters_of(ObjectId(o)).map(|t| t.0).collect()
+        };
+        assert_eq!(reqs(&s, 0), vec![3]);
+        assert_eq!(reqs(&s, 1), vec![1, 3]);
+        s.remove_txn(TxnId(3));
+        assert_eq!(reqs(&s, 0), Vec::<u64>::new());
+        assert_eq!(reqs(&s, 1), vec![1]);
+        // Unknown object: empty, no panic.
+        assert_eq!(reqs(&s, 9), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn delta_clear_resets_everything() {
+        let mut d = StepDelta::default();
+        assert!(d.is_empty());
+        d.scheduled.push((TxnId(0), 5));
+        d.removed.push(TxnId(1));
+        d.moved.push(ObjectId(2));
+        assert!(!d.is_empty());
+        d.clear();
+        assert!(d.is_empty());
+    }
+}

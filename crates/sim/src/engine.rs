@@ -20,14 +20,24 @@
 //! (`H'_t` places an in-transit object at its next hop with the residual
 //! travel time as the edge weight, which is exactly where this engine can
 //! first re-route it).
+//!
+//! State lives in an arena-backed [`RuntimeState`] (dense id-indexed
+//! slots plus a per-object requester index); the policy sees it through
+//! [`SystemView::from_state`], and the changes between consecutive
+//! policy calls are published as a [`crate::arena::StepDelta`] so
+//! policies can maintain their dependency caches incrementally. An
+//! optional [`StepObserver`] receives per-phase counters and timings.
 
+use crate::arena::RuntimeState;
 use crate::events::Event;
 use crate::metrics::{LatencySummary, Metrics, RunResult, Violation};
+use crate::observer::{Phase, StepObserver};
 use crate::policy::SchedulingPolicy;
 use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
 use dtm_graph::{Network, NodeId};
 use dtm_model::{ObjectId, Schedule, Time, Transaction, TxnId, WorkloadSource};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -72,15 +82,15 @@ fn edge_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 }
 
 /// The simulator. Drives a [`SchedulingPolicy`] against a
-/// [`WorkloadSource`] on a [`Network`].
+/// [`dtm_model::WorkloadSource`] on a [`Network`].
 pub struct Engine<P> {
     network: Network,
     policy: P,
     config: EngineConfig,
 
     now: Time,
-    live: BTreeMap<TxnId, LiveTxn>,
-    objects: BTreeMap<ObjectId, ObjectState>,
+    /// Arena-backed live transactions, objects and the requester index.
+    state: RuntimeState,
     /// All transactions ever seen (kept for the result / validator).
     txns: BTreeMap<TxnId, Transaction>,
     schedule: Schedule,
@@ -96,6 +106,7 @@ pub struct Engine<P> {
     /// last sent the object. Grows with distinct (object, node) pairs.
     forwarding: HashMap<(ObjectId, NodeId), NodeId>,
 
+    observer: Option<Box<dyn StepObserver>>,
     events: Vec<Event>,
     violations: Vec<Violation>,
     comm_cost: u64,
@@ -112,8 +123,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             policy,
             config,
             now: 0,
-            live: BTreeMap::new(),
-            objects: BTreeMap::new(),
+            state: RuntimeState::new(),
             txns: BTreeMap::new(),
             schedule: Schedule::new(),
             commits: BTreeMap::new(),
@@ -122,6 +132,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             requesters: BTreeMap::new(),
             edge_load: HashMap::new(),
             forwarding: HashMap::new(),
+            observer: None,
             events: Vec::new(),
             violations: Vec::new(),
             comm_cost: 0,
@@ -130,9 +141,28 @@ impl<P: SchedulingPolicy> Engine<P> {
         }
     }
 
+    /// Attach a [`StepObserver`] (per-phase counters/timings). Purely
+    /// observational: runs with and without one are identical.
+    pub fn with_observer(mut self, observer: impl StepObserver + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
     fn record(&mut self, e: Event) {
         if self.config.record_events {
             self.events.push(e);
+        }
+    }
+
+    /// Phase-timing start mark (only when an observer is attached, so
+    /// unobserved runs never pay for `Instant::now`).
+    fn phase_start(&self) -> Option<Instant> {
+        self.observer.as_ref().map(|_| Instant::now())
+    }
+
+    fn phase_end(&mut self, t: Time, phase: Phase, items: usize, started: Option<Instant>) {
+        if let (Some(obs), Some(start)) = (self.observer.as_mut(), started) {
+            obs.on_phase(t, phase, items, start.elapsed());
         }
     }
 
@@ -144,12 +174,12 @@ impl<P: SchedulingPolicy> Engine<P> {
         pending_objects.sort_by_key(|o| (o.created_at, o.id));
 
         loop {
-            if source.exhausted() && self.live.is_empty() {
+            if source.exhausted() && self.state.txns().is_empty() {
                 break;
             }
             if self.now > self.config.max_steps {
                 self.violations.push(Violation::MaxStepsExceeded {
-                    live: self.live.len(),
+                    live: self.state.txns().len(),
                 });
                 break;
             }
@@ -166,33 +196,34 @@ impl<P: SchedulingPolicy> Engine<P> {
                     object: info.id,
                     node: info.origin,
                 });
-                self.objects.insert(
-                    info.id,
-                    ObjectState {
-                        info,
-                        place: ObjectPlace::At(info.origin),
-                        last_holder: None,
-                    },
-                );
+                self.state.insert_object(ObjectState {
+                    info,
+                    place: ObjectPlace::At(info.origin),
+                    last_holder: None,
+                });
             }
 
             // 1. Receive: complete edge traversals.
+            let mark = self.phase_start();
             let arriving: Vec<ObjectId> = self
-                .objects
+                .state
+                .objects()
                 .iter()
-                .filter_map(|(&id, st)| match st.place {
-                    ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(id),
+                .filter_map(|st| match st.place {
+                    ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(st.info.id),
                     _ => None,
                 })
                 .collect();
+            let received = arriving.len();
             for id in arriving {
-                let st = self.objects.get_mut(&id).expect("object exists");
+                let st = self.state.object_mut(id).expect("object exists");
                 if let ObjectPlace::Hop { from, next, .. } = st.place {
                     st.place = ObjectPlace::At(next);
                     let key = edge_key(from, next);
                     if let Some(load) = self.edge_load.get_mut(&key) {
                         *load = load.saturating_sub(1);
                     }
+                    self.state.delta_mut().moved.push(id);
                     self.record(Event::Arrived {
                         t,
                         object: id,
@@ -200,8 +231,10 @@ impl<P: SchedulingPolicy> Engine<P> {
                     });
                 }
             }
+            self.phase_end(t, Phase::Receive, received, mark);
 
             // 2. Generate.
+            let mark = self.phase_start();
             let mut arrival_ids = Vec::new();
             for txn in source.arrivals(t) {
                 debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
@@ -213,30 +246,46 @@ impl<P: SchedulingPolicy> Engine<P> {
                 self.generated.insert(txn.id, t);
                 arrival_ids.push(txn.id);
                 self.txns.insert(txn.id, txn.clone());
-                self.live.insert(
-                    txn.id,
-                    LiveTxn {
-                        txn,
-                        scheduled: None,
-                    },
-                );
+                self.state.insert_txn(LiveTxn {
+                    txn,
+                    scheduled: None,
+                });
             }
-            self.peak_live = self.peak_live.max(self.live.len());
+            self.peak_live = self.peak_live.max(self.state.txns().len());
+            self.phase_end(t, Phase::Generate, arrival_ids.len(), mark);
 
-            // 3. Schedule.
+            // 3. Schedule. The view publishes the delta accumulated since
+            // the previous policy call; it is cleared right after the
+            // policy returns, so `apply_fragment` and the later phases of
+            // this step feed the *next* call's delta.
+            let mark = self.phase_start();
             let fragment = {
-                let view = SystemView::new(t, &self.network, &self.live, &self.objects)
+                let view = SystemView::from_state(t, &self.network, &self.state)
                     .with_forwarding(&self.forwarding);
                 self.policy.step(&view, &arrival_ids)
             };
+            self.state.delta_mut().clear();
+            let fragment_len = fragment.len();
             self.apply_fragment(fragment);
+            self.phase_end(t, Phase::Schedule, fragment_len, mark);
 
             // 4. Execute.
+            let mark = self.phase_start();
+            let commits_before = self.commits.len();
             self.execute_due(&mut source);
+            let committed = self.commits.len() - commits_before;
+            self.phase_end(t, Phase::Execute, committed, mark);
 
             // 5. Forward.
+            let mark = self.phase_start();
+            let hops_before = self.hops;
             self.forward_objects();
+            let departed = (self.hops - hops_before) as usize;
+            self.phase_end(t, Phase::Forward, departed, mark);
 
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_step_end(t, self.state.txns().len());
+            }
             self.now += 1;
         }
 
@@ -271,32 +320,31 @@ impl<P: SchedulingPolicy> Engine<P> {
     fn apply_fragment(&mut self, fragment: Schedule) {
         let t = self.now;
         for (txn, exec_at) in fragment.iter() {
-            match self.live.get_mut(&txn) {
-                None => {
-                    self.violations.push(Violation::UnknownTxn { txn });
-                }
-                Some(lt) => {
-                    if lt.scheduled.is_some() {
-                        self.violations.push(Violation::Rescheduled { txn });
-                        continue;
-                    }
-                    if exec_at < t {
-                        self.violations.push(Violation::ScheduledInPast {
-                            txn,
-                            proposed: exec_at,
-                            now: t,
-                        });
-                        continue;
-                    }
-                    lt.scheduled = Some(exec_at);
-                    self.schedule.set(txn, exec_at);
-                    self.exec_queue.insert((exec_at, txn));
-                    for o in lt.txn.objects() {
-                        self.requesters.entry(o).or_default().insert((exec_at, txn));
-                    }
-                    self.record(Event::Scheduled { t, txn, exec_at });
-                }
+            let Some(lt) = self.state.txn_mut(txn) else {
+                self.violations.push(Violation::UnknownTxn { txn });
+                continue;
+            };
+            if lt.scheduled.is_some() {
+                self.violations.push(Violation::Rescheduled { txn });
+                continue;
             }
+            if exec_at < t {
+                self.violations.push(Violation::ScheduledInPast {
+                    txn,
+                    proposed: exec_at,
+                    now: t,
+                });
+                continue;
+            }
+            lt.scheduled = Some(exec_at);
+            let objects: Vec<ObjectId> = lt.txn.objects().collect();
+            self.schedule.set(txn, exec_at);
+            self.exec_queue.insert((exec_at, txn));
+            for o in objects {
+                self.requesters.entry(o).or_default().insert((exec_at, txn));
+            }
+            self.state.delta_mut().scheduled.push((txn, exec_at));
+            self.record(Event::Scheduled { t, txn, exec_at });
         }
     }
 
@@ -315,27 +363,31 @@ impl<P: SchedulingPolicy> Engine<P> {
         let mut used_this_step: std::collections::HashSet<ObjectId> =
             std::collections::HashSet::new();
         for (exec_at, txn_id) in due {
-            let lt = self.live.get(&txn_id).expect("scheduled txn is live");
+            let lt = self
+                .state
+                .txns()
+                .get(txn_id)
+                .expect("scheduled txn is live");
             let home = lt.txn.home;
             let assembled = lt.txn.objects().all(|o| {
                 !used_this_step.contains(&o)
                     && matches!(
-                        self.objects.get(&o).map(|s| s.place),
+                        self.state.objects().get(o).map(|s| s.place),
                         Some(ObjectPlace::At(v)) if v == home
                     )
             });
             if assembled {
                 // Commit.
-                let txn = self.live.remove(&txn_id).expect("live").txn;
+                let txn = self.state.remove_txn(txn_id).expect("live").txn;
                 self.exec_queue.remove(&(exec_at, txn_id));
                 for o in txn.objects() {
                     used_this_step.insert(o);
                     if let Some(set) = self.requesters.get_mut(&o) {
                         set.remove(&(exec_at, txn_id));
                     }
-                    self.objects.get_mut(&o).expect("object exists").last_holder =
-                        Some(txn_id);
+                    self.state.object_mut(o).expect("object exists").last_holder = Some(txn_id);
                 }
+                self.state.delta_mut().removed.push(txn_id);
                 self.commits.insert(txn_id, t);
                 self.record(Event::Committed {
                     t,
@@ -349,13 +401,14 @@ impl<P: SchedulingPolicy> Engine<P> {
                     txn: txn_id,
                     scheduled: exec_at,
                 });
-                let txn = self.live.remove(&txn_id).expect("live").txn;
+                let txn = self.state.remove_txn(txn_id).expect("live").txn;
                 self.exec_queue.remove(&(exec_at, txn_id));
                 for o in txn.objects() {
                     if let Some(set) = self.requesters.get_mut(&o) {
                         set.remove(&(exec_at, txn_id));
                     }
                 }
+                self.state.delta_mut().removed.push(txn_id);
                 // Treat as aborted: tell the source so closed loops go on.
                 source.on_commit(&txn, t);
             }
@@ -367,19 +420,24 @@ impl<P: SchedulingPolicy> Engine<P> {
     /// scheduled requester.
     fn forward_objects(&mut self) {
         let t = self.now;
-        let ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        let ids: Vec<ObjectId> = self.state.objects().ids().collect();
         for id in ids {
             let (here, target_home) = {
-                let st = &self.objects[&id];
+                let st = self.state.objects().get(id).expect("object exists");
                 let ObjectPlace::At(here) = st.place else {
                     continue;
                 };
-                let Some(&(_, txn_id)) =
-                    self.requesters.get(&id).and_then(|set| set.iter().next())
+                let Some(&(_, txn_id)) = self.requesters.get(&id).and_then(|set| set.iter().next())
                 else {
                     continue;
                 };
-                let home = self.live[&txn_id].txn.home;
+                let home = self
+                    .state
+                    .txns()
+                    .get(txn_id)
+                    .expect("scheduled requester is live")
+                    .txn
+                    .home;
                 (here, home)
             };
             if here == target_home {
@@ -401,11 +459,12 @@ impl<P: SchedulingPolicy> Engine<P> {
             *self.edge_load.entry(key).or_insert(0) += 1;
             self.forwarding.insert((id, here), next);
             let arrive = t + w * self.config.speed_divisor;
-            self.objects.get_mut(&id).expect("object exists").place = ObjectPlace::Hop {
+            self.state.object_mut(id).expect("object exists").place = ObjectPlace::Hop {
                 from: here,
                 next,
                 arrive,
             };
+            self.state.delta_mut().moved.push(id);
             self.comm_cost += w;
             self.hops += 1;
             self.record(Event::Departed {
@@ -417,7 +476,6 @@ impl<P: SchedulingPolicy> Engine<P> {
             });
         }
     }
-
 }
 
 /// Convenience: build an engine and run `source` under `policy`.
@@ -461,7 +519,12 @@ mod tests {
     }
 
     fn txn(id: u64, home: u32, objs: &[u32], t: Time) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), t)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            t,
+        )
     }
 
     /// Line of 4; object at node 0; two transactions need it: T0 at node 2
@@ -533,12 +596,7 @@ mod tests {
     #[test]
     fn speed_divisor_halves_object_speed() {
         let net = topology::line(4);
-        let make = || {
-            TraceSource::new(Instance::new(
-                vec![obj(0, 0)],
-                vec![txn(0, 2, &[0], 0)],
-            ))
-        };
+        let make = || TraceSource::new(Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0], 0)]));
         let cfg = EngineConfig {
             speed_divisor: 2,
             ..EngineConfig::default()
@@ -830,5 +888,70 @@ mod creation_tests {
         assert_eq!(with_events.metrics.comm_cost, without.metrics.comm_cost);
         assert!(without.events.is_empty());
         assert!(!with_events.events.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use crate::observer::PhaseProfile;
+    use dtm_graph::topology;
+    use dtm_model::{Instance, ObjectInfo, TraceSource};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// An attached observer sees consistent per-phase counters, and the
+    /// run's outcome is identical to an unobserved run.
+    #[test]
+    fn observer_counts_match_metrics_and_never_perturbs() {
+        let net = topology::line(5);
+        let inst = Instance::new(
+            vec![ObjectInfo {
+                id: ObjectId(0),
+                origin: NodeId(0),
+                created_at: 0,
+            }],
+            vec![
+                Transaction::new(TxnId(0), NodeId(2), [ObjectId(0)], 0),
+                Transaction::new(TxnId(1), NodeId(4), [ObjectId(0)], 0),
+            ],
+        );
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 4)].into_iter().collect();
+        let profile = Arc::new(Mutex::new(PhaseProfile::default()));
+        let observed = Engine::new(
+            net.clone(),
+            crate::policy::FixedSchedulePolicy::new(sched.clone()),
+            EngineConfig::default(),
+        )
+        .with_observer(Arc::clone(&profile))
+        .run(TraceSource::new(inst.clone()));
+        let plain = run_policy(
+            &net,
+            TraceSource::new(inst),
+            crate::policy::FixedSchedulePolicy::new(sched),
+            EngineConfig::default(),
+        );
+        observed.expect_ok();
+        plain.expect_ok();
+        assert_eq!(observed.commits, plain.commits);
+        assert_eq!(observed.events, plain.events);
+
+        let p = profile.lock();
+        assert_eq!(p.steps, observed.metrics.steps);
+        assert_eq!(p.phase(Phase::Generate).items, observed.txns.len() as u64);
+        assert_eq!(
+            p.phase(Phase::Execute).items,
+            observed.metrics.committed as u64
+        );
+        assert_eq!(p.phase(Phase::Forward).items, observed.metrics.hops);
+        assert_eq!(
+            p.phase(Phase::Schedule).items,
+            observed.schedule.len() as u64
+        );
+        assert_eq!(p.peak_live, observed.metrics.peak_live);
+        // Every phase ran once per step.
+        for ph in Phase::ALL {
+            assert_eq!(p.phase(ph).calls, p.steps, "{} calls", ph.name());
+        }
     }
 }

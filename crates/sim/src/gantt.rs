@@ -61,10 +61,10 @@ pub fn render_timeline(result: &RunResult, opts: &TimelineOptions) -> String {
     let mut cursor: Time = 0;
 
     let flush_to = |t: Time,
-                        rows: &mut BTreeMap<ObjectId, Vec<Cell>>,
-                        state: &BTreeMap<ObjectId, Cell>,
-                        moving_until: &mut BTreeMap<ObjectId, (Time, u32)>,
-                        cursor: &mut Time| {
+                    rows: &mut BTreeMap<ObjectId, Vec<Cell>>,
+                    state: &BTreeMap<ObjectId, Cell>,
+                    moving_until: &mut BTreeMap<ObjectId, (Time, u32)>,
+                    cursor: &mut Time| {
         while *cursor < t.min(end + 1) {
             for (&o, &cell) in state.iter() {
                 let row = rows.entry(o).or_default();
@@ -109,7 +109,11 @@ pub fn render_timeline(result: &RunResult, opts: &TimelineOptions) -> String {
 
     // Render.
     let mut out = String::new();
-    let _ = writeln!(out, "timeline 0..={end} (makespan {})", result.metrics.makespan);
+    let _ = writeln!(
+        out,
+        "timeline 0..={end} (makespan {})",
+        result.metrics.makespan
+    );
     let width = rows
         .values()
         .flat_map(|r| r.iter())

@@ -24,18 +24,24 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod engine;
 pub mod events;
 pub mod gantt;
 pub mod metrics;
+pub mod observer;
 pub mod policy;
 pub mod state;
 pub mod validate;
 
+pub use arena::{ObjectArena, RuntimeState, StepDelta, TxnArena};
 pub use engine::{run_policy, Engine, EngineConfig};
 pub use events::Event;
 pub use gantt::{render_timeline, TimelineOptions};
-pub use metrics::{edge_congestion, peak_congestion, LatencySummary, Metrics, RunResult, Violation};
+pub use metrics::{
+    edge_congestion, peak_congestion, LatencySummary, Metrics, RunResult, Violation,
+};
+pub use observer::{Phase, PhaseProfile, PhaseStats, StepObserver};
 pub use policy::{FixedSchedulePolicy, SchedulingPolicy};
-pub use state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
+pub use state::{LiveTxn, LiveTxns, ObjectPlace, ObjectState, Objects, SystemView};
 pub use validate::{validate_capacity, validate_events, ValidationConfig, ValidationError};

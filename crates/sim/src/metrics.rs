@@ -219,10 +219,17 @@ pub fn edge_congestion(
     let mut intervals: BTreeMap<_, Vec<(Time, Time)>> = BTreeMap::new();
     for e in &result.events {
         if let Event::Departed {
-            t, from, to, arrive, ..
+            t,
+            from,
+            to,
+            arrive,
+            ..
         } = *e
         {
-            intervals.entry(key(from, to)).or_default().push((t, arrive));
+            intervals
+                .entry(key(from, to))
+                .or_default()
+                .push((t, arrive));
         }
     }
     intervals

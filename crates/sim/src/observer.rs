@@ -1,0 +1,190 @@
+//! Step observers: per-phase counters and timings for the engine.
+//!
+//! The engine's step loop has five phases (receive, generate, schedule,
+//! execute, forward). A [`StepObserver`] attached via
+//! [`crate::Engine::with_observer`] is called once per phase per step
+//! with the number of items the phase touched and its wall-clock
+//! duration. Observation never changes engine behavior — runs with and
+//! without an observer produce identical results.
+
+use dtm_model::Time;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One phase of the engine's step loop, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Objects completing edge traversals arrive at their next node.
+    Receive,
+    /// The workload source's arrivals join the live set.
+    Generate,
+    /// The policy is consulted and its fragment merged.
+    Schedule,
+    /// Due transactions with assembled objects commit.
+    Execute,
+    /// Resting objects depart one hop toward their next requester.
+    Forward,
+}
+
+impl Phase {
+    /// All phases in step order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Receive,
+        Phase::Generate,
+        Phase::Schedule,
+        Phase::Execute,
+        Phase::Forward,
+    ];
+
+    /// Dense index (position in [`Phase::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Receive => 0,
+            Phase::Generate => 1,
+            Phase::Schedule => 2,
+            Phase::Execute => 3,
+            Phase::Forward => 4,
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Receive => "receive",
+            Phase::Generate => "generate",
+            Phase::Schedule => "schedule",
+            Phase::Execute => "execute",
+            Phase::Forward => "forward",
+        }
+    }
+}
+
+/// Hook into the engine's step loop. Purely observational.
+pub trait StepObserver {
+    /// Called after each phase with the number of items it processed
+    /// (arrived objects, generated transactions, scheduled entries,
+    /// commits, departures) and its wall-clock duration.
+    fn on_phase(&mut self, t: Time, phase: Phase, items: usize, elapsed: Duration);
+
+    /// Called at the end of each step with the live-set size.
+    fn on_step_end(&mut self, t: Time, live: usize) {
+        let _ = (t, live);
+    }
+}
+
+/// Accumulated statistics for one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of times the phase ran.
+    pub calls: u64,
+    /// Total items processed across all calls.
+    pub items: u64,
+    /// Total wall-clock nanoseconds.
+    pub nanos: u128,
+}
+
+/// A ready-made [`StepObserver`] accumulating per-phase counters and
+/// timings plus peak live-set size. Attach a shared handle with
+/// `Arc<Mutex<PhaseProfile>>` (the same pattern as the policy stats
+/// handles) and read it after the run.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfile {
+    /// Per-phase statistics, indexed by [`Phase::index`].
+    pub phases: [PhaseStats; 5],
+    /// Number of completed steps.
+    pub steps: u64,
+    /// Largest live-set size seen at any step end.
+    pub peak_live: usize,
+}
+
+impl PhaseProfile {
+    /// Statistics for `phase`.
+    pub fn phase(&self, phase: Phase) -> &PhaseStats {
+        &self.phases[phase.index()]
+    }
+
+    /// One line per phase: `name calls=<n> items=<n> nanos=<n>`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in Phase::ALL {
+            let s = self.phase(p);
+            writeln!(
+                out,
+                "{} calls={} items={} nanos={}",
+                p.name(),
+                s.calls,
+                s.items,
+                s.nanos
+            )
+            .expect("writing to String cannot fail");
+        }
+        out
+    }
+}
+
+impl StepObserver for PhaseProfile {
+    fn on_phase(&mut self, _t: Time, phase: Phase, items: usize, elapsed: Duration) {
+        let s = &mut self.phases[phase.index()];
+        s.calls += 1;
+        s.items += items as u64;
+        s.nanos += elapsed.as_nanos();
+    }
+
+    fn on_step_end(&mut self, _t: Time, live: usize) {
+        self.steps += 1;
+        self.peak_live = self.peak_live.max(live);
+    }
+}
+
+/// Shared-handle forwarding: lets the caller keep one end of an
+/// `Arc<Mutex<_>>` while the engine owns the other.
+impl<T: StepObserver> StepObserver for Arc<Mutex<T>> {
+    fn on_phase(&mut self, t: Time, phase: Phase, items: usize, elapsed: Duration) {
+        self.lock().on_phase(t, phase, items, elapsed);
+    }
+
+    fn on_step_end(&mut self, t: Time, live: usize) {
+        self.lock().on_step_end(t, live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_accumulates() {
+        let mut p = PhaseProfile::default();
+        p.on_phase(0, Phase::Receive, 2, Duration::from_nanos(10));
+        p.on_phase(0, Phase::Receive, 3, Duration::from_nanos(5));
+        p.on_phase(0, Phase::Execute, 1, Duration::from_nanos(7));
+        p.on_step_end(0, 4);
+        p.on_step_end(1, 2);
+        assert_eq!(p.phase(Phase::Receive).calls, 2);
+        assert_eq!(p.phase(Phase::Receive).items, 5);
+        assert_eq!(p.phase(Phase::Receive).nanos, 15);
+        assert_eq!(p.phase(Phase::Execute).items, 1);
+        assert_eq!(p.steps, 2);
+        assert_eq!(p.peak_live, 4);
+        assert!(p.render().contains("receive calls=2 items=5 nanos=15"));
+    }
+
+    #[test]
+    fn shared_handle_forwards() {
+        let shared = Arc::new(Mutex::new(PhaseProfile::default()));
+        let mut handle = Arc::clone(&shared);
+        handle.on_phase(3, Phase::Forward, 9, Duration::from_nanos(1));
+        handle.on_step_end(3, 1);
+        assert_eq!(shared.lock().phase(Phase::Forward).items, 9);
+        assert_eq!(shared.lock().steps, 1);
+    }
+
+    #[test]
+    fn phase_indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

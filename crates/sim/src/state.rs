@@ -1,10 +1,11 @@
 //! Runtime state of objects and live transactions, and the read-only
 //! [`SystemView`] handed to scheduling policies each step.
 
+use crate::arena::{ObjectIter, RuntimeState, StepDelta, TxnIter};
 use dtm_graph::{Network, NodeId, Weight};
 use dtm_model::{ObjectId, ObjectInfo, Time, Transaction, TxnId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{btree_map, BTreeMap, BTreeSet, HashMap};
 
 /// Where an object is right now.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,14 +73,27 @@ pub struct LiveTxn {
     pub scheduled: Option<Time>,
 }
 
+/// Storage the view reads from: either borrowed legacy maps (tests and
+/// external harnesses build these directly) or the engine's indexed
+/// [`RuntimeState`]. Every query dispatches on this and produces
+/// identical results either way — the indexed arm just avoids scans.
+enum Backing<'a> {
+    /// Plain id-keyed maps, queried by scanning.
+    Maps {
+        live: &'a BTreeMap<TxnId, LiveTxn>,
+        objects: &'a BTreeMap<ObjectId, ObjectState>,
+    },
+    /// The engine's arena-backed state with its requester index.
+    Indexed(&'a RuntimeState),
+}
+
 /// Read-only snapshot of the system handed to policies each step.
 pub struct SystemView<'a> {
     /// Current time step.
     pub now: Time,
     /// The communication network.
     pub network: &'a Network,
-    live: &'a BTreeMap<TxnId, LiveTxn>,
-    objects: &'a BTreeMap<ObjectId, ObjectState>,
+    backing: Backing<'a>,
     /// Node-local forwarding pointers: where each node last sent each
     /// object (the trail that object-tracking messages follow, Section V:
     /// "we can track objects in transit by reaching the node that the
@@ -88,7 +102,7 @@ pub struct SystemView<'a> {
 }
 
 impl<'a> SystemView<'a> {
-    /// Construct a view (used by the engine; tests may build one directly).
+    /// Construct a view over plain maps (tests may build one directly).
     pub fn new(
         now: Time,
         network: &'a Network,
@@ -98,18 +112,27 @@ impl<'a> SystemView<'a> {
         SystemView {
             now,
             network,
-            live,
-            objects,
+            backing: Backing::Maps { live, objects },
+            forwarding: None,
+        }
+    }
+
+    /// Construct a view over the engine's indexed [`RuntimeState`]. Index
+    ///-backed queries ([`SystemView::requesters_of`],
+    /// [`SystemView::conflicting_live`]) and [`SystemView::step_delta`]
+    /// are only fast/available through this constructor.
+    pub fn from_state(now: Time, network: &'a Network, state: &'a RuntimeState) -> Self {
+        SystemView {
+            now,
+            network,
+            backing: Backing::Indexed(state),
             forwarding: None,
         }
     }
 
     /// Attach the engine's forwarding-pointer table (see
     /// [`SystemView::forwarded_to`]).
-    pub fn with_forwarding(
-        mut self,
-        forwarding: &'a HashMap<(ObjectId, NodeId), NodeId>,
-    ) -> Self {
+    pub fn with_forwarding(mut self, forwarding: &'a HashMap<(ObjectId, NodeId), NodeId>) -> Self {
         self.forwarding = Some(forwarding);
         self
     }
@@ -121,37 +144,142 @@ impl<'a> SystemView<'a> {
     }
 
     /// All live transactions (`T_t` in the paper), in id order.
-    pub fn live_txns(&self) -> impl Iterator<Item = &LiveTxn> + '_ {
-        self.live.values()
+    pub fn live_txns(&self) -> LiveTxns<'a> {
+        match &self.backing {
+            Backing::Maps { live, .. } => LiveTxns::Maps(live.values()),
+            Backing::Indexed(state) => LiveTxns::Arena(state.txns().iter()),
+        }
     }
 
     /// Number of live transactions.
     pub fn live_count(&self) -> usize {
-        self.live.len()
+        match &self.backing {
+            Backing::Maps { live, .. } => live.len(),
+            Backing::Indexed(state) => state.txns().len(),
+        }
     }
 
     /// Look up a live transaction.
-    pub fn live(&self, id: TxnId) -> Option<&LiveTxn> {
-        self.live.get(&id)
+    pub fn live(&self, id: TxnId) -> Option<&'a LiveTxn> {
+        match &self.backing {
+            Backing::Maps { live, .. } => live.get(&id),
+            Backing::Indexed(state) => state.txns().get(id),
+        }
     }
 
     /// State of an object (if it exists yet).
-    pub fn object(&self, id: ObjectId) -> Option<&ObjectState> {
-        self.objects.get(&id)
+    pub fn object(&self, id: ObjectId) -> Option<&'a ObjectState> {
+        match &self.backing {
+            Backing::Maps { objects, .. } => objects.get(&id),
+            Backing::Indexed(state) => state.objects().get(id),
+        }
     }
 
     /// All objects, in id order.
-    pub fn objects(&self) -> impl Iterator<Item = &ObjectState> + '_ {
-        self.objects.values()
+    pub fn objects(&self) -> Objects<'a> {
+        match &self.backing {
+            Backing::Maps { objects, .. } => Objects::Maps(objects.values()),
+            Backing::Indexed(state) => Objects::Arena(state.objects().iter()),
+        }
     }
 
     /// Live transactions requesting `o`, in id order.
+    ///
+    /// With an indexed backing this reads the engine's per-object
+    /// requester index in O(answer); the maps backing scans the live set.
     pub fn requesters_of(&self, o: ObjectId) -> Vec<TxnId> {
-        self.live
-            .values()
-            .filter(|lt| lt.txn.uses(o))
-            .map(|lt| lt.txn.id)
-            .collect()
+        match &self.backing {
+            Backing::Maps { live, .. } => live
+                .values()
+                .filter(|lt| lt.txn.uses(o))
+                .map(|lt| lt.txn.id)
+                .collect(),
+            Backing::Indexed(state) => state.requesters_of(o).collect(),
+        }
+    }
+
+    /// Live transactions conflicting with `txn` (sharing at least one
+    /// object, `txn` itself excluded), in id order — the neighbors of
+    /// `txn` among `T_t` in the dependency graph `H'_t`.
+    ///
+    /// With an indexed backing this is the union of the requester sets of
+    /// `txn`'s objects; the maps backing scans the live set. Both arms
+    /// produce the same transactions in the same order
+    /// ([`dtm_model::Transaction::shares_objects`] is exactly object-set
+    /// intersection).
+    pub fn conflicting_live(&self, txn: &Transaction) -> Vec<&'a LiveTxn> {
+        match &self.backing {
+            Backing::Maps { live, .. } => live
+                .values()
+                .filter(|lt| lt.txn.id != txn.id && txn.shares_objects(&lt.txn))
+                .collect(),
+            Backing::Indexed(state) => {
+                let mut ids: BTreeSet<TxnId> = BTreeSet::new();
+                for o in txn.objects() {
+                    ids.extend(state.requesters_of(o));
+                }
+                ids.remove(&txn.id);
+                ids.iter()
+                    .map(|&id| state.txns().get(id).expect("requester index is live"))
+                    .collect()
+            }
+        }
+    }
+
+    /// The [`StepDelta`] accumulated since the previous policy
+    /// invocation, if this view is backed by the engine's indexed state.
+    /// `None` (maps backing) means callers must rebuild their caches.
+    pub fn step_delta(&self) -> Option<&'a StepDelta> {
+        match &self.backing {
+            Backing::Maps { .. } => None,
+            Backing::Indexed(state) => Some(state.delta()),
+        }
+    }
+}
+
+/// Id-ordered iterator over live transactions (see
+/// [`SystemView::live_txns`]).
+pub enum LiveTxns<'a> {
+    /// Scanning a legacy map backing.
+    Maps(btree_map::Values<'a, TxnId, LiveTxn>),
+    /// Walking the arena's live-id set.
+    Arena(TxnIter<'a>),
+}
+
+impl<'a> Iterator for LiveTxns<'a> {
+    type Item = &'a LiveTxn;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            LiveTxns::Maps(it) => it.next(),
+            LiveTxns::Arena(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            LiveTxns::Maps(it) => it.size_hint(),
+            LiveTxns::Arena(it) => it.size_hint(),
+        }
+    }
+}
+
+/// Id-ordered iterator over objects (see [`SystemView::objects`]).
+pub enum Objects<'a> {
+    /// Scanning a legacy map backing.
+    Maps(btree_map::Values<'a, ObjectId, ObjectState>),
+    /// Walking the arena slots.
+    Arena(ObjectIter<'a>),
+}
+
+impl<'a> Iterator for Objects<'a> {
+    type Item = &'a ObjectState;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Objects::Maps(it) => it.next(),
+            Objects::Arena(it) => it.next(),
+        }
     }
 }
 
@@ -225,5 +353,70 @@ mod tests {
         assert_eq!(view.live(TxnId(1)).unwrap().scheduled, Some(5));
         assert!(view.object(ObjectId(0)).is_some());
         assert!(view.object(ObjectId(1)).is_none());
+    }
+
+    /// The two backings must answer every query identically: this builds
+    /// the same population both ways and compares all query results.
+    #[test]
+    fn maps_and_indexed_backings_agree() {
+        let net = topology::line(8);
+        let txns = [
+            Transaction::new(TxnId(0), NodeId(0), [ObjectId(0), ObjectId(1)], 0),
+            Transaction::new(TxnId(2), NodeId(3), [ObjectId(1)], 0),
+            Transaction::new(TxnId(5), NodeId(6), [ObjectId(0), ObjectId(2)], 0),
+            Transaction::new(TxnId(7), NodeId(1), [ObjectId(3)], 0),
+        ];
+        let mut live = BTreeMap::new();
+        let mut state = RuntimeState::new();
+        for (i, t) in txns.iter().enumerate() {
+            let lt = LiveTxn {
+                txn: t.clone(),
+                scheduled: (i % 2 == 0).then_some(10 + i as Time),
+            };
+            live.insert(t.id, lt.clone());
+            state.insert_txn(lt);
+        }
+        let mut objects = BTreeMap::new();
+        for o in 0..4u32 {
+            let st = ObjectState {
+                info: ObjectInfo {
+                    id: ObjectId(o),
+                    origin: NodeId(o),
+                    created_at: 0,
+                },
+                place: ObjectPlace::At(NodeId(o)),
+                last_holder: None,
+            };
+            objects.insert(ObjectId(o), st.clone());
+            state.insert_object(st);
+        }
+        let maps = SystemView::new(4, &net, &live, &objects);
+        let indexed = SystemView::from_state(4, &net, &state);
+
+        assert_eq!(maps.live_count(), indexed.live_count());
+        let ids =
+            |v: &SystemView<'_>| -> Vec<TxnId> { v.live_txns().map(|lt| lt.txn.id).collect() };
+        assert_eq!(ids(&maps), ids(&indexed));
+        let objs =
+            |v: &SystemView<'_>| -> Vec<ObjectId> { v.objects().map(|st| st.info.id).collect() };
+        assert_eq!(objs(&maps), objs(&indexed));
+        for o in 0..5u32 {
+            assert_eq!(
+                maps.requesters_of(ObjectId(o)),
+                indexed.requesters_of(ObjectId(o)),
+                "requesters of {o}"
+            );
+        }
+        for t in &txns {
+            let a: Vec<TxnId> = maps.conflicting_live(t).iter().map(|l| l.txn.id).collect();
+            let b: Vec<TxnId> = indexed
+                .conflicting_live(t)
+                .iter()
+                .map(|l| l.txn.id)
+                .collect();
+            assert_eq!(a, b, "conflicts of {}", t.id);
+        }
+        assert!(maps.step_delta().is_none());
+        assert!(indexed.step_delta().is_some());
     }
 }

@@ -204,17 +204,16 @@ pub fn validate_events(
             } => {
                 match pos.get(&object) {
                     Some(&Pos::At(v)) if v == from => {}
-                    _ => {
-                        return Err(ValidationError::TeleportDeparture { object, from, t })
-                    }
+                    _ => return Err(ValidationError::TeleportDeparture { object, from, t }),
                 }
-                let w = network
-                    .graph()
-                    .edge_weight(from, to)
-                    .ok_or(ValidationError::NoSuchEdge {
-                        object,
-                        edge: (from, to),
-                    })?;
+                let w =
+                    network
+                        .graph()
+                        .edge_weight(from, to)
+                        .ok_or(ValidationError::NoSuchEdge {
+                            object,
+                            edge: (from, to),
+                        })?;
                 let expected = t + w * cfg.speed_divisor;
                 if arrive != expected {
                     return Err(ValidationError::BadTravelTime {
@@ -268,9 +267,7 @@ pub fn validate_events(
                 for o in tx.objects() {
                     match pos.get(&o) {
                         Some(&Pos::At(v)) if v == node => {}
-                        _ => {
-                            return Err(ValidationError::ObjectMissing { txn, object: o, t })
-                        }
+                        _ => return Err(ValidationError::ObjectMissing { txn, object: o, t }),
                     }
                     if let Some(&other) = step_objects.get(&o) {
                         return Err(ValidationError::ConflictSameStep {
@@ -292,7 +289,10 @@ pub fn validate_events(
         validate_capacity(result, cap)?;
     }
     if cfg.require_all_committed {
-        let unfinished = gen_time.keys().filter(|t| !committed.contains_key(t)).count();
+        let unfinished = gen_time
+            .keys()
+            .filter(|t| !committed.contains_key(t))
+            .count();
         if unfinished > 0 {
             return Err(ValidationError::Unfinished { count: unfinished });
         }
@@ -303,19 +303,23 @@ pub fn validate_events(
 /// Validate capacity precisely: recount concurrent edge occupancy over time
 /// from the event log. Separate pass because occupancy requires interval
 /// overlap accounting.
-pub fn validate_capacity(
-    result: &RunResult,
-    capacity: u32,
-) -> Result<(), ValidationError> {
+pub fn validate_capacity(result: &RunResult, capacity: u32) -> Result<(), ValidationError> {
     // Collect (edge, start, end) intervals.
     let mut intervals: HashMap<(NodeId, NodeId), Vec<(Time, Time)>> = HashMap::new();
     let key = |a: NodeId, b: NodeId| if a <= b { (a, b) } else { (b, a) };
     for e in &result.events {
         if let Event::Departed {
-            t, from, to, arrive, ..
+            t,
+            from,
+            to,
+            arrive,
+            ..
         } = *e
         {
-            intervals.entry(key(from, to)).or_default().push((t, arrive));
+            intervals
+                .entry(key(from, to))
+                .or_default()
+                .push((t, arrive));
         }
     }
     for (edge, mut ivs) in intervals {
@@ -366,16 +370,18 @@ mod tests {
     }
 
     fn txn(id: u64, home: u32, objs: &[u32]) -> Transaction {
-        Transaction::new(TxnId(id), NodeId(home), objs.iter().map(|&o| ObjectId(o)), 0)
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            0,
+        )
     }
 
     #[test]
     fn valid_run_passes() {
         let net = topology::line(4);
-        let inst = Instance::new(
-            vec![obj(0, 0)],
-            vec![txn(0, 2, &[0]), txn(1, 3, &[0])],
-        );
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0]), txn(1, 3, &[0])]);
         let res = run_policy(
             &net,
             TraceSource::new(inst),
@@ -446,7 +452,12 @@ mod tests {
             speed_divisor: 3,
             ..EngineConfig::default()
         };
-        let res = run_policy(&net, TraceSource::new(inst), Fixed([(TxnId(0), 6)].into()), cfg);
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            Fixed([(TxnId(0), 6)].into()),
+            cfg,
+        );
         res.expect_ok();
         let vcfg = ValidationConfig {
             speed_divisor: 3,

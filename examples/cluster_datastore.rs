@@ -64,7 +64,10 @@ fn main() {
     }
 
     let s = stats.lock();
-    println!("\nbucket telemetry (Lemma 3 bound: level <= {}):", network.max_bucket_level());
+    println!(
+        "\nbucket telemetry (Lemma 3 bound: level <= {}):",
+        network.max_bucket_level()
+    );
     let mut per_level: std::collections::BTreeMap<u32, usize> = Default::default();
     for &lvl in s.levels.values() {
         *per_level.entry(lvl).or_insert(0) += 1;

@@ -47,9 +47,7 @@ fn main() {
         .map(|t| Transaction::new(t.id, t.home, t.objects(), 0))
         .collect();
     let batch_instance = Instance::new(objects, batch_txns);
-    let ctx = BatchContext::fresh(
-        batch_instance.objects.iter().map(|o| (o.id, o.origin)),
-    );
+    let ctx = BatchContext::fresh(batch_instance.objects.iter().map(|o| (o.id, o.origin)));
 
     println!(
         "line(16), one hot object at n8, requesters at {homes:?},\n\
@@ -87,7 +85,10 @@ fn main() {
         EngineConfig::default(),
     );
     res.expect_ok();
-    println!("{:<22} {:>9}", "online greedy (Alg 1)", res.metrics.makespan);
+    println!(
+        "{:<22} {:>9}",
+        "online greedy (Alg 1)", res.metrics.makespan
+    );
 
     println!(
         "\nThe gap between row 3 and row 1 is the *price of being online*.\n\

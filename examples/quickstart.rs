@@ -43,7 +43,11 @@ fn main() {
     for (txn, time) in result.schedule.by_time() {
         let tx = &result.txns[&txn];
         let objs: Vec<String> = tx.objects().map(|o| o.to_string()).collect();
-        println!("  {txn} @ node {} needs [{}] -> t={time}", tx.home, objs.join(", "));
+        println!(
+            "  {txn} @ node {} needs [{}] -> t={time}",
+            tx.home,
+            objs.join(", ")
+        );
     }
     println!("\nmakespan            : {}", result.metrics.makespan);
     println!("mean latency        : {:.2}", result.metrics.latency.mean);

@@ -6,9 +6,7 @@
 //! # topology: clique | line | grid | hypercube | star | cluster (default: grid)
 //! ```
 
-use dtm_core::{
-    BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy,
-};
+use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::{topology, Network};
 use dtm_model::{ClosedLoopSource, WorkloadSpec};
 use dtm_offline::{ClusterScheduler, LineScheduler, ListScheduler, StarScheduler};
@@ -64,9 +62,19 @@ fn main() {
         "policy", "makespan", "mean-lat", "max-lat", "comm"
     );
     let mut runs: Vec<RunResult> = vec![
-        run_one(&net, &spec, Box::new(GreedyPolicy::new()), EngineConfig::default()),
+        run_one(
+            &net,
+            &spec,
+            Box::new(GreedyPolicy::new()),
+            EngineConfig::default(),
+        ),
         run_one(&net, &spec, bucket_for(&net), EngineConfig::default()),
-        run_one(&net, &spec, Box::new(FifoPolicy::new()), EngineConfig::default()),
+        run_one(
+            &net,
+            &spec,
+            Box::new(FifoPolicy::new()),
+            EngineConfig::default(),
+        ),
         run_one(&net, &spec, Box::new(TspPolicy), EngineConfig::default()),
     ];
     // Algorithm 3: fully distributed (half-speed objects, sparse cover).

@@ -51,9 +51,7 @@ fn bucket_with_topology_substrate_on_all_topologies() {
             Some(Structured::Cluster { .. }) => {
                 Box::new(BucketPolicy::new(ClusterScheduler::default()))
             }
-            Some(Structured::Star { .. }) => {
-                Box::new(BucketPolicy::new(StarScheduler::default()))
-            }
+            Some(Structured::Star { .. }) => Box::new(BucketPolicy::new(StarScheduler::default())),
             _ => Box::new(BucketPolicy::new(ListScheduler::fifo())),
         }
     });

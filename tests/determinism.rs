@@ -37,8 +37,7 @@ fn different_seeds_differ() {
 fn bucket_is_deterministic() {
     let net = topology::line(16);
     let mk = || {
-        let src =
-            ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 9);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 9);
         run_policy(
             &net,
             src,
@@ -59,8 +58,7 @@ fn randomized_batch_scheduler_is_seeded() {
     // bucket runs around it must agree exactly.
     let net = topology::star(3, 4);
     let mk = || {
-        let src =
-            ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 2);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 2);
         run_policy(
             &net,
             src,
@@ -77,8 +75,7 @@ fn randomized_batch_scheduler_is_seeded() {
 fn fifo_is_deterministic() {
     let net = topology::clique(8);
     let mk = || {
-        let src =
-            ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 7);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 2, 7);
         run_policy(&net, src, FifoPolicy::new(), EngineConfig::default())
     };
     let (a, b) = (mk(), mk());
@@ -89,8 +86,7 @@ fn fifo_is_deterministic() {
 fn distributed_bucket_is_deterministic() {
     let net = topology::grid(&[4, 4]);
     let mk = || {
-        let src =
-            ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 1, 3);
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(6, 2), 1, 3);
         run_policy(
             &net,
             src,

@@ -83,14 +83,16 @@ fn protocol_accounting() {
     let res = run_policy(
         &net,
         src,
-        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 8)
-            .with_stats(Arc::clone(&stats)),
+        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 8).with_stats(Arc::clone(&stats)),
         dist_cfg(),
     );
     res.expect_ok();
     let s = stats.lock();
     assert_eq!(s.levels.len(), expected);
-    assert!(s.messages >= expected as u64 * 3, "discovery+report+notify each");
+    assert!(
+        s.messages >= expected as u64 * 3,
+        "discovery+report+notify each"
+    );
     for &layer in s.reports_per_layer.keys() {
         assert!(layer < cover_layers);
     }
@@ -114,8 +116,9 @@ fn half_speed_travel_times_validated() {
     // Correct divisor passes...
     validate_events(&net, &res, &dist_validation()).unwrap();
     // ...wrong divisor is caught.
-    assert!(validate_events(&net, &res, &ValidationConfig::default()).is_err()
-        || res.metrics.hops == 0);
+    assert!(
+        validate_events(&net, &res, &ValidationConfig::default()).is_err() || res.metrics.hops == 0
+    );
 }
 
 /// The distributed schedule costs more than the centralized bucket

@@ -28,7 +28,12 @@ fn full_pipeline(policy: Box<dyn SchedulingPolicy>) {
     let inst = online_workload(&net, 17);
     let n = inst.num_txns();
     inst.validate(&net).unwrap();
-    let res = run_policy(&net, TraceSource::new(inst), policy, EngineConfig::default());
+    let res = run_policy(
+        &net,
+        TraceSource::new(inst),
+        policy,
+        EngineConfig::default(),
+    );
     res.expect_ok();
     assert_eq!(res.metrics.committed, n);
     validate_events(&net, &res, &ValidationConfig::default()).unwrap();

@@ -3,15 +3,13 @@
 //! message-level distributed protocol, congestion analysis and timeline
 //! rendering — all exercised together through the public API.
 
-use dtm_core::{
-    AutoPolicy, DistributedMsgPolicy, GreedyPolicy, MsgStats, RandomizedBackoffPolicy,
-};
+use dtm_core::{AutoPolicy, DistributedMsgPolicy, GreedyPolicy, MsgStats, RandomizedBackoffPolicy};
 use dtm_graph::topology;
 use dtm_model::{presets, TraceSource, WorkloadGenerator};
 use dtm_offline::ListScheduler;
 use dtm_sim::{
-    edge_congestion, peak_congestion, render_timeline, run_policy, validate_events,
-    EngineConfig, TimelineOptions, ValidationConfig,
+    edge_congestion, peak_congestion, render_timeline, run_policy, validate_events, EngineConfig,
+    TimelineOptions, ValidationConfig,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -42,8 +40,7 @@ fn bank_benchmark_under_all_extension_policies() {
 #[test]
 fn social_graph_congestion_analysis() {
     let net = topology::grid(&[5, 5]);
-    let inst =
-        WorkloadGenerator::new(presets::social_graph(50, 2, 0.2, 20), 2).generate(&net);
+    let inst = WorkloadGenerator::new(presets::social_graph(50, 2, 0.2, 20), 2).generate(&net);
     let res = run_policy(
         &net,
         TraceSource::new(inst),
@@ -75,8 +72,7 @@ fn inventory_benchmark_message_level_protocol() {
     let res = run_policy(
         &net,
         TraceSource::new(inst),
-        DistributedMsgPolicy::new(&net, ListScheduler::fifo(), 9)
-            .with_stats(Arc::clone(&stats)),
+        DistributedMsgPolicy::new(&net, ListScheduler::fifo(), 9).with_stats(Arc::clone(&stats)),
         DistributedMsgPolicy::<ListScheduler>::engine_config(),
     );
     res.expect_ok();

@@ -1,0 +1,157 @@
+//! Golden-trace regression tests: every online policy runs a fixed
+//! seeded workload and its **full** commit schedule, metrics, and event
+//! log must match a checked-in snapshot.
+//!
+//! The snapshots under `tests/golden/` were generated from the engine
+//! *before* the arena/index refactor of the runtime spine; these tests
+//! pin the refactor to bit-identical behavior. Regenerate deliberately
+//! with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p dtm-integration --test golden_trace
+//! ```
+
+use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
+use dtm_graph::{topology, Network};
+use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
+use dtm_offline::ListScheduler;
+use dtm_sim::{run_policy, EngineConfig, RunResult, SchedulingPolicy};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The fixed scenario: 4x4 grid, 8 objects, k=2 accesses, Bernoulli
+/// arrivals over 40 steps, generator seed 2024.
+fn scenario() -> (Network, dtm_model::Instance) {
+    let net = topology::grid(&[4, 4]);
+    let spec = WorkloadSpec {
+        num_objects: 8,
+        k: 2,
+        object_choice: ObjectChoice::Uniform,
+        arrival: ArrivalProcess::Bernoulli {
+            rate: 0.25,
+            horizon: 40,
+        },
+    };
+    let inst = WorkloadGenerator::new(spec, 2024).generate(&net);
+    inst.validate(&net).expect("scenario instance is valid");
+    (net, inst)
+}
+
+/// FNV-1a over a string; stable across platforms and sessions.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical, line-oriented rendering of everything the refactor must
+/// preserve. The event log is folded into a hash to keep snapshots small
+/// while still pinning every hop and commit event.
+fn render(result: &RunResult) -> String {
+    let mut out = String::new();
+    writeln!(out, "policy: {}", result.policy).unwrap();
+    writeln!(out, "violations: {}", result.violations.len()).unwrap();
+    writeln!(out, "schedule:").unwrap();
+    for (txn, time) in result.schedule.iter() {
+        writeln!(out, "  {txn} -> {time}").unwrap();
+    }
+    writeln!(out, "commits:").unwrap();
+    for (txn, time) in &result.commits {
+        writeln!(out, "  {txn} @ {time}").unwrap();
+    }
+    let m = &result.metrics;
+    writeln!(
+        out,
+        "metrics: makespan={} committed={} comm_cost={} hops={} peak_live={} steps={}",
+        m.makespan, m.committed, m.comm_cost, m.hops, m.peak_live, m.steps
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "latency: count={} mean={:.6} p50={} p95={} max={}",
+        m.latency.count, m.latency.mean, m.latency.p50, m.latency.p95, m.latency.max
+    )
+    .unwrap();
+    let events_text: String = result.events.iter().map(|e| format!("{e:?}\n")).collect();
+    writeln!(
+        out,
+        "events: n={} fnv64={:016x}",
+        result.events.len(),
+        fnv64(&events_text)
+    )
+    .unwrap();
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, policy: Box<dyn SchedulingPolicy>, config: EngineConfig) {
+    let (net, inst) = scenario();
+    let n = inst.num_txns();
+    let res = run_policy(&net, TraceSource::new(inst), policy, config);
+    res.expect_ok();
+    assert_eq!(res.metrics.committed, n, "{name}: lost transactions");
+    let rendered = render(&res);
+    let path = golden_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with BLESS_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "{name}: run diverged from the pre-refactor golden snapshot"
+    );
+}
+
+#[test]
+fn golden_greedy() {
+    check_golden(
+        "greedy",
+        Box::new(GreedyPolicy::new()),
+        EngineConfig::default(),
+    );
+}
+
+#[test]
+fn golden_bucket() {
+    check_golden(
+        "bucket",
+        Box::new(BucketPolicy::new(ListScheduler::fifo())),
+        EngineConfig::default(),
+    );
+}
+
+#[test]
+fn golden_distributed_bucket() {
+    let (net, _) = scenario();
+    check_golden(
+        "distributed_bucket",
+        Box::new(DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 7)),
+        DistributedBucketPolicy::<ListScheduler>::engine_config(),
+    );
+}
+
+#[test]
+fn golden_fifo() {
+    check_golden("fifo", Box::new(FifoPolicy::new()), EngineConfig::default());
+}
+
+#[test]
+fn golden_tsp() {
+    check_golden("tsp", Box::new(TspPolicy), EngineConfig::default());
+}

@@ -10,9 +10,7 @@ use dtm_offline::{
     validate_batch_schedule, BatchContext, BatchScheduler, CliqueScheduler, ClusterScheduler,
     LineScheduler, ListScheduler, StarScheduler, TspScheduler,
 };
-use dtm_sim::{
-    run_policy, validate_events, EngineConfig, FixedSchedulePolicy, ValidationConfig,
-};
+use dtm_sim::{run_policy, validate_events, EngineConfig, FixedSchedulePolicy, ValidationConfig};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;

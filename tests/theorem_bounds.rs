@@ -95,10 +95,7 @@ fn theorem2_uniform_bound() {
 /// Lemma 3 (levels) and Lemma 4 (deadlines) for the bucket schedule.
 #[test]
 fn bucket_lemmas_on_line_and_grid() {
-    for (net, line) in [
-        (topology::line(32), true),
-        (topology::grid(&[5, 5]), false),
-    ] {
+    for (net, line) in [(topology::line(32), true), (topology::grid(&[5, 5]), false)] {
         let stats = Arc::new(Mutex::new(BucketStats::default()));
         let spec = WorkloadSpec {
             num_objects: 8,
@@ -148,12 +145,7 @@ fn bucket_lemmas_on_line_and_grid() {
 fn theorem3_ratio_shape() {
     let ratio_for = |n: u32, k: usize| -> f64 {
         let net = topology::clique(n);
-        let src = ClosedLoopSource::new(
-            net.clone(),
-            WorkloadSpec::batch_uniform(n, k),
-            2,
-            77,
-        );
+        let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(n, k), 2, 77);
         let res = run_policy(&net, src, GreedyPolicy::uniform(1), EngineConfig::default());
         res.expect_ok();
         competitive_ratio(&net, &res).max_ratio
@@ -178,12 +170,7 @@ fn theorem3_ratio_shape() {
 #[test]
 fn ratio_at_least_one_under_contention() {
     let net = topology::line(16);
-    let src = ClosedLoopSource::new(
-        net.clone(),
-        WorkloadSpec::batch_uniform(4, 2),
-        2,
-        13,
-    );
+    let src = ClosedLoopSource::new(net.clone(), WorkloadSpec::batch_uniform(4, 2), 2, 13);
     let res = run_policy(&net, src, GreedyPolicy::new(), EngineConfig::default());
     res.expect_ok();
     let r = competitive_ratio(&net, &res);

@@ -1,0 +1,297 @@
+//! Offline stand-in for `criterion`, covering this workspace's bench
+//! surface: `Criterion::default()` with the `sample_size` /
+//! `measurement_time` / `warm_up_time` builders, `bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a warm-up phase calibrates the per-iteration cost,
+//! then `sample_size` samples are collected, each timing a batch of
+//! iterations sized so the whole measurement phase fits in
+//! `measurement_time`. Results (mean / median / min / max ns per
+//! iteration) are printed per benchmark; when the `CRITERION_SUMMARY_PATH`
+//! environment variable is set, one JSON object per benchmark is appended
+//! to that file (JSON-lines).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times the routine
+/// in isolation regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Duration of the warm-up / calibration phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark. `routine` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`] exactly once.
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut bencher);
+        let stats = Stats::from_samples(&bencher.samples_ns);
+        println!(
+            "{name}: mean {} median {} (min {}, max {}, {} samples)",
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.samples,
+        );
+        if let Ok(path) = std::env::var("CRITERION_SUMMARY_PATH") {
+            append_summary(&path, name, &stats);
+        }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in calibrated batches.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up doubles as calibration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = iters_per_sample(per_iter, self.measurement_time, self.sample_size);
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup cost is
+    /// excluded from the timings.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        let mut warm_spent = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_spent < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters as f64;
+        let iters = iters_per_sample(per_iter, self.measurement_time, self.sample_size);
+
+        for _ in 0..self.sample_size {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                spent += t.elapsed();
+            }
+            self.samples_ns.push(spent.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn iters_per_sample(per_iter_secs: f64, measurement: Duration, samples: usize) -> u64 {
+    let per_sample_budget = measurement.as_secs_f64() / samples as f64;
+    let iters = (per_sample_budget / per_iter_secs.max(1e-9)).floor() as u64;
+    iters.clamp(1, 1_000_000)
+}
+
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+impl Stats {
+    fn from_samples(samples: &[f64]) -> Stats {
+        assert!(
+            !samples.is_empty(),
+            "bench closure never called Bencher::iter / iter_batched"
+        );
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let mid = sorted.len() / 2;
+        let median = if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        };
+        Stats {
+            mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            median_ns: median,
+            min_ns: sorted[0],
+            max_ns: *sorted.last().expect("non-empty"),
+            samples: sorted.len(),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+fn append_summary(path: &str, name: &str, stats: &Stats) {
+    use std::io::Write;
+    let line = format!(
+        "{{\"bench\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        stats.mean_ns,
+        stats.median_ns,
+        stats.min_ns,
+        stats.max_ns,
+        stats.samples,
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: cannot append summary to {path}: {e}");
+    }
+}
+
+/// Define a bench group: either `criterion_group!(name, target, ...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("shim/self-test", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7))
+        });
+    }
+
+    #[test]
+    fn iter_batched_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(40))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("shim/batched-self-test", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn stats_median_even_count() {
+        let s = Stats::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median_ns, 2.5);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 4.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the `proptest!` macro over `#[test]` functions whose arguments
+//! are drawn from integer-range, tuple, and `collection::vec` strategies,
+//! plus `prop_assert!` / `prop_assert_eq!` and `ProptestConfig::with_cases`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case index, and the run is deterministic (the RNG is seeded from the
+//! test function's name), so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+/// Runner configuration; only `cases` is consulted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Upstream defaults to 256 cases; this shim defaults lower to keep
+    /// suite wall-time reasonable without shrinking support. Call sites
+    /// that need a specific count set it via `with_cases`.
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG behind case generation.
+
+    /// SplitMix64 generator: tiny, fast, and good enough for drawing
+    //  test cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a label (the test function name),
+        /// so each test draws an independent but reproducible stream.
+        pub fn for_label(label: &str) -> Self {
+            // FNV-1a over the label.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+
+    /// Draw a value for one macro-bound argument.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draw one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    ((self.start as u128) + ((rng.next_u64() as u128) % span)) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    ((lo as u128) + ((rng.next_u64() as u128) % span)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.pick(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with length drawn from `size` and elements
+    /// from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy over an element strategy and a length range.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(40))]
+///     #[test]
+///     fn holds(x in 0u64..100, pair in (0u32..4, 1u32..9)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `#[test] fn` in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_label(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng; $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Internal: turn `name in strategy, ...` argument lists into `let`
+/// bindings. Strategy expressions are accumulated token-by-token up to a
+/// top-level comma (commas inside parentheses are hidden inside token
+/// groups, so tuple and call strategies split correctly).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident in $($rest:tt)+) => {
+        $crate::__proptest_bind!(@acc $rng, $arg, (); $($rest)+);
+    };
+    (@acc $rng:ident, $arg:ident, ($($strat:tt)+);) => {
+        let $arg = $crate::strategy::Strategy::pick(&($($strat)+), &mut $rng);
+    };
+    (@acc $rng:ident, $arg:ident, ($($strat:tt)+); , $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::pick(&($($strat)+), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    (@acc $rng:ident, $arg:ident, ($($strat:tt)*); $tok:tt $($rest:tt)*) => {
+        $crate::__proptest_bind!(@acc $rng, $arg, ($($strat)* $tok); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0u8..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Tuple and vec strategies compose; trailing commas accepted.
+        #[test]
+        fn composite_strategies(
+            pair in (0u64..60, 1u64..12),
+            raw in crate::collection::vec((0u64..60, 1u64..12), 0..10),
+        ) {
+            prop_assert!(pair.0 < 60 && (1..12).contains(&pair.1));
+            prop_assert!(raw.len() < 10);
+            for (a, b) in raw {
+                prop_assert!(a < 60);
+                prop_assert!((1..12).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = crate::test_runner::TestRng::for_label("t");
+        let mut b = crate::test_runner::TestRng::for_label("t");
+        assert_eq!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for `rayon`: `par_iter()` and friends degrade to the
+//! corresponding *sequential* std iterators. Every adaptor the real
+//! ParallelIterator shares with std's Iterator (`map`, `filter`,
+//! `collect`, ...) then just works, with identical results — the
+//! workspace's uses of rayon are embarrassingly parallel reductions whose
+//! output does not depend on execution order.
+
+#![forbid(unsafe_code)]
+
+/// `use rayon::prelude::*` — mirror of rayon's prelude.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Items yielded.
+    type Item;
+    /// "Parallel" iteration (sequential here).
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Items yielded.
+    type Item: 'a;
+    /// `.par_iter()` (sequential here).
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Items yielded.
+    type Item: 'a;
+    /// `.par_iter_mut()` (sequential here).
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_maps_and_collects() {
+        let xs = vec![1, 2, 3];
+        let ys: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, vec![2, 4, 6]);
+    }
+}

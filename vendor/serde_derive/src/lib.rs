@@ -1,0 +1,387 @@
+//! Offline stand-in for `serde_derive`. Parses the item token stream by
+//! hand (no `syn`/`quote` available offline) and emits `Serialize` /
+//! `Deserialize` impls against the local `serde` shim's value-tree model.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * non-generic named structs, tuple structs and unit structs;
+//! * non-generic enums with unit, tuple and struct variants.
+//!
+//! Generic types are rejected with a compile-time panic rather than
+//! silently miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree encoder).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree decoder).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- item model -----------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields: only the arity matters.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        kw => panic!("cannot derive serde impls for `{kw}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments arrive in this form too).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // the `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` and friends.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas. Tracks `<...>` nesting
+/// manually: angle brackets are plain puncts in a token stream, so a comma
+/// inside `BTreeMap<K, V>` is *not* protected by a delimiter group.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("non-empty").push(tok);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let fields = match seg.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---- code generation ------------------------------------------------------
+
+/// Expression serializing named fields reachable as `{prefix}{field}`
+/// (e.g. `&self.foo` or a pattern binding `foo`).
+fn ser_named_object(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        pairs.join(", ")
+    )
+}
+
+fn ser_tuple_array(n: usize, access: impl Fn(usize) -> String) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Serialize::to_value({})", access(i)))
+        .collect();
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(n) => ser_tuple_array(*n, |i| format!("&self.{i}")),
+                Fields::Named(fs) => ser_named_object(fs, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = ser_tuple_array(*n, |i| format!("f{i}"));
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), {payload})])),",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let payload = ser_named_object(fs, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), {payload})])),",
+                                fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Expression decoding named fields out of object expression `{src}`
+/// into a `Name { ... }` / `Name::Variant { ... }` constructor body.
+fn de_named_ctor(fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\")\
+                 .unwrap_or(&::serde::Value::Null))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn de_tuple_ctor(n: usize, items: &str) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{items}[{i}])?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(n) => format!(
+                    "let items = v.as_array().ok_or_else(|| \
+                         ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                     if items.len() != {n} {{\n\
+                         return Err(::serde::Error::msg(\"wrong arity for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    de_tuple_ctor(*n, "items")
+                ),
+                Fields::Named(fs) => format!(
+                    "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                         return Err(::serde::Error::msg(\"expected object for {name}\"));\n\
+                     }}\n\
+                     Ok({name} {{\n{}\n}})",
+                    de_named_ctor(fs, "v")
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(n) => Some(format!(
+                            "\"{vn}\" => {{\n\
+                                 let items = payload.as_array().ok_or_else(|| \
+                                     ::serde::Error::msg(\"expected array payload for {name}::{vn}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }}",
+                            de_tuple_ctor(*n, "items")
+                        )),
+                        Fields::Named(fs) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{}\n}}),",
+                            de_named_ctor(fs, "payload")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::Error::msg(::std::format!(\n\
+                                     \"unknown unit variant {{other}} for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::Error::msg(::std::format!(\n\
+                                         \"unknown variant {{other}} for {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::msg(\"expected enum encoding for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    }
+}
