@@ -12,11 +12,14 @@ use dtm_model::{
 };
 use dtm_offline::{batch_lower_bound, BatchContext, BatchScheduler, ListScheduler};
 use dtm_sim::{
-    run_policy, EngineConfig, LiveTxn, ObjectPlace, ObjectState, RuntimeState, SystemView,
+    run_policy, Engine, EngineConfig, LiveTxn, ObjectPlace, ObjectState, RuntimeState, SystemView,
 };
+use dtm_telemetry::{MetricsRegistry, TelemetrySink};
+use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn bench_dijkstra(c: &mut Criterion) {
     let net = topology::grid(&[32, 32]);
@@ -183,6 +186,22 @@ fn bench_engine_run(c: &mut Criterion) {
             std::hint::black_box(res.metrics.committed)
         })
     });
+    // Same run with a live telemetry sink attached (default timing
+    // sampling): the observability overhead budget is <= 2% of the bare
+    // engine row above.
+    c.bench_function(
+        "substrate/engine/greedy-hypercube8-1000steps-telemetry",
+        |b| {
+            b.iter(|| {
+                let registry = Arc::new(MetricsRegistry::new());
+                let sink = Arc::new(Mutex::new(TelemetrySink::new(Arc::clone(&registry))));
+                let res = Engine::new(net.clone(), GreedyPolicy::new(), cfg.clone())
+                    .with_observer(Arc::clone(&sink))
+                    .run(TraceSource::new(inst.clone()));
+                std::hint::black_box(res.metrics.committed)
+            })
+        },
+    );
 }
 
 fn config() -> Criterion {

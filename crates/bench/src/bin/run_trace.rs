@@ -2,9 +2,12 @@
 //! and report metrics plus the conservative competitive-ratio estimate.
 //!
 //! ```text
-//! cargo run -p dtm-bench --release --bin run_trace -- trace.json [policy] [--timeline]
+//! cargo run -p dtm-bench --release --bin run_trace -- trace.json [policy] \
+//!     [--timeline] [--emit-trace run.jsonl]
 //! # policy: greedy | bucket | fifo | tsp | distributed (default: greedy)
 //! # --timeline additionally renders the per-object ASCII Gantt chart
+//! # --emit-trace writes the full structured run trace (JSONL) for
+//! #   trace_report / Perfetto conversion
 //! ```
 
 use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
@@ -12,8 +15,11 @@ use dtm_graph::{topology, Network};
 use dtm_model::{Instance, TraceSource};
 use dtm_offline::{competitive_ratio, ListScheduler};
 use dtm_sim::{
-    run_policy, validate_events, EngineConfig, RunResult, SchedulingPolicy, ValidationConfig,
+    validate_events, Engine, EngineConfig, RunResult, SchedulingPolicy, ValidationConfig,
 };
+use dtm_telemetry::{decision_trace, MetricsRegistry, RunTrace, TelemetrySink};
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 fn network_from(name: &str) -> Network {
     match name {
@@ -26,10 +32,33 @@ fn network_from(name: &str) -> Network {
     }
 }
 
+/// Value following `flag` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run_with_observers(
+    net: &Network,
+    instance: Instance,
+    policy: Box<dyn SchedulingPolicy>,
+    config: EngineConfig,
+    sink: Option<Arc<Mutex<TelemetrySink>>>,
+) -> RunResult {
+    let mut engine = Engine::new(net.clone(), policy, config);
+    if let Some(sink) = sink {
+        engine = engine.with_observer(sink);
+    }
+    engine.run(TraceSource::new(instance))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let path = args.get(1).expect("usage: run_trace <trace.json> [policy]");
     let policy_name = args.get(2).cloned().unwrap_or_else(|| "greedy".into());
+    let emit_trace = flag_value(&args, "--emit-trace");
     let raw = std::fs::read_to_string(path).expect("readable trace file");
     let doc: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
     let topo = doc["topology"].as_str().expect("topology field");
@@ -38,56 +67,79 @@ fn main() {
     let net = network_from(topo);
     instance.validate(&net).expect("trace matches topology");
 
-    let (res, vcfg): (RunResult, ValidationConfig) = match policy_name.as_str() {
-        "bucket" => (
-            run_policy(
-                &net,
-                TraceSource::new(instance),
-                Box::new(BucketPolicy::new(ListScheduler::fifo())) as Box<dyn SchedulingPolicy>,
-                EngineConfig::default(),
-            ),
-            ValidationConfig::default(),
-        ),
-        "fifo" => (
-            run_policy(
-                &net,
-                TraceSource::new(instance),
-                Box::new(FifoPolicy::new()),
-                EngineConfig::default(),
-            ),
-            ValidationConfig::default(),
-        ),
-        "tsp" => (
-            run_policy(
-                &net,
-                TraceSource::new(instance),
-                Box::new(TspPolicy),
-                EngineConfig::default(),
-            ),
-            ValidationConfig::default(),
-        ),
-        "distributed" => (
-            run_policy(
-                &net,
-                TraceSource::new(instance),
-                Box::new(DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 7)),
-                DistributedBucketPolicy::<ListScheduler>::engine_config(),
-            ),
-            ValidationConfig {
-                speed_divisor: 2,
-                ..ValidationConfig::default()
-            },
-        ),
-        _ => (
-            run_policy(
-                &net,
-                TraceSource::new(instance),
-                Box::new(GreedyPolicy::new()),
-                EngineConfig::default(),
-            ),
-            ValidationConfig::default(),
-        ),
-    };
+    // Observability side channels: only attached when a structured trace
+    // was requested, so the plain replay path stays identical to before.
+    let registry = Arc::new(MetricsRegistry::new());
+    let decisions = decision_trace();
+    let sink = emit_trace
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(TelemetrySink::new(Arc::clone(&registry)))));
+    let trace_on = emit_trace.is_some();
+    let dt = |on: bool| on.then(|| Arc::clone(&decisions));
+
+    let (policy, config, vcfg): (Box<dyn SchedulingPolicy>, EngineConfig, ValidationConfig) =
+        match policy_name.as_str() {
+            "bucket" => {
+                let mut p = BucketPolicy::new(ListScheduler::fifo());
+                if let Some(d) = dt(trace_on) {
+                    p = p.with_decision_trace(d);
+                }
+                (
+                    Box::new(p),
+                    EngineConfig::default(),
+                    ValidationConfig::default(),
+                )
+            }
+            "fifo" => {
+                let mut p = FifoPolicy::new();
+                if let Some(d) = dt(trace_on) {
+                    p = p.with_decision_trace(d);
+                }
+                (
+                    Box::new(p),
+                    EngineConfig::default(),
+                    ValidationConfig::default(),
+                )
+            }
+            "tsp" => {
+                let mut p = TspPolicy::new();
+                if let Some(d) = dt(trace_on) {
+                    p = p.with_decision_trace(d);
+                }
+                (
+                    Box::new(p),
+                    EngineConfig::default(),
+                    ValidationConfig::default(),
+                )
+            }
+            "distributed" => {
+                let mut p = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 7);
+                if let Some(d) = dt(trace_on) {
+                    p = p.with_decision_trace(d);
+                }
+                (
+                    Box::new(p),
+                    DistributedBucketPolicy::<ListScheduler>::engine_config(),
+                    ValidationConfig {
+                        speed_divisor: 2,
+                        ..ValidationConfig::default()
+                    },
+                )
+            }
+            _ => {
+                let mut p = GreedyPolicy::new();
+                if let Some(d) = dt(trace_on) {
+                    p = p.with_decision_trace(d);
+                }
+                (
+                    Box::new(p),
+                    EngineConfig::default(),
+                    ValidationConfig::default(),
+                )
+            }
+        };
+
+    let res = run_with_observers(&net, instance, policy, config, sink.clone());
     res.expect_ok();
     validate_events(&net, &res, &vcfg).expect("execution validates");
     let ratio = competitive_ratio(&net, &res);
@@ -100,6 +152,17 @@ fn main() {
     println!("max latency     : {}", res.metrics.latency.max);
     println!("comm cost       : {}", res.metrics.comm_cost);
     println!("ratio (vs LB)   : {:.2}", ratio.max_ratio);
+    if let Some(out) = emit_trace {
+        let phases = sink.map(|s| s.lock().take_spans()).unwrap_or_default();
+        let trace = RunTrace::from_run(&res, phases, Some(&decisions.lock()));
+        std::fs::write(&out, trace.to_jsonl()).expect("trace file writable");
+        println!(
+            "trace           : {out} ({} events, {} decisions, {} phase spans)",
+            trace.events.len(),
+            trace.decisions.len(),
+            trace.phases.len()
+        );
+    }
     if args.iter().any(|a| a == "--timeline") {
         println!();
         print!(

@@ -90,7 +90,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         push(run_summary(
             net,
             wl(1200),
-            TspPolicy,
+            TspPolicy::new(),
             EngineConfig::default(),
         ));
     }

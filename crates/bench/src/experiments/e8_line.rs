@@ -87,7 +87,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         push(run_summary(
             &net,
             WorkloadKind::Trace(inst),
-            TspPolicy,
+            TspPolicy::new(),
             EngineConfig::default(),
         ));
     }

@@ -27,3 +27,15 @@ pub use table::Table;
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
+
+/// Parse the conventional `--telemetry <dir>` flag used by every
+/// experiment binary: when present, [`run_summary`] writes one
+/// `MetricsSnapshot` sidecar JSON per run into the directory (created on
+/// demand). See EXPERIMENTS.md, "Telemetry sidecars".
+pub fn telemetry_flag() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}

@@ -5,7 +5,11 @@
 use dtm_graph::Network;
 use dtm_model::{ClosedLoopSource, Instance, Time, TraceSource, WorkloadSpec};
 use dtm_offline::competitive_ratio;
-use dtm_sim::{run_policy, validate_events, EngineConfig, SchedulingPolicy, ValidationConfig};
+use dtm_sim::{
+    run_policy, validate_events, EngineConfig, RunResult, SchedulingPolicy, ValidationConfig,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A workload to run.
 #[derive(Clone, Debug)]
@@ -81,6 +85,9 @@ pub fn run_summary<P: SchedulingPolicy>(
         .unwrap_or_else(|e| panic!("event validation failed for {}: {e}", result.policy));
     let ratio = competitive_ratio(network, &result);
     let peak_edge_load = dtm_sim::peak_congestion(&result);
+    if let Some(dir) = crate::telemetry_flag() {
+        write_metrics_sidecar(&dir, network, &result).expect("telemetry sidecar writable");
+    }
     Summary {
         policy: result.policy.clone(),
         n: network.n(),
@@ -92,6 +99,42 @@ pub fn run_summary<P: SchedulingPolicy>(
         ratio: ratio.max_ratio,
         peak_edge_load,
     }
+}
+
+/// Process-wide sidecar sequence number, so repeated runs of the same
+/// (policy, network) pair within one experiment suite never collide.
+static SIDECAR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write one telemetry sidecar for `result` into `dir` (created on
+/// demand): a pretty-printed [`dtm_telemetry::MetricsSnapshot`] derived
+/// from the event log, tagged with the run identity. Returns the path.
+pub fn write_metrics_sidecar(
+    dir: &Path,
+    network: &Network,
+    result: &RunResult,
+) -> std::io::Result<PathBuf> {
+    use serde::{Serialize, Value};
+    std::fs::create_dir_all(dir)?;
+    let registry = dtm_telemetry::MetricsRegistry::new();
+    dtm_telemetry::record_run(result, &registry);
+    let doc = Value::Object(vec![
+        ("policy".into(), Value::Str(result.policy.clone())),
+        ("network".into(), Value::Str(network.name().to_string())),
+        ("n".into(), Value::UInt(network.n() as u64)),
+        ("metrics".into(), registry.snapshot().to_value()),
+    ]);
+    let seq = SIDECAR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let slug: String = result
+        .policy
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("{seq:04}-{slug}-{}.metrics.json", network.name()));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("sidecar serializes"),
+    )?;
+    Ok(path)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ use dtm_graph::Network;
 use dtm_model::{Schedule, Time, TxnId};
 use dtm_offline::{LineScheduler, ListScheduler};
 use dtm_sim::{SchedulingPolicy, SystemView};
+use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
@@ -29,6 +30,7 @@ pub struct RandomizedBackoffPolicy {
     rng: ChaCha8Rng,
     /// Window size per unit of conflict degree (default 2).
     pub window_per_conflict: Time,
+    decisions: Option<DecisionTraceHandle>,
 }
 
 impl RandomizedBackoffPolicy {
@@ -37,7 +39,15 @@ impl RandomizedBackoffPolicy {
         RandomizedBackoffPolicy {
             rng: ChaCha8Rng::seed_from_u64(seed),
             window_per_conflict: 2,
+            decisions: None,
         }
+    }
+
+    /// Record one [`DecisionKind::Backoff`] per scheduled transaction
+    /// into `trace` (the caller keeps the other `Arc` end).
+    pub fn with_decision_trace(mut self, trace: DecisionTraceHandle) -> Self {
+        self.decisions = Some(trace);
+        self
     }
 }
 
@@ -79,6 +89,18 @@ impl SchedulingPolicy for RandomizedBackoffPolicy {
             }
             colored.insert(id, color);
             fragment.set(id, view.now + color);
+            if let Some(trace) = &self.decisions {
+                trace.lock().push(Decision {
+                    t: view.now,
+                    txn: id,
+                    exec_at: Some(view.now + color),
+                    kind: DecisionKind::Backoff {
+                        window,
+                        backoff,
+                        conflicts: constraints.len(),
+                    },
+                });
+            }
         }
         fragment
     }
@@ -120,6 +142,15 @@ impl AutoPolicy {
             AutoPolicy::BucketLine(BucketPolicy::new(LineScheduler))
         } else {
             AutoPolicy::BucketList(BucketPolicy::new(ListScheduler::fifo()))
+        }
+    }
+
+    /// Delegate decision tracing to the chosen inner policy.
+    pub fn with_decision_trace(self, trace: DecisionTraceHandle) -> Self {
+        match self {
+            AutoPolicy::Greedy(p) => AutoPolicy::Greedy(p.with_decision_trace(trace)),
+            AutoPolicy::BucketLine(p) => AutoPolicy::BucketLine(p.with_decision_trace(trace)),
+            AutoPolicy::BucketList(p) => AutoPolicy::BucketList(p.with_decision_trace(trace)),
         }
     }
 }

@@ -19,6 +19,7 @@ use crate::viewctx::FixedCache;
 use dtm_model::{Schedule, Time, Transaction, TxnId};
 use dtm_offline::{BatchContext, BatchScheduler};
 use dtm_sim::{SchedulingPolicy, SystemView};
+use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -45,6 +46,7 @@ pub struct BucketPolicy<A> {
     max_level: Option<u32>,
     period_multiplier: u64,
     stats: Option<Arc<Mutex<BucketStats>>>,
+    decisions: Option<DecisionTraceHandle>,
     cache: FixedCache,
 }
 
@@ -57,6 +59,7 @@ impl<A: BatchScheduler> BucketPolicy<A> {
             max_level: None,
             period_multiplier: 1,
             stats: None,
+            decisions: None,
             cache: FixedCache::default(),
         }
     }
@@ -64,6 +67,14 @@ impl<A: BatchScheduler> BucketPolicy<A> {
     /// Attach a stats handle.
     pub fn with_stats(mut self, stats: Arc<Mutex<BucketStats>>) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Record one [`DecisionKind::BucketInsert`] per arrival and one
+    /// [`DecisionKind::BucketActivate`] per scheduled transaction into
+    /// `trace` (the caller keeps the other `Arc` end).
+    pub fn with_decision_trace(mut self, trace: DecisionTraceHandle) -> Self {
+        self.decisions = Some(trace);
         self
     }
 
@@ -104,6 +115,14 @@ impl<A: BatchScheduler> BucketPolicy<A> {
                 s.overflows += 1;
             }
         }
+        if let Some(trace) = &self.decisions {
+            trace.lock().push(Decision {
+                t: ctx.now,
+                txn: txn.id,
+                exec_at: None,
+                kind: DecisionKind::BucketInsert { level, overflow },
+            });
+        }
         self.buckets.entry(level).or_default().push(txn);
     }
 }
@@ -141,6 +160,22 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
             let s = self.scheduler.schedule(view.network, &bucket, &ctx);
             for t in &bucket {
                 ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
+            }
+            if let Some(trace) = &self.decisions {
+                let epoch = now / (self.period_multiplier << i);
+                let mut trace = trace.lock();
+                for t in &bucket {
+                    trace.push(Decision {
+                        t: now,
+                        txn: t.id,
+                        exec_at: s.get(t.id),
+                        kind: DecisionKind::BucketActivate {
+                            level: i,
+                            epoch,
+                            batch: bucket.len(),
+                        },
+                    });
+                }
             }
             fragment.merge(&s);
             if let Some(stats) = &self.stats {

@@ -32,6 +32,7 @@ use dtm_graph::{ClusterId, Graph, Network, SparseCover};
 use dtm_model::{Schedule, Time, Transaction, TxnId};
 use dtm_offline::BatchScheduler;
 use dtm_sim::{EngineConfig, SchedulingPolicy, SystemView};
+use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -79,6 +80,9 @@ pub struct DistributedBucketPolicy<A> {
     /// fresh global state — stricter locality of knowledge (ablation A5).
     stale_knowledge: bool,
     stats: Option<Arc<Mutex<DistStats>>>,
+    decisions: Option<DecisionTraceHandle>,
+    /// Live protocol-message counter (telemetry registry handle).
+    msg_counter: Option<Arc<dtm_telemetry::Counter>>,
     cache: FixedCache,
 }
 
@@ -107,8 +111,26 @@ impl<A: BatchScheduler> DistributedBucketPolicy<A> {
             partials: BTreeMap::new(),
             stale_knowledge: false,
             stats: None,
+            decisions: None,
+            msg_counter: None,
             cache: FixedCache::default(),
         }
+    }
+
+    /// Count every protocol message on a live telemetry counter (e.g.
+    /// `registry.counter("dist_messages_total")`).
+    pub fn with_message_counter(mut self, counter: Arc<dtm_telemetry::Counter>) -> Self {
+        self.msg_counter = Some(counter);
+        self
+    }
+
+    /// Record the protocol's per-transaction decisions
+    /// ([`DecisionKind::DistReport`], [`DecisionKind::DistInsert`],
+    /// [`DecisionKind::DistActivate`]) into `trace` (the caller keeps the
+    /// other `Arc` end).
+    pub fn with_decision_trace(mut self, trace: DecisionTraceHandle) -> Self {
+        self.decisions = Some(trace);
+        self
     }
 
     /// Leader insertion probes use the stale object positions carried in
@@ -152,6 +174,9 @@ impl<A: BatchScheduler> DistributedBucketPolicy<A> {
     fn bump_messages(&self, by: u64) {
         if let Some(stats) = &self.stats {
             stats.lock().messages += by;
+        }
+        if let Some(c) = &self.msg_counter {
+            c.add(by);
         }
     }
 }
@@ -200,6 +225,18 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
                 let mut s = stats.lock();
                 *s.reports_per_layer.entry(layer).or_insert(0) += 1;
                 s.report_latency.push(t_report - now);
+            }
+            if let Some(trace) = &self.decisions {
+                trace.lock().push(Decision {
+                    t: now,
+                    txn: txn.id,
+                    exec_at: None,
+                    kind: DecisionKind::DistReport {
+                        layer,
+                        cluster: cluster.id.0 as u64,
+                        report_latency: t_report - now,
+                    },
+                });
             }
             let snapshot = txn
                 .objects()
@@ -250,6 +287,17 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
                 if let Some(stats) = &self.stats {
                     stats.lock().levels.insert(report.txn.id, level);
                 }
+                if let Some(trace) = &self.decisions {
+                    trace.lock().push(Decision {
+                        t: now,
+                        txn: report.txn.id,
+                        exec_at: None,
+                        kind: DecisionKind::DistInsert {
+                            level,
+                            cluster: report.cluster.0 as u64,
+                        },
+                    });
+                }
                 self.partials
                     .entry((level, report.cluster))
                     .or_default()
@@ -287,6 +335,21 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             let s = self.scheduler.schedule(&self.doubled, &bucket, &bucket_ctx);
             for t in &bucket {
                 ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
+            }
+            if let Some(trace) = &self.decisions {
+                let mut trace = trace.lock();
+                for t in &bucket {
+                    trace.push(Decision {
+                        t: now,
+                        txn: t.id,
+                        exec_at: s.get(t.id),
+                        kind: DecisionKind::DistActivate {
+                            level: key.0,
+                            cluster: key.1 .0 as u64,
+                            notify,
+                        },
+                    });
+                }
             }
             fragment.merge(&s);
         }

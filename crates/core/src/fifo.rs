@@ -7,9 +7,10 @@
 //! E12 compares them against Algorithms 1 and 2.
 
 use crate::viewctx::{batch_context_from_view, FixedCache};
-use dtm_model::{Schedule, TxnId};
+use dtm_model::{Schedule, Time, TxnId};
 use dtm_offline::{BatchScheduler, ListScheduler, TspScheduler};
 use dtm_sim::{SchedulingPolicy, SystemView};
+use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 
 /// FIFO baseline: each arriving transaction is scheduled at the earliest
 /// feasible time given every earlier decision, in arrival order.
@@ -17,6 +18,7 @@ use dtm_sim::{SchedulingPolicy, SystemView};
 pub struct FifoPolicy {
     inner: Option<ListScheduler>,
     cache: FixedCache,
+    decisions: Option<DecisionTraceHandle>,
 }
 
 impl FifoPolicy {
@@ -25,7 +27,15 @@ impl FifoPolicy {
         FifoPolicy {
             inner: Some(ListScheduler::fifo()),
             cache: FixedCache::default(),
+            decisions: None,
         }
+    }
+
+    /// Record one [`DecisionKind::FifoQueue`] per scheduled transaction
+    /// into `trace` (the caller keeps the other `Arc` end).
+    pub fn with_decision_trace(mut self, trace: DecisionTraceHandle) -> Self {
+        self.decisions = Some(trace);
+        self
     }
 }
 
@@ -38,16 +48,29 @@ impl SchedulingPolicy for FifoPolicy {
             return Schedule::new();
         }
         let ctx = self.cache.context(view);
-        let pending: Vec<_> = {
-            let mut ids: Vec<TxnId> = arrivals.to_vec();
-            ids.sort_unstable();
-            ids.iter()
-                .map(|id| view.live(*id).expect("arrival is live").txn.clone())
-                .collect()
-        };
-        self.inner
-            .get_or_insert_with(ListScheduler::fifo)
-            .schedule(view.network, &pending, &ctx)
+        let mut ids: Vec<TxnId> = arrivals.to_vec();
+        ids.sort_unstable();
+        let pending: Vec<_> = ids
+            .iter()
+            .map(|id| view.live(*id).expect("arrival is live").txn.clone())
+            .collect();
+        let fragment = self.inner.get_or_insert_with(ListScheduler::fifo).schedule(
+            view.network,
+            &pending,
+            &ctx,
+        );
+        if let Some(trace) = &self.decisions {
+            let mut trace = trace.lock();
+            for (queue_position, &txn) in ids.iter().enumerate() {
+                trace.push(Decision {
+                    t: view.now,
+                    txn,
+                    exec_at: fragment.get(txn),
+                    kind: DecisionKind::FifoQueue { queue_position },
+                });
+            }
+        }
+        fragment
     }
 
     fn name(&self) -> String {
@@ -58,7 +81,23 @@ impl SchedulingPolicy for FifoPolicy {
 /// TSP-tour baseline (reference [30]): arrivals are scheduled each step
 /// via per-object nearest-neighbor tours.
 #[derive(Debug, Default)]
-pub struct TspPolicy;
+pub struct TspPolicy {
+    decisions: Option<DecisionTraceHandle>,
+}
+
+impl TspPolicy {
+    /// Create the baseline.
+    pub fn new() -> Self {
+        TspPolicy::default()
+    }
+
+    /// Record one [`DecisionKind::TspTour`] per scheduled transaction
+    /// into `trace` (the caller keeps the other `Arc` end).
+    pub fn with_decision_trace(mut self, trace: DecisionTraceHandle) -> Self {
+        self.decisions = Some(trace);
+        self
+    }
+}
 
 impl SchedulingPolicy for TspPolicy {
     fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
@@ -66,14 +105,28 @@ impl SchedulingPolicy for TspPolicy {
             return Schedule::new();
         }
         let ctx = batch_context_from_view(view);
-        let pending: Vec<_> = {
-            let mut ids: Vec<TxnId> = arrivals.to_vec();
-            ids.sort_unstable();
-            ids.iter()
-                .map(|id| view.live(*id).expect("arrival is live").txn.clone())
-                .collect()
-        };
-        TspScheduler.schedule(view.network, &pending, &ctx)
+        let mut ids: Vec<TxnId> = arrivals.to_vec();
+        ids.sort_unstable();
+        let pending: Vec<_> = ids
+            .iter()
+            .map(|id| view.live(*id).expect("arrival is live").txn.clone())
+            .collect();
+        let fragment = TspScheduler.schedule(view.network, &pending, &ctx);
+        if let Some(trace) = &self.decisions {
+            // Tour visit order is the execution-time order of the batch.
+            let mut order: Vec<(Time, TxnId)> = fragment.iter().map(|(id, t)| (t, id)).collect();
+            order.sort_unstable();
+            let mut trace = trace.lock();
+            for (tour_position, &(exec_at, txn)) in order.iter().enumerate() {
+                trace.push(Decision {
+                    t: view.now,
+                    txn,
+                    exec_at: Some(exec_at),
+                    kind: DecisionKind::TspTour { tour_position },
+                });
+            }
+        }
+        fragment
     }
 
     fn name(&self) -> String {
@@ -124,7 +177,7 @@ mod tests {
         let res = run_policy(
             &net,
             TraceSource::new(inst),
-            TspPolicy,
+            TspPolicy::new(),
             EngineConfig::default(),
         );
         res.expect_ok();

@@ -16,6 +16,7 @@ use crate::dependency::{constraints_for, extended_degrees};
 use dtm_graph::Weight;
 use dtm_model::{Schedule, Time, TxnId};
 use dtm_sim::{SchedulingPolicy, SystemView};
+use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -47,6 +48,7 @@ pub struct GreedyStats {
 pub struct GreedyPolicy {
     mode: GreedyMode,
     stats: Option<Arc<Mutex<GreedyStats>>>,
+    decisions: Option<DecisionTraceHandle>,
 }
 
 impl GreedyPolicy {
@@ -55,6 +57,7 @@ impl GreedyPolicy {
         GreedyPolicy {
             mode: GreedyMode::General,
             stats: None,
+            decisions: None,
         }
     }
 
@@ -67,12 +70,20 @@ impl GreedyPolicy {
         GreedyPolicy {
             mode: GreedyMode::Uniform { beta },
             stats: None,
+            decisions: None,
         }
     }
 
     /// Attach a stats handle (the caller keeps the other `Arc` end).
     pub fn with_stats(mut self, stats: Arc<Mutex<GreedyStats>>) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Record one [`DecisionKind::GreedyColor`] per scheduled transaction
+    /// into `trace` (the caller keeps the other `Arc` end).
+    pub fn with_decision_trace(mut self, trace: DecisionTraceHandle) -> Self {
+        self.decisions = Some(trace);
         self
     }
 
@@ -100,6 +111,7 @@ impl SchedulingPolicy for GreedyPolicy {
         for id in order {
             let lt = view.live(id).expect("arrival is live");
             let mut constraints = constraints_for(view, &lt.txn, &colored);
+            let conflicts = constraints.len();
             let (color, bound) = match self.mode {
                 GreedyMode::General => {
                     let c = smallest_valid_color(&constraints);
@@ -137,6 +149,18 @@ impl SchedulingPolicy for GreedyPolicy {
             fragment.set(id, view.now + color);
             if let Some(stats) = &self.stats {
                 stats.lock().assigned.push((id, color, bound));
+            }
+            if let Some(trace) = &self.decisions {
+                trace.lock().push(Decision {
+                    t: view.now,
+                    txn: id,
+                    exec_at: Some(view.now + color),
+                    kind: DecisionKind::GreedyColor {
+                        conflicts,
+                        color,
+                        bound,
+                    },
+                });
             }
         }
         fragment

@@ -54,7 +54,10 @@ pub struct EngineConfig {
     /// `link_capacity`, where schedules are knowingly optimistic);
     /// otherwise a missed execution is a violation.
     pub allow_late_execution: bool,
-    /// Hard step limit; exceeding it is a violation.
+    /// Hard step limit, **inclusive**: steps `t = 0..=max_steps` may be
+    /// simulated, and [`Violation::MaxStepsExceeded`] fires only if live
+    /// transactions remain after step `max_steps` has completed. A
+    /// transaction committing exactly at `t = max_steps` is in bounds.
     pub max_steps: Time,
     /// Record the full event log (disable for large parameter sweeps).
     pub record_events: bool,
@@ -106,7 +109,7 @@ pub struct Engine<P> {
     /// last sent the object. Grows with distinct (object, node) pairs.
     forwarding: HashMap<(ObjectId, NodeId), NodeId>,
 
-    observer: Option<Box<dyn StepObserver>>,
+    observers: Vec<Box<dyn StepObserver>>,
     events: Vec<Event>,
     violations: Vec<Violation>,
     comm_cost: u64,
@@ -132,7 +135,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             requesters: BTreeMap::new(),
             edge_load: HashMap::new(),
             forwarding: HashMap::new(),
-            observer: None,
+            observers: Vec::new(),
             events: Vec::new(),
             violations: Vec::new(),
             comm_cost: 0,
@@ -141,10 +144,12 @@ impl<P: SchedulingPolicy> Engine<P> {
         }
     }
 
-    /// Attach a [`StepObserver`] (per-phase counters/timings). Purely
-    /// observational: runs with and without one are identical.
+    /// Attach a [`StepObserver`] (per-phase counters/timings). May be
+    /// called repeatedly; every attached observer sees every callback.
+    /// Purely observational: runs with and without observers are
+    /// identical.
     pub fn with_observer(mut self, observer: impl StepObserver + 'static) -> Self {
-        self.observer = Some(Box::new(observer));
+        self.observers.push(Box::new(observer));
         self
     }
 
@@ -154,15 +159,30 @@ impl<P: SchedulingPolicy> Engine<P> {
         }
     }
 
-    /// Phase-timing start mark (only when an observer is attached, so
-    /// unobserved runs never pay for `Instant::now`).
-    fn phase_start(&self) -> Option<Instant> {
-        self.observer.as_ref().map(|_| Instant::now())
+    /// Does any attached observer want wall-clock timing at step `t`?
+    /// Decided once per step so sampling observers keep unsampled steps
+    /// free of `Instant::now` calls.
+    fn step_wants_timing(&self, t: Time) -> bool {
+        self.observers.iter().any(|o| o.wants_timing(t))
+    }
+
+    /// Phase-timing start mark (only when the step is timed, so
+    /// unobserved and unsampled steps never pay for `Instant::now`).
+    fn phase_start(&self, timed: bool) -> Option<Instant> {
+        if timed {
+            Some(Instant::now())
+        } else {
+            None
+        }
     }
 
     fn phase_end(&mut self, t: Time, phase: Phase, items: usize, started: Option<Instant>) {
-        if let (Some(obs), Some(start)) = (self.observer.as_mut(), started) {
-            obs.on_phase(t, phase, items, start.elapsed());
+        if self.observers.is_empty() {
+            return;
+        }
+        let elapsed = started.map_or(std::time::Duration::ZERO, |s| s.elapsed());
+        for obs in &mut self.observers {
+            obs.on_phase(t, phase, items, elapsed);
         }
     }
 
@@ -177,13 +197,20 @@ impl<P: SchedulingPolicy> Engine<P> {
             if source.exhausted() && self.state.txns().is_empty() {
                 break;
             }
+            // Inclusive bound: steps 0..=max_steps run; reaching
+            // max_steps + 1 with live transactions is the violation.
             if self.now > self.config.max_steps {
+                let mut sample: Vec<TxnId> = self.state.txns().ids().collect();
+                sample.sort_unstable();
+                sample.truncate(Violation::MAX_REPORTED_LIVE);
                 self.violations.push(Violation::MaxStepsExceeded {
                     live: self.state.txns().len(),
+                    sample,
                 });
                 break;
             }
             let t = self.now;
+            let timed = !self.observers.is_empty() && self.step_wants_timing(t);
 
             // 0. Object creation.
             while let Some(first) = pending_objects.first() {
@@ -204,7 +231,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             }
 
             // 1. Receive: complete edge traversals.
-            let mark = self.phase_start();
+            let mark = self.phase_start(timed);
             let arriving: Vec<ObjectId> = self
                 .state
                 .objects()
@@ -234,7 +261,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             self.phase_end(t, Phase::Receive, received, mark);
 
             // 2. Generate.
-            let mark = self.phase_start();
+            let mark = self.phase_start(timed);
             let mut arrival_ids = Vec::new();
             for txn in source.arrivals(t) {
                 debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
@@ -258,7 +285,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             // the previous policy call; it is cleared right after the
             // policy returns, so `apply_fragment` and the later phases of
             // this step feed the *next* call's delta.
-            let mark = self.phase_start();
+            let mark = self.phase_start(timed);
             let fragment = {
                 let view = SystemView::from_state(t, &self.network, &self.state)
                     .with_forwarding(&self.forwarding);
@@ -270,21 +297,22 @@ impl<P: SchedulingPolicy> Engine<P> {
             self.phase_end(t, Phase::Schedule, fragment_len, mark);
 
             // 4. Execute.
-            let mark = self.phase_start();
+            let mark = self.phase_start(timed);
             let commits_before = self.commits.len();
             self.execute_due(&mut source);
             let committed = self.commits.len() - commits_before;
             self.phase_end(t, Phase::Execute, committed, mark);
 
             // 5. Forward.
-            let mark = self.phase_start();
+            let mark = self.phase_start(timed);
             let hops_before = self.hops;
             self.forward_objects();
             let departed = (self.hops - hops_before) as usize;
             self.phase_end(t, Phase::Forward, departed, mark);
 
-            if let Some(obs) = self.observer.as_mut() {
-                obs.on_step_end(t, self.state.txns().len());
+            let live = self.state.txns().len();
+            for obs in &mut self.observers {
+                obs.on_step_end(t, live);
             }
             self.now += 1;
         }
@@ -691,9 +719,76 @@ mod tests {
             ..EngineConfig::default()
         };
         let res = run_policy(&net, TraceSource::new(inst), SilentPolicy, cfg);
+        match &res.violations[0] {
+            Violation::MaxStepsExceeded { live, sample } => {
+                assert_eq!(*live, 1);
+                assert_eq!(sample, &vec![TxnId(0)]);
+            }
+            other => panic!("expected MaxStepsExceeded, got {other:?}"),
+        }
+        assert!(res.violations[0].to_string().contains("e.g. T0"));
+    }
+
+    /// The live-id sample in `MaxStepsExceeded` is capped: many stuck
+    /// transactions report only the lowest ids plus an accurate count.
+    #[test]
+    fn step_limit_sample_is_bounded() {
+        let net = topology::line(2);
+        let txns: Vec<Transaction> = (0..20).map(|i| txn(i, 1, &[0], 0)).collect();
+        let inst = Instance::new(vec![obj(0, 0)], txns);
+        let cfg = EngineConfig {
+            max_steps: 5,
+            ..EngineConfig::default()
+        };
+        let res = run_policy(&net, TraceSource::new(inst), SilentPolicy, cfg);
+        match &res.violations[0] {
+            Violation::MaxStepsExceeded { live, sample } => {
+                assert_eq!(*live, 20);
+                assert_eq!(sample.len(), Violation::MAX_REPORTED_LIVE);
+                let expected: Vec<TxnId> = (0..Violation::MAX_REPORTED_LIVE as u64)
+                    .map(TxnId)
+                    .collect();
+                assert_eq!(sample, &expected);
+            }
+            other => panic!("expected MaxStepsExceeded, got {other:?}"),
+        }
+        assert!(res.violations[0].to_string().contains("and 12 more"));
+    }
+
+    /// The step limit is inclusive: a commit exactly at `t = max_steps`
+    /// is in bounds, and the same workload with `max_steps - 1` violates.
+    /// Pins the `now > max_steps` boundary in the run loop.
+    #[test]
+    fn step_limit_boundary_is_inclusive() {
+        let net = topology::line(4);
+        // Distance 2 from the object's origin: earliest commit is t=2.
+        let make = || TraceSource::new(Instance::new(vec![obj(0, 0)], vec![txn(0, 2, &[0], 0)]));
+        let policy = || FixedPolicy([(TxnId(0), 2)].into());
+        let at_limit = run_policy(
+            &net,
+            make(),
+            policy(),
+            EngineConfig {
+                max_steps: 2,
+                ..EngineConfig::default()
+            },
+        );
+        at_limit.expect_ok();
+        assert_eq!(at_limit.commits[&TxnId(0)], 2);
+        assert_eq!(at_limit.metrics.steps, 3); // steps 0, 1, 2 ran
+
+        let below_limit = run_policy(
+            &net,
+            make(),
+            policy(),
+            EngineConfig {
+                max_steps: 1,
+                ..EngineConfig::default()
+            },
+        );
         assert!(matches!(
-            res.violations[0],
-            Violation::MaxStepsExceeded { live: 1 }
+            below_limit.violations[..],
+            [Violation::MaxStepsExceeded { live: 1, .. }]
         ));
     }
 

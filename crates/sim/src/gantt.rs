@@ -144,7 +144,7 @@ pub fn render_timeline(result: &RunResult, opts: &TimelineOptions) -> String {
         let _ = writeln!(out);
     }
     if rows.len() > limit {
-        let _ = writeln!(out, "  ... {} more objects elided", rows.len() - limit);
+        let _ = writeln!(out, "  (+{} more objects)", rows.len() - limit);
     }
     out
 }
@@ -202,8 +202,83 @@ mod tests {
                 max_objects: Some(0),
             },
         );
-        assert!(text.contains("elided"));
+        assert!(text.contains("(+1 more objects)"));
         assert!(text.contains("timeline 0..=1"));
+    }
+
+    /// Two objects, limit 1: exactly one row rendered, and the footer
+    /// counts exactly the elided remainder.
+    #[test]
+    fn truncation_footer_counts_elided_objects() {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![
+                ObjectInfo {
+                    id: ObjectId(0),
+                    origin: NodeId(0),
+                    created_at: 0,
+                },
+                ObjectInfo {
+                    id: ObjectId(1),
+                    origin: NodeId(3),
+                    created_at: 0,
+                },
+            ],
+            vec![Transaction::new(
+                TxnId(0),
+                NodeId(1),
+                [ObjectId(0), ObjectId(1)],
+                0,
+            )],
+        );
+        let sched: Schedule = [(TxnId(0), 2)].into_iter().collect();
+        let res = run_policy(
+            &net,
+            TraceSource::new(inst),
+            FixedSchedulePolicy::new(sched),
+            EngineConfig::default(),
+        );
+        res.expect_ok();
+        let text = render_timeline(
+            &res,
+            &TimelineOptions {
+                until: None,
+                max_objects: Some(1),
+            },
+        );
+        assert!(text.contains("o0 |"));
+        assert!(!text.contains("o1 |"));
+        assert!(text.contains("(+1 more objects)"));
+        // No footer when everything fits.
+        let full = render_timeline(&res, &TimelineOptions::default());
+        assert!(full.contains("o1 |"));
+        assert!(!full.contains("more objects"));
+    }
+
+    /// `until` truncation clips the rendered range but the commit marker
+    /// still lands on the right step when it is inside the window.
+    #[test]
+    fn commit_marker_respects_truncation_window() {
+        let res = small_run();
+        res.expect_ok();
+        // Commits happen at t=2 and t=3. A window ending at t=1 shows
+        // neither; a window ending at t=2 shows exactly the first.
+        let before = render_timeline(
+            &res,
+            &TimelineOptions {
+                until: Some(1),
+                max_objects: None,
+            },
+        );
+        assert_eq!(before.matches('*').count(), 0);
+        let at = render_timeline(
+            &res,
+            &TimelineOptions {
+                until: Some(2),
+                max_objects: None,
+            },
+        );
+        assert_eq!(at.matches('*').count(), 1);
     }
 
     #[test]

@@ -40,7 +40,17 @@ pub enum Violation {
     MaxStepsExceeded {
         /// Number of transactions still live.
         live: usize,
+        /// The lowest-id live transactions, capped at
+        /// [`Violation::MAX_REPORTED_LIVE`] so a stuck large run stays
+        /// reportable.
+        sample: Vec<TxnId>,
     },
+}
+
+impl Violation {
+    /// Cap on the live-transaction sample carried by
+    /// [`Violation::MaxStepsExceeded`].
+    pub const MAX_REPORTED_LIVE: usize = 8;
 }
 
 impl fmt::Display for Violation {
@@ -54,8 +64,16 @@ impl fmt::Display for Violation {
             }
             Violation::Rescheduled { txn } => write!(f, "{txn} re-scheduled"),
             Violation::UnknownTxn { txn } => write!(f, "unknown {txn} scheduled"),
-            Violation::MaxStepsExceeded { live } => {
-                write!(f, "step limit reached with {live} live transactions")
+            Violation::MaxStepsExceeded { live, sample } => {
+                write!(f, "step limit reached with {live} live transactions")?;
+                if !sample.is_empty() {
+                    let ids: Vec<String> = sample.iter().map(|t| t.to_string()).collect();
+                    write!(f, " (e.g. {})", ids.join(", "))?;
+                    if *live > sample.len() {
+                        write!(f, " and {} more", live - sample.len())?;
+                    }
+                }
+                Ok(())
             }
         }
     }

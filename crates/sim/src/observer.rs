@@ -9,11 +9,12 @@
 
 use dtm_model::Time;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// One phase of the engine's step loop, in execution order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Phase {
     /// Objects completing edge traversals arrive at their next node.
     Receive,
@@ -70,6 +71,19 @@ pub trait StepObserver {
     /// Called at the end of each step with the live-set size.
     fn on_step_end(&mut self, t: Time, live: usize) {
         let _ = (t, live);
+    }
+
+    /// Whether this observer wants wall-clock phase timing at step `t`.
+    ///
+    /// When every attached observer declines, the engine skips its
+    /// `Instant::now` calls for the step and passes
+    /// [`Duration::ZERO`] to [`StepObserver::on_phase`]. Sampling
+    /// observers (e.g. a telemetry sink timing every 64th step) override
+    /// this to keep observation overhead off the hot path; the default
+    /// keeps the historical full-timing behavior.
+    fn wants_timing(&self, t: Time) -> bool {
+        let _ = t;
+        true
     }
 }
 
@@ -147,6 +161,10 @@ impl<T: StepObserver> StepObserver for Arc<Mutex<T>> {
 
     fn on_step_end(&mut self, t: Time, live: usize) {
         self.lock().on_step_end(t, live);
+    }
+
+    fn wants_timing(&self, t: Time) -> bool {
+        self.lock().wants_timing(t)
     }
 }
 

@@ -1,0 +1,38 @@
+//! `dtm-telemetry`: observability for the DTM scheduling workspace.
+//!
+//! Three layers, usable independently:
+//!
+//! * [`MetricsRegistry`] — lock-cheap named counters, gauges and
+//!   log2-bucketed histograms with a serializable [`MetricsSnapshot`]
+//!   (the `--telemetry` sidecar format);
+//! * [`TelemetrySink`] — a [`dtm_sim::StepObserver`] feeding the
+//!   registry live (phase item counts, sampled wall-clock phase timing,
+//!   live-set tracking), plus [`record_run`] to fold a finished
+//!   [`dtm_sim::RunResult`] into queue-wait / time-to-commit / hop
+//!   histograms;
+//! * [`RunTrace`] — a structured trace joining the engine's event log,
+//!   the policy's [`DecisionTrace`] and the sink's sampled
+//!   [`PhaseSpan`]s, exportable as JSONL or Chrome `trace_event` JSON
+//!   ([`RunTrace::chrome_trace`], Perfetto-loadable, validated by
+//!   [`validate_chrome_trace`]).
+//!
+//! Observation is strictly passive: attaching any of these to an engine
+//! or policy must never change a run's schedule, events or metrics (the
+//! integration suite pins this with golden traces), and the sink's
+//! sampled timing keeps attached-mode overhead within the substrate
+//! bench's noise floor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decision;
+pub mod registry;
+pub mod sink;
+pub mod trace;
+
+pub use decision::{decision_trace, Decision, DecisionKind, DecisionTrace, DecisionTraceHandle};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use sink::{names, record_run, run_names, PhaseSpan, TelemetrySink, DEFAULT_TIMING_SAMPLE};
+pub use trace::{slowest_transactions, validate_chrome_trace, RunTrace};

@@ -75,7 +75,12 @@ fn main() {
             Box::new(FifoPolicy::new()),
             EngineConfig::default(),
         ),
-        run_one(&net, &spec, Box::new(TspPolicy), EngineConfig::default()),
+        run_one(
+            &net,
+            &spec,
+            Box::new(TspPolicy::new()),
+            EngineConfig::default(),
+        ),
     ];
     // Algorithm 3: fully distributed (half-speed objects, sparse cover).
     runs.push(run_one(

@@ -64,7 +64,7 @@ fn fifo_on_all_topologies() {
 
 #[test]
 fn tsp_on_all_topologies() {
-    run_matrix(&|_| Box::new(TspPolicy));
+    run_matrix(&|_| Box::new(TspPolicy::new()));
 }
 
 #[test]

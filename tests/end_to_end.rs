@@ -67,7 +67,7 @@ fn fifo_full_pipeline() {
 
 #[test]
 fn tsp_full_pipeline() {
-    full_pipeline(Box::new(TspPolicy));
+    full_pipeline(Box::new(TspPolicy::new()));
 }
 
 #[test]

@@ -153,5 +153,5 @@ fn golden_fifo() {
 
 #[test]
 fn golden_tsp() {
-    check_golden("tsp", Box::new(TspPolicy), EngineConfig::default());
+    check_golden("tsp", Box::new(TspPolicy::new()), EngineConfig::default());
 }
