@@ -1,5 +1,6 @@
 //! Experiment binary: A1-A4 ablations. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::ablations::run(quick) {
         table.print();

@@ -1,8 +1,14 @@
-//! Runs the entire experiment suite (E1–E12 and ablations A1–A4).
-//! Pass --quick for the reduced grids used in CI.
+//! Runs the entire experiment suite (E1–E16 and ablations A1–A5).
+//! Pass --quick for the reduced grids used in CI, and --jobs N (or -j N)
+//! to fan grid cells across N worker threads. Tables are byte-identical
+//! for every N — see EXPERIMENTS.md "Parallel execution".
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
-    eprintln!("running full experiment suite (quick = {quick})...");
+    eprintln!(
+        "running full experiment suite (quick = {quick}, jobs = {})...",
+        rayon::current_num_threads()
+    );
     for table in dtm_bench::experiments::run_all(quick) {
         table.print();
     }

@@ -1,5 +1,6 @@
 //! Experiment binary: E1/E2 greedy theorem bounds. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e1_greedy_bound::run(quick) {
         table.print();

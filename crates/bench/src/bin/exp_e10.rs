@@ -1,5 +1,6 @@
 //! Experiment binary: E10 star. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e10_star::run(quick) {
         table.print();

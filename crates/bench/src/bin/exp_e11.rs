@@ -1,5 +1,6 @@
 //! Experiment binary: E11 distributed overhead. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e11_distributed::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E12 shootout and load sweep. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e12_shootout::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E13 batch approximation ratios vs exact OPT.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e13_batch_quality::run(quick) {
         table.print();

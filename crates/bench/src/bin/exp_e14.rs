@@ -1,5 +1,6 @@
 //! Experiment binary: E14 seed-variance robustness study.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e14_variance::run(quick) {
         table.print();

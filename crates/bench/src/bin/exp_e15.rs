@@ -1,5 +1,6 @@
 //! Experiment binary: E15 application benchmarks.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e15_applications::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E16 idealized vs message-level Algorithm 3.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e16_message_level::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E3 clique O(k). Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e3_clique::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E4/E5 hypercube, butterfly, grid. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e4_small_diameter::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E6/E7 bucket lemmas. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e6_bucket_lemmas::run(quick) {
         table.print();

@@ -1,5 +1,6 @@
 //! Experiment binary: E8 line polylog. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e8_line::run(quick) {
         table.print();

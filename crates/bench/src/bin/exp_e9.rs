@@ -1,5 +1,6 @@
 //! Experiment binary: E9 cluster. Pass --quick for the reduced grid.
 fn main() {
+    dtm_bench::init_jobs();
     let quick = dtm_bench::quick_flag();
     for table in dtm_bench::experiments::e9_cluster::run(quick) {
         table.print();

@@ -16,7 +16,7 @@
 
 use crate::runner::{run_summary, Summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy};
 use dtm_graph::topology;
 use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
@@ -51,58 +51,68 @@ fn line_workload(n: u32, seed: u64) -> WorkloadKind {
 
 fn a1_activation_period(quick: bool) -> Table {
     let n: u32 = if quick { 32 } else { 96 };
-    let net = topology::line(n);
     let mut t = Table::new(
         "A1 — bucket activation period multiplier (line)",
         &["period mult", "makespan", "mean lat", "max lat", "ratio"],
     );
+    let mut grid = ParallelGrid::new("A1");
     for &m in &[1u64, 4, 16] {
-        let s: Summary = run_summary(
-            &net,
-            line_workload(n, 2000),
-            BucketPolicy::new(LineScheduler).with_period_multiplier(m),
-            EngineConfig::default(),
-        );
-        t.row(vec![
-            m.to_string(),
-            s.makespan.to_string(),
-            format!("{:.1}", s.mean_latency),
-            s.max_latency.to_string(),
-            fmt_ratio(s.ratio),
-        ]);
+        grid.cell(move || {
+            let net = topology::line(n);
+            let s: Summary = run_summary(
+                &net,
+                line_workload(n, 2000),
+                BucketPolicy::new(LineScheduler).with_period_multiplier(m),
+                EngineConfig::default(),
+            );
+            vec![
+                m.to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}", s.mean_latency),
+                s.max_latency.to_string(),
+                fmt_ratio(s.ratio),
+            ]
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     t
 }
 
 fn a2_batch_scheduler_quality(quick: bool) -> Table {
     let n: u32 = if quick { 32 } else { 128 };
-    let net = topology::line(n);
     let mut t = Table::new(
         "A2 — Theorem 4's b_𝒜 dependence: bucket around different batch schedulers (line)",
         &["batch scheduler", "makespan", "mean lat", "ratio"],
     );
-    let wl = || line_workload(n, 2100);
-    let cases: Vec<(&str, Box<dyn dtm_sim::SchedulingPolicy>)> = vec![
-        ("line-sweep", Box::new(BucketPolicy::new(LineScheduler))),
-        (
-            "list(fifo)",
-            Box::new(BucketPolicy::new(ListScheduler::fifo())),
-        ),
-        (
-            "list(random)",
+    type PolicyMk = fn() -> Box<dyn dtm_sim::SchedulingPolicy>;
+    let cases: Vec<(&str, PolicyMk)> = vec![
+        ("line-sweep", || Box::new(BucketPolicy::new(LineScheduler))),
+        ("list(fifo)", || {
+            Box::new(BucketPolicy::new(ListScheduler::fifo()))
+        }),
+        ("list(random)", || {
             Box::new(BucketPolicy::new(ListScheduler {
                 order: ListOrder::Random { seed: 5 },
-            })),
-        ),
+            }))
+        }),
     ];
-    for (name, policy) in cases {
-        let s = run_summary(&net, wl(), policy, EngineConfig::default());
-        t.row(vec![
-            name.to_string(),
-            s.makespan.to_string(),
-            format!("{:.1}", s.mean_latency),
-            fmt_ratio(s.ratio),
-        ]);
+    let mut grid = ParallelGrid::new("A2");
+    for (name, mk) in cases {
+        grid.cell(move || {
+            let net = topology::line(n);
+            let s = run_summary(&net, line_workload(n, 2100), mk(), EngineConfig::default());
+            vec![
+                name.to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}", s.mean_latency),
+                fmt_ratio(s.ratio),
+            ]
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     t
 }
@@ -117,38 +127,51 @@ fn a3_half_speed(quick: bool) -> Table {
         "A3 — Algorithm 3 half-speed object rule",
         &["objects", "makespan", "mean lat", "ratio"],
     );
-    let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
-    let wl = |seed: u64| WorkloadKind::ClosedLoop {
-        spec: spec.clone(),
-        rounds: 2,
-        seed,
-    };
-    // With the rule (the paper's algorithm).
-    let half = run_summary(
-        &net,
-        wl(2200),
-        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 31),
-        DistributedBucketPolicy::<ListScheduler>::engine_config(),
-    );
-    t.row(vec![
-        "half speed (paper)".into(),
-        half.makespan.to_string(),
-        format!("{:.1}", half.mean_latency),
-        fmt_ratio(half.ratio),
-    ]);
-    // Without it: full-speed objects, true-distance math.
-    let full = run_summary(
-        &net,
-        wl(2200),
-        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 31).with_full_speed(&net),
-        EngineConfig::default(),
-    );
-    t.row(vec![
-        "full speed (ablation)".into(),
-        full.makespan.to_string(),
-        format!("{:.1}", full.mean_latency),
-        fmt_ratio(full.ratio),
-    ]);
+    let mut grid = ParallelGrid::new("A3");
+    for full_speed in [false, true] {
+        let net = net.clone();
+        grid.cell(move || {
+            let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+            let wl = WorkloadKind::ClosedLoop {
+                spec,
+                rounds: 2,
+                seed: 2200,
+            };
+            if full_speed {
+                // Without the rule: full-speed objects, true-distance math.
+                let full = run_summary(
+                    &net,
+                    wl,
+                    DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 31)
+                        .with_full_speed(&net),
+                    EngineConfig::default(),
+                );
+                vec![
+                    "full speed (ablation)".into(),
+                    full.makespan.to_string(),
+                    format!("{:.1}", full.mean_latency),
+                    fmt_ratio(full.ratio),
+                ]
+            } else {
+                // With the rule (the paper's algorithm).
+                let half = run_summary(
+                    &net,
+                    wl,
+                    DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 31),
+                    DistributedBucketPolicy::<ListScheduler>::engine_config(),
+                );
+                vec![
+                    "half speed (paper)".into(),
+                    half.makespan.to_string(),
+                    format!("{:.1}", half.mean_latency),
+                    fmt_ratio(half.ratio),
+                ]
+            }
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
+    }
     t
 }
 
@@ -180,26 +203,29 @@ fn a4_link_capacity(quick: bool) -> Table {
             horizon: 20,
         },
     };
-    let inst = WorkloadGenerator::new(spec, 2300).generate(&net);
+    let mut grid = ParallelGrid::new("A4");
     for cap in [None, Some(2u32), Some(1u32)] {
-        let cfg = EngineConfig {
-            link_capacity: cap,
-            allow_late_execution: cap.is_some(),
-            ..EngineConfig::default()
-        };
-        let s = run_summary(
-            &net,
-            WorkloadKind::Trace(inst.clone()),
-            FifoPolicy::new(),
-            cfg,
-        );
-        t.row(vec![
-            cap.map_or("unbounded".to_string(), |c| c.to_string()),
-            s.makespan.to_string(),
-            format!("{:.1}", s.mean_latency),
-            s.max_latency.to_string(),
-            s.peak_edge_load.to_string(),
-        ]);
+        let net = net.clone();
+        let spec = spec.clone();
+        grid.cell(move || {
+            let inst = WorkloadGenerator::new(spec, 2300).generate(&net);
+            let cfg = EngineConfig {
+                link_capacity: cap,
+                allow_late_execution: cap.is_some(),
+                ..EngineConfig::default()
+            };
+            let s = run_summary(&net, WorkloadKind::Trace(inst), FifoPolicy::new(), cfg);
+            vec![
+                cap.map_or("unbounded".to_string(), |c| c.to_string()),
+                s.makespan.to_string(),
+                format!("{:.1}", s.mean_latency),
+                s.max_latency.to_string(),
+                s.peak_edge_load.to_string(),
+            ]
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     t
 }
@@ -214,36 +240,41 @@ fn a5_leader_staleness(quick: bool) -> Table {
         "A5 — Algorithm 3 leader knowledge: fresh vs report-carried (stale)",
         &["knowledge", "makespan", "mean lat", "ratio"],
     );
-    let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
-    let wl = |seed: u64| WorkloadKind::ClosedLoop {
-        spec: spec.clone(),
-        rounds: 2,
-        seed,
-    };
-    let fresh = run_summary(
-        &net,
-        wl(2400),
-        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 41),
-        DistributedBucketPolicy::<ListScheduler>::engine_config(),
-    );
-    t.row(vec![
-        "fresh (simulated)".into(),
-        fresh.makespan.to_string(),
-        format!("{:.1}", fresh.mean_latency),
-        fmt_ratio(fresh.ratio),
-    ]);
-    let stale = run_summary(
-        &net,
-        wl(2400),
-        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 41).with_stale_knowledge(),
-        DistributedBucketPolicy::<ListScheduler>::engine_config(),
-    );
-    t.row(vec![
-        "stale (report-carried)".into(),
-        stale.makespan.to_string(),
-        format!("{:.1}", stale.mean_latency),
-        fmt_ratio(stale.ratio),
-    ]);
+    let mut grid = ParallelGrid::new("A5");
+    for stale in [false, true] {
+        let net = net.clone();
+        grid.cell(move || {
+            let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+            let wl = WorkloadKind::ClosedLoop {
+                spec,
+                rounds: 2,
+                seed: 2400,
+            };
+            let mut policy = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 41);
+            if stale {
+                policy = policy.with_stale_knowledge();
+            }
+            let s = run_summary(
+                &net,
+                wl,
+                policy,
+                DistributedBucketPolicy::<ListScheduler>::engine_config(),
+            );
+            vec![
+                if stale {
+                    "stale (report-carried)".into()
+                } else {
+                    "fresh (simulated)".into()
+                },
+                s.makespan.to_string(),
+                format!("{:.1}", s.mean_latency),
+                fmt_ratio(s.ratio),
+            ]
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
+    }
     t
 }
 

@@ -8,7 +8,7 @@
 
 use crate::runner::{run_summary, Summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
 use dtm_graph::topology;
 use dtm_model::WorkloadSpec;
@@ -28,43 +28,42 @@ pub fn run(quick: bool) -> Vec<Table> {
             "rays", "ray len", "k", "policy", "txns", "makespan", "ratio",
         ],
     );
+    type PolicyMk = fn() -> Box<dyn dtm_sim::SchedulingPolicy>;
+    let policies: Vec<PolicyMk> = vec![
+        || Box::new(BucketPolicy::new(StarScheduler::default())),
+        || Box::new(GreedyPolicy::new()),
+        || Box::new(FifoPolicy::new()),
+    ];
+    let mut grid = ParallelGrid::new("E10");
     for &(alpha, beta, k) in &cases {
-        let net = topology::star(alpha, beta);
-        let spec = WorkloadSpec::batch_uniform(alpha * beta / 2 + 1, k);
-        let mut push = |s: Summary| {
-            t.row(vec![
-                alpha.to_string(),
-                beta.to_string(),
-                k.to_string(),
-                s.policy.clone(),
-                s.txns.to_string(),
-                s.makespan.to_string(),
-                fmt_ratio(s.ratio),
-            ]);
-        };
-        let wl = |seed: u64| WorkloadKind::ClosedLoop {
-            spec: spec.clone(),
-            rounds: 2,
-            seed,
-        };
-        push(run_summary(
-            &net,
-            wl(1000),
-            BucketPolicy::new(StarScheduler::default()),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            wl(1000),
-            GreedyPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            wl(1000),
-            FifoPolicy::new(),
-            EngineConfig::default(),
-        ));
+        for &mk in &policies {
+            grid.cell(move || {
+                let net = topology::star(alpha, beta);
+                let spec = WorkloadSpec::batch_uniform(alpha * beta / 2 + 1, k);
+                let s: Summary = run_summary(
+                    &net,
+                    WorkloadKind::ClosedLoop {
+                        spec,
+                        rounds: 2,
+                        seed: 1000,
+                    },
+                    mk(),
+                    EngineConfig::default(),
+                );
+                vec![
+                    alpha.to_string(),
+                    beta.to_string(),
+                    k.to_string(),
+                    s.policy.clone(),
+                    s.txns.to_string(),
+                    s.makespan.to_string(),
+                    fmt_ratio(s.ratio),
+                ]
+            });
+        }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

@@ -10,7 +10,7 @@
 
 use crate::runner::{run_summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, DistStats, DistributedBucketPolicy};
 use dtm_graph::{topology, Network};
 use dtm_model::WorkloadSpec;
@@ -45,46 +45,52 @@ pub fn run(quick: bool) -> Vec<Table> {
             topology::cluster(3, 4, 4),
         ]
     };
-    for net in &nets {
-        let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
-        let wl = |seed: u64| WorkloadKind::ClosedLoop {
-            spec: spec.clone(),
-            rounds: 2,
-            seed,
-        };
-        let central = run_summary(
-            net,
-            wl(1100),
-            BucketPolicy::new(ListScheduler::fifo()),
-            EngineConfig::default(),
-        );
-        let stats = Arc::new(Mutex::new(DistStats::default()));
-        let dist_policy = DistributedBucketPolicy::new(net, ListScheduler::fifo(), 17)
-            .with_stats(Arc::clone(&stats));
-        let dist = run_summary(
-            net,
-            wl(1100),
-            dist_policy,
-            DistributedBucketPolicy::<ListScheduler>::engine_config(),
-        );
-        let s = stats.lock();
-        let overhead = dist.makespan as f64 / central.makespan.max(1) as f64;
-        t.row(vec![
-            net.name().to_string(),
-            central.txns.to_string(),
-            central.makespan.to_string(),
-            dist.makespan.to_string(),
-            fmt_ratio(overhead),
-            fmt_ratio(central.ratio),
-            fmt_ratio(dist.ratio),
-            s.messages.to_string(),
-            s.report_latency
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0)
-                .to_string(),
-        ]);
+    let mut grid = ParallelGrid::new("E11");
+    for net in nets {
+        grid.cell(move || {
+            let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+            let wl = |seed: u64| WorkloadKind::ClosedLoop {
+                spec: spec.clone(),
+                rounds: 2,
+                seed,
+            };
+            let central = run_summary(
+                &net,
+                wl(1100),
+                BucketPolicy::new(ListScheduler::fifo()),
+                EngineConfig::default(),
+            );
+            let stats = Arc::new(Mutex::new(DistStats::default()));
+            let dist_policy = DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 17)
+                .with_stats(Arc::clone(&stats));
+            let dist = run_summary(
+                &net,
+                wl(1100),
+                dist_policy,
+                DistributedBucketPolicy::<ListScheduler>::engine_config(),
+            );
+            let s = stats.lock();
+            let overhead = dist.makespan as f64 / central.makespan.max(1) as f64;
+            vec![
+                net.name().to_string(),
+                central.txns.to_string(),
+                central.makespan.to_string(),
+                dist.makespan.to_string(),
+                fmt_ratio(overhead),
+                fmt_ratio(central.ratio),
+                fmt_ratio(dist.ratio),
+                s.messages.to_string(),
+                s.report_latency
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

@@ -8,7 +8,7 @@
 
 use crate::runner::{run_summary, Summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::{topology, Network};
 use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
@@ -50,49 +50,43 @@ pub fn run(quick: bool) -> Vec<Table> {
             "topology", "policy", "txns", "makespan", "mean lat", "max lat", "comm", "ratio",
         ],
     );
+    type PolicyMk = fn(&Network) -> Box<dyn dtm_sim::SchedulingPolicy>;
+    let policies: Vec<PolicyMk> = vec![
+        |_| Box::new(GreedyPolicy::new()),
+        bucket_for,
+        |_| Box::new(FifoPolicy::new()),
+        |_| Box::new(TspPolicy::new()),
+    ];
+    let mut grid = ParallelGrid::new("E12");
     for net in &nets {
-        let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
-        let wl = |seed: u64| WorkloadKind::ClosedLoop {
-            spec: spec.clone(),
-            rounds: 2,
-            seed,
-        };
-        let mut push = |s: Summary| {
-            t.row(vec![
-                net.name().to_string(),
-                s.policy.clone(),
-                s.txns.to_string(),
-                s.makespan.to_string(),
-                format!("{:.1}", s.mean_latency),
-                s.max_latency.to_string(),
-                s.comm_cost.to_string(),
-                fmt_ratio(s.ratio),
-            ]);
-        };
-        push(run_summary(
-            net,
-            wl(1200),
-            GreedyPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            net,
-            wl(1200),
-            bucket_for(net),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            net,
-            wl(1200),
-            FifoPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            net,
-            wl(1200),
-            TspPolicy::new(),
-            EngineConfig::default(),
-        ));
+        for &mk in &policies {
+            grid.cell(move || {
+                let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+                let s: Summary = run_summary(
+                    net,
+                    WorkloadKind::ClosedLoop {
+                        spec,
+                        rounds: 2,
+                        seed: 1200,
+                    },
+                    mk(net),
+                    EngineConfig::default(),
+                );
+                vec![
+                    net.name().to_string(),
+                    s.policy.clone(),
+                    s.txns.to_string(),
+                    s.makespan.to_string(),
+                    format!("{:.1}", s.mean_latency),
+                    s.max_latency.to_string(),
+                    s.comm_cost.to_string(),
+                    fmt_ratio(s.ratio),
+                ]
+            });
+        }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
 
     // Load sweep: latency vs arrival rate under the greedy scheduler and
@@ -113,42 +107,48 @@ pub fn run(quick: bool) -> Vec<Table> {
     } else {
         vec![0.02, 0.05, 0.1, 0.2, 0.4]
     };
-    let net = topology::grid(&[6, 6]);
+    let mut sweep_grid = ParallelGrid::new("E12b");
     for &rate in &rates {
-        let spec = WorkloadSpec {
-            num_objects: 12,
-            k: 2,
-            object_choice: ObjectChoice::Zipf { exponent: 0.8 },
-            arrival: ArrivalProcess::Bernoulli { rate, horizon: 40 },
-        };
-        let inst = WorkloadGenerator::new(spec, 1300).generate(&net);
-        if inst.txns.is_empty() {
-            continue;
-        }
         for policy in ["greedy", "fifo"] {
-            let s = match policy {
-                "greedy" => run_summary(
-                    &net,
-                    WorkloadKind::Trace(inst.clone()),
-                    GreedyPolicy::new(),
-                    EngineConfig::default(),
-                ),
-                _ => run_summary(
-                    &net,
-                    WorkloadKind::Trace(inst.clone()),
-                    FifoPolicy::new(),
-                    EngineConfig::default(),
-                ),
-            };
-            sweep.row(vec![
-                format!("{rate}"),
-                s.policy.clone(),
-                s.txns.to_string(),
-                format!("{:.1}", s.mean_latency),
-                s.max_latency.to_string(),
-                fmt_ratio(s.ratio),
-            ]);
+            sweep_grid.cell(move || {
+                let net = topology::grid(&[6, 6]);
+                let spec = WorkloadSpec {
+                    num_objects: 12,
+                    k: 2,
+                    object_choice: ObjectChoice::Zipf { exponent: 0.8 },
+                    arrival: ArrivalProcess::Bernoulli { rate, horizon: 40 },
+                };
+                let inst = WorkloadGenerator::new(spec, 1300).generate(&net);
+                if inst.txns.is_empty() {
+                    return None;
+                }
+                let s = match policy {
+                    "greedy" => run_summary(
+                        &net,
+                        WorkloadKind::Trace(inst),
+                        GreedyPolicy::new(),
+                        EngineConfig::default(),
+                    ),
+                    _ => run_summary(
+                        &net,
+                        WorkloadKind::Trace(inst),
+                        FifoPolicy::new(),
+                        EngineConfig::default(),
+                    ),
+                };
+                Some(vec![
+                    format!("{rate}"),
+                    s.policy.clone(),
+                    s.txns.to_string(),
+                    format!("{:.1}", s.mean_latency),
+                    s.max_latency.to_string(),
+                    fmt_ratio(s.ratio),
+                ])
+            });
         }
+    }
+    for row in sweep_grid.run().into_iter().flatten() {
+        sweep.row(row);
     }
     vec![t, sweep]
 }

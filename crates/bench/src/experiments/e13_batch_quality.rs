@@ -8,7 +8,7 @@
 //! ratio in this reproduction.
 
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_graph::{topology, Network, NodeId};
 use dtm_model::{ObjectId, Transaction, TxnId};
 use dtm_offline::{
@@ -60,93 +60,99 @@ pub fn run(quick: bool) -> Vec<Table> {
             "worst OPT/LB",
         ],
     );
-    type Mk = Box<dyn Fn() -> Box<dyn BatchScheduler>>;
-    let setups: Vec<(Network, Vec<(&str, Mk)>)> = vec![
+    type NetMk = fn() -> Network;
+    type Mk = fn() -> Box<dyn BatchScheduler>;
+    let setups: Vec<(NetMk, Vec<(&str, Mk)>)> = vec![
         (
-            topology::clique(8),
+            || topology::clique(8),
             vec![
                 (
                     "clique-coloring",
-                    Box::new(|| Box::new(CliqueScheduler) as Box<dyn BatchScheduler>) as Mk,
+                    (|| Box::new(CliqueScheduler) as Box<dyn BatchScheduler>) as Mk,
                 ),
-                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
-                ("tsp-tour", Box::new(|| Box::new(TspScheduler))),
+                ("list(fifo)", || Box::new(ListScheduler::fifo())),
+                ("tsp-tour", || Box::new(TspScheduler)),
             ],
         ),
         (
-            topology::line(12),
+            || topology::line(12),
             vec![
                 (
                     "line-sweep",
-                    Box::new(|| Box::new(LineScheduler) as Box<dyn BatchScheduler>) as Mk,
+                    (|| Box::new(LineScheduler) as Box<dyn BatchScheduler>) as Mk,
                 ),
-                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
-                ("tsp-tour", Box::new(|| Box::new(TspScheduler))),
+                ("list(fifo)", || Box::new(ListScheduler::fifo())),
+                ("tsp-tour", || Box::new(TspScheduler)),
             ],
         ),
         (
-            topology::cluster(3, 3, 4),
+            || topology::cluster(3, 3, 4),
             vec![
                 (
                     "cluster(2-phase)",
-                    Box::new(|| Box::new(ClusterScheduler::default()) as Box<dyn BatchScheduler>)
-                        as Mk,
+                    (|| Box::new(ClusterScheduler::default()) as Box<dyn BatchScheduler>) as Mk,
                 ),
-                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
+                ("list(fifo)", || Box::new(ListScheduler::fifo())),
             ],
         ),
         (
-            topology::star(3, 3),
+            || topology::star(3, 3),
             vec![
                 (
                     "star(randomized)",
-                    Box::new(|| Box::new(StarScheduler::default()) as Box<dyn BatchScheduler>)
-                        as Mk,
+                    (|| Box::new(StarScheduler::default()) as Box<dyn BatchScheduler>) as Mk,
                 ),
-                ("list(fifo)", Box::new(|| Box::new(ListScheduler::fifo()))),
+                ("list(fifo)", || Box::new(ListScheduler::fifo())),
             ],
         ),
     ];
-    for (net, schedulers) in &setups {
+    let mut grid = ParallelGrid::new("E13");
+    for (net_mk, schedulers) in setups {
         for (name, mk) in schedulers {
-            let mut agg = Agg {
-                sum: 0.0,
-                worst: 0.0,
-                lb_sum: 0.0,
-                lb_worst: 0.0,
-                cases: 0,
-            };
-            for seed in 0..cases {
-                let (pending, ctx) = random_case(net, 6, 3, 2, 7000 + seed);
-                let opt = ExactScheduler
-                    .schedule(net, &pending, &ctx)
-                    .makespan_end()
-                    .unwrap_or(0)
-                    .max(1);
-                let heur = mk()
-                    .schedule(net, &pending, &ctx)
-                    .makespan_end()
-                    .unwrap_or(0);
-                let b_a = heur as f64 / opt as f64;
-                assert!(b_a >= 0.999, "heuristic beat the optimum?! {name}");
-                let lb = batch_lower_bound(net, &pending, &ctx).combined();
-                let tight = opt as f64 / lb as f64;
-                agg.sum += b_a;
-                agg.worst = agg.worst.max(b_a);
-                agg.lb_sum += tight;
-                agg.lb_worst = agg.lb_worst.max(tight);
-                agg.cases += 1;
-            }
-            t.row(vec![
-                net.name().to_string(),
-                name.to_string(),
-                agg.cases.to_string(),
-                fmt_ratio(agg.sum / agg.cases as f64),
-                fmt_ratio(agg.worst),
-                fmt_ratio(agg.lb_sum / agg.cases as f64),
-                fmt_ratio(agg.lb_worst),
-            ]);
+            grid.cell(move || {
+                let net = net_mk();
+                let mut agg = Agg {
+                    sum: 0.0,
+                    worst: 0.0,
+                    lb_sum: 0.0,
+                    lb_worst: 0.0,
+                    cases: 0,
+                };
+                for seed in 0..cases {
+                    let (pending, ctx) = random_case(&net, 6, 3, 2, 7000 + seed);
+                    let opt = ExactScheduler
+                        .schedule(&net, &pending, &ctx)
+                        .makespan_end()
+                        .unwrap_or(0)
+                        .max(1);
+                    let heur = mk()
+                        .schedule(&net, &pending, &ctx)
+                        .makespan_end()
+                        .unwrap_or(0);
+                    let b_a = heur as f64 / opt as f64;
+                    assert!(b_a >= 0.999, "heuristic beat the optimum?! {name}");
+                    let lb = batch_lower_bound(&net, &pending, &ctx).combined();
+                    let tight = opt as f64 / lb as f64;
+                    agg.sum += b_a;
+                    agg.worst = agg.worst.max(b_a);
+                    agg.lb_sum += tight;
+                    agg.lb_worst = agg.lb_worst.max(tight);
+                    agg.cases += 1;
+                }
+                vec![
+                    net.name().to_string(),
+                    name.to_string(),
+                    agg.cases.to_string(),
+                    fmt_ratio(agg.sum / agg.cases as f64),
+                    fmt_ratio(agg.worst),
+                    fmt_ratio(agg.lb_sum / agg.cases as f64),
+                    fmt_ratio(agg.lb_worst),
+                ]
+            });
         }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

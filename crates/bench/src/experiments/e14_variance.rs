@@ -9,7 +9,7 @@
 //! * Section IV-D (line, bucket(line-sweep) vs FIFO): ratio vs n.
 
 use crate::runner::{run_summary, WorkloadKind};
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
 use dtm_graph::topology;
 use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
@@ -32,38 +32,47 @@ pub fn run(quick: bool) -> Vec<Table> {
         (0..16).collect()
     };
 
-    // Part 1: clique ratio vs k across seeds.
+    // Part 1: clique ratio vs k across seeds. Cells fan out over k; each
+    // cell fans out over seeds with a nested `par_iter`, so both layers of
+    // the study run concurrently.
     let mut t1 = Table::new(
         "E14a — Theorem 3 robustness: clique(32) greedy ratio across seeds",
         &["k", "seeds", "mean ratio", "std", "max"],
     );
+    let seeds = &seeds;
+    let mut g1 = ParallelGrid::new("E14a");
     for &k in &[1usize, 2, 4, 8] {
-        let ratios: Vec<f64> = seeds
-            .par_iter()
-            .map(|&seed| {
-                let net = topology::clique(32);
-                run_summary(
-                    &net,
-                    WorkloadKind::ClosedLoop {
-                        spec: WorkloadSpec::batch_uniform(32, k),
-                        rounds: 2,
-                        seed: 5000 + seed,
-                    },
-                    GreedyPolicy::uniform(1),
-                    EngineConfig::default(),
-                )
-                .ratio
-            })
-            .collect();
-        let (mean, std) = mean_std(&ratios);
-        let max = ratios.iter().copied().fold(0.0f64, f64::max);
-        t1.row(vec![
-            k.to_string(),
-            ratios.len().to_string(),
-            format!("{mean:.2}"),
-            format!("{std:.2}"),
-            format!("{max:.2}"),
-        ]);
+        g1.cell(move || {
+            let ratios: Vec<f64> = seeds
+                .par_iter()
+                .map(|&seed| {
+                    let net = topology::clique(32);
+                    run_summary(
+                        &net,
+                        WorkloadKind::ClosedLoop {
+                            spec: WorkloadSpec::batch_uniform(32, k),
+                            rounds: 2,
+                            seed: 5000 + seed,
+                        },
+                        GreedyPolicy::uniform(1),
+                        EngineConfig::default(),
+                    )
+                    .ratio
+                })
+                .collect();
+            let (mean, std) = mean_std(&ratios);
+            let max = ratios.iter().copied().fold(0.0f64, f64::max);
+            vec![
+                k.to_string(),
+                ratios.len().to_string(),
+                format!("{mean:.2}"),
+                format!("{std:.2}"),
+                format!("{max:.2}"),
+            ]
+        });
+    }
+    for row in g1.run() {
+        t1.row(row);
     }
 
     // Part 2: line bucket vs fifo across seeds.
@@ -72,50 +81,56 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["n", "policy", "seeds", "mean ratio", "std", "max"],
     );
     let ns: Vec<u32> = if quick { vec![48] } else { vec![64, 128] };
+    let mut g2 = ParallelGrid::new("E14b");
     for &n in &ns {
         for policy_name in ["bucket(line)", "fifo"] {
-            let ratios: Vec<f64> = seeds
-                .par_iter()
-                .map(|&seed| {
-                    let net = topology::line(n);
-                    let spec = WorkloadSpec {
-                        num_objects: (n / 4).max(2),
-                        k: 2,
-                        object_choice: ObjectChoice::Uniform,
-                        arrival: ArrivalProcess::Bernoulli {
-                            rate: (2.0 / n as f64).min(0.5),
-                            horizon: n as u64,
-                        },
-                    };
-                    let inst = WorkloadGenerator::new(spec, 6000 + seed).generate(&net);
-                    if inst.txns.is_empty() {
-                        return 1.0;
-                    }
-                    let wl = WorkloadKind::Trace(inst);
-                    let s = if policy_name == "fifo" {
-                        run_summary(&net, wl, FifoPolicy::new(), EngineConfig::default())
-                    } else {
-                        run_summary(
-                            &net,
-                            wl,
-                            BucketPolicy::new(LineScheduler),
-                            EngineConfig::default(),
-                        )
-                    };
-                    s.ratio
-                })
-                .collect();
-            let (mean, std) = mean_std(&ratios);
-            let max = ratios.iter().copied().fold(0.0f64, f64::max);
-            t2.row(vec![
-                n.to_string(),
-                policy_name.to_string(),
-                ratios.len().to_string(),
-                format!("{mean:.2}"),
-                format!("{std:.2}"),
-                format!("{max:.2}"),
-            ]);
+            g2.cell(move || {
+                let ratios: Vec<f64> = seeds
+                    .par_iter()
+                    .map(|&seed| {
+                        let net = topology::line(n);
+                        let spec = WorkloadSpec {
+                            num_objects: (n / 4).max(2),
+                            k: 2,
+                            object_choice: ObjectChoice::Uniform,
+                            arrival: ArrivalProcess::Bernoulli {
+                                rate: (2.0 / n as f64).min(0.5),
+                                horizon: n as u64,
+                            },
+                        };
+                        let inst = WorkloadGenerator::new(spec, 6000 + seed).generate(&net);
+                        if inst.txns.is_empty() {
+                            return 1.0;
+                        }
+                        let wl = WorkloadKind::Trace(inst);
+                        let s = if policy_name == "fifo" {
+                            run_summary(&net, wl, FifoPolicy::new(), EngineConfig::default())
+                        } else {
+                            run_summary(
+                                &net,
+                                wl,
+                                BucketPolicy::new(LineScheduler),
+                                EngineConfig::default(),
+                            )
+                        };
+                        s.ratio
+                    })
+                    .collect();
+                let (mean, std) = mean_std(&ratios);
+                let max = ratios.iter().copied().fold(0.0f64, f64::max);
+                vec![
+                    n.to_string(),
+                    policy_name.to_string(),
+                    ratios.len().to_string(),
+                    format!("{mean:.2}"),
+                    format!("{std:.2}"),
+                    format!("{max:.2}"),
+                ]
+            });
         }
+    }
+    for row in g2.run() {
+        t2.row(row);
     }
     vec![t1, t2]
 }

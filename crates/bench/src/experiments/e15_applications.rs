@@ -10,7 +10,7 @@
 
 use crate::runner::{run_summary, Summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
 use dtm_graph::{topology, Network};
 use dtm_model::{presets, WorkloadGenerator, WorkloadSpec};
@@ -50,42 +50,43 @@ pub fn run(quick: bool) -> Vec<Table> {
             presets::inventory(72, 2, 0.2 * scale, 24),
         ),
     ];
-    for (name, net, spec) in &cases {
-        let inst = WorkloadGenerator::new(spec.clone(), 7777).generate(net);
-        if inst.txns.is_empty() {
-            continue;
+    type PolicyMk = fn() -> Box<dyn dtm_sim::SchedulingPolicy>;
+    let policies: Vec<PolicyMk> = vec![
+        || Box::new(GreedyPolicy::new()),
+        || Box::new(BucketPolicy::new(ListScheduler::fifo())),
+        || Box::new(FifoPolicy::new()),
+    ];
+    let mut grid = ParallelGrid::new("E15");
+    for case in &cases {
+        for &mk in &policies {
+            grid.cell(move || {
+                let (name, net, spec) = case;
+                let inst = WorkloadGenerator::new(spec.clone(), 7777).generate(net);
+                if inst.txns.is_empty() {
+                    return None;
+                }
+                let stats = inst.stats();
+                let s: Summary = run_summary(
+                    net,
+                    WorkloadKind::Trace(inst),
+                    mk(),
+                    EngineConfig::default(),
+                );
+                Some(vec![
+                    format!("{name} (l_max={})", stats.l_max),
+                    net.name().to_string(),
+                    s.policy.clone(),
+                    s.txns.to_string(),
+                    s.makespan.to_string(),
+                    format!("{:.1}", s.mean_latency),
+                    s.peak_edge_load.to_string(),
+                    fmt_ratio(s.ratio),
+                ])
+            });
         }
-        let stats = inst.stats();
-        let mut push = |s: Summary| {
-            t.row(vec![
-                format!("{name} (l_max={})", stats.l_max),
-                net.name().to_string(),
-                s.policy.clone(),
-                s.txns.to_string(),
-                s.makespan.to_string(),
-                format!("{:.1}", s.mean_latency),
-                s.peak_edge_load.to_string(),
-                fmt_ratio(s.ratio),
-            ]);
-        };
-        push(run_summary(
-            net,
-            WorkloadKind::Trace(inst.clone()),
-            GreedyPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            net,
-            WorkloadKind::Trace(inst.clone()),
-            BucketPolicy::new(ListScheduler::fifo()),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            net,
-            WorkloadKind::Trace(inst.clone()),
-            FifoPolicy::new(),
-            EngineConfig::default(),
-        ));
+    }
+    for row in grid.run().into_iter().flatten() {
+        t.row(row);
     }
     vec![t]
 }

@@ -8,7 +8,7 @@
 //! the message-level one (targets are optimistic under stale knowledge).
 
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{DistributedBucketPolicy, DistributedMsgPolicy, MsgStats};
 use dtm_graph::{topology, Network};
 use dtm_model::{ClosedLoopSource, Time, WorkloadSpec};
@@ -56,78 +56,84 @@ pub fn run(quick: bool) -> Vec<Table> {
             topology::star(4, 5),
         ]
     };
-    for net in &nets {
-        let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
-        // Idealized.
-        {
-            let stats = Arc::new(Mutex::new(dtm_core::DistStats::default()));
-            let src = ClosedLoopSource::new(net.clone(), spec.clone(), 2, 1600);
-            let res = run_policy(
-                net,
-                src,
-                DistributedBucketPolicy::new(net, ListScheduler::fifo(), 23)
-                    .with_stats(Arc::clone(&stats)),
-                DistributedBucketPolicy::<ListScheduler>::engine_config(),
-            );
-            res.expect_ok();
-            validate_events(
-                net,
-                &res,
-                &ValidationConfig {
-                    speed_divisor: 2,
-                    ..ValidationConfig::default()
-                },
-            )
-            .unwrap();
-            let ratio = competitive_ratio(net, &res);
-            let (mean_late, max_late) = lateness(&res);
-            t.row(vec![
-                net.name().to_string(),
-                "idealized".into(),
-                res.metrics.committed.to_string(),
-                res.metrics.makespan.to_string(),
-                fmt_ratio(ratio.max_ratio),
-                stats.lock().messages.to_string(),
-                format!("{mean_late:.1}"),
-                max_late.to_string(),
-            ]);
+    let mut grid = ParallelGrid::new("E16");
+    for net in nets {
+        for msg_level in [false, true] {
+            let net = net.clone();
+            grid.cell(move || {
+                let spec = WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(2), 2);
+                let src = ClosedLoopSource::new(net.clone(), spec, 2, 1600);
+                if msg_level {
+                    let stats = Arc::new(Mutex::new(MsgStats::default()));
+                    let res = run_policy(
+                        &net,
+                        src,
+                        DistributedMsgPolicy::new(&net, ListScheduler::fifo(), 23)
+                            .with_stats(Arc::clone(&stats)),
+                        DistributedMsgPolicy::<ListScheduler>::engine_config(),
+                    );
+                    res.expect_ok();
+                    validate_events(
+                        &net,
+                        &res,
+                        &ValidationConfig {
+                            speed_divisor: 2,
+                            allow_late_execution: true,
+                            ..ValidationConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let ratio = competitive_ratio(&net, &res);
+                    let (mean_late, max_late) = lateness(&res);
+                    let s = stats.lock();
+                    vec![
+                        net.name().to_string(),
+                        format!("message-level (+{} chases)", s.chase_forwards),
+                        res.metrics.committed.to_string(),
+                        res.metrics.makespan.to_string(),
+                        fmt_ratio(ratio.max_ratio),
+                        s.messages.to_string(),
+                        format!("{mean_late:.1}"),
+                        max_late.to_string(),
+                    ]
+                } else {
+                    let stats = Arc::new(Mutex::new(dtm_core::DistStats::default()));
+                    let res = run_policy(
+                        &net,
+                        src,
+                        DistributedBucketPolicy::new(&net, ListScheduler::fifo(), 23)
+                            .with_stats(Arc::clone(&stats)),
+                        DistributedBucketPolicy::<ListScheduler>::engine_config(),
+                    );
+                    res.expect_ok();
+                    validate_events(
+                        &net,
+                        &res,
+                        &ValidationConfig {
+                            speed_divisor: 2,
+                            ..ValidationConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let ratio = competitive_ratio(&net, &res);
+                    let (mean_late, max_late) = lateness(&res);
+                    let messages = stats.lock().messages;
+                    vec![
+                        net.name().to_string(),
+                        "idealized".into(),
+                        res.metrics.committed.to_string(),
+                        res.metrics.makespan.to_string(),
+                        fmt_ratio(ratio.max_ratio),
+                        messages.to_string(),
+                        format!("{mean_late:.1}"),
+                        max_late.to_string(),
+                    ]
+                }
+            });
         }
-        // Message-level.
-        {
-            let stats = Arc::new(Mutex::new(MsgStats::default()));
-            let src = ClosedLoopSource::new(net.clone(), spec.clone(), 2, 1600);
-            let res = run_policy(
-                net,
-                src,
-                DistributedMsgPolicy::new(net, ListScheduler::fifo(), 23)
-                    .with_stats(Arc::clone(&stats)),
-                DistributedMsgPolicy::<ListScheduler>::engine_config(),
-            );
-            res.expect_ok();
-            validate_events(
-                net,
-                &res,
-                &ValidationConfig {
-                    speed_divisor: 2,
-                    allow_late_execution: true,
-                    ..ValidationConfig::default()
-                },
-            )
-            .unwrap();
-            let ratio = competitive_ratio(net, &res);
-            let (mean_late, max_late) = lateness(&res);
-            let s = stats.lock();
-            t.row(vec![
-                net.name().to_string(),
-                format!("message-level (+{} chases)", s.chase_forwards),
-                res.metrics.committed.to_string(),
-                res.metrics.makespan.to_string(),
-                fmt_ratio(ratio.max_ratio),
-                s.messages.to_string(),
-                format!("{mean_late:.1}"),
-                max_late.to_string(),
-            ]);
-        }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

@@ -9,7 +9,7 @@
 //! above 1.00 would falsify the theorem in this implementation.
 
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{GreedyPolicy, GreedyStats};
 use dtm_graph::{topology, Network};
 use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
@@ -51,38 +51,47 @@ pub fn run(quick: bool) -> Vec<Table> {
         topology::star(4, 4),
         topology::random(24, 3, 3, 7),
     ];
+    let mut grid1 = ParallelGrid::new("E1");
     for net in &topologies {
-        let stats = Arc::new(Mutex::new(GreedyStats::default()));
-        let mut txns = 0usize;
-        for &seed in &seeds {
-            let inst = workload(net, 3, seed);
-            txns += inst.num_txns();
-            let res = run_policy(
-                net,
-                TraceSource::new(inst),
-                GreedyPolicy::new().with_stats(Arc::clone(&stats)),
-                EngineConfig::default(),
-            );
-            res.expect_ok();
-        }
-        let s = stats.lock();
-        let max_color = s.assigned.iter().map(|&(_, c, _)| c).max().unwrap_or(0);
-        let max_bound = s.assigned.iter().map(|&(_, _, b)| b).max().unwrap_or(0);
-        let worst = s
-            .assigned
-            .iter()
-            .filter(|&&(_, _, b)| b > 0)
-            .map(|&(_, c, b)| c as f64 / b as f64)
-            .fold(0.0f64, f64::max);
-        let violations = s.assigned.iter().filter(|&&(_, c, b)| c > b).count();
-        t1.row(vec![
-            net.name().to_string(),
-            txns.to_string(),
-            max_color.to_string(),
-            max_bound.to_string(),
-            fmt_ratio(worst),
-            violations.to_string(),
-        ]);
+        let seeds = &seeds;
+        grid1.cell(move || {
+            // Stats are per-cell: each topology accumulates its own
+            // GreedyStats across its seeds, so cells stay independent.
+            let stats = Arc::new(Mutex::new(GreedyStats::default()));
+            let mut txns = 0usize;
+            for &seed in seeds {
+                let inst = workload(net, 3, seed);
+                txns += inst.num_txns();
+                let res = run_policy(
+                    net,
+                    TraceSource::new(inst),
+                    GreedyPolicy::new().with_stats(Arc::clone(&stats)),
+                    EngineConfig::default(),
+                );
+                res.expect_ok();
+            }
+            let s = stats.lock();
+            let max_color = s.assigned.iter().map(|&(_, c, _)| c).max().unwrap_or(0);
+            let max_bound = s.assigned.iter().map(|&(_, _, b)| b).max().unwrap_or(0);
+            let worst = s
+                .assigned
+                .iter()
+                .filter(|&&(_, _, b)| b > 0)
+                .map(|&(_, c, b)| c as f64 / b as f64)
+                .fold(0.0f64, f64::max);
+            let violations = s.assigned.iter().filter(|&&(_, c, b)| c > b).count();
+            vec![
+                net.name().to_string(),
+                txns.to_string(),
+                max_color.to_string(),
+                max_bound.to_string(),
+                fmt_ratio(worst),
+                violations.to_string(),
+            ]
+        });
+    }
+    for row in grid1.run() {
+        t1.row(row);
     }
 
     let mut t2 = Table::new(
@@ -101,41 +110,48 @@ pub fn run(quick: bool) -> Vec<Table> {
         (topology::hypercube(4), 4),
         (topology::hypercube(5), 5),
     ];
+    let mut grid2 = ParallelGrid::new("E2");
     for (net, beta) in &uniform_cases {
-        let stats = Arc::new(Mutex::new(GreedyStats::default()));
-        let mut txns = 0usize;
-        for &seed in &seeds {
-            let inst = workload(net, 2, seed);
-            txns += inst.num_txns();
-            let res = run_policy(
-                net,
-                TraceSource::new(inst),
-                GreedyPolicy::uniform(*beta).with_stats(Arc::clone(&stats)),
-                EngineConfig::default(),
-            );
-            res.expect_ok();
-        }
-        let s = stats.lock();
-        let max_color = s.assigned.iter().map(|&(_, c, _)| c).max().unwrap_or(0);
-        let worst = s
-            .assigned
-            .iter()
-            .filter(|&&(_, _, b)| b > 0)
-            .map(|&(_, c, b)| c as f64 / b as f64)
-            .fold(0.0f64, f64::max);
-        let violations = s.assigned.iter().filter(|&&(_, c, b)| c > b).count();
-        // Colors are offsets from arrival; absolute execution times are
-        // the β-multiples (checked by the greedy unit tests), so here we
-        // only require positivity.
-        assert!(s.assigned.iter().all(|&(_, c, _)| c >= 1));
-        t2.row(vec![
-            net.name().to_string(),
-            beta.to_string(),
-            txns.to_string(),
-            max_color.to_string(),
-            fmt_ratio(worst),
-            violations.to_string(),
-        ]);
+        let seeds = &seeds;
+        grid2.cell(move || {
+            let stats = Arc::new(Mutex::new(GreedyStats::default()));
+            let mut txns = 0usize;
+            for &seed in seeds {
+                let inst = workload(net, 2, seed);
+                txns += inst.num_txns();
+                let res = run_policy(
+                    net,
+                    TraceSource::new(inst),
+                    GreedyPolicy::uniform(*beta).with_stats(Arc::clone(&stats)),
+                    EngineConfig::default(),
+                );
+                res.expect_ok();
+            }
+            let s = stats.lock();
+            let max_color = s.assigned.iter().map(|&(_, c, _)| c).max().unwrap_or(0);
+            let worst = s
+                .assigned
+                .iter()
+                .filter(|&&(_, _, b)| b > 0)
+                .map(|&(_, c, b)| c as f64 / b as f64)
+                .fold(0.0f64, f64::max);
+            let violations = s.assigned.iter().filter(|&&(_, c, b)| c > b).count();
+            // Colors are offsets from arrival; absolute execution times are
+            // the β-multiples (checked by the greedy unit tests), so here we
+            // only require positivity.
+            assert!(s.assigned.iter().all(|&(_, c, _)| c >= 1));
+            vec![
+                net.name().to_string(),
+                beta.to_string(),
+                txns.to_string(),
+                max_color.to_string(),
+                fmt_ratio(worst),
+                violations.to_string(),
+            ]
+        });
+    }
+    for row in grid2.run() {
+        t2.row(row);
     }
     vec![t1, t2]
 }

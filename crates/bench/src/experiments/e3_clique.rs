@@ -8,7 +8,7 @@
 
 use crate::runner::{run_summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::GreedyPolicy;
 use dtm_graph::topology;
 use dtm_model::WorkloadSpec;
@@ -26,29 +26,35 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E3 — Theorem 3: clique greedy is O(k)-competitive",
         &["n", "k", "txns", "makespan", "ratio", "ratio/k"],
     );
+    let mut grid = ParallelGrid::new("E3");
     for &n in &ns {
         for &k in &ks {
-            let net = topology::clique(n);
-            let spec = WorkloadSpec::batch_uniform(n, k);
-            let s = run_summary(
-                &net,
-                WorkloadKind::ClosedLoop {
-                    spec,
-                    rounds: 3,
-                    seed: 1000 + n as u64 + k as u64,
-                },
-                GreedyPolicy::uniform(1),
-                EngineConfig::default(),
-            );
-            t.row(vec![
-                n.to_string(),
-                k.to_string(),
-                s.txns.to_string(),
-                s.makespan.to_string(),
-                fmt_ratio(s.ratio),
-                fmt_ratio(s.ratio / k as f64),
-            ]);
+            grid.cell(move || {
+                let net = topology::clique(n);
+                let spec = WorkloadSpec::batch_uniform(n, k);
+                let s = run_summary(
+                    &net,
+                    WorkloadKind::ClosedLoop {
+                        spec,
+                        rounds: 3,
+                        seed: 1000 + n as u64 + k as u64,
+                    },
+                    GreedyPolicy::uniform(1),
+                    EngineConfig::default(),
+                );
+                vec![
+                    n.to_string(),
+                    k.to_string(),
+                    s.txns.to_string(),
+                    s.makespan.to_string(),
+                    fmt_ratio(s.ratio),
+                    fmt_ratio(s.ratio / k as f64),
+                ]
+            });
         }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

@@ -6,7 +6,7 @@
 
 use crate::runner::{run_summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::GreedyPolicy;
 use dtm_graph::{topology, Network};
 use dtm_model::WorkloadSpec;
@@ -16,10 +16,10 @@ fn log2n(n: usize) -> f64 {
     (n as f64).log2()
 }
 
-fn run_case(t: &mut Table, net: &Network, k: usize, seed: u64) {
+fn case_row(net: Network, k: usize, seed: u64) -> Vec<String> {
     let spec = WorkloadSpec::batch_uniform((net.n() as u32).max(4), k);
     let s = run_summary(
-        net,
+        &net,
         WorkloadKind::ClosedLoop {
             spec,
             rounds: 2,
@@ -29,7 +29,7 @@ fn run_case(t: &mut Table, net: &Network, k: usize, seed: u64) {
         EngineConfig::default(),
     );
     let norm = s.ratio / (k as f64 * log2n(net.n()));
-    t.row(vec![
+    vec![
         net.name().to_string(),
         net.n().to_string(),
         k.to_string(),
@@ -37,7 +37,7 @@ fn run_case(t: &mut Table, net: &Network, k: usize, seed: u64) {
         s.makespan.to_string(),
         fmt_ratio(s.ratio),
         fmt_ratio(norm),
-    ]);
+    ]
 }
 
 /// Run E4 (hypercube) and E5 (butterfly, log n-dim grid).
@@ -54,39 +54,38 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t4 = Table::new("E4 — hypercube greedy is O(k log n)-competitive", &headers);
     let dims: Vec<u32> = if quick { vec![3, 5] } else { vec![3, 5, 7, 8] };
     let ks: Vec<usize> = if quick { vec![2] } else { vec![1, 2, 4] };
+    let mut grid4 = ParallelGrid::new("E4");
     for &d in &dims {
         for &k in &ks {
-            run_case(
-                &mut t4,
-                &topology::hypercube(d),
-                k,
-                40 + d as u64 + k as u64,
-            );
+            grid4.cell(move || case_row(topology::hypercube(d), k, 40 + d as u64 + k as u64));
         }
+    }
+    for row in grid4.run() {
+        t4.row(row);
     }
 
     let mut t5 = Table::new(
         "E5 — butterfly and log n-dimensional grid greedy, O(k log n)",
         &headers,
     );
+    let mut grid5 = ParallelGrid::new("E5");
     let bf_dims: Vec<u32> = if quick { vec![2] } else { vec![2, 3, 4] };
     for &d in &bf_dims {
         for &k in &ks {
-            run_case(
-                &mut t5,
-                &topology::butterfly(d),
-                k,
-                60 + d as u64 + k as u64,
-            );
+            grid5.cell(move || case_row(topology::butterfly(d), k, 60 + d as u64 + k as u64));
         }
     }
     // log n-dimensional grids: side-2 grids of dimension d have n = 2^d.
     let grid_dims: Vec<usize> = if quick { vec![4] } else { vec![4, 6, 8] };
     for &d in &grid_dims {
-        let net = topology::grid(&vec![2u32; d]);
         for &k in &ks {
-            run_case(&mut t5, &net, k, 80 + d as u64 + k as u64);
+            grid5.cell(move || {
+                case_row(topology::grid(&vec![2u32; d]), k, 80 + d as u64 + k as u64)
+            });
         }
+    }
+    for row in grid5.run() {
+        t5.row(row);
     }
     vec![t4, t5]
 }

@@ -6,7 +6,7 @@
 //! reports how much headroom the implementation leaves.
 
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, BucketStats};
 use dtm_graph::{topology, Network};
 use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
@@ -60,37 +60,43 @@ pub fn run(quick: bool) -> Vec<Table> {
         (topology::star(4, 8), false),
         (topology::clique(24), false),
     ];
+    let mut grid = ParallelGrid::new("E6");
     for (net, use_line) in cases {
-        let (res, stats) = if use_line {
-            run_one(&net, LineScheduler, 5, rate)
-        } else {
-            run_one(&net, ListScheduler::fifo(), 5, rate)
-        };
-        let bound = net.max_bucket_level();
-        let max_level = stats.levels.values().copied().max().unwrap_or(0);
-        assert!(max_level <= bound, "Lemma 3 violated on {}", net.name());
-        // Lemma 4: worst utilization of the deadline budget.
-        let mut worst = 0.0f64;
-        for (&id, &lvl) in &stats.levels {
-            let inserted = stats.inserted_at[&id];
-            let commit = res.commits[&id];
-            let deadline = (lvl as u64 + 1) * (1u64 << (lvl + 2));
-            let used = (commit - inserted) as f64 / deadline as f64;
-            assert!(
-                used <= 1.0,
-                "Lemma 4 violated for {id} on {}: used {used:.2}",
-                net.name()
-            );
-            worst = worst.max(used);
-        }
-        t.row(vec![
-            net.name().to_string(),
-            stats.levels.len().to_string(),
-            max_level.to_string(),
-            bound.to_string(),
-            stats.overflows.to_string(),
-            fmt_ratio(worst),
-        ]);
+        grid.cell(move || {
+            let (res, stats) = if use_line {
+                run_one(&net, LineScheduler, 5, rate)
+            } else {
+                run_one(&net, ListScheduler::fifo(), 5, rate)
+            };
+            let bound = net.max_bucket_level();
+            let max_level = stats.levels.values().copied().max().unwrap_or(0);
+            assert!(max_level <= bound, "Lemma 3 violated on {}", net.name());
+            // Lemma 4: worst utilization of the deadline budget.
+            let mut worst = 0.0f64;
+            for (&id, &lvl) in &stats.levels {
+                let inserted = stats.inserted_at[&id];
+                let commit = res.commits[&id];
+                let deadline = (lvl as u64 + 1) * (1u64 << (lvl + 2));
+                let used = (commit - inserted) as f64 / deadline as f64;
+                assert!(
+                    used <= 1.0,
+                    "Lemma 4 violated for {id} on {}: used {used:.2}",
+                    net.name()
+                );
+                worst = worst.max(used);
+            }
+            vec![
+                net.name().to_string(),
+                stats.levels.len().to_string(),
+                max_level.to_string(),
+                bound.to_string(),
+                stats.overflows.to_string(),
+                fmt_ratio(worst),
+            ]
+        });
+    }
+    for row in grid.run() {
+        t.row(row);
     }
 
     // Level histogram on the line (how the probe distributes load).

@@ -8,7 +8,7 @@
 
 use crate::runner::{run_summary, Summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::topology;
 use dtm_model::{ArrivalProcess, Instance, ObjectChoice, WorkloadGenerator, WorkloadSpec};
@@ -51,45 +51,42 @@ pub fn run(quick: bool) -> Vec<Table> {
             "ratio/log^3 n",
         ],
     );
+    type PolicyMk = fn() -> Box<dyn dtm_sim::SchedulingPolicy>;
+    let policies: Vec<PolicyMk> = vec![
+        || Box::new(BucketPolicy::new(LineScheduler)),
+        || Box::new(GreedyPolicy::new()),
+        || Box::new(FifoPolicy::new()),
+        || Box::new(TspPolicy::new()),
+    ];
+    let mut grid = ParallelGrid::new("E8");
     for &n in &ns {
-        let net = topology::line(n);
-        let log3 = (n as f64).log2().powi(3);
-        let mut push = |s: Summary| {
-            t.row(vec![
-                n.to_string(),
-                s.policy.clone(),
-                s.txns.to_string(),
-                s.makespan.to_string(),
-                s.max_latency.to_string(),
-                fmt_ratio(s.ratio),
-                fmt_ratio(s.ratio / log3),
-            ]);
-        };
-        let inst = workload(n, 300 + n as u64);
-        push(run_summary(
-            &net,
-            WorkloadKind::Trace(inst.clone()),
-            BucketPolicy::new(LineScheduler),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            WorkloadKind::Trace(inst.clone()),
-            GreedyPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            WorkloadKind::Trace(inst.clone()),
-            FifoPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            WorkloadKind::Trace(inst),
-            TspPolicy::new(),
-            EngineConfig::default(),
-        ));
+        for &mk in &policies {
+            grid.cell(move || {
+                // Each cell regenerates the (deterministic) instance for
+                // its size, so cells share no state.
+                let net = topology::line(n);
+                let log3 = (n as f64).log2().powi(3);
+                let inst = workload(n, 300 + n as u64);
+                let s: Summary = run_summary(
+                    &net,
+                    WorkloadKind::Trace(inst),
+                    mk(),
+                    EngineConfig::default(),
+                );
+                vec![
+                    n.to_string(),
+                    s.policy.clone(),
+                    s.txns.to_string(),
+                    s.makespan.to_string(),
+                    s.max_latency.to_string(),
+                    fmt_ratio(s.ratio),
+                    fmt_ratio(s.ratio / log3),
+                ]
+            });
+        }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

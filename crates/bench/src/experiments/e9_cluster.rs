@@ -9,7 +9,7 @@
 
 use crate::runner::{run_summary, Summary, WorkloadKind};
 use crate::table::fmt_ratio;
-use crate::Table;
+use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
 use dtm_graph::topology;
 use dtm_model::WorkloadSpec;
@@ -34,44 +34,43 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E9 — cluster graph: bucket(cluster) vs baselines",
         &["α", "β", "γ", "k", "policy", "txns", "makespan", "ratio"],
     );
+    type PolicyMk = fn() -> Box<dyn dtm_sim::SchedulingPolicy>;
+    let policies: Vec<PolicyMk> = vec![
+        || Box::new(BucketPolicy::new(ClusterScheduler::default())),
+        || Box::new(GreedyPolicy::new()),
+        || Box::new(FifoPolicy::new()),
+    ];
+    let mut grid = ParallelGrid::new("E9");
     for &(alpha, beta, gamma, k) in &cases {
-        let net = topology::cluster(alpha, beta, gamma.max(beta as u64));
-        let spec = WorkloadSpec::batch_uniform(alpha * beta, k);
-        let mut push = |s: Summary| {
-            t.row(vec![
-                alpha.to_string(),
-                beta.to_string(),
-                gamma.to_string(),
-                k.to_string(),
-                s.policy.clone(),
-                s.txns.to_string(),
-                s.makespan.to_string(),
-                fmt_ratio(s.ratio),
-            ]);
-        };
-        let wl = |seed: u64| WorkloadKind::ClosedLoop {
-            spec: spec.clone(),
-            rounds: 2,
-            seed,
-        };
-        push(run_summary(
-            &net,
-            wl(900),
-            BucketPolicy::new(ClusterScheduler::default()),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            wl(900),
-            GreedyPolicy::new(),
-            EngineConfig::default(),
-        ));
-        push(run_summary(
-            &net,
-            wl(900),
-            FifoPolicy::new(),
-            EngineConfig::default(),
-        ));
+        for &mk in &policies {
+            grid.cell(move || {
+                let net = topology::cluster(alpha, beta, gamma.max(beta as u64));
+                let spec = WorkloadSpec::batch_uniform(alpha * beta, k);
+                let s: Summary = run_summary(
+                    &net,
+                    WorkloadKind::ClosedLoop {
+                        spec,
+                        rounds: 2,
+                        seed: 900,
+                    },
+                    mk(),
+                    EngineConfig::default(),
+                );
+                vec![
+                    alpha.to_string(),
+                    beta.to_string(),
+                    gamma.to_string(),
+                    k.to_string(),
+                    s.policy.clone(),
+                    s.txns.to_string(),
+                    s.makespan.to_string(),
+                    fmt_ratio(s.ratio),
+                ]
+            });
+        }
+    }
+    for row in grid.run() {
+        t.row(row);
     }
     vec![t]
 }

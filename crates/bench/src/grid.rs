@@ -1,0 +1,90 @@
+//! [`ParallelGrid`]: the fan-out primitive every experiment module runs
+//! on.
+//!
+//! An experiment is a grid of independent cells — `(policy, topology,
+//! param)` tuples, each a self-contained [`crate::run_summary`] call with
+//! its own seed. `ParallelGrid` collects those cells as closures in
+//! declaration order, fans them across the rayon pool, and returns the
+//! results **in declaration order**, so a table assembled from the
+//! returned rows is byte-identical whether the grid ran on 1 thread or
+//! 16 (`--jobs N`; pinned by `crates/bench/tests/parallel_harness.rs`).
+//!
+//! The grid's label (the experiment id, e.g. `"E3"`) is installed as the
+//! sidecar scope around every cell, so telemetry sidecars written inside
+//! a cell are named by the experiment they belong to (see
+//! [`crate::runner::with_sidecar_scope`]).
+
+use rayon::prelude::*;
+
+/// An ordered collection of independent experiment cells, executed in
+/// parallel, reassembled in declaration order.
+pub struct ParallelGrid<'env, R: Send> {
+    label: String,
+    cells: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+}
+
+impl<'env, R: Send + 'env> ParallelGrid<'env, R> {
+    /// New empty grid labeled with its experiment id.
+    pub fn new(label: impl Into<String>) -> Self {
+        ParallelGrid {
+            label: label.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append one cell. Cells must be independent: each should derive
+    /// everything it needs (network, workload, policy) from its captured
+    /// parameters and its own seed — never from shared mutable state.
+    pub fn cell(&mut self, f: impl FnOnce() -> R + Send + 'env) {
+        self.cells.push(Box::new(f));
+    }
+
+    /// Number of cells queued.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells were queued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Execute every cell across the pool; results come back in the
+    /// order the cells were declared, independent of thread count. A
+    /// panicking cell (a run with violations, a falsified theorem bound)
+    /// panics the whole grid — experiments must fail loudly.
+    pub fn run(self) -> Vec<R> {
+        let label = self.label;
+        self.cells
+            .into_par_iter()
+            .map(move |cell| crate::runner::with_sidecar_scope(&label, cell))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_declaration_order() {
+        let mut grid = ParallelGrid::new("test");
+        for i in 0..64u64 {
+            grid.cell(move || i * 3);
+        }
+        let out = rayon::with_num_threads(4, || grid.run());
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cells_may_borrow_the_environment() {
+        let base = [10u64, 20, 30];
+        let mut grid = ParallelGrid::new("test");
+        for (i, b) in base.iter().enumerate() {
+            grid.cell(move || b + i as u64);
+        }
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.run(), vec![10, 21, 32]);
+    }
+}

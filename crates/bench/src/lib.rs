@@ -2,40 +2,83 @@
 //!
 //! Experiment harness reproducing, as measurements, every theorem-level
 //! claim of Busch et al., IPDPS 2020 (the paper has no empirical section;
-//! EXPERIMENTS.md defines the experiment suite E1–E12 and ablations
-//! A1–A4 and records the results).
+//! EXPERIMENTS.md defines the experiment suite E1–E16 and ablations
+//! A1–A5 and records the results).
 //!
 //! Each experiment is a module in [`experiments`] with a binary target
 //! (`exp_e1` … `exp_all`); run them in release mode:
 //!
 //! ```text
 //! cargo run -p dtm-bench --release --bin exp_all
-//! cargo run -p dtm-bench --release --bin exp_e3 -- --quick
+//! cargo run -p dtm-bench --release --bin exp_e3 -- --quick --jobs 4
 //! ```
+//!
+//! Experiment grids fan out across a thread pool via [`ParallelGrid`];
+//! `--jobs N` pins the pool width (default: all cores). Tables are
+//! byte-identical at every jobs level — see EXPERIMENTS.md,
+//! "Parallel execution".
 //!
 //! Criterion micro-benchmarks of the schedulers and substrates live under
 //! `benches/` (`cargo bench -p dtm-bench`).
 
 pub mod experiments;
+pub mod grid;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_summary, Summary, WorkloadKind};
+pub use grid::ParallelGrid;
+pub use runner::{run_summary, run_summary_with, Summary, WorkloadKind};
 pub use table::Table;
+
+use std::sync::OnceLock;
 
 /// Parse the conventional `--quick` flag used by every experiment binary.
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
 
-/// Parse the conventional `--telemetry <dir>` flag used by every
-/// experiment binary: when present, [`run_summary`] writes one
-/// `MetricsSnapshot` sidecar JSON per run into the directory (created on
-/// demand). See EXPERIMENTS.md, "Telemetry sidecars".
-pub fn telemetry_flag() -> Option<std::path::PathBuf> {
+/// Parse the conventional `--jobs <N>` flag (also `-j <N>`): the number
+/// of worker threads experiment grids fan out on. Absent flag = `None`
+/// (the pool defaults to `RAYON_NUM_THREADS`, then all cores).
+pub fn jobs_flag() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--telemetry")
+        .position(|a| a == "--jobs" || a == "-j")
         .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Apply `--jobs` to the global thread pool. Every experiment binary
+/// calls this once at startup; without the flag it is a no-op and the
+/// pool uses its defaults.
+pub fn init_jobs() {
+    if let Some(n) = jobs_flag() {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("global thread pool configures");
+    }
+}
+
+/// The process-wide `--telemetry <dir>` flag used by every experiment
+/// binary: when present, [`run_summary`] writes one `MetricsSnapshot`
+/// sidecar JSON per run into the directory (created on demand). See
+/// EXPERIMENTS.md, "Telemetry sidecars".
+///
+/// The command line is parsed **once per process** and cached (the flag
+/// has process-lifetime semantics): every `run_summary` call — including
+/// cells racing on the thread pool — observes the same enabled/disabled
+/// state for the life of the process, never a torn mid-suite flip.
+pub fn telemetry_flag() -> Option<std::path::PathBuf> {
+    static TELEMETRY_DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    TELEMETRY_DIR
+        .get_or_init(|| {
+            let args: Vec<String> = std::env::args().collect();
+            args.iter()
+                .position(|a| a == "--telemetry")
+                .and_then(|i| args.get(i + 1))
+                .map(std::path::PathBuf::from)
+        })
+        .clone()
 }

@@ -1,6 +1,13 @@
 //! Shared experiment runner: executes a policy on a workload, validates
 //! the event log, and condenses metrics + a conservative competitive-ratio
 //! estimate into one [`Summary`] row.
+//!
+//! Runs are safe to execute concurrently (the [`crate::ParallelGrid`]
+//! fan-out): nothing here mutates process-global state, and telemetry
+//! sidecars are named by **run identity** — experiment scope, policy,
+//! network, seed, and a workload/config fingerprint — never by arrival
+//! order, so a suite writes the same file set at any `--jobs` level and
+//! across repeated runs.
 
 use dtm_graph::Network;
 use dtm_model::{ClosedLoopSource, Instance, Time, TraceSource, WorkloadSpec};
@@ -8,8 +15,8 @@ use dtm_offline::competitive_ratio;
 use dtm_sim::{
     run_policy, validate_events, EngineConfig, RunResult, SchedulingPolicy, ValidationConfig,
 };
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A workload to run.
 #[derive(Clone, Debug)]
@@ -52,6 +59,8 @@ pub struct Summary {
 }
 
 /// Run `policy` on `workload` over `network`, validate, and summarize.
+/// Telemetry sidecars go to the process-wide `--telemetry` directory
+/// ([`crate::telemetry_flag`]) when that flag is set.
 ///
 /// # Panics
 /// Panics if the run has violations or fails event validation — an
@@ -62,8 +71,26 @@ pub fn run_summary<P: SchedulingPolicy>(
     policy: P,
     config: EngineConfig,
 ) -> Summary {
+    run_summary_with(network, workload, policy, config, crate::telemetry_flag())
+}
+
+/// [`run_summary`] with an explicit sidecar directory (`None` disables
+/// sidecars). Tests use this to exercise the telemetry path without
+/// touching process-global flags.
+pub fn run_summary_with<P: SchedulingPolicy>(
+    network: &Network,
+    workload: WorkloadKind,
+    policy: P,
+    config: EngineConfig,
+    telemetry_dir: Option<PathBuf>,
+) -> Summary {
     let mut config = config;
     config.record_events = true;
+    // Identity is taken before the workload is consumed so the sidecar
+    // name never depends on anything the run computed.
+    let identity = telemetry_dir
+        .is_some()
+        .then(|| RunIdentity::of(&workload, &config));
     let result = match workload {
         WorkloadKind::Trace(instance) => {
             instance.validate(network).expect("valid instance");
@@ -85,8 +112,15 @@ pub fn run_summary<P: SchedulingPolicy>(
         .unwrap_or_else(|e| panic!("event validation failed for {}: {e}", result.policy));
     let ratio = competitive_ratio(network, &result);
     let peak_edge_load = dtm_sim::peak_congestion(&result);
-    if let Some(dir) = crate::telemetry_flag() {
-        write_metrics_sidecar(&dir, network, &result).expect("telemetry sidecar writable");
+    if let Some(dir) = telemetry_dir {
+        let identity = identity.expect("identity computed when sidecars are on");
+        write_metrics_sidecar(
+            &dir,
+            &identity.file_stem(&result.policy, network),
+            network,
+            &result,
+        )
+        .expect("telemetry sidecar writable");
     }
     Summary {
         policy: result.policy.clone(),
@@ -101,15 +135,117 @@ pub fn run_summary<P: SchedulingPolicy>(
     }
 }
 
-/// Process-wide sidecar sequence number, so repeated runs of the same
-/// (policy, network) pair within one experiment suite never collide.
-static SIDECAR_SEQ: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    /// Experiment id wrapped around the currently-running grid cell
+    /// (see [`with_sidecar_scope`]); names the sidecars written inside.
+    static SIDECAR_SCOPE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with `label` (an experiment id like `"E3"`) as the sidecar
+/// scope on this thread. [`crate::ParallelGrid`] wraps every cell in
+/// this, on whichever pool thread the cell lands on; runs outside any
+/// scope fall back to the label `"run"`.
+pub fn with_sidecar_scope<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    struct Reset(Option<String>);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            SIDECAR_SCOPE.with(|s| *s.borrow_mut() = prev);
+        }
+    }
+    let prev = SIDECAR_SCOPE.with(|s| s.borrow_mut().replace(label.to_string()));
+    let _reset = Reset(prev);
+    f()
+}
+
+fn current_sidecar_scope() -> String {
+    SIDECAR_SCOPE.with(|s| s.borrow().clone().unwrap_or_else(|| "run".to_string()))
+}
+
+/// Lowercase a name into a filename-safe slug.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a over a byte string; stable across platforms and processes.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What makes one run distinguishable from every other run in a suite:
+/// the experiment scope it runs under, its seed (when the workload has
+/// one), and a fingerprint of the full workload + engine configuration.
+/// Two runs with the same identity produce the same result, so their
+/// sidecars may legitimately coincide — byte-identically.
+struct RunIdentity {
+    scope: String,
+    seed: Option<u64>,
+    fingerprint: u64,
+}
+
+impl RunIdentity {
+    fn of(workload: &WorkloadKind, config: &EngineConfig) -> Self {
+        use serde::Serialize;
+        let (workload_repr, seed) = match workload {
+            WorkloadKind::Trace(inst) => {
+                let json = serde_json::to_string(&inst.to_value()).expect("instance serializes");
+                (format!("trace:{json}"), None)
+            }
+            WorkloadKind::ClosedLoop { spec, rounds, seed } => {
+                let json = serde_json::to_string(&spec.to_value()).expect("spec serializes");
+                (format!("closed-loop:{json}:r{rounds}:s{seed}"), Some(*seed))
+            }
+        };
+        let fingerprint = fnv64(format!("{workload_repr}|{config:?}").as_bytes());
+        RunIdentity {
+            scope: current_sidecar_scope(),
+            seed,
+            fingerprint,
+        }
+    }
+
+    /// Deterministic sidecar file stem:
+    /// `<scope>-<policy>-<network>[-s<seed>]-<fingerprint>`.
+    fn file_stem(&self, policy: &str, network: &Network) -> String {
+        let seed_part = self.seed.map(|s| format!("-s{s}")).unwrap_or_default();
+        format!(
+            "{}-{}-{}{}-{:016x}",
+            slug(&self.scope),
+            slug(policy),
+            slug(network.name()),
+            seed_part,
+            self.fingerprint
+        )
+    }
+}
 
 /// Write one telemetry sidecar for `result` into `dir` (created on
-/// demand): a pretty-printed [`dtm_telemetry::MetricsSnapshot`] derived
-/// from the event log, tagged with the run identity. Returns the path.
+/// demand) as `<file_stem>.metrics.json`: a pretty-printed
+/// [`dtm_telemetry::MetricsSnapshot`] derived from the event log, tagged
+/// with the run identity. Returns the path.
+///
+/// Writes are idempotent: if the file already exists with byte-identical
+/// content (the same run re-executed, or a second suite process pointed
+/// at the same directory), it is left alone. If it exists with
+/// **different** content, the run identity scheme has collided — that is
+/// a bug, and the call fails with [`std::io::ErrorKind::AlreadyExists`]
+/// instead of silently clobbering another run's data.
 pub fn write_metrics_sidecar(
     dir: &Path,
+    file_stem: &str,
     network: &Network,
     result: &RunResult,
 ) -> std::io::Result<PathBuf> {
@@ -123,17 +259,23 @@ pub fn write_metrics_sidecar(
         ("n".into(), Value::UInt(network.n() as u64)),
         ("metrics".into(), registry.snapshot().to_value()),
     ]);
-    let seq = SIDECAR_SEQ.fetch_add(1, Ordering::Relaxed);
-    let slug: String = result
-        .policy
-        .chars()
-        .map(|c| if c.is_alphanumeric() { c } else { '-' })
-        .collect();
-    let path = dir.join(format!("{seq:04}-{slug}-{}.metrics.json", network.name()));
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&doc).expect("sidecar serializes"),
-    )?;
+    let body = serde_json::to_string_pretty(&doc).expect("sidecar serializes");
+    let path = dir.join(format!("{file_stem}.metrics.json"));
+    match std::fs::read_to_string(&path) {
+        Ok(existing) if existing == body => return Ok(path),
+        Ok(_) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!(
+                    "sidecar identity collision: {} exists with different content",
+                    path.display()
+                ),
+            ))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    std::fs::write(&path, body)?;
     Ok(path)
 }
 
@@ -142,7 +284,7 @@ mod tests {
     use super::*;
     use dtm_core::GreedyPolicy;
     use dtm_graph::topology;
-    use dtm_model::WorkloadGenerator;
+    use dtm_model::{WorkloadGenerator, WorkloadSpec};
 
     #[test]
     fn summarizes_clean_run() {
@@ -173,5 +315,74 @@ mod tests {
             EngineConfig::default(),
         );
         assert_eq!(s.txns, 10);
+    }
+
+    #[test]
+    fn sidecar_scope_nests_and_restores() {
+        assert_eq!(current_sidecar_scope(), "run");
+        with_sidecar_scope("E3", || {
+            assert_eq!(current_sidecar_scope(), "E3");
+            with_sidecar_scope("E4", || assert_eq!(current_sidecar_scope(), "E4"));
+            assert_eq!(current_sidecar_scope(), "E3");
+        });
+        assert_eq!(current_sidecar_scope(), "run");
+    }
+
+    #[test]
+    fn identity_distinguishes_seed_config_and_workload() {
+        let spec = WorkloadSpec::batch_uniform(4, 2);
+        let wl = |seed| WorkloadKind::ClosedLoop {
+            spec: spec.clone(),
+            rounds: 2,
+            seed,
+        };
+        let cfg = EngineConfig::default();
+        let a = RunIdentity::of(&wl(1), &cfg);
+        let b = RunIdentity::of(&wl(2), &cfg);
+        assert_ne!(a.fingerprint, b.fingerprint, "seed must differentiate");
+        let capped = EngineConfig {
+            link_capacity: Some(1),
+            allow_late_execution: true,
+            ..EngineConfig::default()
+        };
+        let c = RunIdentity::of(&wl(1), &capped);
+        assert_ne!(a.fingerprint, c.fingerprint, "config must differentiate");
+        // Same parameters -> same fingerprint, deterministically.
+        let a2 = RunIdentity::of(&wl(1), &cfg);
+        assert_eq!(a.fingerprint, a2.fingerprint);
+        let net = topology::clique(6);
+        let stem = a.file_stem("greedy", &net);
+        assert!(stem.starts_with("run-greedy-"), "stem: {stem}");
+        assert!(stem.contains("-s1-"), "stem: {stem}");
+    }
+
+    #[test]
+    fn sidecar_collision_errors_identical_is_idempotent() {
+        let net = topology::clique(5);
+        let inst = WorkloadGenerator::new(WorkloadSpec::batch_uniform(3, 1), 9).generate(&net);
+        let res = dtm_sim::run_policy(
+            &net,
+            dtm_model::TraceSource::new(inst),
+            GreedyPolicy::new(),
+            EngineConfig {
+                record_events: true,
+                ..EngineConfig::default()
+            },
+        );
+        res.expect_ok();
+        let dir = std::env::temp_dir().join(format!("dtm-sidecar-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p1 = write_metrics_sidecar(&dir, "stem", &net, &res).unwrap();
+        // Identical rewrite: fine.
+        let p2 = write_metrics_sidecar(&dir, "stem", &net, &res).unwrap();
+        assert_eq!(p1, p2);
+        // Same name, different content: loud failure, original preserved.
+        let before = std::fs::read_to_string(&p1).unwrap();
+        std::fs::write(&p1, "something else").unwrap();
+        let err = write_metrics_sidecar(&dir, "stem", &net, &res).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert_eq!(std::fs::read_to_string(&p1).unwrap(), "something else");
+        std::fs::write(&p1, before).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

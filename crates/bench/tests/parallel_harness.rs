@@ -1,0 +1,127 @@
+//! Pins the two guarantees the parallel harness makes (EXPERIMENTS.md,
+//! "Parallel execution"):
+//!
+//! 1. tables are byte-identical at any thread count — `--jobs N` may only
+//!    change wall-clock, never output;
+//! 2. sidecar filenames are a pure function of run identity, so a suite
+//!    written twice (in parallel, with nondeterministic cell interleaving)
+//!    produces exactly the same file listing.
+
+use dtm_bench::{run_summary_with, ParallelGrid, WorkloadKind};
+use dtm_core::{FifoPolicy, GreedyPolicy};
+use dtm_graph::topology;
+use dtm_model::WorkloadSpec;
+use dtm_sim::EngineConfig;
+use std::path::{Path, PathBuf};
+
+/// Render every table of a representative experiment run to one string.
+fn render(tables: &[dtm_bench::Table]) -> String {
+    tables
+        .iter()
+        .map(|t| format!("{}\n{}", t.title, t.to_csv()))
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+#[test]
+fn tables_are_byte_identical_across_thread_counts() {
+    // E12 exercises the harness hardest: two grids, a `PolicyMk` fan-out,
+    // and cells that can drop out (`Option` rows in the load sweep). E3 is
+    // the simplest grid. Byte-equality on both pins the determinism claim.
+    let serial = rayon::with_num_threads(1, || {
+        let mut t = dtm_bench::experiments::e3_clique::run(true);
+        t.extend(dtm_bench::experiments::e12_shootout::run(true));
+        render(&t)
+    });
+    for jobs in [2, 4, 8] {
+        let parallel = rayon::with_num_threads(jobs, || {
+            let mut t = dtm_bench::experiments::e3_clique::run(true);
+            t.extend(dtm_bench::experiments::e12_shootout::run(true));
+            render(&t)
+        });
+        assert_eq!(
+            serial, parallel,
+            "experiment tables diverged at --jobs {jobs}"
+        );
+    }
+}
+
+/// A small suite with deliberately adversarial naming: two cells share
+/// (policy, network) and differ only in seed, two differ only in workload
+/// shape. Everything runs through the pool with sidecars on.
+fn run_suite(dir: &Path) {
+    let dir = PathBuf::from(dir);
+    let mut grid = ParallelGrid::new("SUITE");
+    for seed in [1u64, 2] {
+        let dir = dir.clone();
+        grid.cell(move || {
+            let net = topology::clique(8);
+            run_summary_with(
+                &net,
+                WorkloadKind::ClosedLoop {
+                    spec: WorkloadSpec::batch_uniform(8, 2),
+                    rounds: 1,
+                    seed,
+                },
+                GreedyPolicy::new(),
+                EngineConfig::default(),
+                Some(dir),
+            );
+        });
+    }
+    for k in [1usize, 2] {
+        let dir = dir.clone();
+        grid.cell(move || {
+            let net = topology::line(8);
+            run_summary_with(
+                &net,
+                WorkloadKind::ClosedLoop {
+                    spec: WorkloadSpec::batch_uniform(8, k),
+                    rounds: 1,
+                    seed: 7,
+                },
+                FifoPolicy::new(),
+                EngineConfig::default(),
+                Some(dir),
+            );
+        });
+    }
+    rayon::with_num_threads(4, || grid.run());
+}
+
+fn listing(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn sidecar_filenames_are_deterministic_across_runs() {
+    let base = std::env::temp_dir().join(format!("dtm-par-sidecars-{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    for d in [&a, &b] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    run_suite(&a);
+    run_suite(&b);
+
+    let (la, lb) = (listing(&a), listing(&b));
+    assert_eq!(
+        la, lb,
+        "two runs of the same suite named sidecars differently"
+    );
+    // Four distinct runs → four distinct files: the identity must separate
+    // same-(policy, network) cells that differ only in seed or workload.
+    assert_eq!(la.len(), 4, "expected one sidecar per run: {la:?}");
+    // Scope label from the grid, not a global sequence number.
+    for name in &la {
+        assert!(name.starts_with("suite-"), "unexpected sidecar name {name}");
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -39,7 +39,7 @@ pub use engine::{run_policy, Engine, EngineConfig};
 pub use events::Event;
 pub use gantt::{render_timeline, TimelineOptions};
 pub use metrics::{
-    edge_congestion, peak_congestion, LatencySummary, Metrics, RunResult, Violation,
+    edge_congestion, peak_congestion, percentile, LatencySummary, Metrics, RunResult, Violation,
 };
 pub use observer::{Phase, PhaseProfile, PhaseStats, StepObserver};
 pub use policy::{FixedSchedulePolicy, SchedulingPolicy};

@@ -104,18 +104,29 @@ impl LatencySummary {
         samples.sort_unstable();
         let count = samples.len();
         let sum: u128 = samples.iter().map(|&x| x as u128).sum();
-        let pct = |p: f64| -> Time {
-            let idx = ((count as f64 - 1.0) * p).round() as usize;
-            samples[idx.min(count - 1)]
-        };
         LatencySummary {
             count,
             mean: sum as f64 / count as f64,
-            p50: pct(0.50),
-            p95: pct(0.95),
+            p50: percentile(&samples, 0.50),
+            p95: percentile(&samples, 0.95),
             max: *samples.last().unwrap(),
         }
     }
+}
+
+/// Nearest-rank percentile of a **sorted, non-empty** sample: the
+/// smallest element such that at least `⌈p·n⌉` samples are ≤ it
+/// (`sorted[⌈p·n⌉ - 1]`). This is the textbook nearest-rank definition:
+/// p50 of `[1, 2]` is 1 (rank ⌈1⌉), not 2 — the previous
+/// `round((n-1)·p)` indexing rounded half-way points up, biasing every
+/// even-count median (and p99 on most sample sizes) toward the maximum.
+///
+/// # Panics
+/// Panics on an empty sample; callers summarize emptiness separately.
+pub fn percentile(sorted: &[Time], p: f64) -> Time {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Aggregate metrics of one run.
@@ -211,8 +222,41 @@ mod tests {
     fn latency_summary_p95() {
         let samples: Vec<Time> = (1..=100).collect();
         let s = LatencySummary::from_samples(samples);
-        assert_eq!(s.p95, 95);
-        assert_eq!(s.p50, 51); // index round(99 * 0.5) = 50 -> sample 51
+        assert_eq!(s.p95, 95); // rank ceil(100 * 0.95) = 95 -> sample 95
+        assert_eq!(s.p50, 50); // rank ceil(100 * 0.50) = 50 -> sample 50
+    }
+
+    #[test]
+    fn percentile_nearest_rank_even_count() {
+        // The case the old round() indexing got wrong: p50 of two samples
+        // must be the *lower* one (rank ceil(1.0) = 1).
+        assert_eq!(percentile(&[10, 20], 0.50), 10);
+        let sorted: Vec<Time> = vec![1, 2, 3, 4];
+        assert_eq!(percentile(&sorted, 0.50), 2); // rank ceil(2.0) = 2
+        assert_eq!(percentile(&sorted, 0.90), 4); // rank ceil(3.6) = 4
+        assert_eq!(percentile(&sorted, 0.99), 4); // rank ceil(3.96) = 4
+        let ten: Vec<Time> = (1..=10).collect();
+        assert_eq!(percentile(&ten, 0.50), 5); // rank ceil(5.0) = 5
+        assert_eq!(percentile(&ten, 0.90), 9); // rank ceil(9.0) = 9
+        assert_eq!(percentile(&ten, 0.99), 10); // rank ceil(9.9) = 10
+    }
+
+    #[test]
+    fn percentile_nearest_rank_odd_count() {
+        let sorted: Vec<Time> = vec![1, 2, 3, 4, 5];
+        assert_eq!(percentile(&sorted, 0.50), 3); // rank ceil(2.5) = 3
+        assert_eq!(percentile(&sorted, 0.90), 5); // rank ceil(4.5) = 5
+        assert_eq!(percentile(&sorted, 0.99), 5); // rank ceil(4.95) = 5
+        let one = [42];
+        assert_eq!(percentile(&one, 0.50), 42);
+        assert_eq!(percentile(&one, 0.99), 42);
+    }
+
+    #[test]
+    fn percentile_extreme_p_clamps() {
+        let sorted: Vec<Time> = vec![1, 2, 3];
+        assert_eq!(percentile(&sorted, 0.0), 1); // rank clamps up to 1
+        assert_eq!(percentile(&sorted, 1.0), 3); // rank n
     }
 
     #[test]

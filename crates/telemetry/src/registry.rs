@@ -330,6 +330,49 @@ mod tests {
     }
 
     #[test]
+    fn bucket_index_boundaries() {
+        // Zero gets its own bucket; otherwise bucket `1 + floor(log2 v)`.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Every power of two opens a new bucket; its predecessor closes the
+        // previous one.
+        for shift in 1..64u32 {
+            let p = 1u64 << shift;
+            assert_eq!(bucket_index(p), shift as usize + 1, "at 2^{shift}");
+            assert_eq!(bucket_index(p - 1), shift as usize, "at 2^{shift} - 1");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // The largest index fits the fixed bucket array.
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn concurrent_recording_counts_exactly() {
+        use rayon::prelude::*;
+
+        // Hammer one histogram from the real thread pool: every sample must
+        // land (count, sum and per-bucket tallies are all atomic adds, so
+        // nothing may be lost to a race).
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 10_000;
+        let h = Histogram::default();
+        rayon::with_num_threads(8, || {
+            (0..WRITERS).into_par_iter().for_each(|w| {
+                for i in 0..PER_WRITER {
+                    h.record(w * PER_WRITER + i);
+                }
+            });
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, WRITERS * PER_WRITER);
+        let n = WRITERS * PER_WRITER;
+        assert_eq!(s.sum, n * (n - 1) / 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, n - 1);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), n);
+    }
+
+    #[test]
     fn empty_histogram_snapshot() {
         let h = Histogram::default();
         let s = h.snapshot();

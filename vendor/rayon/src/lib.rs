@@ -1,87 +1,499 @@
-//! Offline stand-in for `rayon`: `par_iter()` and friends degrade to the
-//! corresponding *sequential* std iterators. Every adaptor the real
-//! ParallelIterator shares with std's Iterator (`map`, `filter`,
-//! `collect`, ...) then just works, with identical results — the
-//! workspace's uses of rayon are embarrassingly parallel reductions whose
-//! output does not depend on execution order.
+//! Offline stand-in for `rayon` backed by a **real** thread pool.
+//!
+//! Unlike the original sequential shim, `par_iter()` / `into_par_iter()`
+//! now fan work out across OS threads: every pipeline drain spawns a
+//! work-stealing-lite pool (scoped threads pulling fixed-size chunks off
+//! an atomic index queue), so callers get genuine parallelism without a
+//! persistent runtime. The API surface mirrors the subset of upstream
+//! rayon this workspace uses: the prelude traits, `map` / `filter` /
+//! `for_each` / `collect` / `reduce` / `sum` / `count`, and
+//! `ThreadPoolBuilder::num_threads(..).build_global()`.
+//!
+//! Determinism contract: `collect` is **order-preserving** — results come
+//! back in the source's iteration order regardless of thread count or
+//! scheduling, so a pipeline whose per-item work is pure produces
+//! byte-identical output at any `--jobs` level. Reductions combine the
+//! (order-preserved) mapped items sequentially, so they too are
+//! independent of thread count even for non-commutative operators.
+//!
+//! Thread-count resolution, most specific wins:
+//! 1. a [`with_num_threads`] override on the calling thread,
+//! 2. the global count set by [`ThreadPoolBuilder::build_global`],
+//! 3. the `RAYON_NUM_THREADS` environment variable (read once per
+//!    process),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Divergence from upstream: `build_global` may be called repeatedly (the
+//! last call wins) instead of erroring — experiment binaries re-apply
+//! their `--jobs` flag without ceremony, and tests can flip counts.
 
 #![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// `use rayon::prelude::*` — mirror of rayon's prelude.
 pub mod prelude {
     pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+// ---------------------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------------------
+
+/// Global thread count set by [`ThreadPoolBuilder::build_global`]
+/// (0 = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `RAYON_NUM_THREADS`, parsed once per process.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`with_num_threads`] (0 = unset).
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The number of worker threads a pipeline drained on this thread will
+/// use. See the module docs for the resolution order.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(|c| c.get());
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f` with the calling thread's pool width pinned to `n` (restored
+/// afterwards, even on panic). Overrides the global and environment
+/// settings; does not propagate into nested pools spawned by worker
+/// threads. The deterministic way for tests to compare thread counts
+/// without touching process-global state.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_THREADS.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Error type kept for upstream signature compatibility; this shim's
+/// [`ThreadPoolBuilder::build_global`] never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder` for the global pool width.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the count process-wide. Unlike upstream, repeat calls
+    /// succeed and the last call wins (see module docs).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator
+// ---------------------------------------------------------------------------
+
+/// A parallel pipeline: an eagerly-materialized source plus a composed
+/// per-item function, executed across the pool when drained
+/// (`collect` / `reduce` / `for_each` / ...).
+///
+/// `'env` bounds the environment the pipeline's closures may borrow;
+/// execution happens inside the draining call, so borrows of the caller's
+/// locals are fine.
+pub struct ParIter<'env, T: Send, R: Send> {
+    items: Vec<T>,
+    /// Composed pipeline: `None` means the item was dropped by a `filter`.
+    f: Box<dyn Fn(T) -> Option<R> + Send + Sync + 'env>,
+}
+
+impl<'env, T: Send + 'env, R: Send + 'env> ParIter<'env, T, R> {
+    fn from_items(items: Vec<T>) -> ParIter<'env, T, T> {
+        ParIter {
+            items,
+            f: Box::new(Some),
+        }
+    }
+
+    /// Map each item through `g`.
+    pub fn map<S, G>(self, g: G) -> ParIter<'env, T, S>
+    where
+        S: Send + 'env,
+        G: Fn(R) -> S + Send + Sync + 'env,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |t| f(t).map(&g)),
+        }
+    }
+
+    /// Keep only items for which `pred` holds.
+    pub fn filter<G>(self, pred: G) -> ParIter<'env, T, R>
+    where
+        G: Fn(&R) -> bool + Send + Sync + 'env,
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items,
+            f: Box::new(move |t| f(t).filter(&pred)),
+        }
+    }
+
+    /// Run the pipeline over the pool and return surviving results **in
+    /// source order** — the determinism guarantee everything else is
+    /// built on.
+    fn execute(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n).max(1);
+        if threads == 1 {
+            return self.items.into_iter().filter_map(&self.f).collect();
+        }
+        // Ownership hand-off without unsafe: each input slot is taken by
+        // exactly one worker (indices are claimed via fetch_add), each
+        // output slot is written by exactly one worker. The per-slot
+        // mutexes are uncontended by construction.
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        // Chunked claims: ~4 chunks per worker balances steal granularity
+        // against queue contention.
+        let chunk = n.div_ceil(threads * 4).max(1);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        let item = slots[i]
+                            .lock()
+                            .expect("input slot lock")
+                            .take()
+                            .expect("slot claimed twice");
+                        let r = f(item);
+                        *out[i].lock().expect("output slot lock") = r;
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .filter_map(|m| m.into_inner().expect("output slot poisoned"))
+            .collect()
+    }
+
+    /// Drain into any `FromIterator` collection, preserving source order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.execute().into_iter().collect()
+    }
+
+    /// Apply `g` to every item (for effects).
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Send + Sync + 'env,
+    {
+        self.map(g).execute();
+    }
+
+    /// Fold all results with `op`, starting from `identity()`. Items were
+    /// computed in parallel; combination is sequential in source order,
+    /// so the result is thread-count independent even for
+    /// non-commutative `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.execute().into_iter().fold(identity(), op)
+    }
+
+    /// Sum all results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.execute().into_iter().sum()
+    }
+
+    /// Number of items surviving the pipeline.
+    pub fn count(self) -> usize {
+        self.execute().len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prelude traits
+// ---------------------------------------------------------------------------
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
     /// Items yielded.
-    type Item;
-    /// "Parallel" iteration (sequential here).
-    fn into_par_iter(self) -> Self::Iter;
+    type Item: Send;
+    /// Start a parallel pipeline consuming `self`. The pipeline lifetime
+    /// `'env` is inferred at the call site: it only needs to outlive the
+    /// items (and, later, any `map`/`filter` closures attached to it).
+    fn into_par_iter<'env>(self) -> ParIter<'env, Self::Item, Self::Item>
+    where
+        Self::Item: 'env;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
     type Item = I::Item;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter<'env>(self) -> ParIter<'env, I::Item, I::Item>
+    where
+        I::Item: 'env,
+    {
+        ParIter::<I::Item, I::Item>::from_items(self.into_iter().collect())
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+/// Mirror of `rayon::iter::IntoParallelRefIterator`.
 pub trait IntoParallelRefIterator<'a> {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Items yielded.
-    type Item: 'a;
-    /// `.par_iter()` (sequential here).
-    fn par_iter(&'a self) -> Self::Iter;
+    /// Items yielded (references into `self`).
+    type Item: Send + 'a;
+    /// Start a parallel pipeline borrowing `self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item, Self::Item>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'a self) -> ParIter<'a, &'a T, &'a T> {
+        ParIter::<&T, &T>::from_items(self.iter().collect())
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+    fn par_iter(&'a self) -> ParIter<'a, &'a T, &'a T> {
+        self.as_slice().par_iter()
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator`.
 pub trait IntoParallelRefMutIterator<'a> {
-    /// The iterator produced.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Items yielded.
-    type Item: 'a;
-    /// `.par_iter_mut()` (sequential here).
-    fn par_iter_mut(&'a mut self) -> Self::Iter;
+    /// Items yielded (mutable references into `self`).
+    type Item: Send + 'a;
+    /// Start a parallel pipeline mutably borrowing `self`.
+    fn par_iter_mut(&'a mut self) -> ParIter<'a, Self::Item, Self::Item>;
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
-    type Iter = std::slice::IterMut<'a, T>;
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
     type Item = &'a mut T;
-    fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.iter_mut()
+    fn par_iter_mut(&'a mut self) -> ParIter<'a, &'a mut T, &'a mut T> {
+        ParIter::<&mut T, &mut T>::from_items(self.iter_mut().collect())
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<'a, &'a mut T, &'a mut T> {
+        self.as_mut_slice().par_iter_mut()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_maps_and_collects() {
         let xs = vec![1, 2, 3];
         let ys: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
         assert_eq!(ys, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> =
+            with_num_threads(1, || items.par_iter().map(|&x| x * x + 1).collect());
+        for threads in [2, 3, 4, 8] {
+            let parallel: Vec<u64> =
+                with_num_threads(threads, || items.par_iter().map(|&x| x * x + 1).collect());
+            assert_eq!(parallel, serial, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn work_actually_fans_out_across_threads() {
+        // Item 0 sits in the first chunk, so the first worker to claim work
+        // parks on it until some *other* worker has completed an item. That
+        // forces at least two threads to participate even on a single-core
+        // host where one worker could otherwise drain the queue alone. The
+        // timeout keeps a pathological scheduler from hanging the suite.
+        let done = AtomicUsize::new(0);
+        let ids: HashSet<std::thread::ThreadId> = with_num_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 0 {
+                        let start = std::time::Instant::now();
+                        while done.load(Ordering::SeqCst) == 0
+                            && start.elapsed() < std::time::Duration::from_secs(10)
+                        {
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    std::thread::current().id()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect()
+        });
+        assert!(
+            ids.len() > 1,
+            "expected multiple worker threads, saw {}",
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let n = with_num_threads(4, || {
+            (0..100u32).into_par_iter().filter(|x| x % 3 == 0).count()
+        });
+        assert_eq!(n, 34);
+    }
+
+    #[test]
+    fn reduce_is_thread_count_independent_for_noncommutative_op() {
+        // String concatenation is order-sensitive: any reordering shows.
+        let words: Vec<String> = (0..64).map(|i| format!("w{i} ")).collect();
+        let serial = with_num_threads(1, || {
+            words
+                .par_iter()
+                .map(|w| w.clone())
+                .reduce(String::new, |a, b| a + &b)
+        });
+        let parallel = with_num_threads(7, || {
+            words
+                .par_iter()
+                .map(|w| w.clone())
+                .reduce(String::new, |a, b| a + &b)
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let total: u64 = with_num_threads(4, || (1..=100u64).into_par_iter().sum());
+        assert_eq!(total, 5050);
+        let hits = AtomicUsize::new(0);
+        with_num_threads(4, || {
+            (0..37).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut xs = vec![1u32, 2, 3, 4];
+        with_num_threads(2, || {
+            xs.par_iter_mut().for_each(|x| *x *= 10);
+        });
+        assert_eq!(xs, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn build_global_and_overrides_compose() {
+        // Thread-local override beats everything.
+        with_num_threads(3, || assert_eq!(current_num_threads(), 3));
+        // build_global is re-callable; 0 resets to automatic.
+        ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 5);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_pipelines() {
+        let empty: Vec<u32> = with_num_threads(4, || Vec::<u32>::new().into_par_iter().collect());
+        assert!(empty.is_empty());
+        let one: Vec<u32> = with_num_threads(4, || vec![7u32].into_par_iter().collect());
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..64u32)
+                    .into_par_iter()
+                    .map(|x| {
+                        assert!(x != 33, "boom");
+                        x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(result.is_err(), "panic in a worker must fail the drain");
     }
 }
