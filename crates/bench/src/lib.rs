@@ -21,6 +21,8 @@
 //! Criterion micro-benchmarks of the schedulers and substrates live under
 //! `benches/` (`cargo bench -p dtm-bench`).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod grid;
 pub mod runner;

@@ -61,7 +61,7 @@ impl SchedulingPolicy for RandomizedBackoffPolicy {
         let mut colored: BTreeMap<TxnId, Time> = BTreeMap::new();
         let mut fragment = Schedule::new();
         for id in order {
-            let lt = view.live(id).expect("arrival is live");
+            let lt = view.live(id).expect("arrival is live"); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
             let constraints = constraints_for(view, &lt.txn, &colored);
             // Random backoff scaled by the conflict window, then earliest
             // feasible at or after the backoff point.

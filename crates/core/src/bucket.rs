@@ -92,7 +92,7 @@ impl<A: BatchScheduler> BucketPolicy<A> {
     }
 
     fn insert(&mut self, txn: Transaction, ctx: &BatchContext, view: &SystemView<'_>) {
-        let max_level = self.max_level.expect("set in step");
+        let max_level = self.max_level.expect("set in step"); // dtm-lint: allow(C1) -- set unconditionally at the top of step() before any insert
         let mut chosen = None;
         for i in 0..=max_level {
             let mut probe: Vec<Transaction> = self.buckets.get(&i).cloned().unwrap_or_default();
@@ -139,7 +139,7 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
         let mut order: Vec<TxnId> = arrivals.to_vec();
         order.sort_unstable();
         for id in order {
-            let txn = view.live(id).expect("arrival is live").txn.clone();
+            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
             self.insert(txn, &ctx, view);
         }
 
@@ -159,7 +159,7 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
             }
             let s = self.scheduler.schedule(view.network, &bucket, &ctx);
             for t in &bucket {
-                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
+                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1) -- BatchScheduler contract: schedule() assigns every pending transaction
             }
             if let Some(trace) = &self.decisions {
                 let epoch = now / (self.period_multiplier << i);

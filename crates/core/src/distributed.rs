@@ -92,7 +92,7 @@ fn double_weights(network: &Network) -> Network {
     let g = network.graph();
     let mut out = Graph::new(g.n(), format!("{}-halfspeed", g.name()));
     for (u, v, w) in g.edges() {
-        out.add_edge(u, v, 2 * w).expect("copying a valid graph");
+        out.add_edge(u, v, 2 * w).expect("copying a valid graph"); // dtm-lint: allow(C1) -- copying the edges of an already-validated graph into a fresh one
     }
     Network::new(out, None)
 }
@@ -193,8 +193,8 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
         let mut order: Vec<TxnId> = arrivals.to_vec();
         order.sort_unstable();
         for id in order {
-            let txn = view.live(id).expect("arrival is live").txn.clone();
-            // Discovery radius x: furthest current object position.
+            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
+                                                                           // Discovery radius x: furthest current object position.
             let x: Time = txn
                 .objects()
                 .filter_map(|o| {
@@ -257,7 +257,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
         let due: Vec<Time> = self.reporting.range(..=now).map(|(&t, _)| t).collect();
         let ctx = self.cache.context(view);
         for t in due {
-            for report in self.reporting.remove(&t).expect("key exists") {
+            for report in self.reporting.remove(&t).unwrap_or_default() {
                 // Under stale knowledge the probe sees the object
                 // positions the report carried, aged to the present.
                 let probe_ctx = if self.stale_knowledge {
@@ -317,7 +317,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             .copied()
             .collect();
         for key in keys {
-            let bucket = self.partials.remove(&key).expect("key exists");
+            let bucket = self.partials.remove(&key).unwrap_or_default();
             if bucket.is_empty() {
                 continue;
             }
@@ -334,7 +334,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             bucket_ctx.now = now + notify;
             let s = self.scheduler.schedule(&self.doubled, &bucket, &bucket_ctx);
             for t in &bucket {
-                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
+                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1) -- BatchScheduler contract: schedule() assigns every pending transaction
             }
             if let Some(trace) = &self.decisions {
                 let mut trace = trace.lock();

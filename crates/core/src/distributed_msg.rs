@@ -112,7 +112,7 @@ fn double_weights(network: &Network) -> Network {
     let g = network.graph();
     let mut out = dtm_graph::Graph::new(g.n(), format!("{}-halfspeed", g.name()));
     for (u, v, w) in g.edges() {
-        out.add_edge(u, v, 2 * w).expect("copying a valid graph");
+        out.add_edge(u, v, 2 * w).expect("copying a valid graph"); // dtm-lint: allow(C1) -- copying the edges of an already-validated graph into a fresh one
     }
     Network::new(out, None)
 }
@@ -258,8 +258,9 @@ impl<A: BatchScheduler> DistributedMsgPolicy<A> {
                 d.conflict_homes.extend(users.iter().map(|&(_, home)| home));
                 d.awaiting -= 1;
                 if d.awaiting == 0 {
-                    let d = self.discovering.remove(&txn).expect("present");
-                    self.finish_discovery(view, d);
+                    if let Some(d) = self.discovering.remove(&txn) {
+                        self.finish_discovery(view, d);
+                    }
                 }
             }
             Msg::Report {
@@ -318,7 +319,7 @@ impl<A: BatchScheduler> DistributedMsgPolicy<A> {
         cluster: ClusterId,
         carried: CarriedInfo,
     ) {
-        let max_level = self.max_level.expect("set in step");
+        let max_level = self.max_level.expect("set in step"); // dtm-lint: allow(C1) -- set unconditionally at the top of step() before any insert
         let Some(txn) = self.reported.remove(&txn_id) else {
             return;
         };
@@ -377,7 +378,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
         let mut order: Vec<TxnId> = arrivals.to_vec();
         order.sort_unstable();
         for id in order {
-            let txn = view.live(id).expect("arrival is live").txn.clone();
+            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
             if txn.k() == 0 {
                 fragment.set(id, now); // nothing to assemble
                 continue;
@@ -417,7 +418,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
                 break;
             }
             for t in due {
-                for msg in self.inbox.remove(&t).expect("key exists") {
+                for msg in self.inbox.remove(&t).unwrap_or_default() {
                     self.deliver(view, msg);
                 }
             }
@@ -431,7 +432,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
             .copied()
             .collect();
         for key in keys {
-            let members = self.partials.remove(&key).expect("key exists");
+            let members = self.partials.remove(&key).unwrap_or_default();
             if members.is_empty() {
                 continue;
             }
@@ -460,7 +461,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
             let s = self.scheduler.schedule(&self.doubled, &bucket, &ctx);
             let fixed = self.leader_fixed.entry(key.1).or_default();
             for t in &bucket {
-                fixed.push((t.clone(), s.get(t.id).expect("scheduled")));
+                fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1) -- BatchScheduler contract: schedule() assigns every pending transaction
             }
             fragment.merge(&s);
         }
@@ -565,7 +566,6 @@ mod tests {
         // forwarding pointer — never the object's global position.
         use dtm_model::ObjectInfo;
         use dtm_sim::{LiveTxn, ObjectPlace, ObjectState};
-        use std::collections::HashMap;
         let net = topology::line(12);
         let mut policy = DistributedMsgPolicy::new(&net, ListScheduler::fifo(), 1);
         policy.max_level = Some(net.max_bucket_level());
@@ -593,7 +593,7 @@ mod tests {
         );
         // The object's trail so far: 0 -> 4 (shortcut recorded by the
         // engine as last departures), 4 -> 5.
-        let mut fwd: HashMap<(ObjectId, NodeId), NodeId> = HashMap::new();
+        let mut fwd: BTreeMap<(ObjectId, NodeId), NodeId> = BTreeMap::new();
         fwd.insert((ObjectId(0), NodeId(0)), NodeId(4));
         fwd.insert((ObjectId(0), NodeId(4)), NodeId(5));
         let view = SystemView::new(10, &net, &live, &objects).with_forwarding(&fwd);
@@ -646,7 +646,6 @@ mod tests {
         // message waits a step (the object is on its way in).
         use dtm_model::ObjectInfo;
         use dtm_sim::{LiveTxn, ObjectPlace, ObjectState};
-        use std::collections::HashMap;
         let net = topology::line(6);
         let mut policy = DistributedMsgPolicy::new(&net, ListScheduler::fifo(), 1);
         policy.max_level = Some(net.max_bucket_level());
@@ -668,7 +667,7 @@ mod tests {
                 last_holder: None,
             },
         );
-        let fwd: HashMap<(ObjectId, NodeId), NodeId> = HashMap::new();
+        let fwd: BTreeMap<(ObjectId, NodeId), NodeId> = BTreeMap::new();
         let view = SystemView::new(8, &net, &live, &objects).with_forwarding(&fwd);
         policy.deliver(
             &view,

@@ -52,7 +52,7 @@ impl SchedulingPolicy for FifoPolicy {
         ids.sort_unstable();
         let pending: Vec<_> = ids
             .iter()
-            .map(|id| view.live(*id).expect("arrival is live").txn.clone())
+            .map(|id| view.live(*id).expect("arrival is live").txn.clone()) // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
             .collect();
         let fragment = self.inner.get_or_insert_with(ListScheduler::fifo).schedule(
             view.network,
@@ -109,7 +109,7 @@ impl SchedulingPolicy for TspPolicy {
         ids.sort_unstable();
         let pending: Vec<_> = ids
             .iter()
-            .map(|id| view.live(*id).expect("arrival is live").txn.clone())
+            .map(|id| view.live(*id).expect("arrival is live").txn.clone()) // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
             .collect();
         let fragment = TspScheduler.schedule(view.network, &pending, &ctx);
         if let Some(trace) = &self.decisions {

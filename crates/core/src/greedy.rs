@@ -109,7 +109,7 @@ impl SchedulingPolicy for GreedyPolicy {
         let mut colored: BTreeMap<TxnId, Time> = BTreeMap::new();
         let mut fragment = Schedule::new();
         for id in order {
-            let lt = view.live(id).expect("arrival is live");
+            let lt = view.live(id).expect("arrival is live"); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
             let mut constraints = constraints_for(view, &lt.txn, &colored);
             let conflicts = constraints.len();
             let (color, bound) = match self.mode {

@@ -26,7 +26,7 @@ impl NodeId {
     /// Panics if `index` does not fit into `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range")) // dtm-lint: allow(C1) -- documented panic: the u32 node-count bound is part of from_index's contract
     }
 }
 

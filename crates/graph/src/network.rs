@@ -150,7 +150,7 @@ impl Network {
         }
         self.tree(target)
             .next_hop(from)
-            .expect("connected graph: every node routes to every target")
+            .expect("connected graph: every node routes to every target") // dtm-lint: allow(C1) -- Network::new rejects disconnected graphs, so every tree reaches every node
     }
 
     /// Full shortest path from `u` to `v` (inclusive endpoints).
@@ -208,11 +208,8 @@ impl Network {
         }
         let tree = Arc::new(ShortestPathTree::compute(&self.inner.graph, target));
         let mut guard = self.inner.trees.write();
-        let slot = &mut guard[target.index()];
-        if slot.is_none() {
-            *slot = Some(Arc::clone(&tree));
-        }
-        slot.as_ref().map(Arc::clone).unwrap()
+        // A racing writer may have filled the slot; keep the first value.
+        Arc::clone(guard[target.index()].get_or_insert(tree))
     }
 }
 

@@ -102,7 +102,7 @@ impl ShortestPathTree {
             path.push(p);
             cur = p;
         }
-        debug_assert_eq!(*path.last().unwrap(), self.root);
+        debug_assert_eq!(path.last().copied(), Some(self.root));
         path
     }
 
@@ -126,7 +126,7 @@ impl ShortestPathTree {
 /// with their distances, via Dijkstra with early cut-off. Cost is
 /// proportional to the ball size, not the graph size.
 pub fn bounded_ball(graph: &Graph, center: NodeId, radius: Weight) -> Vec<(NodeId, Weight)> {
-    let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
+    let mut dist: std::collections::BTreeMap<NodeId, Weight> = std::collections::BTreeMap::new();
     let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
     dist.insert(center, 0);
     heap.push(Reverse((0, center.0)));

@@ -167,13 +167,21 @@ impl Topology {
     }
 }
 
+/// Add an edge inside a builder. Builders only link nodes they have
+/// already allocated and never repeat an edge, so a failure here is a
+/// generator bug, not an input condition.
+fn link(g: &mut Graph, u: NodeId, v: NodeId, w: Weight) {
+    g.add_edge(u, v, w)
+        .expect("topology builders link distinct existing nodes exactly once"); // dtm-lint: allow(C1) -- builder invariant: endpoints are allocated above and each edge is added once
+}
+
 /// Complete graph on `n` nodes, unit weights.
 pub fn clique(n: u32) -> Network {
     assert!(n >= 1, "clique needs at least one node");
     let mut g = Graph::new(n as usize, format!("clique(n={n})"));
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+            link(&mut g, NodeId(u), NodeId(v), 1);
         }
     }
     Network::new(g, Some(Structured::Clique { n }))
@@ -184,7 +192,7 @@ pub fn line(n: u32) -> Network {
     assert!(n >= 1, "line needs at least one node");
     let mut g = Graph::new(n as usize, format!("line(n={n})"));
     for u in 1..n {
-        g.add_edge(NodeId(u - 1), NodeId(u), 1).unwrap();
+        link(&mut g, NodeId(u - 1), NodeId(u), 1);
     }
     Network::new(g, Some(Structured::Line { n }))
 }
@@ -194,7 +202,7 @@ pub fn ring(n: u32) -> Network {
     assert!(n >= 3, "ring needs at least three nodes");
     let mut g = Graph::new(n as usize, format!("ring(n={n})"));
     for u in 0..n {
-        g.add_edge(NodeId(u), NodeId((u + 1) % n), 1).unwrap();
+        link(&mut g, NodeId(u), NodeId((u + 1) % n), 1);
     }
     Network::new(g, Some(Structured::Ring { n }))
 }
@@ -214,7 +222,7 @@ pub fn grid(dims: &[u32]) -> Network {
         for &d in dims {
             let coord = rest % d;
             if coord + 1 < d {
-                g.add_edge(NodeId(id), NodeId(id + stride), 1).unwrap();
+                link(&mut g, NodeId(id), NodeId(id + stride), 1);
             }
             rest /= d;
             stride *= d;
@@ -242,7 +250,7 @@ pub fn torus(dims: &[u32]) -> Network {
             let next_coord = (coord + 1) % d;
             let nb = id - coord * stride + next_coord * stride;
             if g.edge_weight(NodeId(id), NodeId(nb)).is_none() {
-                g.add_edge(NodeId(id), NodeId(nb), 1).unwrap();
+                link(&mut g, NodeId(id), NodeId(nb), 1);
             }
             rest /= d;
             stride *= d;
@@ -260,7 +268,7 @@ pub fn hypercube(dim: u32) -> Network {
         for b in 0..dim {
             let v = u ^ (1 << b);
             if u < v {
-                g.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+                link(&mut g, NodeId(u), NodeId(v), 1);
             }
         }
     }
@@ -280,8 +288,8 @@ pub fn butterfly(dim: u32) -> Network {
             let here = level * rows + row;
             let straight = (level + 1) * rows + row;
             let cross = (level + 1) * rows + (row ^ (1 << level));
-            g.add_edge(NodeId(here), NodeId(straight), 1).unwrap();
-            g.add_edge(NodeId(here), NodeId(cross), 1).unwrap();
+            link(&mut g, NodeId(here), NodeId(straight), 1);
+            link(&mut g, NodeId(here), NodeId(cross), 1);
         }
     }
     Network::new(g, None)
@@ -295,10 +303,9 @@ pub fn star(rays: u32, ray_len: u32) -> Network {
     let mut g = Graph::new(n, format!("star(a={rays},b={ray_len})"));
     for r in 0..rays {
         let first = 1 + r * ray_len;
-        g.add_edge(NodeId(0), NodeId(first), 1).unwrap();
+        link(&mut g, NodeId(0), NodeId(first), 1);
         for p in 1..ray_len {
-            g.add_edge(NodeId(first + p - 1), NodeId(first + p), 1)
-                .unwrap();
+            link(&mut g, NodeId(first + p - 1), NodeId(first + p), 1);
         }
     }
     Network::new(g, Some(s))
@@ -327,18 +334,18 @@ pub fn cluster(cliques: u32, clique_size: u32, bridge_weight: Weight) -> Network
         let base = c * clique_size;
         for i in 0..clique_size {
             for j in (i + 1)..clique_size {
-                g.add_edge(NodeId(base + i), NodeId(base + j), 1).unwrap();
+                link(&mut g, NodeId(base + i), NodeId(base + j), 1);
             }
         }
     }
     for c1 in 0..cliques {
         for c2 in (c1 + 1)..cliques {
-            g.add_edge(
+            link(
+                &mut g,
                 NodeId(c1 * clique_size),
                 NodeId(c2 * clique_size),
                 bridge_weight,
-            )
-            .unwrap();
+            );
         }
     }
     Network::new(g, Some(s))
@@ -353,7 +360,7 @@ pub fn tree(depth: u32) -> Network {
     for i in 0..n as u32 {
         for child in [2 * i + 1, 2 * i + 2] {
             if (child as usize) < n {
-                g.add_edge(NodeId(i), NodeId(child), 1).unwrap();
+                link(&mut g, NodeId(i), NodeId(child), 1);
             }
         }
     }
@@ -377,7 +384,7 @@ pub fn random(n: u32, avg_degree: u32, max_weight: Weight, seed: u64) -> Network
     for i in 1..n as usize {
         let parent = order[rng.gen_range(0..i)];
         let w = rng.gen_range(1..=max_weight);
-        g.add_edge(NodeId(order[i]), NodeId(parent), w).unwrap();
+        link(&mut g, NodeId(order[i]), NodeId(parent), w);
     }
     let target_edges =
         ((n as usize) * (avg_degree as usize) / 2).min(n as usize * (n as usize - 1) / 2);
@@ -390,7 +397,7 @@ pub fn random(n: u32, avg_degree: u32, max_weight: Weight, seed: u64) -> Network
             continue;
         }
         let w = rng.gen_range(1..=max_weight);
-        g.add_edge(NodeId(u), NodeId(v), w).unwrap();
+        link(&mut g, NodeId(u), NodeId(v), w);
     }
     Network::new(g, None)
 }

@@ -1,0 +1,423 @@
+//! A minimal Rust lexer: just enough to walk source as a token stream
+//! with line spans, with comments, string/char literals and raw strings
+//! recognized and set aside so hazard tokens inside them never fire.
+//!
+//! This is deliberately not a full Rust grammar — rules only need
+//! identifiers, punctuation, and the knowledge of what is *not* code
+//! (comments and literals). Anything else would drag in `syn` and a
+//! registry dependency the offline build cannot have.
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers `r#x` are unescaped to `x`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `#`, brackets, ...).
+    Punct(char),
+    /// A string literal (plain, byte, or raw); `text` holds the contents
+    /// without quotes so rules can opt into inspecting them (e.g. env-var
+    /// names), while identifier rules skip them entirely.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A numeric literal.
+    Number,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// Identifier text, string contents, or the punctuation character.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier equal to `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), kept for waiver parsing.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// literals simply run to end-of-file (the file would not compile, and
+/// the workspace is gated on compiling first).
+pub fn lex(src: &str) -> LexOutput {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in chars[from..to] into `line`.
+    let bump_lines = |from: usize, to: usize, line: &mut u32| {
+        *line += chars[from..to.min(n)]
+            .iter()
+            .filter(|&&c| c == '\n')
+            .count() as u32;
+    };
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `///` and `//!` doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..end.min(n)].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings, before plain idents.
+        if c == 'r' || c == 'b' {
+            // br#"..."#, br"..."
+            let (prefix_len, rawish) = if c == 'b' && chars.get(i + 1) == Some(&'r') {
+                (2, true)
+            } else if c == 'r' {
+                (1, true)
+            } else {
+                (1, false) // plain b"..." / b'...' handled below
+            };
+            if rawish {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    // Raw string: scan for `"` + `#`*hashes.
+                    let content_start = j + 1;
+                    let mut k = content_start;
+                    'scan: while k < n {
+                        if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                break 'scan;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let tok_line = line;
+                    bump_lines(content_start, k, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: chars[content_start..k.min(n)].iter().collect(),
+                        line: tok_line,
+                    });
+                    i = (k + 1 + hashes).min(n);
+                    continue;
+                }
+                if hashes > 0 && chars.get(j).map(|&ch| is_ident_start(ch)) == Some(true) {
+                    // Raw identifier r#foo -> foo.
+                    let start = j;
+                    let mut k = start;
+                    while k < n && is_ident_continue(chars[k]) {
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: chars[start..k].iter().collect(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // Not raw after all: fall through to ident handling below.
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                // Byte string: delegate to the plain-string arm.
+                i += 1;
+                // fall through via the '"' case on the next iteration
+                // (line/kind handling is identical).
+                continue;
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                i += 1;
+                continue; // byte char: handled by the '\'' arm next round
+            }
+        }
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '"' {
+            let content_start = i + 1;
+            let mut j = content_start;
+            while j < n && chars[j] != '"' {
+                if chars[j] == '\\' {
+                    j += 1; // skip escaped char
+                }
+                j += 1;
+            }
+            let tok_line = line;
+            bump_lines(content_start, j, &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: chars[content_start..j.min(n)].iter().collect(),
+                line: tok_line,
+            });
+            i = j + 1;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime.
+            let next = chars.get(i + 1).copied();
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(ch) if is_ident_start(ch) => chars.get(i + 2) == Some(&'\''),
+                Some(_) => true, // '(' etc. can only be a char literal
+                None => false,
+            };
+            if is_char_lit {
+                let mut j = i + 1;
+                while j < n && chars[j] != '\'' {
+                    if chars[j] == '\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i + 1..j.min(n)].iter().collect(),
+                    line,
+                });
+                i = j + 1;
+            } else {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn plain_tokens_and_lines() {
+        let out = lex("let x = 1;\nlet y = x;\n");
+        let lines: Vec<u32> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn line_comments_are_not_tokens() {
+        let out = lex("let a = 1; // HashMap here\n// dtm-lint: allow(D1) -- x\nlet b = 2;");
+        assert_eq!(
+            idents("let a = 1; // HashMap\nlet b = 2;"),
+            ["let", "a", "let", "b"]
+        );
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert!(out.comments[1].text.contains("dtm-lint"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let out = lex("a /* x /* HashMap */ y */ b");
+        assert_eq!(
+            out.tokens
+                .iter()
+                .map(|t| t.text.clone())
+                .collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(out.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn strings_hide_hazards() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), ["let", "s"]);
+        assert_eq!(
+            idents(r##"let s = r#"Instant::now "quoted""#;"##),
+            ["let", "s"]
+        );
+        assert_eq!(idents(r#"let s = b"thread_rng";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn string_contents_are_kept() {
+        let out = lex(r#"env::var("SOME_ENV_NAME")"#);
+        let strs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, ["SOME_ENV_NAME"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = lex(r"fn f<'a>(x: &'a str) { let c = 'x'; let q = '\''; }");
+        let kinds: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char | TokenKind::Lifetime))
+            .map(|t| (t.kind.clone(), t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokenKind::Lifetime, "a".to_string()),
+                (TokenKind::Lifetime, "a".to_string()),
+                (TokenKind::Char, "x".to_string()),
+                (TokenKind::Char, "\\'".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_unescapes() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let out = lex("let s = \"a\nb\";\nlet t = 0;");
+        let t = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("t"))
+            .expect("t token");
+        assert_eq!(t.line, 3);
+    }
+}

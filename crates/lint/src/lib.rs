@@ -1,0 +1,111 @@
+//! `dtm-lint`: a determinism & concurrency-hygiene static analyzer for
+//! the dtm workspace.
+//!
+//! The workspace's load-bearing claim is that schedules, tables and
+//! traces are byte-identical across runs, thread counts and policies
+//! (DESIGN.md, "Determinism rules"). Golden traces and `--jobs` parity
+//! diffs enforce that *dynamically*; this crate enforces the static
+//! side: it lexes every `.rs` file under `crates/`, `tests/` and
+//! `examples/` (its own small lexer — no `syn`, no new vendored deps)
+//! and proves the absence of the known hazard classes:
+//!
+//! * **D1** unordered-map iteration in deterministic crates,
+//! * **D2** wall-clock reads outside timing crates,
+//! * **D3** unseeded randomness,
+//! * **D4** thread-identity-dependent logic,
+//! * **C1** `unwrap()`/`expect()` in library crates,
+//! * **C2** missing `#![forbid(unsafe_code)]` on crate roots,
+//! * **W1** waivers without a written reason.
+//!
+//! Hazard sites are waivable inline —
+//! `// dtm-lint: allow(<rule>) -- <reason>` on the offending line or on
+//! a comment line directly above — or path-scoped via `[[allow]]`
+//! entries in the repo's `lint.toml`. Every waiver must carry a reason;
+//! CI runs `cargo run -p dtm-lint -- --json` and fails on any unwaived
+//! finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use config::{Config, ConfigError};
+pub use report::LintReport;
+pub use rules::{Finding, Rule};
+
+use std::fmt;
+use std::path::Path;
+
+/// A failed lint *run* (I/O or config problems — not findings; findings
+/// live in the [`LintReport`]).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a file or directory failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `lint.toml` did not parse.
+    Config(ConfigError),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{path}: {source}"),
+            LintError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<ConfigError> for LintError {
+    fn from(e: ConfigError) -> Self {
+        LintError::Config(e)
+    }
+}
+
+/// Load `lint.toml` from `root` (built-in defaults if absent).
+pub fn load_config(root: &Path) -> Result<Config, LintError> {
+    let path = root.join("lint.toml");
+    if !path.is_file() {
+        return Ok(Config::default());
+    }
+    let src = std::fs::read_to_string(&path).map_err(|source| LintError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    Ok(Config::parse(&src)?)
+}
+
+/// Lint the tree under `root` with `cfg`. Returns the full report;
+/// callers decide what exit status [`LintReport::unwaived_count`] maps
+/// to.
+pub fn run(root: &Path, cfg: &Config) -> Result<LintReport, LintError> {
+    let files = walk::rust_files(root, cfg).map_err(|source| LintError::Io {
+        path: root.display().to_string(),
+        source,
+    })?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let src = std::fs::read_to_string(&full).map_err(|source| LintError::Io {
+            path: full.display().to_string(),
+            source,
+        })?;
+        findings.extend(rules::scan_file(rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(LintReport {
+        root: root.display().to_string(),
+        files_scanned: files.len(),
+        findings,
+    })
+}

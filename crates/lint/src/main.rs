@@ -1,0 +1,102 @@
+//! `dtm-lint` CLI.
+//!
+//! ```text
+//! dtm-lint [--root <dir>] [--json] [--list-rules]
+//! ```
+//!
+//! Scans the workspace (auto-located by walking up from the current
+//! directory to the first `Cargo.toml` containing `[workspace]`),
+//! prints the report, and exits 1 if any unwaived finding remains
+//! (2 on usage/IO errors).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dtm_lint::rules::Rule;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(s) = std::fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: dtm-lint [--root <dir>] [--json] [--list-rules]\n\
+     \n\
+     Determinism & concurrency-hygiene linter for the dtm workspace.\n\
+     Exits 0 when every finding is waived, 1 otherwise.\n"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{}  {}", r.name(), r.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("could not locate the workspace root (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    let cfg = match dtm_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("dtm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match dtm_lint::run(&root, &cfg) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.json());
+            } else {
+                print!("{}", report.human());
+            }
+            if report.unwaived_count() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dtm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

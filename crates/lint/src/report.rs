@@ -1,0 +1,179 @@
+//! Human and JSON rendering of a lint run.
+//!
+//! The JSON schema is stable (consumed by CI and any future dashboards):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "root": "<scan root>",
+//!   "files_scanned": 123,
+//!   "findings": [
+//!     {"path": "crates/sim/src/engine.rs", "line": 40, "rule": "D2",
+//!      "snippet": "use std::time::Instant;",
+//!      "waived": true, "reason": "lint.toml: ..."}
+//!   ],
+//!   "summary": {"total": 2, "waived": 1, "unwaived": 1}
+//! }
+//! ```
+//!
+//! Findings are sorted by `(path, line, rule)`; two runs over the same
+//! tree emit byte-identical reports.
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// The result of linting a whole tree.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Scan root as given (for the report header only).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, waived included, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Findings not covered by any waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    /// Number of unwaived findings (nonzero fails the run).
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    /// Render the human report.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in self.unwaived() {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {}\n    {}",
+                f.path,
+                f.line,
+                f.rule.name(),
+                f.rule.describe(),
+                f.snippet
+            );
+        }
+        let waived = self.findings.len() - self.unwaived_count();
+        let _ = writeln!(
+            out,
+            "dtm-lint: {} files scanned, {} finding(s) ({} waived, {} unwaived)",
+            self.files_scanned,
+            self.findings.len(),
+            waived,
+            self.unwaived_count()
+        );
+        out
+    }
+
+    /// Render the stable JSON report.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"snippet\": {}, \"waived\": {}, \"reason\": {}}}",
+                json_str(&f.path),
+                f.line,
+                json_str(f.rule.name()),
+                json_str(&f.snippet),
+                f.waived.is_some(),
+                f.waived.as_deref().map_or("null".to_string(), json_str)
+            );
+        }
+        out.push_str("\n  ],\n");
+        let waived = self.findings.len() - self.unwaived_count();
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"total\": {}, \"waived\": {}, \"unwaived\": {}}}",
+            self.findings.len(),
+            waived,
+            self.unwaived_count()
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string escaping (control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    fn report() -> LintReport {
+        LintReport {
+            root: ".".into(),
+            files_scanned: 2,
+            findings: vec![
+                Finding {
+                    path: "a.rs".into(),
+                    line: 3,
+                    rule: Rule::D1,
+                    snippet: "let m: HashMap<\"q\\\"\", _>;".into(),
+                    waived: None,
+                },
+                Finding {
+                    path: "b.rs".into(),
+                    line: 7,
+                    rule: Rule::C1,
+                    snippet: "x.unwrap()".into(),
+                    waived: Some("test-only".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn human_lists_only_unwaived_but_counts_both() {
+        let h = report().human();
+        assert!(h.contains("a.rs:3: [D1]"));
+        assert!(!h.contains("b.rs:7"));
+        assert!(h.contains("2 finding(s) (1 waived, 1 unwaived)"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let j = report().json();
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\\\"q\\\\\\\"\\\""));
+        assert!(j.contains("\"unwaived\": 1"));
+        assert_eq!(j, report().json());
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_str("a\nb\u{1}"), "\"a\\nb\\u0001\"");
+    }
+}

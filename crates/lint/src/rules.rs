@@ -1,0 +1,551 @@
+//! The rule set and the per-file scanner.
+//!
+//! Rules are scoped by crate tier (see `lint.toml` / [`crate::config::Config`]):
+//!
+//! | rule | scope | hazard |
+//! |------|-------|--------|
+//! | D1 | deterministic crates | `HashMap`/`HashSet` — iteration order can leak into schedules |
+//! | D2 | everything except `timing_ok` crates | `Instant`/`SystemTime` wall-clock reads |
+//! | D3 | everywhere | unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`) |
+//! | D4 | everywhere | thread-identity logic (`thread::current`, `RAYON_NUM_THREADS` reads, `available_parallelism`) |
+//! | C1 | library crates, outside `#[cfg(test)]` | `.unwrap()` / `.expect(...)` |
+//! | C2 | crate roots | missing `#![forbid(unsafe_code)]`, or an `allow(unsafe_code)` masking it |
+//! | W1 | everywhere | a `dtm-lint: allow(...)` waiver without a written reason |
+//!
+//! Findings are waivable inline (`// dtm-lint: allow(<rule>) -- <reason>`
+//! on the offending line or alone on the line above) or path-scoped via
+//! `[[allow]]` in `lint.toml`. W1 is not waivable: a waiver must say why.
+
+use crate::config::Config;
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// The rule identifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered-map iteration hazard in deterministic crates.
+    D1,
+    /// Wall-clock read outside timing crates.
+    D2,
+    /// Unseeded randomness.
+    D3,
+    /// Thread-identity-dependent logic.
+    D4,
+    /// `unwrap`/`expect` in library code.
+    C1,
+    /// Missing or masked `#![forbid(unsafe_code)]`.
+    C2,
+    /// Waiver without a reason.
+    W1,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::C1,
+        Rule::C2,
+        Rule::W1,
+    ];
+
+    /// Stable rule name used in reports, waivers and `lint.toml`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::W1 => "W1",
+        }
+    }
+
+    /// One-line description for `--list-rules` and reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "HashMap/HashSet in a deterministic crate: iteration order can leak into schedules; use BTreeMap/BTreeSet or waive with proof order cannot escape",
+            Rule::D2 => "Instant/SystemTime read outside telemetry/bench: wall clocks must never influence scheduling",
+            Rule::D3 => "unseeded RNG (thread_rng/from_entropy/OsRng): all randomness must flow from an explicit seed",
+            Rule::D4 => "thread-identity logic (thread::current, RAYON_NUM_THREADS read, available_parallelism): output must not depend on pool width or worker identity",
+            Rule::C1 => "unwrap()/expect() in a library crate: fix, return a typed error, or waive with justification",
+            Rule::C2 => "crate root must carry #![forbid(unsafe_code)], unmasked by any allow(unsafe_code)",
+            Rule::W1 => "dtm-lint waiver without a written reason (`-- <why>` is mandatory)",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+/// One finding, pre- or post-waiver.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// `/`-separated path relative to the workspace root.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The offending source line (trimmed) or a synthesized message.
+    pub snippet: String,
+    /// `Some(reason)` if an inline or path-scoped waiver covers this.
+    pub waived: Option<String>,
+}
+
+/// An inline waiver parsed from a comment.
+#[derive(Debug)]
+struct Waiver {
+    /// Line the waiver comment starts on.
+    line: u32,
+    /// Line the waiver covers: its own line, or the next code line for a
+    /// comment that stands alone.
+    covers: u32,
+    /// Waived rules.
+    rules: Vec<Rule>,
+    /// Justification after `--` (empty string triggers W1).
+    reason: String,
+}
+
+/// Parse a waiver (`dtm-lint: allow` + rule list + optional `--` reason)
+/// out of a comment body. Returns `None` for comments that don't form a
+/// well-formed waiver — including prose that merely *describes* the
+/// waiver grammar. A typo'd rule name therefore simply fails to waive,
+/// and the underlying finding still surfaces the problem.
+fn parse_waiver(c: &Comment) -> Option<(Vec<Rule>, String)> {
+    let idx = c.text.find("dtm-lint:")?;
+    let rest = c.text[idx + "dtm-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let mut rules = Vec::new();
+    for part in rest[..close].split(',') {
+        rules.push(Rule::from_name(part.trim())?);
+    }
+    let after = rest[close + 1..].trim();
+    let reason = after
+        .strip_prefix("--")
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some((rules, reason))
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items (typically
+/// `mod tests { ... }`); C1 does not apply inside them.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some((is_test_attr, after_attr)) = scan_attr(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attr {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes (`#[cfg(test)] #[allow(..)] mod ..`).
+        let mut j = after_attr;
+        while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match scan_attr(tokens, j) {
+                Some((_, next)) => j = next,
+                None => break,
+            }
+        }
+        // The item runs to its closing brace, or to `;` for brace-less
+        // items (`#[cfg(test)] use ...;`).
+        let mut depth = 0usize;
+        let mut end = j;
+        while let Some(t) = tokens.get(end) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        regions.push((attr_start, end.min(tokens.len().saturating_sub(1))));
+        i = end + 1;
+    }
+    regions
+}
+
+/// Scan a `#[...]` / `#![...]` attribute starting at token `i` (which must
+/// be `#`). Returns (contains `cfg` and `test` idents, index past `]`).
+fn scan_attr(tokens: &[Token], i: usize) -> Option<(bool, usize)> {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((saw_cfg && saw_test, j + 1));
+            }
+        } else if t.is_ident("cfg") {
+            saw_cfg = true;
+        } else if t.is_ident("test") {
+            saw_test = true;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does any `#[...]`/`#![...]` attribute in the stream contain both idents?
+fn has_attr_with(tokens: &[Token], a: &str, b: &str) -> Option<u32> {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') {
+            if let Some((_, end)) = scan_attr(tokens, i) {
+                let body = &tokens[i..end];
+                if body.iter().any(|t| t.is_ident(a)) && body.iter().any(|t| t.is_ident(b)) {
+                    return Some(tokens[i].line);
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// How each rule family applies to one file (derived from its path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileClass {
+    /// D1 applies (deterministic crate).
+    pub deterministic: bool,
+    /// D2 exempt (telemetry/bench/lint timing code).
+    pub timing_ok: bool,
+    /// C1 applies (library crate).
+    pub library: bool,
+    /// C2 applies (this is a crate root, `crates/<name>/src/lib.rs`).
+    pub crate_root: bool,
+}
+
+impl FileClass {
+    /// Classify a root-relative, `/`-separated path.
+    pub fn of(path: &str, cfg: &Config) -> FileClass {
+        let in_any = |prefixes: &[String]| {
+            prefixes
+                .iter()
+                .any(|p| path == p || path.starts_with(&format!("{}/", p.trim_end_matches('/'))))
+        };
+        let mut parts = path.split('/');
+        let crate_root = parts.next() == Some("crates")
+            && parts.next().is_some()
+            && parts.next() == Some("src")
+            && parts.next() == Some("lib.rs")
+            && parts.next().is_none();
+        FileClass {
+            deterministic: in_any(&cfg.deterministic),
+            timing_ok: in_any(&cfg.timing_ok),
+            library: in_any(&cfg.library),
+            crate_root,
+        }
+    }
+}
+
+/// Scan one file's source, returning findings with waivers applied.
+pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let class = FileClass::of(path, cfg);
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut fire = |rule: Rule, line: u32, snip: String| {
+        findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            snippet: snip,
+            waived: None,
+        });
+    };
+
+    // --- Waivers (and W1 for malformed/reason-less ones). ---
+    let mut waivers: Vec<Waiver> = Vec::new();
+    for c in &lexed.comments {
+        match parse_waiver(c) {
+            None => {}
+            Some((rules, reason)) => {
+                if reason.is_empty() {
+                    fire(
+                        Rule::W1,
+                        c.line,
+                        format!("waiver without reason: {}", snippet(c.line)),
+                    );
+                }
+                // A comment standing alone on its line covers the next
+                // line that carries any token; a trailing comment covers
+                // its own line.
+                let own_line_has_code = tokens.iter().any(|t| t.line == c.line);
+                let covers = if own_line_has_code {
+                    c.line
+                } else {
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line)
+                };
+                waivers.push(Waiver {
+                    line: c.line,
+                    covers,
+                    rules,
+                    reason,
+                });
+            }
+        }
+    }
+
+    // --- Token rules. ---
+    let regions = test_regions(tokens);
+    let in_test = |idx: usize| regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {
+                let name = t.text.as_str();
+                if class.deterministic && (name == "HashMap" || name == "HashSet") {
+                    fire(Rule::D1, t.line, snippet(t.line));
+                }
+                if !class.timing_ok && (name == "Instant" || name == "SystemTime") {
+                    fire(Rule::D2, t.line, snippet(t.line));
+                }
+                if matches!(name, "thread_rng" | "from_entropy" | "OsRng" | "getrandom") {
+                    fire(Rule::D3, t.line, snippet(t.line));
+                }
+                if name == "available_parallelism" {
+                    fire(Rule::D4, t.line, snippet(t.line));
+                }
+                if name == "current"
+                    && i >= 3
+                    && tokens[i - 1].is_punct(':')
+                    && tokens[i - 2].is_punct(':')
+                    && tokens[i - 3].is_ident("thread")
+                {
+                    fire(Rule::D4, t.line, snippet(t.line));
+                }
+                if class.library
+                    && !in_test(i)
+                    && (name == "unwrap" || name == "expect")
+                    && i >= 1
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    fire(Rule::C1, t.line, snippet(t.line));
+                }
+            }
+            // Exact match only: `env::var(<this literal>)` is the
+            // hazard; prose mentioning the variable (like this rule's
+            // own catalog entry) is not. Spelled via concat! so the
+            // linter's source holds no exact literal to self-flag.
+            TokenKind::Str if t.text == concat!("RAYON_NUM_", "THREADS") => {
+                fire(Rule::D4, t.line, snippet(t.line));
+            }
+            _ => {}
+        }
+    }
+
+    // --- C2: crate roots must forbid unsafe code; nothing may mask it. ---
+    if class.crate_root && has_attr_with(tokens, "forbid", "unsafe_code").is_none() {
+        fire(
+            Rule::C2,
+            1,
+            "crate root is missing #![forbid(unsafe_code)]".into(),
+        );
+    }
+    if let Some(line) = has_attr_with(tokens, "allow", "unsafe_code") {
+        fire(Rule::C2, line, snippet(line));
+    }
+
+    // --- Apply waivers: inline first, then lint.toml path scopes. ---
+    for f in &mut findings {
+        if f.rule == Rule::W1 {
+            continue; // a waiver can't waive its own missing reason
+        }
+        if let Some(w) = waivers
+            .iter()
+            .find(|w| (w.covers == f.line || w.line == f.line) && w.rules.contains(&f.rule))
+        {
+            if !w.reason.is_empty() {
+                f.waived = Some(w.reason.clone());
+                continue;
+            }
+        }
+        if let Some(a) = cfg.allows.iter().find(|a| {
+            (a.rule == f.rule.name() || a.rule == "*")
+                && (f.path == a.path
+                    || f.path
+                        .starts_with(&format!("{}/", a.path.trim_end_matches('/'))))
+        }) {
+            f.waived = Some(format!("lint.toml: {}", a.reason));
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_file(path, src, &cfg())
+    }
+
+    fn unwaived(fs: &[Finding]) -> Vec<(&'static str, u32)> {
+        fs.iter()
+            .filter(|f| f.waived.is_none())
+            .map(|f| (f.rule.name(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(unwaived(&scan("crates/sim/src/x.rs", src)), [("D1", 1)]);
+        assert!(unwaived(&scan("crates/telemetry/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d2_respects_timing_crates() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(unwaived(&scan("crates/core/src/x.rs", src)), [("D2", 1)]);
+        assert_eq!(unwaived(&scan("tests/foo.rs", src)), [("D2", 1)]);
+        assert!(unwaived(&scan("crates/bench/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn d3_and_d4_fire_everywhere() {
+        assert_eq!(
+            unwaived(&scan("examples/x.rs", "let r = thread_rng();\n")),
+            [("D3", 1)]
+        );
+        assert_eq!(
+            unwaived(&scan(
+                "crates/bench/src/x.rs",
+                "let id = thread::current().id();\n"
+            )),
+            [("D4", 1)]
+        );
+        assert_eq!(
+            unwaived(&scan("tests/x.rs", "std::env::var(\"RAYON_NUM_THREADS\")")),
+            [("D4", 1)]
+        );
+    }
+
+    #[test]
+    fn c1_skips_test_modules_and_non_library_crates() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn g() { y.unwrap(); y.expect(\"z\"); }\n}\n";
+        assert_eq!(unwaived(&scan("crates/model/src/x.rs", src)), [("C1", 1)]);
+        assert!(unwaived(&scan("crates/bench/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn c1_ignores_lookalikes() {
+        // unwrap_or, expect_ok, a method *definition*, and idents in strings.
+        let src = "fn expect_ok() {}\nlet a = x.unwrap_or(0);\nlet b = \"call .unwrap() here\";\nfn unwrap() {}\n";
+        assert!(unwaived(&scan("crates/model/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn inline_waiver_covers_same_and_next_line() {
+        let trailing = "use std::collections::HashMap; // dtm-lint: allow(D1) -- key-lookup only\n";
+        assert!(unwaived(&scan("crates/sim/src/x.rs", trailing)).is_empty());
+        let above = "// dtm-lint: allow(D1) -- key-lookup only\nuse std::collections::HashMap;\n";
+        assert!(unwaived(&scan("crates/sim/src/x.rs", above)).is_empty());
+        // ...but not two lines down.
+        let far = "// dtm-lint: allow(D1) -- nope\nlet x = 1;\nuse std::collections::HashMap;\n";
+        assert_eq!(unwaived(&scan("crates/sim/src/x.rs", far)), [("D1", 3)]);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_w1_and_does_not_waive() {
+        let src = "use std::collections::HashMap; // dtm-lint: allow(D1)\n";
+        let fs = scan("crates/sim/src/x.rs", src);
+        assert_eq!(unwaived(&fs), [("D1", 1), ("W1", 1)]);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_apply() {
+        let src = "use std::collections::HashMap; // dtm-lint: allow(C1) -- wrong rule\n";
+        assert_eq!(unwaived(&scan("crates/sim/src/x.rs", src)), [("D1", 1)]);
+    }
+
+    #[test]
+    fn config_path_allow_applies() {
+        let mut cfg = Config::default();
+        cfg.allows.push(crate::config::PathAllow {
+            rule: "D2".into(),
+            path: "crates/sim/src/engine.rs".into(),
+            reason: "observer timing".into(),
+        });
+        let src = "let t = Instant::now();\n";
+        let fs = scan_file("crates/sim/src/engine.rs", src, &cfg);
+        assert!(fs.iter().all(|f| f.waived.is_some()));
+        let fs = scan_file("crates/sim/src/state.rs", src, &cfg);
+        assert_eq!(unwaived(&fs), [("D2", 1)]);
+    }
+
+    #[test]
+    fn c2_missing_forbid_and_masking_allow() {
+        let fs = scan("crates/model/src/lib.rs", "pub mod x;\n");
+        assert_eq!(unwaived(&fs), [("C2", 1)]);
+        let ok = scan(
+            "crates/model/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod x;\n",
+        );
+        assert!(unwaived(&ok).is_empty());
+        let masked = scan(
+            "crates/model/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#[allow(unsafe_code)]\nmod bad {}\n",
+        );
+        assert_eq!(unwaived(&masked), [("C2", 2)]);
+        // Non-root files don't need the attribute.
+        assert!(unwaived(&scan("crates/model/src/other.rs", "pub fn f() {}\n")).is_empty());
+    }
+
+    #[test]
+    fn hazards_in_comments_do_not_fire() {
+        let src = "// HashMap and Instant and thread_rng\n/* SystemTime too */\nlet x = 1;\n";
+        assert!(unwaived(&scan("crates/sim/src/x.rs", src)).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Corpus tests: every rule has a bad fixture that pins *firing* and a
+//! good fixture that pins *not firing*, plus fixtures for waiver
+//! mechanics and for hazards hidden in strings/comments.
+//!
+//! Fixtures live in `tests/corpus/` — a directory `lint.toml` excludes
+//! from the workspace scan, and which cargo never compiles (only
+//! top-level files in `tests/` are test targets). Each fixture is
+//! scanned under a *synthetic* relative path so the test controls which
+//! tier (deterministic / library / timing_ok / crate root) it lands in.
+
+use dtm_lint::config::{Config, PathAllow};
+use dtm_lint::rules::{scan_file, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Scan fixture `name` as if it lived at `rel` in the workspace.
+fn scan_as(rel: &str, name: &str) -> Vec<Finding> {
+    scan_file(rel, &fixture(name), &Config::default())
+}
+
+fn unwaived(findings: &[Finding]) -> Vec<Rule> {
+    findings
+        .iter()
+        .filter(|f| f.waived.is_none())
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn d1_bad_fires_and_good_does_not() {
+    let bad = scan_as("crates/model/src/fixture.rs", "d1_bad.rs");
+    let d1 = unwaived(&bad).iter().filter(|&&r| r == Rule::D1).count();
+    assert!(d1 >= 4, "HashMap+HashSet uses must all fire, got {bad:?}");
+    assert_eq!(
+        unwaived(&scan_as("crates/model/src/fixture.rs", "d1_good.rs")),
+        []
+    );
+    // The same hazards outside a deterministic crate are fine.
+    assert_eq!(
+        unwaived(&scan_as("crates/telemetry/src/fixture.rs", "d1_bad.rs")),
+        []
+    );
+}
+
+#[test]
+fn d2_bad_fires_and_good_does_not() {
+    let bad = scan_as("crates/core/src/fixture.rs", "d2_bad.rs");
+    assert!(
+        unwaived(&bad).iter().all(|&r| r == Rule::D2) && bad.len() >= 4,
+        "{bad:?}"
+    );
+    assert_eq!(
+        unwaived(&scan_as("crates/core/src/fixture.rs", "d2_good.rs")),
+        []
+    );
+    // Timing crates are exempt from D2 by design.
+    assert_eq!(
+        unwaived(&scan_as("crates/bench/src/fixture.rs", "d2_bad.rs")),
+        []
+    );
+}
+
+#[test]
+fn d3_bad_fires_and_good_does_not() {
+    let bad = scan_as("crates/sim/src/fixture.rs", "d3_bad.rs");
+    let d3 = unwaived(&bad).iter().filter(|&&r| r == Rule::D3).count();
+    assert_eq!(d3, 3, "thread_rng + from_entropy + OsRng, got {bad:?}");
+    assert_eq!(
+        unwaived(&scan_as("crates/sim/src/fixture.rs", "d3_good.rs")),
+        []
+    );
+}
+
+#[test]
+fn d4_bad_fires_and_good_does_not() {
+    let bad = scan_as("crates/sim/src/fixture.rs", "d4_bad.rs");
+    let d4 = unwaived(&bad).iter().filter(|&&r| r == Rule::D4).count();
+    assert_eq!(
+        d4, 3,
+        "thread::current + env read + available_parallelism, got {bad:?}"
+    );
+    assert_eq!(
+        unwaived(&scan_as("crates/sim/src/fixture.rs", "d4_good.rs")),
+        []
+    );
+}
+
+#[test]
+fn d3_and_d4_apply_everywhere_even_outside_library_crates() {
+    assert!(!unwaived(&scan_as("tests/fixture.rs", "d3_bad.rs")).is_empty());
+    assert!(!unwaived(&scan_as("crates/bench/src/fixture.rs", "d4_bad.rs")).is_empty());
+}
+
+#[test]
+fn c1_bad_fires_outside_tests_only() {
+    let bad = scan_as("crates/graph/src/fixture.rs", "c1_bad.rs");
+    let lines: Vec<(Rule, u32)> = bad
+        .iter()
+        .filter(|f| f.waived.is_none())
+        .map(|f| (f.rule, f.line))
+        .collect();
+    // Exactly the two library-code panics — nothing from `mod tests`.
+    assert_eq!(lines, [(Rule::C1, 4), (Rule::C1, 5)], "{bad:?}");
+    assert_eq!(
+        unwaived(&scan_as("crates/graph/src/fixture.rs", "c1_good.rs")),
+        []
+    );
+    // Outside library crates (e.g. integration tests) unwrap is fine.
+    assert_eq!(unwaived(&scan_as("tests/fixture.rs", "c1_bad.rs")), []);
+}
+
+#[test]
+fn c2_fires_on_bare_and_masked_roots_only() {
+    let bad = scan_as("crates/x/src/lib.rs", "c2_bad.rs");
+    assert_eq!(unwaived(&bad), [Rule::C2], "{bad:?}");
+    // The same file off the crate root is not held to C2.
+    assert_eq!(unwaived(&scan_as("crates/x/src/other.rs", "c2_bad.rs")), []);
+    // forbid present but masked by allow(unsafe_code): still C2.
+    let masked = scan_as("crates/x/src/lib.rs", "c2_masked.rs");
+    assert_eq!(unwaived(&masked), [Rule::C2], "{masked:?}");
+    assert!(masked[0].snippet.contains("allow"), "{masked:?}");
+    assert_eq!(unwaived(&scan_as("crates/x/src/lib.rs", "c2_good.rs")), []);
+}
+
+#[test]
+fn reasonless_waiver_trips_w1_and_does_not_waive() {
+    let bad = scan_as("crates/model/src/fixture.rs", "w1_bad.rs");
+    let rules = unwaived(&bad);
+    assert!(rules.contains(&Rule::W1), "{bad:?}");
+    assert!(
+        rules.contains(&Rule::C1),
+        "reasonless waiver must not mask C1: {bad:?}"
+    );
+}
+
+#[test]
+fn trailing_and_standalone_waivers_cover_their_findings() {
+    let fs = scan_as("crates/model/src/fixture.rs", "waivers_good.rs");
+    assert!(fs.len() >= 3, "the hazards should still be *found*: {fs:?}");
+    assert_eq!(unwaived(&fs), [], "{fs:?}");
+    for f in &fs {
+        let reason = f.waived.as_deref().unwrap_or_default();
+        assert!(
+            reason.contains("fixture:"),
+            "reason is carried through: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_toml_path_scoped_waiver_applies() {
+    let mut cfg = Config::default();
+    cfg.allows.push(PathAllow {
+        rule: "D1".into(),
+        path: "crates/model/src/fixture.rs".into(),
+        reason: "corpus: path-scoped waiver".into(),
+    });
+    let fs = scan_file("crates/model/src/fixture.rs", &fixture("d1_bad.rs"), &cfg);
+    assert!(!fs.is_empty());
+    assert_eq!(unwaived(&fs), [], "{fs:?}");
+    assert!(fs[0]
+        .waived
+        .as_deref()
+        .unwrap_or_default()
+        .starts_with("lint.toml:"));
+}
+
+#[test]
+fn hazards_in_strings_and_comments_never_fire() {
+    // Scanned under the strictest tier: deterministic + library.
+    let fs = scan_as("crates/model/src/fixture.rs", "strings_comments.rs");
+    assert_eq!(fs.len(), 0, "{fs:?}");
+}
+
+#[test]
+fn every_rule_has_corpus_coverage() {
+    // Meta-test: adding a rule to the catalog without corpus fixtures
+    // fails here, keeping the corpus in lockstep with the rule set.
+    let covered = ["D1", "D2", "D3", "D4", "C1", "C2", "W1"];
+    for r in Rule::ALL {
+        assert!(
+            covered.contains(&r.name()),
+            "no corpus fixture for {}",
+            r.name()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+// Corpus fixture: C1 must fire on unwrap/expect in library code, but
+// NOT inside `#[cfg(test)]` items.
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("nonempty");
+    head + tail
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+// Corpus fixture: propagating errors instead of panicking never trips C1.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    let head = xs.first()?;
+    let tail = xs.last()?;
+    Some(head + tail)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[1, 2]).unwrap(), 3);
+    }
+}

@@ -1,0 +1,4 @@
+//! Corpus fixture: a crate root WITHOUT `#![forbid(unsafe_code)]`
+//! must trip C2 (when scanned under a `crates/<name>/src/lib.rs` path).
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Corpus fixture: a crate root with the forbid in place is clean.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,9 @@
+//! Corpus fixture: the forbid is present but an `allow(unsafe_code)`
+//! masks it — C2 must still fire, on the allow.
+
+#![forbid(unsafe_code)]
+
+#[allow(unsafe_code)]
+pub mod escape_hatch {
+    pub fn noop() {}
+}

@@ -1,0 +1,13 @@
+// Corpus fixture: D1 must fire on unordered maps in a deterministic crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.len() + seen.len()
+}

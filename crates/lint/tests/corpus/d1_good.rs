@@ -1,0 +1,13 @@
+// Corpus fixture: ordered maps never trip D1.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.len() + seen.len()
+}

@@ -1,0 +1,10 @@
+// Corpus fixture: D2 must fire on wall-clock reads outside timing crates.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}

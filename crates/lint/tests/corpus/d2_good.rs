@@ -1,0 +1,7 @@
+// Corpus fixture: simulated time (plain integers / Duration arithmetic)
+// never trips D2.
+use std::time::Duration;
+
+pub fn advance(now: u64, step: Duration) -> u64 {
+    now + step.as_millis() as u64
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: D3 must fire on every unseeded-randomness entry point.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = rand_chacha::ChaCha8Rng::from_entropy();
+    let os = rand::rngs::OsRng;
+    let _ = (&mut rng, other, os);
+    4
+}

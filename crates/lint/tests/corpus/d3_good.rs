@@ -1,0 +1,7 @@
+// Corpus fixture: explicitly seeded RNG never trips D3.
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn roll(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,8 @@
+// Corpus fixture: D4 must fire on every thread-identity entry point.
+pub fn who_am_i() -> usize {
+    let id = std::thread::current().id();
+    let width = std::env::var("RAYON_NUM_THREADS").ok();
+    let cores = std::thread::available_parallelism();
+    let _ = (id, width, cores);
+    0
+}

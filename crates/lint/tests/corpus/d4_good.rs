@@ -1,0 +1,6 @@
+// Corpus fixture: deterministic work splitting (fixed chunking, no
+// worker identity) never trips D4.
+pub fn chunks(n: usize, width: usize) -> Vec<(usize, usize)> {
+    let per = n.div_ceil(width.max(1));
+    (0..n).step_by(per.max(1)).map(|s| (s, (s + per).min(n))).collect()
+}

@@ -1,0 +1,18 @@
+// Corpus fixture: hazard names that appear only in strings and comments
+// must never fire. HashMap, HashSet, Instant::now(), SystemTime,
+// thread_rng(), from_entropy, OsRng, thread::current().id(),
+// available_parallelism, unwrap(), expect() — all prose here.
+// Reading RAYON_NUM_THREADS is also only *mentioned* in this comment.
+
+/* Block-comment hazards: HashMap::new(), Instant::now(), thread_rng().
+   Nested /* SystemTime::now() */ still a comment. */
+
+pub fn describe() -> String {
+    let a = "HashMap and HashSet live in std::collections";
+    let b = "Instant::now() and SystemTime::now() read wall clocks";
+    let c = r#"thread_rng() / from_entropy() / OsRng seed from the OS"#;
+    let d = "thread::current().id() and available_parallelism()";
+    let e = "call .unwrap() or .expect() to panic";
+    let f = "RAYON_NUM_THREADS_SUFFIXED is a near-miss, not the env read";
+    format!("{a} {b} {c} {d} {e} {f}")
+}

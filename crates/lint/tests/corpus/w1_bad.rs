@@ -1,0 +1,5 @@
+// Corpus fixture: a waiver without a reason trips W1 and does NOT
+// actually waive the underlying finding.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // dtm-lint: allow(C1)
+}

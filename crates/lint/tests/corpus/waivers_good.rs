@@ -1,0 +1,10 @@
+// Corpus fixture: well-formed waivers (trailing and standalone-above)
+// cover their findings; nothing here is unwaived.
+use std::collections::HashMap; // dtm-lint: allow(D1) -- fixture: exercised by the corpus test, order never escapes
+
+pub fn first(xs: &[u32]) -> u32 {
+    let m: HashMap<u32, u32> = HashMap::new(); // dtm-lint: allow(D1) -- fixture: lookups only, never iterated
+    let _ = m;
+    // dtm-lint: allow(C1) -- fixture: standalone waiver covering the next line
+    *xs.first().unwrap()
+}

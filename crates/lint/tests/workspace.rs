@@ -1,0 +1,88 @@
+//! Self-test: the shipped workspace must lint clean.
+//!
+//! This is the same scan CI runs (`cargo run -p dtm-lint`), executed
+//! in-process: zero unwaived findings, every waiver carrying a written
+//! reason, and the corpus directory excluded from the walk.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has two ancestors")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_has_zero_unwaived_findings() {
+    let root = workspace_root();
+    let cfg = dtm_lint::load_config(&root).expect("lint.toml parses");
+    let report = dtm_lint::run(&root, &cfg).expect("scan succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "walk found the workspace: {}",
+        report.files_scanned
+    );
+    let offenders: Vec<String> = report
+        .unwaived()
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule.name(), f.snippet))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "unwaived findings in the live workspace:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn every_live_waiver_carries_a_reason() {
+    let root = workspace_root();
+    let cfg = dtm_lint::load_config(&root).expect("lint.toml parses");
+    let report = dtm_lint::run(&root, &cfg).expect("scan succeeds");
+    assert!(
+        report.findings.iter().any(|f| f.waived.is_some()),
+        "waivers exist"
+    );
+    for f in &report.findings {
+        if let Some(reason) = &f.waived {
+            assert!(
+                reason.trim().len() >= 10,
+                "{}:{} [{}] waiver reason too thin: {reason:?}",
+                f.path,
+                f.line,
+                f.rule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_directory_is_excluded_from_the_scan() {
+    let root = workspace_root();
+    let cfg = dtm_lint::load_config(&root).expect("lint.toml parses");
+    let report = dtm_lint::run(&root, &cfg).expect("scan succeeds");
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| !f.path.contains("tests/corpus")),
+        "fixtures must never reach the workspace report"
+    );
+}
+
+#[test]
+fn json_report_is_stable_and_self_consistent() {
+    let root = workspace_root();
+    let cfg = dtm_lint::load_config(&root).expect("lint.toml parses");
+    let report = dtm_lint::run(&root, &cfg).expect("scan succeeds");
+    let json = report.json();
+    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"summary\""));
+    // Two runs over the same tree are byte-identical (the linter holds
+    // itself to the determinism bar it enforces).
+    let again = dtm_lint::run(&root, &cfg).expect("scan succeeds");
+    assert_eq!(json, again.json());
+}

@@ -4,7 +4,7 @@ use crate::ids::{ObjectId, Time, TxnId};
 use crate::txn::Transaction;
 use dtm_graph::{Network, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A shared object: where and when it was created (Section II: "an object
@@ -125,7 +125,7 @@ impl Instance {
     /// `l_max`: the maximum number of transactions requesting any single
     /// object — a fundamental lower-bound ingredient (Theorem 3's analysis).
     pub fn l_max(&self) -> usize {
-        let mut counts: HashMap<ObjectId, usize> = HashMap::new();
+        let mut counts: BTreeMap<ObjectId, usize> = BTreeMap::new();
         for t in &self.txns {
             for o in t.objects() {
                 *counts.entry(o).or_insert(0) += 1;
@@ -138,7 +138,7 @@ impl Instance {
     /// ids unique, creation times consistent.
     pub fn validate(&self, network: &Network) -> Result<(), InstanceError> {
         let n = network.n();
-        let mut obj_ids = HashSet::new();
+        let mut obj_ids = BTreeSet::new();
         for o in &self.objects {
             if o.origin.index() >= n {
                 return Err(InstanceError::NodeOutOfRange(o.origin));
@@ -147,7 +147,7 @@ impl Instance {
                 return Err(InstanceError::DuplicateObject(o.id));
             }
         }
-        let mut txn_ids = HashSet::new();
+        let mut txn_ids = BTreeSet::new();
         for t in &self.txns {
             if t.home.index() >= n {
                 return Err(InstanceError::NodeOutOfRange(t.home));

@@ -6,7 +6,7 @@
 use crate::instance::Instance;
 use crate::txn::Transaction;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Structural statistics of a workload instance.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -38,7 +38,7 @@ fn gini(mut xs: Vec<f64>) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len() as f64;
     let sum: f64 = xs.iter().sum();
     if sum == 0.0 {
@@ -57,14 +57,14 @@ pub fn workload_stats(txns: &[Transaction]) -> WorkloadStats {
     if txns.is_empty() {
         return WorkloadStats::default();
     }
-    let mut per_object: HashMap<crate::ids::ObjectId, Vec<usize>> = HashMap::new();
+    let mut per_object: BTreeMap<crate::ids::ObjectId, Vec<usize>> = BTreeMap::new();
     for (i, t) in txns.iter().enumerate() {
         for o in t.objects() {
             per_object.entry(o).or_default().push(i);
         }
     }
     // Conflict degrees via shared objects (dedup pairs).
-    let mut degree = vec![std::collections::HashSet::new(); txns.len()];
+    let mut degree = vec![BTreeSet::new(); txns.len()];
     for users in per_object.values() {
         for (a, &i) in users.iter().enumerate() {
             for &j in &users[a + 1..] {

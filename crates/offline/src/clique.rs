@@ -11,7 +11,7 @@
 use crate::traits::{object_release, BatchContext, BatchScheduler};
 use dtm_graph::Network;
 use dtm_model::{Schedule, Time, Transaction};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Conflict-graph-coloring scheduler for diameter-1 networks.
 #[derive(Clone, Debug, Default)]
@@ -48,7 +48,7 @@ impl BatchScheduler for CliqueScheduler {
         }
 
         // Build the conflict graph among pending transactions.
-        let mut users: HashMap<_, Vec<usize>> = HashMap::new();
+        let mut users: BTreeMap<_, Vec<usize>> = BTreeMap::new();
         for (i, t) in pending.iter().enumerate() {
             for o in t.objects() {
                 users.entry(o).or_default().push(i);
@@ -154,7 +154,7 @@ mod tests {
                 Transaction::new(TxnId(i), NodeId(i as u32), set, 0)
             })
             .collect();
-        let mut users: std::collections::HashMap<ObjectId, usize> = Default::default();
+        let mut users: std::collections::BTreeMap<ObjectId, usize> = Default::default();
         for t in &pending {
             for o in t.objects() {
                 *users.entry(o).or_insert(0) += 1;

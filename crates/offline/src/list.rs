@@ -11,7 +11,7 @@ use dtm_model::{ObjectId, Schedule, Time, Transaction};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Processing order for [`ListScheduler`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,7 +58,7 @@ pub fn list_schedule_in_order(
     let mut avail = object_release(network, ctx);
     // Objects that already had a transactional user (handoffs from them pay
     // the >= 1 serialization gap even at distance 0).
-    let mut used: HashSet<ObjectId> = ctx.fixed.iter().flat_map(|(t, _)| t.objects()).collect();
+    let mut used: BTreeSet<ObjectId> = ctx.fixed.iter().flat_map(|(t, _)| t.objects()).collect();
     let mut schedule = Schedule::new();
     for t in order {
         let mut exec: Time = ctx.now.max(t.generated_at);

@@ -138,6 +138,7 @@ pub fn validate_batch_schedule(
         .fixed
         .iter()
         .map(|(t, e)| (t, *e))
+        // dtm-lint: allow(C1) -- list_schedule assigned every pending transaction just above
         .chain(pending.iter().map(|t| (t, schedule.get(t.id).unwrap())))
     {
         for o in txn.objects() {

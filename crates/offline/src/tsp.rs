@@ -11,7 +11,7 @@ use crate::list::list_schedule_in_order;
 use crate::traits::{object_release, BatchContext, BatchScheduler};
 use dtm_graph::{Network, NodeId};
 use dtm_model::{ObjectId, Schedule, Transaction, TxnId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Nearest-neighbor TSP-tour baseline.
 #[derive(Clone, Debug, Default)]
@@ -19,18 +19,18 @@ pub struct TspScheduler;
 
 /// Nearest-neighbor tour over `stops` starting from `start`; returns visit
 /// ranks. Deterministic (ties by node id, then txn id).
-fn nn_tour(network: &Network, start: NodeId, stops: &[(TxnId, NodeId)]) -> HashMap<TxnId, usize> {
+fn nn_tour(network: &Network, start: NodeId, stops: &[(TxnId, NodeId)]) -> BTreeMap<TxnId, usize> {
     let mut remaining: Vec<(TxnId, NodeId)> = stops.to_vec();
     remaining.sort_by_key(|&(id, _)| id);
     let mut at = start;
-    let mut rank = HashMap::with_capacity(remaining.len());
+    let mut rank = BTreeMap::new();
     let mut next_rank = 0usize;
     while !remaining.is_empty() {
         let (pos, _) = remaining
             .iter()
             .enumerate()
             .min_by_key(|(_, &(id, node))| (network.distance(at, node), node, id))
-            .expect("nonempty");
+            .expect("nonempty"); // dtm-lint: allow(C1) -- guarded by !remaining.is_empty()
         let (id, node) = remaining.remove(pos);
         rank.insert(id, next_rank);
         next_rank += 1;
@@ -54,7 +54,7 @@ impl BatchScheduler for TspScheduler {
                 requesters.entry(o).or_default().push((t.id, t.home));
             }
         }
-        let mut tour_rank: HashMap<(ObjectId, TxnId), usize> = HashMap::new();
+        let mut tour_rank: BTreeMap<(ObjectId, TxnId), usize> = BTreeMap::new();
         for (o, stops) in &requesters {
             let start = releases.get(o).map(|&(v, _)| v).unwrap_or(stops[0].1);
             for (txn, r) in nn_tour(network, start, stops) {

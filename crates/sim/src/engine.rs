@@ -36,7 +36,7 @@ use crate::policy::SchedulingPolicy;
 use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
 use dtm_graph::{Network, NodeId};
 use dtm_model::{ObjectId, Schedule, Time, Transaction, TxnId, WorkloadSource};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 /// Engine configuration.
@@ -104,10 +104,10 @@ pub struct Engine<P> {
     /// Per object: scheduled pending requesters ordered by (time, id).
     requesters: BTreeMap<ObjectId, BTreeSet<(Time, TxnId)>>,
     /// Objects currently traversing each undirected edge.
-    edge_load: HashMap<(NodeId, NodeId), u32>,
+    edge_load: BTreeMap<(NodeId, NodeId), u32>,
     /// Node-local forwarding pointers: (object, node) -> where that node
     /// last sent the object. Grows with distinct (object, node) pairs.
-    forwarding: HashMap<(ObjectId, NodeId), NodeId>,
+    forwarding: BTreeMap<(ObjectId, NodeId), NodeId>,
 
     observers: Vec<Box<dyn StepObserver>>,
     events: Vec<Event>,
@@ -133,8 +133,8 @@ impl<P: SchedulingPolicy> Engine<P> {
             generated: BTreeMap::new(),
             exec_queue: BTreeSet::new(),
             requesters: BTreeMap::new(),
-            edge_load: HashMap::new(),
-            forwarding: HashMap::new(),
+            edge_load: BTreeMap::new(),
+            forwarding: BTreeMap::new(),
             observers: Vec::new(),
             events: Vec::new(),
             violations: Vec::new(),
@@ -243,7 +243,7 @@ impl<P: SchedulingPolicy> Engine<P> {
                 .collect();
             let received = arriving.len();
             for id in arriving {
-                let st = self.state.object_mut(id).expect("object exists");
+                let st = self.state.object_mut(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
                 if let ObjectPlace::Hop { from, next, .. } = st.place {
                     st.place = ObjectPlace::At(next);
                     let key = edge_key(from, next);
@@ -388,14 +388,13 @@ impl<P: SchedulingPolicy> Engine<P> {
             .range(..=(t, TxnId(u64::MAX)))
             .copied()
             .collect();
-        let mut used_this_step: std::collections::HashSet<ObjectId> =
-            std::collections::HashSet::new();
+        let mut used_this_step: BTreeSet<ObjectId> = BTreeSet::new();
         for (exec_at, txn_id) in due {
             let lt = self
                 .state
                 .txns()
                 .get(txn_id)
-                .expect("scheduled txn is live");
+                .expect("scheduled txn is live"); // dtm-lint: allow(C1) -- exec_queue holds only live transactions (entries removed on commit/abort)
             let home = lt.txn.home;
             let assembled = lt.txn.objects().all(|o| {
                 !used_this_step.contains(&o)
@@ -406,13 +405,14 @@ impl<P: SchedulingPolicy> Engine<P> {
             });
             if assembled {
                 // Commit.
-                let txn = self.state.remove_txn(txn_id).expect("live").txn;
+                let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- committed txn was read from the live arena two lines above
                 self.exec_queue.remove(&(exec_at, txn_id));
                 for o in txn.objects() {
                     used_this_step.insert(o);
                     if let Some(set) = self.requesters.get_mut(&o) {
                         set.remove(&(exec_at, txn_id));
                     }
+                    // dtm-lint: allow(C1) -- object ids in a live txn's read/write set always exist in the arena
                     self.state.object_mut(o).expect("object exists").last_holder = Some(txn_id);
                 }
                 self.state.delta_mut().removed.push(txn_id);
@@ -429,7 +429,7 @@ impl<P: SchedulingPolicy> Engine<P> {
                     txn: txn_id,
                     scheduled: exec_at,
                 });
-                let txn = self.state.remove_txn(txn_id).expect("live").txn;
+                let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- violating txn was read from the live arena above
                 self.exec_queue.remove(&(exec_at, txn_id));
                 for o in txn.objects() {
                     if let Some(set) = self.requesters.get_mut(&o) {
@@ -451,7 +451,7 @@ impl<P: SchedulingPolicy> Engine<P> {
         let ids: Vec<ObjectId> = self.state.objects().ids().collect();
         for id in ids {
             let (here, target_home) = {
-                let st = self.state.objects().get(id).expect("object exists");
+                let st = self.state.objects().get(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
                 let ObjectPlace::At(here) = st.place else {
                     continue;
                 };
@@ -463,7 +463,7 @@ impl<P: SchedulingPolicy> Engine<P> {
                     .state
                     .txns()
                     .get(txn_id)
-                    .expect("scheduled requester is live")
+                    .expect("scheduled requester is live") // dtm-lint: allow(C1) -- requesters entries are removed when their txn leaves the arena
                     .txn
                     .home;
                 (here, home)
@@ -476,7 +476,7 @@ impl<P: SchedulingPolicy> Engine<P> {
                 .network
                 .graph()
                 .edge_weight(here, next)
-                .expect("next_hop returns an adjacent node");
+                .expect("next_hop returns an adjacent node"); // dtm-lint: allow(C1) -- next_hop returns a neighbor, so the edge exists
             let key = edge_key(here, next);
             if let Some(cap) = self.config.link_capacity {
                 let load = self.edge_load.get(&key).copied().unwrap_or(0);
@@ -487,6 +487,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             *self.edge_load.entry(key).or_insert(0) += 1;
             self.forwarding.insert((id, here), next);
             let arrive = t + w * self.config.speed_divisor;
+            // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
             self.state.object_mut(id).expect("object exists").place = ObjectPlace::Hop {
                 from: here,
                 next,

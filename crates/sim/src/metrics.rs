@@ -109,7 +109,7 @@ impl LatencySummary {
             mean: sum as f64 / count as f64,
             p50: percentile(&samples, 0.50),
             p95: percentile(&samples, 0.95),
-            max: *samples.last().unwrap(),
+            max: samples[count - 1],
         }
     }
 }

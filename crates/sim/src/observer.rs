@@ -124,15 +124,14 @@ impl PhaseProfile {
         let mut out = String::new();
         for p in Phase::ALL {
             let s = self.phase(p);
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{} calls={} items={} nanos={}",
                 p.name(),
                 s.calls,
                 s.items,
                 s.nanos
-            )
-            .expect("writing to String cannot fail");
+            );
         }
         out
     }

@@ -5,7 +5,7 @@ use crate::arena::{ObjectIter, RuntimeState, StepDelta, TxnIter};
 use dtm_graph::{Network, NodeId, Weight};
 use dtm_model::{ObjectId, ObjectInfo, Time, Transaction, TxnId};
 use serde::{Deserialize, Serialize};
-use std::collections::{btree_map, BTreeMap, BTreeSet, HashMap};
+use std::collections::{btree_map, BTreeMap, BTreeSet};
 
 /// Where an object is right now.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -98,7 +98,7 @@ pub struct SystemView<'a> {
     /// object (the trail that object-tracking messages follow, Section V:
     /// "we can track objects in transit by reaching the node that the
     /// object departs from").
-    forwarding: Option<&'a HashMap<(ObjectId, NodeId), NodeId>>,
+    forwarding: Option<&'a BTreeMap<(ObjectId, NodeId), NodeId>>,
 }
 
 impl<'a> SystemView<'a> {
@@ -132,7 +132,7 @@ impl<'a> SystemView<'a> {
 
     /// Attach the engine's forwarding-pointer table (see
     /// [`SystemView::forwarded_to`]).
-    pub fn with_forwarding(mut self, forwarding: &'a HashMap<(ObjectId, NodeId), NodeId>) -> Self {
+    pub fn with_forwarding(mut self, forwarding: &'a BTreeMap<(ObjectId, NodeId), NodeId>) -> Self {
         self.forwarding = Some(forwarding);
         self
     }
@@ -220,7 +220,7 @@ impl<'a> SystemView<'a> {
                 }
                 ids.remove(&txn.id);
                 ids.iter()
-                    .map(|&id| state.txns().get(id).expect("requester index is live"))
+                    .map(|&id| state.txns().get(id).expect("requester index is live")) // dtm-lint: allow(C1) -- requester-index entries are inserted/removed in lockstep with the txn arena
                     .collect()
             }
         }

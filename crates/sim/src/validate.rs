@@ -17,7 +17,7 @@ use crate::events::Event;
 use crate::metrics::RunResult;
 use dtm_graph::{Network, NodeId};
 use dtm_model::{ObjectId, Time, TxnId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// What went wrong during validation.
@@ -169,7 +169,7 @@ pub fn validate_events(
     let mut sched_time: BTreeMap<TxnId, Time> = BTreeMap::new();
     let mut committed: BTreeMap<TxnId, Time> = BTreeMap::new();
     // Objects consumed by a commit at the current step.
-    let mut step_objects: HashMap<ObjectId, TxnId> = HashMap::new();
+    let mut step_objects: BTreeMap<ObjectId, TxnId> = BTreeMap::new();
     let mut step_time: Time = 0;
     let mut commit_count = 0usize;
 
@@ -305,7 +305,7 @@ pub fn validate_events(
 /// overlap accounting.
 pub fn validate_capacity(result: &RunResult, capacity: u32) -> Result<(), ValidationError> {
     // Collect (edge, start, end) intervals.
-    let mut intervals: HashMap<(NodeId, NodeId), Vec<(Time, Time)>> = HashMap::new();
+    let mut intervals: BTreeMap<(NodeId, NodeId), Vec<(Time, Time)>> = BTreeMap::new();
     let key = |a: NodeId, b: NodeId| if a <= b { (a, b) } else { (b, a) };
     for e in &result.events {
         if let Event::Departed {
