@@ -186,6 +186,22 @@ fn bench_engine_run(c: &mut Criterion) {
             std::hint::black_box(res.metrics.committed)
         })
     });
+    // Same run driven tick-by-tick through the step kernel's public
+    // stepping API instead of `finish()`'s internal loop: measures the
+    // per-step overhead of the tickable driver (budget: <= 2% of the
+    // bare engine row above, which itself runs on the kernel).
+    c.bench_function("substrate/engine/kernel-tick-1000steps", |b| {
+        b.iter(|| {
+            let mut kernel = Engine::new(net.clone(), GreedyPolicy::new(), cfg.clone())
+                .into_kernel(TraceSource::new(inst.clone()));
+            let mut effects_seen = 0usize;
+            while let Some(fx) = kernel.tick() {
+                effects_seen += usize::from(!fx.is_empty());
+            }
+            let res = kernel.finish();
+            std::hint::black_box((res.metrics.committed, effects_seen))
+        })
+    });
     // Same run with a live telemetry sink attached (default timing
     // sampling): the observability overhead budget is <= 2% of the bare
     // engine row above.

@@ -3,7 +3,7 @@
 //! Compares the paper's schedulers (greedy = Algorithm 1, bucket =
 //! Algorithm 2 with per-topology batch substrate) against the baselines
 //! the related-work section discusses: FIFO earliest-feasible and the
-//! TSP-tour heuristic of Zhang et al. [30]. Also sweeps the arrival rate
+//! TSP-tour heuristic of Zhang et al. \[30\]. Also sweeps the arrival rate
 //! on a grid to show latency under increasing contention.
 
 use crate::runner::{run_summary, Summary, WorkloadKind};

@@ -2,7 +2,7 @@
 //!
 //! * [`RandomizedBackoffPolicy`] — a window-based randomized contention
 //!   manager in the spirit of Sharma & Busch's multi-core scheduler
-//!   (reference [27] of the paper): each transaction is delayed by a
+//!   (reference \[27\] of the paper): each transaction is delayed by a
 //!   uniformly random offset inside a contention-sized window before its
 //!   earliest-feasible slot. Randomization spreads conflicting
 //!   transactions without coordination; the window grows with the
@@ -26,6 +26,11 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 
 /// Window-based randomized backoff scheduler (related-work baseline).
+///
+/// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints)
+/// preserves the RNG stream position, so a fork replays the exact
+/// backoff sequence the original would have drawn.
+#[derive(Clone)]
 pub struct RandomizedBackoffPolicy {
     rng: ChaCha8Rng,
     /// Window size per unit of conflict degree (default 2).
@@ -121,6 +126,7 @@ fn small_diameter(network: &Network) -> bool {
 /// The paper's deployment recommendation as a policy: greedy on
 /// small-diameter networks, bucket conversion (line sweep on lines,
 /// generic list otherwise) on large-diameter ones.
+#[derive(Clone)]
 pub enum AutoPolicy {
     /// Direct greedy (Algorithm 1).
     Greedy(GreedyPolicy),

@@ -40,6 +40,11 @@ pub struct BucketStats {
 }
 
 /// Algorithm 2, generic over the offline batch scheduler `𝒜`.
+///
+/// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints)
+/// captures the parked buckets and the fixed-context cache; attached
+/// stats/decision handles are shared, not duplicated.
+#[derive(Clone)]
 pub struct BucketPolicy<A> {
     scheduler: A,
     buckets: BTreeMap<u32, Vec<Transaction>>,

@@ -15,6 +15,7 @@ use dtm_sim::{SchedulingPolicy, SystemView};
 use std::collections::BTreeMap;
 
 /// Wraps any policy, delaying every arrival by the coordinator round trip.
+#[derive(Clone)]
 pub struct CentralizedWrapper<P> {
     inner: P,
     coordinator: NodeId,

@@ -63,6 +63,11 @@ struct PendingReport {
 }
 
 /// Algorithm 3, generic over the offline batch scheduler `𝒜`.
+///
+/// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints)
+/// captures the in-flight reports, partial buckets and caches; attached
+/// stats/decision/counter handles are shared, not duplicated.
+#[derive(Clone)]
 pub struct DistributedBucketPolicy<A> {
     scheduler: A,
     cover: SparseCover,

@@ -1,5 +1,5 @@
 //! Online baseline policies: FIFO earliest-feasible scheduling and the
-//! TSP-tour heuristic of Zhang et al. [30].
+//! TSP-tour heuristic of Zhang et al. \[30\].
 //!
 //! Both schedule each step's arrivals immediately using an offline batch
 //! scheduler on the current snapshot — they are the "natural" schedulers a
@@ -14,7 +14,7 @@ use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 
 /// FIFO baseline: each arriving transaction is scheduled at the earliest
 /// feasible time given every earlier decision, in arrival order.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FifoPolicy {
     inner: Option<ListScheduler>,
     cache: FixedCache,
@@ -78,9 +78,9 @@ impl SchedulingPolicy for FifoPolicy {
     }
 }
 
-/// TSP-tour baseline (reference [30]): arrivals are scheduled each step
+/// TSP-tour baseline (reference \[30\]): arrivals are scheduled each step
 /// via per-object nearest-neighbor tours.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TspPolicy {
     decisions: Option<DecisionTraceHandle>,
 }

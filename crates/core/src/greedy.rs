@@ -45,6 +45,10 @@ pub struct GreedyStats {
 }
 
 /// Algorithm 1.
+///
+/// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints) shares
+/// any attached stats/decision handles — a fork feeds the same sinks.
+#[derive(Clone)]
 pub struct GreedyPolicy {
     mode: GreedyMode,
     stats: Option<Arc<Mutex<GreedyStats>>>,

@@ -32,7 +32,7 @@
 //!
 //! Baselines and deployment wrappers: [`FifoPolicy`] (earliest-feasible
 //! arrival-order scheduling), [`TspPolicy`] (per-object TSP tours, the
-//! related-work baseline [30]) and [`CentralizedWrapper`] (Section III-E's
+//! related-work baseline \[30\]) and [`CentralizedWrapper`] (Section III-E's
 //! simple centralized coordinator, which charges every decision a
 //! round-trip to a designated node).
 //!

@@ -36,11 +36,12 @@ fn object_avail(view: &SystemView<'_>) -> BTreeMap<dtm_model::ObjectId, (dtm_gra
 /// around (basic modification 1 of Section IV-A).
 ///
 /// When the view is arena-backed, [`FixedCache::refresh`] folds the
-/// [`dtm_sim::StepDelta`] accumulated since the previous policy call into
-/// the cached map instead of rescanning the whole live set; with a
-/// map-backed view (no delta) it falls back to a full rebuild, so the
-/// cache is safe to use with either backing.
-#[derive(Debug, Default)]
+/// [`dtm_sim::StepEffects`] accumulated since the previous policy call
+/// into the cached map instead of rescanning the whole live set; with a
+/// map-backed view (no effects) it falls back to a full rebuild, so the
+/// cache is safe to use with either backing. `Clone` captures the cache
+/// for [`dtm_sim::SchedulingPolicy::fork`] checkpoints.
+#[derive(Clone, Debug, Default)]
 pub struct FixedCache {
     fixed: BTreeMap<TxnId, (Transaction, Time)>,
     init: bool,
@@ -49,19 +50,19 @@ pub struct FixedCache {
 impl FixedCache {
     /// Bring the cached fixed set up to date with `view`. Must be called
     /// once per policy step, *before* the early-returns a policy may take
-    /// (otherwise a step's delta is silently dropped).
+    /// (otherwise a step's effects are silently dropped).
     pub fn refresh(&mut self, view: &SystemView<'_>) {
-        match view.step_delta() {
-            Some(delta) if self.init => {
-                for &(id, t) in &delta.scheduled {
+        match view.step_effects() {
+            Some(fx) if self.init => {
+                for &(id, t) in &fx.scheduled {
                     // Scheduled and committed within the same inter-policy
                     // window: no longer live, never enters the fixed set.
                     if let Some(lt) = view.live(id) {
                         self.fixed.insert(id, (lt.txn.clone(), t));
                     }
                 }
-                for id in &delta.removed {
-                    self.fixed.remove(id);
+                for id in fx.removed() {
+                    self.fixed.remove(&id);
                 }
             }
             _ => {
@@ -166,11 +167,11 @@ mod tests {
             .fixed
             .is_empty());
 
-        // Schedule 1 and 3 (as the engine would: mutate + record delta).
-        state.delta_mut().clear();
+        // Schedule 1 and 3 (as the engine would: mutate + record effects).
+        state.effects_mut().clear();
         for (id, t) in [(TxnId(1), 5), (TxnId(3), 9)] {
             state.txn_mut(id).unwrap().scheduled = Some(t);
-            state.delta_mut().scheduled.push((id, t));
+            state.effects_mut().scheduled.push((id, t));
         }
         let view = SystemView::from_state(1, &net, &state);
         cache.refresh(&view);
@@ -182,11 +183,11 @@ mod tests {
         assert_eq!(fixed, batch_context_from_view(&view).fixed);
 
         // Commit 1; schedule 0.
-        state.delta_mut().clear();
+        state.effects_mut().clear();
         state.remove_txn(TxnId(1));
-        state.delta_mut().removed.push(TxnId(1));
+        state.effects_mut().committed.push(TxnId(1));
         state.txn_mut(TxnId(0)).unwrap().scheduled = Some(7);
-        state.delta_mut().scheduled.push((TxnId(0), 7));
+        state.effects_mut().scheduled.push((TxnId(0), 7));
         let view = SystemView::from_state(2, &net, &state);
         cache.refresh(&view);
         let fixed = cache.context(&view).fixed;
@@ -197,11 +198,11 @@ mod tests {
         assert_eq!(fixed, batch_context_from_view(&view).fixed);
 
         // Scheduled-then-committed inside one window never enters.
-        state.delta_mut().clear();
+        state.effects_mut().clear();
         state.txn_mut(TxnId(2)).unwrap().scheduled = Some(3);
-        state.delta_mut().scheduled.push((TxnId(2), 3));
+        state.effects_mut().scheduled.push((TxnId(2), 3));
         state.remove_txn(TxnId(2));
-        state.delta_mut().removed.push(TxnId(2));
+        state.effects_mut().committed.push(TxnId(2));
         let view = SystemView::from_state(3, &net, &state);
         cache.refresh(&view);
         let fixed = cache.context(&view).fixed;

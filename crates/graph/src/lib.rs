@@ -20,7 +20,7 @@
 //!   cluster and star (plus ring, torus, tree and random graphs used as
 //!   additional workloads);
 //! * [`cover`] — the hierarchical sparse cover decomposition (Gupta et al.
-//!   [14], Sharma & Busch [28]) required by the distributed bucket
+//!   \[14\], Sharma & Busch \[28\]) required by the distributed bucket
 //!   scheduler of Section V.
 //!
 //! # Example

@@ -6,7 +6,7 @@
 //! Dijkstra shortest-path tree per *target* node (routing in the data-flow
 //! model is always "toward the next requesting transaction", so trees are
 //! naturally keyed by destination). Small unstructured graphs additionally
-//! get a dense `n × n` all-pairs table ([`DenseRouting`]) so the hot
+//! get a dense `n × n` all-pairs table (`DenseRouting`) so the hot
 //! `distance` / `next_hop` calls are two flat array reads instead of a
 //! lock acquisition and two pointer chases.
 

@@ -33,7 +33,7 @@ pub enum Structured {
     },
     /// d-dimensional grid with side lengths `dims`, unit weights.
     ///
-    /// Node ids are mixed-radix: id = x0 + dims[0]*(x1 + dims[1]*(x2 + ...)).
+    /// Node ids are mixed-radix: id = x0 + `dims[0]*(x1 + dims[1]*(x2 + ...))`.
     Grid {
         /// Side length of each dimension (each >= 1).
         dims: Vec<u32>,

@@ -5,7 +5,7 @@
 //! their own clique — with per-clique conflict coloring (distances inside a
 //! clique are 1). Phase 2 schedules the remaining cross-clique
 //! transactions with randomized-restart list scheduling on top of phase 1,
-//! mirroring the randomized cluster algorithm of SPAA'17 [4]
+//! mirroring the randomized cluster algorithm of SPAA'17 \[4\]
 //! (Section IV-D notes those algorithms are randomized and are re-run on
 //! bad events; restarts play that role here).
 

@@ -3,8 +3,8 @@
 //! Offline *batch* scheduling substrate for distributed transactional
 //! memory, playing the role of the algorithms of Busch et al., *"Fast
 //! scheduling in distributed transactional memory"* (SPAA 2017) — cited as
-//! [4] by the IPDPS 2020 paper this workspace reproduces — plus the
-//! baselines the paper discusses (TSP-tour scheduling [30], generic list
+//! \[4\] by the IPDPS 2020 paper this workspace reproduces — plus the
+//! baselines the paper discusses (TSP-tour scheduling \[30\], generic list
 //! scheduling) and certified makespan **lower bounds** used to report
 //! conservative competitive-ratio estimates.
 //!

@@ -3,7 +3,7 @@
 //! Processes transactions in home-coordinate order so objects flow
 //! monotonically along the line (each object travels at most its origin
 //! offset plus the span of its requesters — the structure behind the
-//! asymptotically optimal line schedule of SPAA'17 [4]). Both sweep
+//! asymptotically optimal line schedule of SPAA'17 \[4\]). Both sweep
 //! directions are evaluated and the better one kept.
 
 use crate::list::list_schedule_in_order;

@@ -3,7 +3,7 @@
 //!
 //! All inter-ray traffic funnels through the center, so the order in which
 //! rays are served dominates makespan. Mirroring the randomized star
-//! algorithm of SPAA'17 [4], the scheduler draws several random ray
+//! algorithm of SPAA'17 \[4\], the scheduler draws several random ray
 //! permutations (transactions grouped by ray, outermost first within a
 //! ray) and keeps the best earliest-feasible schedule.
 

@@ -1,5 +1,5 @@
 //! TSP-tour baseline scheduler (the approach of Zhang, Ravindran and
-//! Palmieri, SIROCCO 2014 — reference [30] of the paper).
+//! Palmieri, SIROCCO 2014 — reference \[30\] of the paper).
 //!
 //! Per object, a nearest-neighbor traveling-salesman tour over the homes of
 //! its requesters fixes a service order; transactions are then prioritized

@@ -11,11 +11,12 @@
 //!
 //! [`RuntimeState`] bundles the two arenas with the per-object requester
 //! index (every live transaction requesting each object) and the
-//! [`StepDelta`] accumulated between consecutive policy invocations —
+//! [`StepEffects`] accumulated between consecutive policy invocations —
 //! the raw material for incremental `H'_t` maintenance in `dtm-core`.
 
+use crate::effects::StepEffects;
 use crate::state::{LiveTxn, ObjectState};
-use dtm_model::{ObjectId, Time, TxnId};
+use dtm_model::{ObjectId, TxnId};
 use std::collections::BTreeSet;
 
 /// Dense arena of live transactions, indexed by [`TxnId`].
@@ -205,40 +206,9 @@ impl<'a> Iterator for ObjectIter<'a> {
     }
 }
 
-/// Changes to the runtime state accumulated between two consecutive
-/// policy invocations, exposed to policies via
-/// [`crate::SystemView::step_delta`]. Policies maintaining incremental
-/// caches (the `H'_t` fixed context in `dtm-core`) apply these instead of
-/// rescanning the live set every step.
-#[derive(Clone, Debug, Default)]
-pub struct StepDelta {
-    /// Transactions assigned an execution time since the last policy call
-    /// (a transaction may appear here and in `removed` when it commits the
-    /// same step it was scheduled).
-    pub scheduled: Vec<(TxnId, Time)>,
-    /// Transactions that left the live set (committed or aborted).
-    pub removed: Vec<TxnId>,
-    /// Objects whose place changed (departed on or arrived from an edge).
-    pub moved: Vec<ObjectId>,
-}
-
-impl StepDelta {
-    /// Drop all recorded changes (the engine calls this right after each
-    /// policy invocation, so the next view's delta starts fresh).
-    pub fn clear(&mut self) {
-        self.scheduled.clear();
-        self.removed.clear();
-        self.moved.clear();
-    }
-
-    /// True if nothing changed.
-    pub fn is_empty(&self) -> bool {
-        self.scheduled.is_empty() && self.removed.is_empty() && self.moved.is_empty()
-    }
-}
-
 /// The engine's complete mutable runtime state: transaction and object
-/// arenas, the per-object requester index, and the current [`StepDelta`].
+/// arenas, the per-object requester index, and the [`StepEffects`]
+/// accumulated since the last policy invocation.
 ///
 /// The requester index maps each object to *all* live transactions
 /// requesting it (scheduled or not), in id order — the indexed backing
@@ -250,7 +220,7 @@ pub struct RuntimeState {
     objects: ObjectArena,
     /// Per object id: live requesters, maintained on insert/remove.
     requesters: Vec<BTreeSet<TxnId>>,
-    delta: StepDelta,
+    effects: StepEffects,
 }
 
 impl RuntimeState {
@@ -319,15 +289,16 @@ impl RuntimeState {
             .flat_map(|set| set.iter().copied())
     }
 
-    /// The delta accumulated since the last policy invocation.
-    pub fn delta(&self) -> &StepDelta {
-        &self.delta
+    /// The effects accumulated since the last policy invocation.
+    pub fn effects(&self) -> &StepEffects {
+        &self.effects
     }
 
-    /// Mutable delta (engine-internal bookkeeping; exposed so harnesses
-    /// and benchmarks can drive the state like the engine does).
-    pub fn delta_mut(&mut self) -> &mut StepDelta {
-        &mut self.delta
+    /// Mutable effects accumulator (engine-internal bookkeeping; exposed
+    /// so harnesses and benchmarks can drive the state like the engine
+    /// does).
+    pub fn effects_mut(&mut self) -> &mut StepEffects {
+        &mut self.effects
     }
 }
 
@@ -421,17 +392,5 @@ mod tests {
         assert_eq!(reqs(&s, 1), vec![1]);
         // Unknown object: empty, no panic.
         assert_eq!(reqs(&s, 9), Vec::<u64>::new());
-    }
-
-    #[test]
-    fn delta_clear_resets_everything() {
-        let mut d = StepDelta::default();
-        assert!(d.is_empty());
-        d.scheduled.push((TxnId(0), 5));
-        d.removed.push(TxnId(1));
-        d.moved.push(ObjectId(2));
-        assert!(!d.is_empty());
-        d.clear();
-        assert!(d.is_empty());
     }
 }

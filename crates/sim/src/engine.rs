@@ -1,6 +1,7 @@
-//! The synchronous execution engine.
+//! The synchronous execution engine: a thin builder/driver over the
+//! tickable [`StepKernel`].
 //!
-//! Per time step `t` the engine performs, in order:
+//! Per time step `t` the kernel performs, in order:
 //!
 //! 1. **receive** — objects whose edge traversal completes at `t` arrive at
 //!    their next node;
@@ -21,23 +22,21 @@
 //! travel time as the edge weight, which is exactly where this engine can
 //! first re-route it).
 //!
-//! State lives in an arena-backed [`RuntimeState`] (dense id-indexed
-//! slots plus a per-object requester index); the policy sees it through
-//! [`SystemView::from_state`], and the changes between consecutive
-//! policy calls are published as a [`crate::arena::StepDelta`] so
-//! policies can maintain their dependency caches incrementally. An
-//! optional [`StepObserver`] receives per-phase counters and timings.
+//! [`Engine`] holds the configuration (network, policy, observers);
+//! [`Engine::run`] converts it into a [`StepKernel`] and drives every
+//! tick to completion. Callers needing finer control — single-stepping,
+//! pause/inspect/resume, mid-run predicates — use
+//! [`Engine::into_kernel`] and the kernel's drivers directly. Each tick
+//! publishes a typed [`crate::StepEffects`] value to attached
+//! [`StepObserver`]s and (between consecutive policy calls) to policies
+//! via [`crate::SystemView::step_effects`].
 
-use crate::arena::RuntimeState;
-use crate::events::Event;
-use crate::metrics::{LatencySummary, Metrics, RunResult, Violation};
-use crate::observer::{Phase, StepObserver};
+use crate::kernel::StepKernel;
+use crate::metrics::RunResult;
+use crate::observer::StepObserver;
 use crate::policy::SchedulingPolicy;
-use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
-use dtm_graph::{Network, NodeId};
-use dtm_model::{ObjectId, Schedule, Time, Transaction, TxnId, WorkloadSource};
-use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
+use dtm_graph::Network;
+use dtm_model::{Time, WorkloadSource};
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -55,8 +54,8 @@ pub struct EngineConfig {
     /// otherwise a missed execution is a violation.
     pub allow_late_execution: bool,
     /// Hard step limit, **inclusive**: steps `t = 0..=max_steps` may be
-    /// simulated, and [`Violation::MaxStepsExceeded`] fires only if live
-    /// transactions remain after step `max_steps` has completed. A
+    /// simulated, and [`crate::Violation::MaxStepsExceeded`] fires only if
+    /// live transactions remain after step `max_steps` has completed. A
     /// transaction committing exactly at `t = max_steps` is in bounds.
     pub max_steps: Time,
     /// Record the full event log (disable for large parameter sweeps).
@@ -75,46 +74,13 @@ impl Default for EngineConfig {
     }
 }
 
-/// Canonical undirected edge key.
-fn edge_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-    if a <= b {
-        (a, b)
-    } else {
-        (b, a)
-    }
-}
-
 /// The simulator. Drives a [`SchedulingPolicy`] against a
 /// [`dtm_model::WorkloadSource`] on a [`Network`].
 pub struct Engine<P> {
     network: Network,
     policy: P,
     config: EngineConfig,
-
-    now: Time,
-    /// Arena-backed live transactions, objects and the requester index.
-    state: RuntimeState,
-    /// All transactions ever seen (kept for the result / validator).
-    txns: BTreeMap<TxnId, Transaction>,
-    schedule: Schedule,
-    commits: BTreeMap<TxnId, Time>,
-    generated: BTreeMap<TxnId, Time>,
-    /// Scheduled, uncommitted transactions ordered by (time, id).
-    exec_queue: BTreeSet<(Time, TxnId)>,
-    /// Per object: scheduled pending requesters ordered by (time, id).
-    requesters: BTreeMap<ObjectId, BTreeSet<(Time, TxnId)>>,
-    /// Objects currently traversing each undirected edge.
-    edge_load: BTreeMap<(NodeId, NodeId), u32>,
-    /// Node-local forwarding pointers: (object, node) -> where that node
-    /// last sent the object. Grows with distinct (object, node) pairs.
-    forwarding: BTreeMap<(ObjectId, NodeId), NodeId>,
-
     observers: Vec<Box<dyn StepObserver>>,
-    events: Vec<Event>,
-    violations: Vec<Violation>,
-    comm_cost: u64,
-    hops: u64,
-    peak_live: usize,
 }
 
 impl<P: SchedulingPolicy> Engine<P> {
@@ -125,22 +91,7 @@ impl<P: SchedulingPolicy> Engine<P> {
             network,
             policy,
             config,
-            now: 0,
-            state: RuntimeState::new(),
-            txns: BTreeMap::new(),
-            schedule: Schedule::new(),
-            commits: BTreeMap::new(),
-            generated: BTreeMap::new(),
-            exec_queue: BTreeSet::new(),
-            requesters: BTreeMap::new(),
-            edge_load: BTreeMap::new(),
-            forwarding: BTreeMap::new(),
             observers: Vec::new(),
-            events: Vec::new(),
-            violations: Vec::new(),
-            comm_cost: 0,
-            hops: 0,
-            peak_live: 0,
         }
     }
 
@@ -153,357 +104,23 @@ impl<P: SchedulingPolicy> Engine<P> {
         self
     }
 
-    fn record(&mut self, e: Event) {
-        if self.config.record_events {
-            self.events.push(e);
-        }
-    }
-
-    /// Does any attached observer want wall-clock timing at step `t`?
-    /// Decided once per step so sampling observers keep unsampled steps
-    /// free of `Instant::now` calls.
-    fn step_wants_timing(&self, t: Time) -> bool {
-        self.observers.iter().any(|o| o.wants_timing(t))
-    }
-
-    /// Phase-timing start mark (only when the step is timed, so
-    /// unobserved and unsampled steps never pay for `Instant::now`).
-    fn phase_start(&self, timed: bool) -> Option<Instant> {
-        if timed {
-            Some(Instant::now())
-        } else {
-            None
-        }
-    }
-
-    fn phase_end(&mut self, t: Time, phase: Phase, items: usize, started: Option<Instant>) {
-        if self.observers.is_empty() {
-            return;
-        }
-        let elapsed = started.map_or(std::time::Duration::ZERO, |s| s.elapsed());
-        for obs in &mut self.observers {
-            obs.on_phase(t, phase, items, elapsed);
-        }
+    /// Convert the engine into a [`StepKernel`] over `source`, ready to
+    /// be driven tick by tick.
+    pub fn into_kernel<S: WorkloadSource>(self, source: S) -> StepKernel<P, S> {
+        StepKernel::new(
+            self.network,
+            self.policy,
+            self.config,
+            self.observers,
+            source,
+        )
     }
 
     /// Run to completion (source exhausted and all live transactions
-    /// committed), or until the step limit.
-    pub fn run<S: WorkloadSource>(mut self, mut source: S) -> RunResult {
-        // Objects are created lazily at their creation step; collect specs.
-        let mut pending_objects: Vec<_> = source.objects().to_vec();
-        pending_objects.sort_by_key(|o| (o.created_at, o.id));
-
-        loop {
-            if source.exhausted() && self.state.txns().is_empty() {
-                break;
-            }
-            // Inclusive bound: steps 0..=max_steps run; reaching
-            // max_steps + 1 with live transactions is the violation.
-            if self.now > self.config.max_steps {
-                let mut sample: Vec<TxnId> = self.state.txns().ids().collect();
-                sample.sort_unstable();
-                sample.truncate(Violation::MAX_REPORTED_LIVE);
-                self.violations.push(Violation::MaxStepsExceeded {
-                    live: self.state.txns().len(),
-                    sample,
-                });
-                break;
-            }
-            let t = self.now;
-            let timed = !self.observers.is_empty() && self.step_wants_timing(t);
-
-            // 0. Object creation.
-            while let Some(first) = pending_objects.first() {
-                if first.created_at > t {
-                    break;
-                }
-                let info = pending_objects.remove(0);
-                self.record(Event::ObjectCreated {
-                    t,
-                    object: info.id,
-                    node: info.origin,
-                });
-                self.state.insert_object(ObjectState {
-                    info,
-                    place: ObjectPlace::At(info.origin),
-                    last_holder: None,
-                });
-            }
-
-            // 1. Receive: complete edge traversals.
-            let mark = self.phase_start(timed);
-            let arriving: Vec<ObjectId> = self
-                .state
-                .objects()
-                .iter()
-                .filter_map(|st| match st.place {
-                    ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(st.info.id),
-                    _ => None,
-                })
-                .collect();
-            let received = arriving.len();
-            for id in arriving {
-                let st = self.state.object_mut(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
-                if let ObjectPlace::Hop { from, next, .. } = st.place {
-                    st.place = ObjectPlace::At(next);
-                    let key = edge_key(from, next);
-                    if let Some(load) = self.edge_load.get_mut(&key) {
-                        *load = load.saturating_sub(1);
-                    }
-                    self.state.delta_mut().moved.push(id);
-                    self.record(Event::Arrived {
-                        t,
-                        object: id,
-                        node: next,
-                    });
-                }
-            }
-            self.phase_end(t, Phase::Receive, received, mark);
-
-            // 2. Generate.
-            let mark = self.phase_start(timed);
-            let mut arrival_ids = Vec::new();
-            for txn in source.arrivals(t) {
-                debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
-                self.record(Event::Generated {
-                    t,
-                    txn: txn.id,
-                    node: txn.home,
-                });
-                self.generated.insert(txn.id, t);
-                arrival_ids.push(txn.id);
-                self.txns.insert(txn.id, txn.clone());
-                self.state.insert_txn(LiveTxn {
-                    txn,
-                    scheduled: None,
-                });
-            }
-            self.peak_live = self.peak_live.max(self.state.txns().len());
-            self.phase_end(t, Phase::Generate, arrival_ids.len(), mark);
-
-            // 3. Schedule. The view publishes the delta accumulated since
-            // the previous policy call; it is cleared right after the
-            // policy returns, so `apply_fragment` and the later phases of
-            // this step feed the *next* call's delta.
-            let mark = self.phase_start(timed);
-            let fragment = {
-                let view = SystemView::from_state(t, &self.network, &self.state)
-                    .with_forwarding(&self.forwarding);
-                self.policy.step(&view, &arrival_ids)
-            };
-            self.state.delta_mut().clear();
-            let fragment_len = fragment.len();
-            self.apply_fragment(fragment);
-            self.phase_end(t, Phase::Schedule, fragment_len, mark);
-
-            // 4. Execute.
-            let mark = self.phase_start(timed);
-            let commits_before = self.commits.len();
-            self.execute_due(&mut source);
-            let committed = self.commits.len() - commits_before;
-            self.phase_end(t, Phase::Execute, committed, mark);
-
-            // 5. Forward.
-            let mark = self.phase_start(timed);
-            let hops_before = self.hops;
-            self.forward_objects();
-            let departed = (self.hops - hops_before) as usize;
-            self.phase_end(t, Phase::Forward, departed, mark);
-
-            let live = self.state.txns().len();
-            for obs in &mut self.observers {
-                obs.on_step_end(t, live);
-            }
-            self.now += 1;
-        }
-
-        let latencies: Vec<Time> = self
-            .commits
-            .iter()
-            .map(|(id, &c)| c - self.generated.get(id).copied().unwrap_or(0))
-            .collect();
-        let metrics = Metrics {
-            makespan: self.commits.values().copied().max().unwrap_or(0),
-            committed: self.commits.len(),
-            comm_cost: self.comm_cost,
-            hops: self.hops,
-            latency: LatencySummary::from_samples(latencies),
-            peak_live: self.peak_live,
-            steps: self.now,
-        };
-        RunResult {
-            schedule: self.schedule,
-            commits: self.commits,
-            generated: self.generated,
-            txns: self.txns,
-            metrics,
-            events: self.events,
-            violations: self.violations,
-            policy: self.policy.name(),
-        }
-    }
-
-    /// Merge a policy's schedule fragment, enforcing the "never re-time"
-    /// and "never in the past" rules.
-    fn apply_fragment(&mut self, fragment: Schedule) {
-        let t = self.now;
-        for (txn, exec_at) in fragment.iter() {
-            let Some(lt) = self.state.txn_mut(txn) else {
-                self.violations.push(Violation::UnknownTxn { txn });
-                continue;
-            };
-            if lt.scheduled.is_some() {
-                self.violations.push(Violation::Rescheduled { txn });
-                continue;
-            }
-            if exec_at < t {
-                self.violations.push(Violation::ScheduledInPast {
-                    txn,
-                    proposed: exec_at,
-                    now: t,
-                });
-                continue;
-            }
-            lt.scheduled = Some(exec_at);
-            let objects: Vec<ObjectId> = lt.txn.objects().collect();
-            self.schedule.set(txn, exec_at);
-            self.exec_queue.insert((exec_at, txn));
-            for o in objects {
-                self.requesters.entry(o).or_default().insert((exec_at, txn));
-            }
-            self.state.delta_mut().scheduled.push((txn, exec_at));
-            self.record(Event::Scheduled { t, txn, exec_at });
-        }
-    }
-
-    /// Commit every due transaction whose objects are assembled.
-    ///
-    /// Two conflicting transactions never commit at the same step: an
-    /// object consumed by a commit at this step is unavailable to later
-    /// same-step commits (atomicity of the exclusive accesses).
-    fn execute_due<S: WorkloadSource>(&mut self, source: &mut S) {
-        let t = self.now;
-        let due: Vec<(Time, TxnId)> = self
-            .exec_queue
-            .range(..=(t, TxnId(u64::MAX)))
-            .copied()
-            .collect();
-        let mut used_this_step: BTreeSet<ObjectId> = BTreeSet::new();
-        for (exec_at, txn_id) in due {
-            let lt = self
-                .state
-                .txns()
-                .get(txn_id)
-                .expect("scheduled txn is live"); // dtm-lint: allow(C1) -- exec_queue holds only live transactions (entries removed on commit/abort)
-            let home = lt.txn.home;
-            let assembled = lt.txn.objects().all(|o| {
-                !used_this_step.contains(&o)
-                    && matches!(
-                        self.state.objects().get(o).map(|s| s.place),
-                        Some(ObjectPlace::At(v)) if v == home
-                    )
-            });
-            if assembled {
-                // Commit.
-                let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- committed txn was read from the live arena two lines above
-                self.exec_queue.remove(&(exec_at, txn_id));
-                for o in txn.objects() {
-                    used_this_step.insert(o);
-                    if let Some(set) = self.requesters.get_mut(&o) {
-                        set.remove(&(exec_at, txn_id));
-                    }
-                    // dtm-lint: allow(C1) -- object ids in a live txn's read/write set always exist in the arena
-                    self.state.object_mut(o).expect("object exists").last_holder = Some(txn_id);
-                }
-                self.state.delta_mut().removed.push(txn_id);
-                self.commits.insert(txn_id, t);
-                self.record(Event::Committed {
-                    t,
-                    txn: txn_id,
-                    node: home,
-                });
-                source.on_commit(&txn, t);
-            } else if exec_at == t && !self.config.allow_late_execution {
-                // Missed its designated slot: scheduler/infrastructure bug.
-                self.violations.push(Violation::MissedExecution {
-                    txn: txn_id,
-                    scheduled: exec_at,
-                });
-                let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- violating txn was read from the live arena above
-                self.exec_queue.remove(&(exec_at, txn_id));
-                for o in txn.objects() {
-                    if let Some(set) = self.requesters.get_mut(&o) {
-                        set.remove(&(exec_at, txn_id));
-                    }
-                }
-                self.state.delta_mut().removed.push(txn_id);
-                // Treat as aborted: tell the source so closed loops go on.
-                source.on_commit(&txn, t);
-            }
-            // else: allow_late_execution — stays queued, retried next step.
-        }
-    }
-
-    /// Move every resting object one hop toward its earliest pending
-    /// scheduled requester.
-    fn forward_objects(&mut self) {
-        let t = self.now;
-        let ids: Vec<ObjectId> = self.state.objects().ids().collect();
-        for id in ids {
-            let (here, target_home) = {
-                let st = self.state.objects().get(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
-                let ObjectPlace::At(here) = st.place else {
-                    continue;
-                };
-                let Some(&(_, txn_id)) = self.requesters.get(&id).and_then(|set| set.iter().next())
-                else {
-                    continue;
-                };
-                let home = self
-                    .state
-                    .txns()
-                    .get(txn_id)
-                    .expect("scheduled requester is live") // dtm-lint: allow(C1) -- requesters entries are removed when their txn leaves the arena
-                    .txn
-                    .home;
-                (here, home)
-            };
-            if here == target_home {
-                continue; // staged at the requester's node
-            }
-            let next = self.network.next_hop(here, target_home);
-            let w = self
-                .network
-                .graph()
-                .edge_weight(here, next)
-                .expect("next_hop returns an adjacent node"); // dtm-lint: allow(C1) -- next_hop returns a neighbor, so the edge exists
-            let key = edge_key(here, next);
-            if let Some(cap) = self.config.link_capacity {
-                let load = self.edge_load.get(&key).copied().unwrap_or(0);
-                if load >= cap {
-                    continue; // edge saturated: wait a step
-                }
-            }
-            *self.edge_load.entry(key).or_insert(0) += 1;
-            self.forwarding.insert((id, here), next);
-            let arrive = t + w * self.config.speed_divisor;
-            // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
-            self.state.object_mut(id).expect("object exists").place = ObjectPlace::Hop {
-                from: here,
-                next,
-                arrive,
-            };
-            self.state.delta_mut().moved.push(id);
-            self.comm_cost += w;
-            self.hops += 1;
-            self.record(Event::Departed {
-                t,
-                object: id,
-                from: here,
-                to: next,
-                arrive,
-            });
-        }
+    /// committed), or until the step limit: the thin driver
+    /// `into_kernel(source).finish()`.
+    pub fn run<S: WorkloadSource>(self, source: S) -> RunResult {
+        self.into_kernel(source).finish()
     }
 }
 
@@ -520,8 +137,11 @@ pub fn run_policy<S: WorkloadSource, P: SchedulingPolicy>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtm_graph::topology;
-    use dtm_model::{Instance, ObjectInfo, TraceSource};
+    use crate::metrics::Violation;
+    use crate::state::SystemView;
+    use dtm_graph::{topology, NodeId};
+    use dtm_model::{Instance, ObjectId, ObjectInfo, Schedule, TraceSource, Transaction, TxnId};
+    use std::collections::BTreeMap;
 
     /// A hand-written fixed schedule as a policy: schedules each arriving
     /// transaction at a preset absolute time.
@@ -910,8 +530,8 @@ mod tests {
 mod creation_tests {
     use super::*;
     use crate::policy::FixedSchedulePolicy;
-    use dtm_graph::topology;
-    use dtm_model::{Instance, ObjectInfo, TraceSource};
+    use dtm_graph::{topology, NodeId};
+    use dtm_model::{Instance, ObjectId, ObjectInfo, Schedule, TraceSource, Transaction, TxnId};
 
     /// Objects created after time 0 appear at their creation step and only
     /// then become routable.
@@ -990,9 +610,9 @@ mod creation_tests {
 #[cfg(test)]
 mod observer_tests {
     use super::*;
-    use crate::observer::PhaseProfile;
-    use dtm_graph::topology;
-    use dtm_model::{Instance, ObjectInfo, TraceSource};
+    use crate::observer::{Phase, PhaseProfile};
+    use dtm_graph::{topology, NodeId};
+    use dtm_model::{Instance, ObjectId, ObjectInfo, Schedule, TraceSource, Transaction, TxnId};
     use parking_lot::Mutex;
     use std::sync::Arc;
 

@@ -1,0 +1,800 @@
+//! The tickable step kernel: the engine's run loop as a resumable state
+//! machine.
+//!
+//! [`StepKernel`] owns the complete runtime state of one simulation and
+//! advances it exactly one time step per [`StepKernel::tick`], through
+//! the same phases the monolithic loop used to run inline:
+//!
+//! ```text
+//!        +------------+   +---------+   +----------+   +---------+   +---------+
+//! t ---> | 0 creation |-->| receive |-->| generate |-->| schedule|-->| execute |
+//!        +------------+   +---------+   +----------+   +---------+   +---------+
+//!                                                                        |
+//!                              t+1 <---- step end <---- forward  <-------+
+//! ```
+//!
+//! Each tick returns a typed [`StepEffects`] value (objects created /
+//! delivered / departed, transactions arrived / scheduled / committed /
+//! aborted) instead of mutating everything behind a closed function.
+//! [`crate::Engine::run`] is now a thin driver over this kernel; callers
+//! needing finer control use [`StepKernel::run_steps`],
+//! [`StepKernel::run_until`], or the checkpoint/resume pair
+//! ([`StepKernel::checkpoint`] / [`RunCheckpoint::resume`]).
+//!
+//! **Resumability contract.** A checkpoint taken between two ticks
+//! captures *all* state the remaining steps depend on: the live set and
+//! schedule, object places, pending edge loads and forwarding pointers,
+//! the inter-policy effects accumulator, the workload source, and the
+//! policy itself (via [`SchedulingPolicy::fork`]). Resuming and driving
+//! to completion therefore produces a [`RunResult`] byte-identical to an
+//! uninterrupted run — pinned by `tests/resume.rs` for all five
+//! policies. Observers are *not* part of a checkpoint (they are purely
+//! observational); re-attach with [`StepKernel::with_observer`].
+
+use crate::arena::RuntimeState;
+use crate::effects::{edge_key, Delivery, Departure, StepEffects};
+use crate::engine::EngineConfig;
+use crate::events::Event;
+use crate::metrics::{LatencySummary, Metrics, RunResult, Violation};
+use crate::observer::{Phase, StepObserver};
+use crate::policy::SchedulingPolicy;
+use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
+use dtm_graph::{Network, NodeId};
+use dtm_model::{ObjectId, ObjectInfo, Schedule, Time, Transaction, TxnId, WorkloadSource};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// The engine's run loop as a resumable state machine. See the module
+/// docs for the phase order and the resumability contract.
+pub struct StepKernel<P, S> {
+    network: Network,
+    policy: P,
+    config: EngineConfig,
+    source: S,
+
+    now: Time,
+    /// Object specs not yet created, ordered by (created_at, id).
+    pending_objects: VecDeque<ObjectInfo>,
+    /// Arena-backed live transactions, objects and the requester index.
+    state: RuntimeState,
+    /// All transactions ever seen (kept for the result / validator).
+    txns: BTreeMap<TxnId, Transaction>,
+    schedule: Schedule,
+    commits: BTreeMap<TxnId, Time>,
+    generated: BTreeMap<TxnId, Time>,
+    /// Scheduled, uncommitted transactions ordered by (time, id).
+    exec_queue: BTreeSet<(Time, TxnId)>,
+    /// Per object: scheduled pending requesters ordered by (time, id).
+    requesters: BTreeMap<ObjectId, BTreeSet<(Time, TxnId)>>,
+    /// Objects currently traversing each undirected edge.
+    edge_load: BTreeMap<(NodeId, NodeId), u32>,
+    /// Node-local forwarding pointers: (object, node) -> where that node
+    /// last sent the object. Grows with distinct (object, node) pairs.
+    forwarding: BTreeMap<(ObjectId, NodeId), NodeId>,
+
+    observers: Vec<Box<dyn StepObserver>>,
+    events: Vec<Event>,
+    violations: Vec<Violation>,
+    comm_cost: u64,
+    hops: u64,
+    peak_live: usize,
+
+    /// Effects of the most recent tick (buffers reused across ticks).
+    effects: StepEffects,
+}
+
+/// A deterministic snapshot of a [`StepKernel`] between two ticks.
+///
+/// Captures everything the remaining steps depend on *except* the
+/// attached observers (see the module docs). Obtained via
+/// [`StepKernel::checkpoint`]; [`RunCheckpoint::resume`] turns it back
+/// into a live kernel.
+pub struct RunCheckpoint<P, S> {
+    kernel: StepKernel<P, S>,
+}
+
+impl<P, S> RunCheckpoint<P, S> {
+    /// The step the checkpointed run will execute next.
+    pub fn now(&self) -> Time {
+        self.kernel.now
+    }
+
+    /// Turn the snapshot back into a live kernel (no observers
+    /// attached; see [`StepKernel::with_observer`]).
+    pub fn resume(self) -> StepKernel<P, S> {
+        self.kernel
+    }
+}
+
+impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
+    /// Build a kernel at step 0. Usually reached through
+    /// [`crate::Engine::into_kernel`].
+    pub(crate) fn new(
+        network: Network,
+        policy: P,
+        config: EngineConfig,
+        observers: Vec<Box<dyn StepObserver>>,
+        source: S,
+    ) -> Self {
+        // Objects are created lazily at their creation step; collect specs.
+        let mut pending: Vec<ObjectInfo> = source.objects().to_vec();
+        pending.sort_by_key(|o| (o.created_at, o.id));
+        StepKernel {
+            network,
+            policy,
+            config,
+            source,
+            now: 0,
+            pending_objects: VecDeque::from(pending),
+            state: RuntimeState::new(),
+            txns: BTreeMap::new(),
+            schedule: Schedule::new(),
+            commits: BTreeMap::new(),
+            generated: BTreeMap::new(),
+            exec_queue: BTreeSet::new(),
+            requesters: BTreeMap::new(),
+            edge_load: BTreeMap::new(),
+            forwarding: BTreeMap::new(),
+            observers,
+            events: Vec::new(),
+            violations: Vec::new(),
+            comm_cost: 0,
+            hops: 0,
+            peak_live: 0,
+            effects: StepEffects::default(),
+        }
+    }
+
+    /// Attach a [`StepObserver`]; see [`crate::Engine::with_observer`].
+    pub fn with_observer(mut self, observer: impl StepObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// The step the next [`StepKernel::tick`] will execute.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of live (generated, uncommitted) transactions.
+    pub fn live_count(&self) -> usize {
+        self.state.txns().len()
+    }
+
+    /// Effects of the most recent tick (empty before the first).
+    pub fn last_effects(&self) -> &StepEffects {
+        &self.effects
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// A read-only [`SystemView`] of the current state, as a policy
+    /// would see it (forwarding pointers attached).
+    pub fn view(&self) -> SystemView<'_> {
+        SystemView::from_state(self.now, &self.network, &self.state)
+            .with_forwarding(&self.forwarding)
+    }
+
+    /// True once the run is over: the source is exhausted and every
+    /// transaction committed, or the step limit was exceeded.
+    pub fn done(&self) -> bool {
+        (self.source.exhausted() && self.state.txns().is_empty())
+            || self.now > self.config.max_steps
+    }
+
+    /// Advance exactly one time step through all phases, returning its
+    /// effects — or `None` if the run is already [`StepKernel::done`].
+    pub fn tick(&mut self) -> Option<&StepEffects> {
+        if self.done() {
+            return None;
+        }
+        let t = self.now;
+        self.effects.clear();
+        self.effects.t = t;
+        // Timing is decided once per tick: when every attached observer
+        // declines (or none is attached), no phase pays for Instant::now.
+        let timed = !self.observers.is_empty() && self.observers.iter().any(|o| o.wants_timing(t));
+
+        // 0. Object creation.
+        self.create_objects(t);
+
+        // 1. Receive: complete edge traversals.
+        let mark = phase_mark(timed);
+        let received = self.phase_receive(t);
+        self.phase_end(t, Phase::Receive, received, mark);
+
+        // 2. Generate.
+        let mark = phase_mark(timed);
+        let arrived = self.phase_generate(t);
+        self.phase_end(t, Phase::Generate, arrived, mark);
+
+        // 3. Schedule.
+        let mark = phase_mark(timed);
+        let fragment_len = self.phase_schedule(t);
+        self.phase_end(t, Phase::Schedule, fragment_len, mark);
+
+        // 4. Execute.
+        let mark = phase_mark(timed);
+        let committed = self.phase_execute(t);
+        self.phase_end(t, Phase::Execute, committed, mark);
+
+        // 5. Forward.
+        let mark = phase_mark(timed);
+        let departed = self.phase_forward(t);
+        self.phase_end(t, Phase::Forward, departed, mark);
+
+        self.effects.live_after = self.state.txns().len();
+        for obs in &mut self.observers {
+            obs.on_step_end(&self.effects);
+        }
+        self.now += 1;
+        Some(&self.effects)
+    }
+
+    /// Advance at most `n` steps; returns how many actually ran (fewer
+    /// only when the run completed first).
+    pub fn run_steps(&mut self, n: u64) -> u64 {
+        let mut ran = 0;
+        while ran < n && self.tick().is_some() {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Advance until `pred` accepts a tick's effects. Returns `true` if
+    /// the predicate fired, `false` if the run completed first.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&StepEffects) -> bool) -> bool {
+        loop {
+            match self.tick() {
+                Some(fx) => {
+                    if pred(fx) {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+    }
+
+    /// Snapshot the run between two ticks (see the module docs for the
+    /// resumability contract). The policy is captured through
+    /// [`SchedulingPolicy::fork`]; observers are not carried over.
+    pub fn checkpoint(&self) -> RunCheckpoint<P, S>
+    where
+        P: Clone,
+        S: Clone,
+    {
+        RunCheckpoint {
+            kernel: StepKernel {
+                network: self.network.clone(),
+                policy: self.policy.fork(),
+                config: self.config.clone(),
+                source: self.source.clone(),
+                now: self.now,
+                pending_objects: self.pending_objects.clone(),
+                state: self.state.clone(),
+                txns: self.txns.clone(),
+                schedule: self.schedule.clone(),
+                commits: self.commits.clone(),
+                generated: self.generated.clone(),
+                exec_queue: self.exec_queue.clone(),
+                requesters: self.requesters.clone(),
+                edge_load: self.edge_load.clone(),
+                forwarding: self.forwarding.clone(),
+                observers: Vec::new(),
+                events: self.events.clone(),
+                violations: self.violations.clone(),
+                comm_cost: self.comm_cost,
+                hops: self.hops,
+                peak_live: self.peak_live,
+                effects: self.effects.clone(),
+            },
+        }
+    }
+
+    /// Drive the run to completion and seal the result. Equivalent to
+    /// the pre-kernel `Engine::run`.
+    pub fn finish(mut self) -> RunResult {
+        while self.tick().is_some() {}
+        // Inclusive bound: steps 0..=max_steps ran; reaching
+        // max_steps + 1 with live transactions is the violation. A
+        // clean finish (source exhausted, live set empty) at the same
+        // step is *not* one.
+        if self.now > self.config.max_steps
+            && !(self.source.exhausted() && self.state.txns().is_empty())
+        {
+            let mut sample: Vec<TxnId> = self.state.txns().ids().collect();
+            sample.sort_unstable();
+            sample.truncate(Violation::MAX_REPORTED_LIVE);
+            self.violations.push(Violation::MaxStepsExceeded {
+                live: self.state.txns().len(),
+                sample,
+            });
+        }
+        let latencies: Vec<Time> = self
+            .commits
+            .iter()
+            .map(|(id, &c)| c - self.generated.get(id).copied().unwrap_or(0))
+            .collect();
+        let metrics = Metrics {
+            makespan: self.commits.values().copied().max().unwrap_or(0),
+            committed: self.commits.len(),
+            comm_cost: self.comm_cost,
+            hops: self.hops,
+            latency: LatencySummary::from_samples(latencies),
+            peak_live: self.peak_live,
+            steps: self.now,
+        };
+        RunResult {
+            schedule: self.schedule,
+            commits: self.commits,
+            generated: self.generated,
+            txns: self.txns,
+            metrics,
+            events: self.events,
+            violations: self.violations,
+            policy: self.policy.name(),
+        }
+    }
+
+    fn record(&mut self, e: Event) {
+        if self.config.record_events {
+            self.events.push(e);
+        }
+    }
+
+    fn phase_end(&mut self, t: Time, phase: Phase, items: usize, started: Option<Instant>) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let elapsed = started.map_or(std::time::Duration::ZERO, |s| s.elapsed());
+        for obs in &mut self.observers {
+            obs.on_phase(t, phase, items, elapsed);
+        }
+    }
+
+    /// Phase 0: create objects whose creation step has come.
+    fn create_objects(&mut self, t: Time) {
+        while let Some(first) = self.pending_objects.front() {
+            if first.created_at > t {
+                break;
+            }
+            // dtm-lint: allow(C1) -- front() above returned Some, the deque is non-empty
+            let info = self.pending_objects.pop_front().expect("non-empty");
+            self.record(Event::ObjectCreated {
+                t,
+                object: info.id,
+                node: info.origin,
+            });
+            self.state.insert_object(ObjectState {
+                info,
+                place: ObjectPlace::At(info.origin),
+                last_holder: None,
+            });
+            self.effects.created.push(info.id);
+            self.state.effects_mut().created.push(info.id);
+        }
+    }
+
+    /// Phase 1: objects completing edge traversals arrive at their next
+    /// node. Returns the number of deliveries.
+    fn phase_receive(&mut self, t: Time) -> usize {
+        let arriving: Vec<ObjectId> = self
+            .state
+            .objects()
+            .iter()
+            .filter_map(|st| match st.place {
+                ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(st.info.id),
+                _ => None,
+            })
+            .collect();
+        let received = arriving.len();
+        for id in arriving {
+            let st = self.state.object_mut(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
+            if let ObjectPlace::Hop { from, next, .. } = st.place {
+                st.place = ObjectPlace::At(next);
+                let key = edge_key(from, next);
+                if let Some(load) = self.edge_load.get_mut(&key) {
+                    *load = load.saturating_sub(1);
+                }
+                let delivery = Delivery {
+                    object: id,
+                    from,
+                    node: next,
+                };
+                self.effects.delivered.push(delivery);
+                self.state.effects_mut().delivered.push(delivery);
+                self.record(Event::Arrived {
+                    t,
+                    object: id,
+                    node: next,
+                });
+            }
+        }
+        received
+    }
+
+    /// Phase 2: the workload source's arrivals join the live set.
+    /// Returns the number of arrivals (ids land in `effects.arrived`).
+    fn phase_generate(&mut self, t: Time) -> usize {
+        for txn in self.source.arrivals(t) {
+            debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
+            self.record(Event::Generated {
+                t,
+                txn: txn.id,
+                node: txn.home,
+            });
+            self.generated.insert(txn.id, t);
+            self.effects.arrived.push(txn.id);
+            self.state.effects_mut().arrived.push(txn.id);
+            self.txns.insert(txn.id, txn.clone());
+            self.state.insert_txn(LiveTxn {
+                txn,
+                scheduled: None,
+            });
+        }
+        self.peak_live = self.peak_live.max(self.state.txns().len());
+        self.effects.arrived.len()
+    }
+
+    /// Phase 3: consult the policy once and merge its fragment. The
+    /// view publishes the effects accumulated since the previous policy
+    /// call; they are cleared right after the policy returns, so
+    /// `apply_fragment` and the later phases of this step feed the
+    /// *next* call's accumulator. Returns the raw fragment length.
+    fn phase_schedule(&mut self, t: Time) -> usize {
+        let fragment = {
+            let view = SystemView::from_state(t, &self.network, &self.state)
+                .with_forwarding(&self.forwarding);
+            self.policy.step(&view, &self.effects.arrived)
+        };
+        self.state.effects_mut().clear();
+        let fragment_len = fragment.len();
+        self.apply_fragment(fragment);
+        fragment_len
+    }
+
+    /// Merge a policy's schedule fragment, enforcing the "never re-time"
+    /// and "never in the past" rules.
+    fn apply_fragment(&mut self, fragment: Schedule) {
+        let t = self.now;
+        for (txn, exec_at) in fragment.iter() {
+            let Some(lt) = self.state.txn_mut(txn) else {
+                self.violations.push(Violation::UnknownTxn { txn });
+                continue;
+            };
+            if lt.scheduled.is_some() {
+                self.violations.push(Violation::Rescheduled { txn });
+                continue;
+            }
+            if exec_at < t {
+                self.violations.push(Violation::ScheduledInPast {
+                    txn,
+                    proposed: exec_at,
+                    now: t,
+                });
+                continue;
+            }
+            lt.scheduled = Some(exec_at);
+            let objects: Vec<ObjectId> = lt.txn.objects().collect();
+            self.schedule.set(txn, exec_at);
+            self.exec_queue.insert((exec_at, txn));
+            for o in objects {
+                self.requesters.entry(o).or_default().insert((exec_at, txn));
+            }
+            self.effects.scheduled.push((txn, exec_at));
+            self.state.effects_mut().scheduled.push((txn, exec_at));
+            self.record(Event::Scheduled { t, txn, exec_at });
+        }
+    }
+
+    /// Phase 4: commit every due transaction whose objects are
+    /// assembled. Returns the number of commits (aborts not counted).
+    ///
+    /// Two conflicting transactions never commit at the same step: an
+    /// object consumed by a commit at this step is unavailable to later
+    /// same-step commits (atomicity of the exclusive accesses).
+    fn phase_execute(&mut self, t: Time) -> usize {
+        let due: Vec<(Time, TxnId)> = self
+            .exec_queue
+            .range(..=(t, TxnId(u64::MAX)))
+            .copied()
+            .collect();
+        let mut used_this_step: BTreeSet<ObjectId> = BTreeSet::new();
+        for (exec_at, txn_id) in due {
+            let lt = self
+                .state
+                .txns()
+                .get(txn_id)
+                .expect("scheduled txn is live"); // dtm-lint: allow(C1) -- exec_queue holds only live transactions (entries removed on commit/abort)
+            let home = lt.txn.home;
+            let assembled = lt.txn.objects().all(|o| {
+                !used_this_step.contains(&o)
+                    && matches!(
+                        self.state.objects().get(o).map(|s| s.place),
+                        Some(ObjectPlace::At(v)) if v == home
+                    )
+            });
+            if assembled {
+                // Commit.
+                let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- committed txn was read from the live arena two lines above
+                self.exec_queue.remove(&(exec_at, txn_id));
+                for o in txn.objects() {
+                    used_this_step.insert(o);
+                    if let Some(set) = self.requesters.get_mut(&o) {
+                        set.remove(&(exec_at, txn_id));
+                    }
+                    // dtm-lint: allow(C1) -- object ids in a live txn's read/write set always exist in the arena
+                    self.state.object_mut(o).expect("object exists").last_holder = Some(txn_id);
+                }
+                self.effects.committed.push(txn_id);
+                self.state.effects_mut().committed.push(txn_id);
+                self.commits.insert(txn_id, t);
+                self.record(Event::Committed {
+                    t,
+                    txn: txn_id,
+                    node: home,
+                });
+                self.source.on_commit(&txn, t);
+            } else if exec_at == t && !self.config.allow_late_execution {
+                // Missed its designated slot: scheduler/infrastructure bug.
+                self.violations.push(Violation::MissedExecution {
+                    txn: txn_id,
+                    scheduled: exec_at,
+                });
+                let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- violating txn was read from the live arena above
+                self.exec_queue.remove(&(exec_at, txn_id));
+                for o in txn.objects() {
+                    if let Some(set) = self.requesters.get_mut(&o) {
+                        set.remove(&(exec_at, txn_id));
+                    }
+                }
+                self.effects.aborted.push(txn_id);
+                self.state.effects_mut().aborted.push(txn_id);
+                // Treat as aborted: tell the source so closed loops go on.
+                self.source.on_commit(&txn, t);
+            }
+            // else: allow_late_execution — stays queued, retried next step.
+        }
+        self.effects.committed.len()
+    }
+
+    /// Phase 5: move every resting object one hop toward its earliest
+    /// pending scheduled requester. Returns the number of departures.
+    fn phase_forward(&mut self, t: Time) -> usize {
+        let ids: Vec<ObjectId> = self.state.objects().ids().collect();
+        for id in ids {
+            let (here, target_home) = {
+                let st = self.state.objects().get(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
+                let ObjectPlace::At(here) = st.place else {
+                    continue;
+                };
+                let Some(&(_, txn_id)) = self.requesters.get(&id).and_then(|set| set.iter().next())
+                else {
+                    continue;
+                };
+                let home = self
+                    .state
+                    .txns()
+                    .get(txn_id)
+                    .expect("scheduled requester is live") // dtm-lint: allow(C1) -- requesters entries are removed when their txn leaves the arena
+                    .txn
+                    .home;
+                (here, home)
+            };
+            if here == target_home {
+                continue; // staged at the requester's node
+            }
+            let next = self.network.next_hop(here, target_home);
+            let w = self
+                .network
+                .graph()
+                .edge_weight(here, next)
+                .expect("next_hop returns an adjacent node"); // dtm-lint: allow(C1) -- next_hop returns a neighbor, so the edge exists
+            let key = edge_key(here, next);
+            if let Some(cap) = self.config.link_capacity {
+                let load = self.edge_load.get(&key).copied().unwrap_or(0);
+                if load >= cap {
+                    continue; // edge saturated: wait a step
+                }
+            }
+            *self.edge_load.entry(key).or_insert(0) += 1;
+            self.forwarding.insert((id, here), next);
+            let arrive = t + w * self.config.speed_divisor;
+            // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
+            self.state.object_mut(id).expect("object exists").place = ObjectPlace::Hop {
+                from: here,
+                next,
+                arrive,
+            };
+            let departure = Departure {
+                object: id,
+                from: here,
+                to: next,
+                arrive,
+            };
+            self.effects.departed.push(departure);
+            self.state.effects_mut().departed.push(departure);
+            self.comm_cost += w;
+            self.hops += 1;
+            self.record(Event::Departed {
+                t,
+                object: id,
+                from: here,
+                to: next,
+                arrive,
+            });
+        }
+        self.effects.departed.len()
+    }
+}
+
+/// Phase-timing start mark (only when the step is timed, so unobserved
+/// and unsampled steps never pay for `Instant::now`).
+fn phase_mark(timed: bool) -> Option<Instant> {
+    if timed {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::policy::FixedSchedulePolicy;
+    use dtm_graph::topology;
+    use dtm_model::{Instance, TraceSource};
+
+    fn obj(id: u32, origin: u32) -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(id),
+            origin: NodeId(origin),
+            created_at: 0,
+        }
+    }
+
+    fn txn(id: u64, home: u32, objs: &[u32], t: Time) -> Transaction {
+        Transaction::new(
+            TxnId(id),
+            NodeId(home),
+            objs.iter().map(|&o| ObjectId(o)),
+            t,
+        )
+    }
+
+    /// Line of 4; object at node 0; T0 at node 2 (exec 2), T1 at node 3
+    /// (exec 3). The per-tick effects narrate the whole run.
+    fn small_kernel() -> StepKernel<FixedSchedulePolicy, TraceSource> {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![obj(0, 0)],
+            vec![txn(0, 2, &[0], 0), txn(1, 3, &[0], 0)],
+        );
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 3)].into_iter().collect();
+        Engine::new(
+            net,
+            FixedSchedulePolicy::new(sched),
+            EngineConfig::default(),
+        )
+        .into_kernel(TraceSource::new(inst))
+    }
+
+    #[test]
+    fn tick_effects_narrate_each_step() {
+        let mut k = small_kernel();
+        assert!(!k.done());
+        assert_eq!(k.now(), 0);
+
+        // Step 0: object created, both txns arrive + are scheduled, the
+        // object departs toward node 2.
+        let fx = k.tick().expect("step 0 runs");
+        assert_eq!(fx.t, 0);
+        assert_eq!(fx.created, vec![ObjectId(0)]);
+        assert_eq!(fx.arrived, vec![TxnId(0), TxnId(1)]);
+        assert_eq!(fx.scheduled, vec![(TxnId(0), 2), (TxnId(1), 3)]);
+        assert!(fx.committed.is_empty());
+        assert_eq!(fx.departed.len(), 1);
+        assert_eq!(fx.departed[0].object, ObjectId(0));
+        assert_eq!(fx.live_after, 2);
+        assert_eq!(fx.edge_loads()[&(NodeId(0), NodeId(1))], 1);
+
+        // Step 1: the object hops 0->1 (delivery), then departs 1->2.
+        let fx = k.tick().expect("step 1 runs");
+        assert_eq!(fx.delivered.len(), 1);
+        assert_eq!(fx.departed.len(), 1);
+        assert!(!fx.is_empty());
+
+        // Step 2: delivery at node 2, T0 commits, object departs to 3.
+        let fx = k.tick().expect("step 2 runs");
+        assert_eq!(fx.committed, vec![TxnId(0)]);
+        assert_eq!(fx.live_after, 1);
+
+        // Step 3: delivery at node 3, T1 commits. Run is done.
+        let fx = k.tick().expect("step 3 runs");
+        assert_eq!(fx.committed, vec![TxnId(1)]);
+        assert_eq!(fx.live_after, 0);
+        assert!(k.done());
+        assert!(k.tick().is_none());
+
+        let res = k.finish();
+        res.expect_ok();
+        assert_eq!(res.commits[&TxnId(0)], 2);
+        assert_eq!(res.commits[&TxnId(1)], 3);
+    }
+
+    #[test]
+    fn run_steps_counts_partial_progress() {
+        let mut k = small_kernel();
+        assert_eq!(k.run_steps(2), 2);
+        assert_eq!(k.now(), 2);
+        // The run needs 4 steps total; asking for 10 runs only 2 more.
+        assert_eq!(k.run_steps(10), 2);
+        assert!(k.done());
+        assert_eq!(k.run_steps(10), 0);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate_or_completion() {
+        let mut k = small_kernel();
+        assert!(k.run_until(|fx| !fx.committed.is_empty()));
+        assert_eq!(k.last_effects().committed, vec![TxnId(0)]);
+        assert_eq!(k.now(), 3);
+        // No tick ever commits 99 transactions: runs to completion.
+        assert!(!k.run_until(|fx| fx.committed.len() == 99));
+        assert!(k.done());
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let uninterrupted = small_kernel().finish();
+        let mut k = small_kernel();
+        k.run_steps(2);
+        let cp = k.checkpoint();
+        assert_eq!(cp.now(), 2);
+        // The original keeps running; the resumed copy must agree.
+        let original = k.finish();
+        let resumed = cp.resume().finish();
+        assert_eq!(original.commits, resumed.commits);
+        assert_eq!(original.events, resumed.events);
+        assert_eq!(uninterrupted.events, resumed.events);
+        assert_eq!(uninterrupted.schedule, resumed.schedule);
+    }
+
+    #[test]
+    fn view_exposes_current_state() {
+        let mut k = small_kernel();
+        k.run_steps(1);
+        let view = k.view();
+        assert_eq!(view.now, 1);
+        assert_eq!(view.live_count(), 2);
+        assert!(view.live(TxnId(0)).is_some());
+        assert_eq!(k.live_count(), 2);
+    }
+
+    /// `finish` on a kernel that exceeded its step limit still records
+    /// the violation exactly once, as the last violation.
+    #[test]
+    fn finish_seals_step_limit_violation() {
+        let net = topology::line(2);
+        let inst = Instance::new(vec![obj(0, 0)], vec![txn(0, 1, &[0], 0)]);
+        let cfg = EngineConfig {
+            max_steps: 5,
+            ..EngineConfig::default()
+        };
+        let mut k = Engine::new(net, FixedSchedulePolicy::new(Schedule::new()), cfg)
+            .into_kernel(TraceSource::new(inst));
+        while k.tick().is_some() {}
+        assert!(k.done());
+        assert!(k.violations().is_empty()); // sealed only by finish()
+        let res = k.finish();
+        assert!(matches!(
+            res.violations[..],
+            [Violation::MaxStepsExceeded { live: 1, .. }]
+        ));
+    }
+}

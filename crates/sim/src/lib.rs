@@ -25,19 +25,23 @@
 #![forbid(unsafe_code)]
 
 pub mod arena;
+pub mod effects;
 pub mod engine;
 pub mod events;
 pub mod gantt;
+pub mod kernel;
 pub mod metrics;
 pub mod observer;
 pub mod policy;
 pub mod state;
 pub mod validate;
 
-pub use arena::{ObjectArena, RuntimeState, StepDelta, TxnArena};
+pub use arena::{ObjectArena, RuntimeState, TxnArena};
+pub use effects::{Delivery, Departure, StepEffects};
 pub use engine::{run_policy, Engine, EngineConfig};
 pub use events::Event;
 pub use gantt::{render_timeline, TimelineOptions};
+pub use kernel::{RunCheckpoint, StepKernel};
 pub use metrics::{
     edge_congestion, peak_congestion, percentile, LatencySummary, Metrics, RunResult, Violation,
 };

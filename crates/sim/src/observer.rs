@@ -1,12 +1,15 @@
 //! Step observers: per-phase counters and timings for the engine.
 //!
-//! The engine's step loop has five phases (receive, generate, schedule,
+//! The step kernel has five phases (receive, generate, schedule,
 //! execute, forward). A [`StepObserver`] attached via
-//! [`crate::Engine::with_observer`] is called once per phase per step
-//! with the number of items the phase touched and its wall-clock
-//! duration. Observation never changes engine behavior — runs with and
-//! without an observer produce identical results.
+//! [`crate::Engine::with_observer`] (or
+//! [`crate::StepKernel::with_observer`]) is called once per phase per
+//! step with the number of items the phase touched and its wall-clock
+//! duration, and once per step end with that tick's full
+//! [`StepEffects`]. Observation never changes engine behavior — runs
+//! with and without an observer produce identical results.
 
+use crate::effects::StepEffects;
 use dtm_model::Time;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -61,21 +64,23 @@ impl Phase {
     }
 }
 
-/// Hook into the engine's step loop. Purely observational.
+/// Hook into the kernel's step loop. Purely observational.
 pub trait StepObserver {
     /// Called after each phase with the number of items it processed
     /// (arrived objects, generated transactions, scheduled entries,
     /// commits, departures) and its wall-clock duration.
     fn on_phase(&mut self, t: Time, phase: Phase, items: usize, elapsed: Duration);
 
-    /// Called at the end of each step with the live-set size.
-    fn on_step_end(&mut self, t: Time, live: usize) {
-        let _ = (t, live);
+    /// Called at the end of each step with everything the tick changed
+    /// (step `effects.t`, live-set size `effects.live_after`, plus the
+    /// full per-phase item lists).
+    fn on_step_end(&mut self, effects: &StepEffects) {
+        let _ = effects;
     }
 
     /// Whether this observer wants wall-clock phase timing at step `t`.
     ///
-    /// When every attached observer declines, the engine skips its
+    /// When every attached observer declines, the kernel skips its
     /// `Instant::now` calls for the step and passes
     /// [`Duration::ZERO`] to [`StepObserver::on_phase`]. Sampling
     /// observers (e.g. a telemetry sink timing every 64th step) override
@@ -145,9 +150,9 @@ impl StepObserver for PhaseProfile {
         s.nanos += elapsed.as_nanos();
     }
 
-    fn on_step_end(&mut self, _t: Time, live: usize) {
+    fn on_step_end(&mut self, effects: &StepEffects) {
         self.steps += 1;
-        self.peak_live = self.peak_live.max(live);
+        self.peak_live = self.peak_live.max(effects.live_after);
     }
 }
 
@@ -158,8 +163,8 @@ impl<T: StepObserver> StepObserver for Arc<Mutex<T>> {
         self.lock().on_phase(t, phase, items, elapsed);
     }
 
-    fn on_step_end(&mut self, t: Time, live: usize) {
-        self.lock().on_step_end(t, live);
+    fn on_step_end(&mut self, effects: &StepEffects) {
+        self.lock().on_step_end(effects);
     }
 
     fn wants_timing(&self, t: Time) -> bool {
@@ -171,14 +176,22 @@ impl<T: StepObserver> StepObserver for Arc<Mutex<T>> {
 mod tests {
     use super::*;
 
+    fn fx(t: Time, live_after: usize) -> StepEffects {
+        StepEffects {
+            t,
+            live_after,
+            ..StepEffects::default()
+        }
+    }
+
     #[test]
     fn profile_accumulates() {
         let mut p = PhaseProfile::default();
         p.on_phase(0, Phase::Receive, 2, Duration::from_nanos(10));
         p.on_phase(0, Phase::Receive, 3, Duration::from_nanos(5));
         p.on_phase(0, Phase::Execute, 1, Duration::from_nanos(7));
-        p.on_step_end(0, 4);
-        p.on_step_end(1, 2);
+        p.on_step_end(&fx(0, 4));
+        p.on_step_end(&fx(1, 2));
         assert_eq!(p.phase(Phase::Receive).calls, 2);
         assert_eq!(p.phase(Phase::Receive).items, 5);
         assert_eq!(p.phase(Phase::Receive).nanos, 15);
@@ -193,7 +206,7 @@ mod tests {
         let shared = Arc::new(Mutex::new(PhaseProfile::default()));
         let mut handle = Arc::clone(&shared);
         handle.on_phase(3, Phase::Forward, 9, Duration::from_nanos(1));
-        handle.on_step_end(3, 1);
+        handle.on_step_end(&fx(3, 1));
         assert_eq!(shared.lock().phase(Phase::Forward).items, 9);
         assert_eq!(shared.lock().steps, 1);
     }

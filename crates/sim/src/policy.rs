@@ -26,6 +26,23 @@ pub trait SchedulingPolicy {
 
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
+
+    /// Capture the policy's complete decision state for a
+    /// [`crate::RunCheckpoint`]: the fork must behave identically to
+    /// `self` on every future step.
+    ///
+    /// The default is a plain clone, which is correct for every policy
+    /// whose state is fully owned (including seeded RNGs — cloning
+    /// preserves the stream position). Policies holding shared handles
+    /// (stats sinks, decision traces) clone the handle, so a fork keeps
+    /// feeding the *same* sink; override if a checkpoint should detach
+    /// them.
+    fn fork(&self) -> Self
+    where
+        Self: Sized + Clone,
+    {
+        self.clone()
+    }
 }
 
 /// Replays a precomputed schedule: each arriving transaction is assigned

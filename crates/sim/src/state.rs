@@ -1,7 +1,8 @@
 //! Runtime state of objects and live transactions, and the read-only
 //! [`SystemView`] handed to scheduling policies each step.
 
-use crate::arena::{ObjectIter, RuntimeState, StepDelta, TxnIter};
+use crate::arena::{ObjectIter, RuntimeState, TxnIter};
+use crate::effects::StepEffects;
 use dtm_graph::{Network, NodeId, Weight};
 use dtm_model::{ObjectId, ObjectInfo, Time, Transaction, TxnId};
 use serde::{Deserialize, Serialize};
@@ -119,7 +120,7 @@ impl<'a> SystemView<'a> {
 
     /// Construct a view over the engine's indexed [`RuntimeState`]. Index
     ///-backed queries ([`SystemView::requesters_of`],
-    /// [`SystemView::conflicting_live`]) and [`SystemView::step_delta`]
+    /// [`SystemView::conflicting_live`]) and [`SystemView::step_effects`]
     /// are only fast/available through this constructor.
     pub fn from_state(now: Time, network: &'a Network, state: &'a RuntimeState) -> Self {
         SystemView {
@@ -226,13 +227,13 @@ impl<'a> SystemView<'a> {
         }
     }
 
-    /// The [`StepDelta`] accumulated since the previous policy
+    /// The [`StepEffects`] accumulated since the previous policy
     /// invocation, if this view is backed by the engine's indexed state.
     /// `None` (maps backing) means callers must rebuild their caches.
-    pub fn step_delta(&self) -> Option<&'a StepDelta> {
+    pub fn step_effects(&self) -> Option<&'a StepEffects> {
         match &self.backing {
             Backing::Maps { .. } => None,
-            Backing::Indexed(state) => Some(state.delta()),
+            Backing::Indexed(state) => Some(state.effects()),
         }
     }
 }
@@ -416,7 +417,7 @@ mod tests {
                 .collect();
             assert_eq!(a, b, "conflicts of {}", t.id);
         }
-        assert!(maps.step_delta().is_none());
-        assert!(indexed.step_delta().is_some());
+        assert!(maps.step_effects().is_none());
+        assert!(indexed.step_effects().is_some());
     }
 }

@@ -29,7 +29,7 @@
 
 use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
 use dtm_model::Time;
-use dtm_sim::{Phase, RunResult, StepObserver};
+use dtm_sim::{Phase, RunResult, StepEffects, StepObserver};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -170,7 +170,8 @@ impl StepObserver for TelemetrySink {
         }
     }
 
-    fn on_step_end(&mut self, _t: Time, live: usize) {
+    fn on_step_end(&mut self, effects: &StepEffects) {
+        let live = effects.live_after;
         self.steps.inc();
         self.live_hist.record(live as u64);
         self.live_now.set(live as i64);
@@ -267,8 +268,16 @@ mod tests {
         assert!(!sink.wants_timing(1));
         sink.on_phase(0, Phase::Execute, 3, Duration::from_nanos(50));
         sink.on_phase(1, Phase::Execute, 2, Duration::ZERO);
-        sink.on_step_end(0, 5);
-        sink.on_step_end(1, 2);
+        sink.on_step_end(&StepEffects {
+            t: 0,
+            live_after: 5,
+            ..StepEffects::default()
+        });
+        sink.on_step_end(&StepEffects {
+            t: 1,
+            live_after: 2,
+            ..StepEffects::default()
+        });
         let snap = registry.snapshot();
         assert_eq!(snap.counters[names::STEPS], 2);
         assert_eq!(snap.counters[&names::phase_items(Phase::Execute)], 5);

@@ -5,6 +5,8 @@
 //! to anchor the package and hosts small shared helpers.
 
 use dtm_graph::{topology, Network};
+use dtm_sim::RunResult;
+use std::fmt::Write as _;
 
 /// The standard small-topology zoo used across integration tests.
 pub fn small_topologies() -> Vec<Network> {
@@ -15,6 +17,57 @@ pub fn small_topologies() -> Vec<Network> {
         topology::star(3, 4),
         topology::cluster(3, 3, 4),
     ]
+}
+
+/// FNV-1a over a string; stable across platforms and sessions.
+pub fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical, line-oriented rendering of everything a refactor must
+/// preserve about a [`RunResult`]: the schedule, commits, metrics,
+/// latency summary, and an FNV-1a hash of the full event log. Shared by
+/// the golden-trace snapshots and the checkpoint/resume byte-identity
+/// tests.
+pub fn render(result: &RunResult) -> String {
+    let mut out = String::new();
+    writeln!(out, "policy: {}", result.policy).unwrap();
+    writeln!(out, "violations: {}", result.violations.len()).unwrap();
+    writeln!(out, "schedule:").unwrap();
+    for (txn, time) in result.schedule.iter() {
+        writeln!(out, "  {txn} -> {time}").unwrap();
+    }
+    writeln!(out, "commits:").unwrap();
+    for (txn, time) in &result.commits {
+        writeln!(out, "  {txn} @ {time}").unwrap();
+    }
+    let m = &result.metrics;
+    writeln!(
+        out,
+        "metrics: makespan={} committed={} comm_cost={} hops={} peak_live={} steps={}",
+        m.makespan, m.committed, m.comm_cost, m.hops, m.peak_live, m.steps
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "latency: count={} mean={:.6} p50={} p95={} max={}",
+        m.latency.count, m.latency.mean, m.latency.p50, m.latency.p95, m.latency.max
+    )
+    .unwrap();
+    let events_text: String = result.events.iter().map(|e| format!("{e:?}\n")).collect();
+    writeln!(
+        out,
+        "events: n={} fnv64={:016x}",
+        result.events.len(),
+        fnv64(&events_text)
+    )
+    .unwrap();
+    out
 }
 
 #[cfg(test)]

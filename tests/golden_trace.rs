@@ -13,10 +13,10 @@
 
 use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::{topology, Network};
+use dtm_integration::render;
 use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::ListScheduler;
-use dtm_sim::{run_policy, EngineConfig, RunResult, SchedulingPolicy};
-use std::fmt::Write as _;
+use dtm_sim::{run_policy, EngineConfig, SchedulingPolicy};
 use std::path::PathBuf;
 
 /// The fixed scenario: 4x4 grid, 8 objects, k=2 accesses, Bernoulli
@@ -35,55 +35,6 @@ fn scenario() -> (Network, dtm_model::Instance) {
     let inst = WorkloadGenerator::new(spec, 2024).generate(&net);
     inst.validate(&net).expect("scenario instance is valid");
     (net, inst)
-}
-
-/// FNV-1a over a string; stable across platforms and sessions.
-fn fnv64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Canonical, line-oriented rendering of everything the refactor must
-/// preserve. The event log is folded into a hash to keep snapshots small
-/// while still pinning every hop and commit event.
-fn render(result: &RunResult) -> String {
-    let mut out = String::new();
-    writeln!(out, "policy: {}", result.policy).unwrap();
-    writeln!(out, "violations: {}", result.violations.len()).unwrap();
-    writeln!(out, "schedule:").unwrap();
-    for (txn, time) in result.schedule.iter() {
-        writeln!(out, "  {txn} -> {time}").unwrap();
-    }
-    writeln!(out, "commits:").unwrap();
-    for (txn, time) in &result.commits {
-        writeln!(out, "  {txn} @ {time}").unwrap();
-    }
-    let m = &result.metrics;
-    writeln!(
-        out,
-        "metrics: makespan={} committed={} comm_cost={} hops={} peak_live={} steps={}",
-        m.makespan, m.committed, m.comm_cost, m.hops, m.peak_live, m.steps
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "latency: count={} mean={:.6} p50={} p95={} max={}",
-        m.latency.count, m.latency.mean, m.latency.p50, m.latency.p95, m.latency.max
-    )
-    .unwrap();
-    let events_text: String = result.events.iter().map(|e| format!("{e:?}\n")).collect();
-    writeln!(
-        out,
-        "events: n={} fnv64={:016x}",
-        result.events.len(),
-        fnv64(&events_text)
-    )
-    .unwrap();
-    out
 }
 
 fn golden_path(name: &str) -> PathBuf {

@@ -199,3 +199,29 @@ fn structured_exports_validate_on_real_run() {
     let m = validate_chrome_trace(&parsed).expect("parsed chrome trace validates");
     assert_eq!(n, m);
 }
+
+/// The kernel's once-per-tick timing decision must never leak into
+/// behavior: a sink timing every step, a sink sampling every 64th step,
+/// and a sink that never times (plus a bare run) must all produce the
+/// same schedule, commits and event log. Pins the hoisted
+/// `wants_timing` guard in `StepKernel::tick`.
+#[test]
+fn timing_sampling_never_perturbs_schedules() {
+    let (net, inst) = scenario();
+    let bare = run_policy(
+        &net,
+        TraceSource::new(inst.clone()),
+        GreedyPolicy::new(),
+        EngineConfig::default(),
+    );
+    for sample_every in [0u64, 1, 64] {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Arc::new(Mutex::new(
+            TelemetrySink::new(Arc::clone(&registry)).with_timing_sample(sample_every),
+        ));
+        let observed = Engine::new(net.clone(), GreedyPolicy::new(), EngineConfig::default())
+            .with_observer(sink)
+            .run(TraceSource::new(inst.clone()));
+        assert_identical(&format!("timing sample={sample_every}"), &bare, &observed);
+    }
+}
