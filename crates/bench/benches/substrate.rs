@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dtm_core::{smallest_valid_color, ColorConstraint, GreedyPolicy};
 use dtm_graph::{topology, NodeId, ShortestPathTree, SparseCover};
 use dtm_model::{
-    ArrivalProcess, ObjectChoice, ObjectId, ObjectInfo, TraceSource, Transaction, TxnId,
+    FiniteArrivals, ObjectChoice, ObjectId, ObjectInfo, TraceSource, Transaction, TxnId,
     WorkloadGenerator, WorkloadSpec,
 };
 use dtm_offline::{batch_lower_bound, BatchContext, BatchScheduler, ListScheduler};
@@ -165,7 +165,7 @@ fn bench_engine_run(c: &mut Criterion) {
         object_choice: ObjectChoice::Uniform,
         // Bernoulli is per node per step: 256 nodes × 0.004 × 1000 steps
         // ≈ 1000 transactions over the 1000-step arrival window.
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.004,
             horizon: 1000,
         },

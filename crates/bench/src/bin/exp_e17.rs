@@ -1,0 +1,10 @@
+//! E17 — open-system stability: backlog-growth knee and steady-state
+//! latency per policy under sustained Poisson arrivals.
+
+fn main() {
+    dtm_bench::init_jobs();
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e17_stability::run(quick) {
+        table.print();
+    }
+}

@@ -8,7 +8,7 @@
 
 use dtm_bench::Table;
 use dtm_graph::{topology, Network};
-use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 
 fn main() {
     let mut t = Table::new(
@@ -37,7 +37,7 @@ fn main() {
                 num_objects: 32,
                 k: 2,
                 object_choice: ObjectChoice::Uniform,
-                arrival: ArrivalProcess::Bernoulli {
+                arrival: FiniteArrivals::Bernoulli {
                     rate: 2.0 / 128.0,
                     horizon: 128,
                 },
@@ -50,7 +50,7 @@ fn main() {
                 num_objects: 12,
                 k: 2,
                 object_choice: ObjectChoice::Zipf { exponent: 0.8 },
-                arrival: ArrivalProcess::Bernoulli {
+                arrival: FiniteArrivals::Bernoulli {
                     rate: 0.2,
                     horizon: 40,
                 },
@@ -66,7 +66,7 @@ fn main() {
                     hot_objects: 2,
                     hot_prob: 0.5,
                 },
-                arrival: ArrivalProcess::Bernoulli {
+                arrival: FiniteArrivals::Bernoulli {
                     rate: 0.2,
                     horizon: 20,
                 },
@@ -79,7 +79,7 @@ fn main() {
                 num_objects: 64,
                 k: 2,
                 object_choice: ObjectChoice::Neighborhood { radius: 2 },
-                arrival: ArrivalProcess::Bernoulli {
+                arrival: FiniteArrivals::Bernoulli {
                     rate: 0.15,
                     horizon: 50,
                 },

@@ -9,7 +9,7 @@
 //! Replay with `run_trace`.
 
 use dtm_graph::{topology, Network};
-use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 
 fn network_from(name: &str) -> Network {
     match name {
@@ -37,7 +37,7 @@ fn main() {
         num_objects,
         k,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+        arrival: FiniteArrivals::Bernoulli { rate, horizon },
     };
     let instance = WorkloadGenerator::new(spec, seed).generate(&net);
     instance

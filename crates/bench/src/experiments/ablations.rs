@@ -19,7 +19,7 @@ use crate::table::fmt_ratio;
 use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy};
 use dtm_graph::topology;
-use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::{LineScheduler, ListOrder, ListScheduler};
 use dtm_sim::EngineConfig;
 
@@ -40,7 +40,7 @@ fn line_workload(n: u32, seed: u64) -> WorkloadKind {
         num_objects: (n / 4).max(2),
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             // ~2n transactions total regardless of n.
             rate: (2.0 / n as f64).min(0.5),
             horizon: n as u64,
@@ -198,7 +198,7 @@ fn a4_link_capacity(quick: bool) -> Table {
             hot_objects: 2,
             hot_prob: 0.5,
         },
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.2,
             horizon: 20,
         },

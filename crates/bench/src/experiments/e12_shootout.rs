@@ -11,7 +11,7 @@ use crate::table::fmt_ratio;
 use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::{topology, Network};
-use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::{ClusterScheduler, LineScheduler, ListScheduler, StarScheduler};
 use dtm_sim::EngineConfig;
 
@@ -116,7 +116,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                     num_objects: 12,
                     k: 2,
                     object_choice: ObjectChoice::Zipf { exponent: 0.8 },
-                    arrival: ArrivalProcess::Bernoulli { rate, horizon: 40 },
+                    arrival: FiniteArrivals::Bernoulli { rate, horizon: 40 },
                 };
                 let inst = WorkloadGenerator::new(spec, 1300).generate(&net);
                 if inst.txns.is_empty() {

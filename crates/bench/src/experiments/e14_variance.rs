@@ -12,7 +12,7 @@ use crate::runner::{run_summary, WorkloadKind};
 use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
 use dtm_graph::topology;
-use dtm_model::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::LineScheduler;
 use dtm_sim::EngineConfig;
 use rayon::prelude::*;
@@ -93,7 +93,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                             num_objects: (n / 4).max(2),
                             k: 2,
                             object_choice: ObjectChoice::Uniform,
-                            arrival: ArrivalProcess::Bernoulli {
+                            arrival: FiniteArrivals::Bernoulli {
                                 rate: (2.0 / n as f64).min(0.5),
                                 horizon: n as u64,
                             },

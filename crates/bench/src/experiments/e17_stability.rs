@@ -1,0 +1,251 @@
+//! E17 — open-system stability: backlog trajectory vs arrival rate ρ.
+//!
+//! The paper analyzes *closed* batches — all transactions known, runs end
+//! when the batch drains. This experiment asks the queueing-theoretic
+//! question the closed setting cannot: for each scheduling policy, up to
+//! what sustained system-wide arrival rate ρ (expected transactions per
+//! step, Poisson) does the backlog stay bounded, and what do steady-state
+//! sojourn latencies look like below that knee?
+//!
+//! Method: drive each (topology, policy, ρ) cell through
+//! [`crate::runner::run_stream`] — an open-loop seeded Poisson stream
+//! under [`dtm_sim::Retention::Streaming`] — and compare the mean
+//! backlog in the first and second halves of the post-warmup window. A
+//! per-step growth above [`SLOPE_TOL`] marks overload. The second table
+//! reports each (topology, policy)'s *knee*: the largest swept ρ still
+//! stable, with its steady-state latency percentiles.
+//!
+//! Every cell is deterministic (seeded source, pure kernel) — the tables
+//! are byte-identical at any `--jobs` level.
+
+use crate::runner::{run_stream, StreamSummary};
+use crate::{ParallelGrid, Table};
+use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
+use dtm_graph::{topology, Network};
+use dtm_model::{ArrivalProcess, OpenLoopSource, WorkloadSpec};
+use dtm_offline::{LineScheduler, ListScheduler};
+use dtm_sim::EngineConfig;
+
+/// Backlog growth (live transactions per step, between the two
+/// post-warmup half-window means) below which a rate counts as stable.
+pub const SLOPE_TOL: f64 = 0.02;
+
+fn policy_for(name: &str, net: &Network) -> Box<dyn dtm_sim::SchedulingPolicy> {
+    match name {
+        "greedy" => Box::new(GreedyPolicy::new()),
+        "fifo" => Box::new(FifoPolicy::new()),
+        _ => match net.structured() {
+            Some(dtm_graph::Structured::Line { .. }) => Box::new(BucketPolicy::new(LineScheduler)),
+            _ => Box::new(BucketPolicy::new(ListScheduler::fifo())),
+        },
+    }
+}
+
+fn spec_for(net: &Network) -> WorkloadSpec {
+    // The batch arrival field is ignored by OpenLoopSource; the
+    // ArrivalProcess drives arrivals.
+    WorkloadSpec::batch_uniform((net.n() as u32 / 2).max(4), 2)
+}
+
+/// Run E17.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nets: Vec<Network> = if quick {
+        vec![topology::clique(8), topology::line(12)]
+    } else {
+        vec![
+            topology::clique(16),
+            topology::line(24),
+            topology::grid(&[5, 5]),
+        ]
+    };
+    let rates: Vec<f64> = if quick {
+        vec![0.1, 0.4, 1.2]
+    } else {
+        vec![0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+    };
+    // Full-mode horizon is capped at 10k steps: overloaded cells cost
+    // O(steps x backlog) = O(ρ·steps²), and the deepest swept overload
+    // (fifo on line(24) at ρ=1.6) already dominates the suite's runtime.
+    let (steps, warmup) = if quick { (2_000, 500) } else { (10_000, 2_500) };
+    let policies = ["greedy", "bucket", "fifo"];
+
+    let mut grid = ParallelGrid::new("E17");
+    for net in &nets {
+        for policy in policies {
+            for &rate in &rates {
+                grid.cell(move || {
+                    let source = OpenLoopSource::new(
+                        net.clone(),
+                        spec_for(net),
+                        ArrivalProcess::Poisson { rate },
+                        1700,
+                    );
+                    let s = run_stream(
+                        net,
+                        source,
+                        policy_for(policy, net),
+                        EngineConfig::default(),
+                        steps,
+                        warmup,
+                    );
+                    (net.name().to_string(), rate, s)
+                });
+            }
+        }
+    }
+    let cells: Vec<(String, f64, StreamSummary)> = grid.run();
+
+    let mut sweep = Table::new(
+        "E17 — open-system stability sweep: Poisson arrivals at rate ρ (system-wide txns/step)",
+        &[
+            "topology",
+            "policy",
+            "ρ",
+            "committed",
+            "backlog@end",
+            "slope/step",
+            "arena hwm",
+            "p50 lat",
+            "p95 lat",
+            "verdict",
+        ],
+    );
+    for (net_name, rate, s) in &cells {
+        sweep.row(vec![
+            net_name.clone(),
+            s.policy.clone(),
+            format!("{rate}"),
+            s.committed.to_string(),
+            s.backlog_end.to_string(),
+            format!("{:+.4}", s.backlog_slope),
+            s.arena_high_water.to_string(),
+            s.p50_latency.to_string(),
+            s.p95_latency.to_string(),
+            if s.is_stable(SLOPE_TOL) {
+                "stable"
+            } else {
+                "OVERLOAD"
+            }
+            .to_string(),
+        ]);
+    }
+
+    // Knee table: per (topology, policy), the largest swept ρ still
+    // stable. Cells arrive in deterministic (insertion) order — rates
+    // ascend within each (topology, policy) block — so the last stable
+    // row of each block is the knee.
+    let mut knee = Table::new(
+        "E17b — stability knee: largest swept ρ with bounded backlog",
+        &[
+            "topology",
+            "policy",
+            "knee ρ",
+            "p50 lat",
+            "p95 lat",
+            "mean backlog",
+        ],
+    );
+    let mut block: Option<(String, String)> = None;
+    let mut best: Option<(f64, StreamSummary)> = None;
+    let flush = |key: &Option<(String, String)>,
+                 best: &mut Option<(f64, StreamSummary)>,
+                 knee: &mut Table| {
+        let Some((net_name, policy)) = key else {
+            return;
+        };
+        let row = match best.take() {
+            Some((rate, s)) => vec![
+                net_name.clone(),
+                policy.clone(),
+                format!("{rate}"),
+                s.p50_latency.to_string(),
+                s.p95_latency.to_string(),
+                format!("{:.1}", s.backlog_late_mean),
+            ],
+            None => vec![
+                net_name.clone(),
+                policy.clone(),
+                "< min swept".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        };
+        knee.row(row);
+    };
+    for (net_name, rate, s) in &cells {
+        let key = (net_name.clone(), s.policy.clone());
+        if block.as_ref() != Some(&key) {
+            flush(&block, &mut best, &mut knee);
+            block = Some(key);
+        }
+        if s.is_stable(SLOPE_TOL) {
+            best = Some((*rate, s.clone()));
+        }
+    }
+    flush(&block, &mut best, &mut knee);
+
+    vec![sweep, knee]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_stability_sweep_completes() {
+        let tables = run(true);
+        // 2 topologies x 3 policies x 3 rates.
+        assert_eq!(tables[0].len(), 18);
+        // One knee row per (topology, policy) block.
+        assert_eq!(tables[1].len(), 6);
+    }
+
+    #[test]
+    fn low_rate_is_stable_and_memory_bounded() {
+        let net = topology::clique(8);
+        let source = OpenLoopSource::new(
+            net.clone(),
+            spec_for(&net),
+            ArrivalProcess::Poisson { rate: 0.1 },
+            1700,
+        );
+        let s = run_stream(
+            &net,
+            source,
+            GreedyPolicy::new(),
+            EngineConfig::default(),
+            2_000,
+            500,
+        );
+        assert!(s.is_stable(SLOPE_TOL), "slope {:+.4}", s.backlog_slope);
+        assert!(s.committed > 50);
+        // Bounded-memory witness: slots never outgrow the peak live set.
+        assert!(s.arena_high_water <= s.backlog_peak);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_runs() {
+        let row = |_| {
+            let net = topology::line(12);
+            let source = OpenLoopSource::new(
+                net.clone(),
+                spec_for(&net),
+                ArrivalProcess::Poisson { rate: 0.3 },
+                1700,
+            );
+            run_stream(
+                &net,
+                source,
+                FifoPolicy::new(),
+                EngineConfig::default(),
+                1_000,
+                250,
+            )
+        };
+        let (a, b) = (row(0), row(1));
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.backlog_end, b.backlog_end);
+        assert_eq!(a.p95_latency, b.p95_latency);
+    }
+}

@@ -12,7 +12,7 @@ use crate::table::fmt_ratio;
 use crate::{ParallelGrid, Table};
 use dtm_core::{GreedyPolicy, GreedyStats};
 use dtm_graph::{topology, Network};
-use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 use dtm_sim::{run_policy, EngineConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -22,7 +22,7 @@ fn workload(net: &Network, k: usize, seed: u64) -> dtm_model::Instance {
         num_objects: (net.n() as u32 / 2).max(2),
         k,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.25,
             horizon: 30,
         },

@@ -9,7 +9,7 @@ use crate::table::fmt_ratio;
 use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, BucketStats};
 use dtm_graph::{topology, Network};
-use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::{BatchScheduler, LineScheduler, ListScheduler};
 use dtm_sim::{run_policy, EngineConfig, RunResult};
 use parking_lot::Mutex;
@@ -25,7 +25,7 @@ fn run_one<A: BatchScheduler>(
         num_objects: (net.n() as u32 / 3).max(2),
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli { rate, horizon: 40 },
+        arrival: FiniteArrivals::Bernoulli { rate, horizon: 40 },
     };
     let inst = WorkloadGenerator::new(spec, seed).generate(net);
     let stats = Arc::new(Mutex::new(BucketStats::default()));

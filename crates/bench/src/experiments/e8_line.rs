@@ -11,7 +11,7 @@ use crate::table::fmt_ratio;
 use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::topology;
-use dtm_model::{ArrivalProcess, Instance, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, Instance, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::LineScheduler;
 use dtm_sim::EngineConfig;
 
@@ -21,7 +21,7 @@ fn workload(n: u32, seed: u64) -> Instance {
         num_objects: (n / 4).max(2),
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             // Per-node rate scaled by 1/n: expected total transactions are
             // ~2n regardless of size, so sweeps stay comparable and the
             // workload does not explode quadratically.

@@ -2,7 +2,7 @@
 //!
 //! Experiment harness reproducing, as measurements, every theorem-level
 //! claim of Busch et al., IPDPS 2020 (the paper has no empirical section;
-//! EXPERIMENTS.md defines the experiment suite E1–E16 and ablations
+//! EXPERIMENTS.md defines the experiment suite E1–E17 and ablations
 //! A1–A5 and records the results).
 //!
 //! Each experiment is a module in [`experiments`] with a binary target
@@ -29,7 +29,7 @@ pub mod runner;
 pub mod table;
 
 pub use grid::ParallelGrid;
-pub use runner::{run_summary, run_summary_with, Summary, WorkloadKind};
+pub use runner::{run_stream, run_summary, run_summary_with, StreamSummary, Summary, WorkloadKind};
 pub use table::Table;
 
 use std::sync::OnceLock;

@@ -10,10 +10,11 @@
 //! across repeated runs.
 
 use dtm_graph::Network;
-use dtm_model::{ClosedLoopSource, Instance, Time, TraceSource, WorkloadSpec};
+use dtm_model::{ClosedLoopSource, Instance, Time, TraceSource, WorkloadSource, WorkloadSpec};
 use dtm_offline::competitive_ratio;
 use dtm_sim::{
-    run_policy, validate_events, EngineConfig, RunResult, SchedulingPolicy, ValidationConfig,
+    run_policy, validate_events, Engine, EngineConfig, Retention, RunResult, SchedulingPolicy,
+    ValidationConfig,
 };
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -132,6 +133,119 @@ pub fn run_summary_with<P: SchedulingPolicy>(
         comm_cost: result.metrics.comm_cost,
         ratio: ratio.max_ratio,
         peak_edge_load,
+    }
+}
+
+/// One open-system (streaming) result row: what a bounded-memory run can
+/// report without per-transaction history. Backlog statistics split the
+/// post-warmup window in half; a positive [`StreamSummary::backlog_slope`]
+/// (live transactions gained per step between the two half-window means)
+/// is the overload signature, a slope near zero means the system is
+/// stable at this arrival rate.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// Policy name.
+    pub policy: String,
+    /// Nodes in the network.
+    pub n: usize,
+    /// Steps simulated.
+    pub steps: Time,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions (missed executions).
+    pub aborted: u64,
+    /// Live transactions when the run stopped.
+    pub backlog_end: usize,
+    /// Peak live transactions.
+    pub backlog_peak: usize,
+    /// Transaction-arena slot high-water mark (bounded-memory witness:
+    /// never exceeds `backlog_peak` however many transactions streamed).
+    pub arena_high_water: usize,
+    /// Mean backlog over the first post-warmup half-window.
+    pub backlog_early_mean: f64,
+    /// Mean backlog over the second post-warmup half-window.
+    pub backlog_late_mean: f64,
+    /// Backlog growth per step between the two half-window means.
+    pub backlog_slope: f64,
+    /// Steady-state sojourn latency, 50th percentile.
+    pub p50_latency: Time,
+    /// Steady-state sojourn latency, 95th percentile.
+    pub p95_latency: Time,
+    /// Steady-state sojourn latency, maximum.
+    pub max_latency: Time,
+    /// Steady-state sojourn latency, mean.
+    pub mean_latency: f64,
+}
+
+impl StreamSummary {
+    /// Stability verdict: backlog not growing faster than `tol` live
+    /// transactions per step between the two post-warmup half-windows.
+    pub fn is_stable(&self, tol: f64) -> bool {
+        self.backlog_slope <= tol
+    }
+}
+
+/// Drive `policy` against a (typically never-exhausting) `source` for
+/// exactly `steps` steps under [`Retention::Streaming`] and summarize the
+/// steady state. The closed-batch [`run_summary`] panics on violations
+/// and insists every transaction commits — meaningless for an open
+/// system, which by design stops with transactions still in flight; this
+/// helper instead reports backlog trajectory, bounded-memory high-water
+/// marks and post-warmup sojourn percentiles. Fully deterministic for a
+/// deterministic source/policy, at any `--jobs` level.
+pub fn run_stream<P: SchedulingPolicy, S: WorkloadSource>(
+    network: &Network,
+    source: S,
+    policy: P,
+    config: EngineConfig,
+    steps: Time,
+    warmup: Time,
+) -> StreamSummary {
+    assert!(warmup < steps, "warmup must leave a measurement window");
+    let policy_name = policy.name();
+    let mut config = config;
+    config.retention = Retention::Streaming { warmup };
+    config.record_events = false;
+    config.max_steps = config.max_steps.max(steps);
+    let mut kernel = Engine::new(network.clone(), policy, config).into_kernel(source);
+    let mid = warmup + (steps - warmup) / 2;
+    let (mut sum_early, mut n_early) = (0u128, 0u64);
+    let (mut sum_late, mut n_late) = (0u128, 0u64);
+    let mut aborted = 0u64;
+    while kernel.now() < steps {
+        let Some(fx) = kernel.tick() else { break };
+        aborted += fx.aborted.len() as u64;
+        if fx.t >= warmup {
+            if fx.t < mid {
+                sum_early += fx.live_after as u128;
+                n_early += 1;
+            } else {
+                sum_late += fx.live_after as u128;
+                n_late += 1;
+            }
+        }
+    }
+    let mean = |sum: u128, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+    let backlog_early_mean = mean(sum_early, n_early);
+    let backlog_late_mean = mean(sum_late, n_late);
+    let half_window = (((steps - warmup) / 2).max(1)) as f64;
+    let soj = kernel.sojourn_latency();
+    StreamSummary {
+        policy: policy_name,
+        n: network.n(),
+        steps: kernel.now(),
+        committed: kernel.commit_count(),
+        aborted,
+        backlog_end: kernel.live_count(),
+        backlog_peak: kernel.peak_live(),
+        arena_high_water: kernel.arena_high_water(),
+        backlog_early_mean,
+        backlog_late_mean,
+        backlog_slope: (backlog_late_mean - backlog_early_mean) / half_window,
+        p50_latency: soj.percentile(0.50),
+        p95_latency: soj.percentile(0.95),
+        max_latency: soj.max(),
+        mean_latency: soj.mean(),
     }
 }
 

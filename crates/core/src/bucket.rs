@@ -44,6 +44,11 @@ pub struct BucketStats {
 /// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints)
 /// captures the parked buckets and the fixed-context cache; attached
 /// stats/decision handles are shared, not duplicated.
+///
+/// **Boundedness (open-system audit).** `buckets` holds only parked,
+/// unscheduled transactions and drains completely at each activation;
+/// the [`FixedCache`] tracks live scheduled transactions only. Policy
+/// state is O(live set), safe for indefinite streaming runs.
 #[derive(Clone)]
 pub struct BucketPolicy<A> {
     scheduler: A,
@@ -201,7 +206,7 @@ mod tests {
     use dtm_graph::topology;
     use dtm_graph::NodeId;
     use dtm_model::{
-        ArrivalProcess, ClosedLoopSource, Instance, ObjectChoice, ObjectId, ObjectInfo,
+        ClosedLoopSource, FiniteArrivals, Instance, ObjectChoice, ObjectId, ObjectInfo,
         TraceSource, WorkloadGenerator, WorkloadSpec,
     };
     use dtm_offline::{LineScheduler, ListScheduler};
@@ -267,7 +272,7 @@ mod tests {
             num_objects: 4,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.4,
                 horizon: 20,
             },
@@ -299,7 +304,7 @@ mod tests {
             num_objects: 4,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.3,
                 horizon: 16,
             },
@@ -346,7 +351,7 @@ mod tests {
             num_objects: 3,
             k: 1,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bursts {
+            arrival: FiniteArrivals::Bursts {
                 period: 8,
                 per_burst: 6,
                 bursts: 3,

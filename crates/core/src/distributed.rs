@@ -67,6 +67,12 @@ struct PendingReport {
 /// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints)
 /// captures the in-flight reports, partial buckets and caches; attached
 /// stats/decision/counter handles are shared, not duplicated.
+///
+/// **Boundedness (open-system audit).** `reporting` entries are removed
+/// when their arrival step is processed and `partials` drain at each
+/// activation; the [`FixedCache`] tracks live scheduled transactions
+/// only. Policy state is O(live set + in-flight reports), safe for
+/// indefinite streaming runs.
 #[derive(Clone)]
 pub struct DistributedBucketPolicy<A> {
     scheduler: A,
@@ -371,7 +377,7 @@ mod tests {
     use super::*;
     use dtm_graph::topology;
     use dtm_model::{
-        ArrivalProcess, ClosedLoopSource, ObjectChoice, TraceSource, WorkloadGenerator,
+        ClosedLoopSource, FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator,
         WorkloadSpec,
     };
     use dtm_offline::ListScheduler;
@@ -416,7 +422,7 @@ mod tests {
             num_objects: 5,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.15,
                 horizon: 12,
             },

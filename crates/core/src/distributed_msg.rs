@@ -87,6 +87,13 @@ struct Discovery {
 }
 
 /// Message-level Algorithm 3.
+///
+/// **Boundedness (open-system audit).** `inbox`, `discovering`,
+/// `reported` and `partials` drain as the protocol advances;
+/// `object_users` registries are pruned to live requesters whenever a
+/// `Find` catches its object, and `leader_fixed` retains only live
+/// transactions (top of `step`). State is O(live set + in-flight
+/// messages), safe for indefinite streaming runs.
 pub struct DistributedMsgPolicy<A> {
     scheduler: A,
     cover: SparseCover,
@@ -193,9 +200,14 @@ impl<A: BatchScheduler> DistributedMsgPolicy<A> {
                 );
                 if resting_here {
                     // Caught: register the requester on the object and
-                    // reply with the registry.
+                    // reply with the registry. Requesters that have
+                    // retired no longer conflict, so drop them first —
+                    // this keeps each registry bounded by the live set
+                    // instead of growing with every requester ever seen
+                    // (the open-system boundedness requirement).
                     let home = reply_to;
                     let users = self.object_users.entry(object).or_default();
+                    users.retain(|&(id, _)| view.live(id).is_some());
                     let registry: Vec<(TxnId, NodeId)> = users.clone();
                     if !users.iter().any(|&(id, _)| id == txn) {
                         users.push((txn, home));
@@ -371,6 +383,16 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedMsgPolicy<A> {
             .get_or_insert_with(|| view.network.max_bucket_level());
         let _ = max_level;
 
+        // Leaders forget decisions whose transactions have retired: the
+        // fixed context's contract is "already-scheduled, *uncommitted*"
+        // ([`BatchContext::fixed`]), and without this each leader's
+        // history grows with every transaction it ever scheduled —
+        // unbounded under open-system arrival streams.
+        self.leader_fixed.retain(|_, fixed| {
+            fixed.retain(|(t, _)| view.live(t.id).is_some());
+            !fixed.is_empty()
+        });
+
         let mut fragment = Schedule::new();
 
         // New arrivals start discovery toward each object's ORIGIN — the
@@ -478,7 +500,7 @@ mod tests {
     use super::*;
     use dtm_graph::topology;
     use dtm_model::{
-        ArrivalProcess, ClosedLoopSource, ObjectChoice, TraceSource, WorkloadGenerator,
+        ClosedLoopSource, FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator,
         WorkloadSpec,
     };
     use dtm_offline::ListScheduler;
@@ -519,7 +541,7 @@ mod tests {
             num_objects: 6,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.1,
                 horizon: 16,
             },

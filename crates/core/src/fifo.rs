@@ -14,6 +14,11 @@ use dtm_telemetry::{Decision, DecisionKind, DecisionTraceHandle};
 
 /// FIFO baseline: each arriving transaction is scheduled at the earliest
 /// feasible time given every earlier decision, in arrival order.
+///
+/// **Boundedness (open-system audit).** The only state is the
+/// [`FixedCache`] of live scheduled transactions (committed entries are
+/// pruned via step effects), so the policy is O(live set) and safe for
+/// indefinite streaming runs.
 #[derive(Clone, Debug, Default)]
 pub struct FifoPolicy {
     inner: Option<ListScheduler>,
@@ -80,6 +85,10 @@ impl SchedulingPolicy for FifoPolicy {
 
 /// TSP-tour baseline (reference \[30\]): arrivals are scheduled each step
 /// via per-object nearest-neighbor tours.
+///
+/// **Boundedness (open-system audit).** Stateless between steps (the
+/// decision handle is an optional shared sink): trivially safe for
+/// indefinite streaming runs.
 #[derive(Clone, Debug, Default)]
 pub struct TspPolicy {
     decisions: Option<DecisionTraceHandle>,
@@ -139,7 +148,7 @@ mod tests {
     use super::*;
     use dtm_graph::topology;
     use dtm_model::{
-        ArrivalProcess, ClosedLoopSource, ObjectChoice, TraceSource, WorkloadGenerator,
+        ClosedLoopSource, FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator,
         WorkloadSpec,
     };
     use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
@@ -149,7 +158,7 @@ mod tests {
             num_objects: 6,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli { rate, horizon: 12 },
+            arrival: FiniteArrivals::Bernoulli { rate, horizon: 12 },
         }
     }
 

@@ -48,6 +48,9 @@ pub struct GreedyStats {
 ///
 /// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints) shares
 /// any attached stats/decision handles — a fork feeds the same sinks.
+///
+/// **Boundedness (open-system audit).** Stateless between steps apart
+/// from shared stats/decision sinks: safe for indefinite streaming runs.
 #[derive(Clone)]
 pub struct GreedyPolicy {
     mode: GreedyMode,
@@ -184,7 +187,7 @@ mod tests {
     use dtm_graph::topology;
     use dtm_graph::NodeId;
     use dtm_model::{
-        ArrivalProcess, Instance, ObjectChoice, ObjectId, ObjectInfo, TraceSource, Transaction,
+        FiniteArrivals, Instance, ObjectChoice, ObjectId, ObjectInfo, TraceSource, Transaction,
         WorkloadGenerator, WorkloadSpec,
     };
     use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
@@ -248,7 +251,7 @@ mod tests {
                 num_objects: 6,
                 k: 3,
                 object_choice: ObjectChoice::Uniform,
-                arrival: ArrivalProcess::Bernoulli {
+                arrival: FiniteArrivals::Bernoulli {
                     rate: 0.3,
                     horizon: 10,
                 },

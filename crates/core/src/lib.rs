@@ -44,7 +44,7 @@
 //! ```
 //! use dtm_core::GreedyPolicy;
 //! use dtm_graph::topology;
-//! use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
+//! use dtm_model::{FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 //! use dtm_sim::{run_policy, validate_events, EngineConfig, ValidationConfig};
 //!
 //! let network = topology::hypercube(4);
@@ -52,7 +52,7 @@
 //!     num_objects: 8,
 //!     k: 2,
 //!     object_choice: ObjectChoice::Uniform,
-//!     arrival: ArrivalProcess::Bernoulli { rate: 0.2, horizon: 10 },
+//!     arrival: FiniteArrivals::Bernoulli { rate: 0.2, horizon: 10 },
 //! };
 //! let instance = WorkloadGenerator::new(spec, 7).generate(&network);
 //! let result = run_policy(

@@ -41,6 +41,11 @@ fn object_avail(view: &SystemView<'_>) -> BTreeMap<dtm_model::ObjectId, (dtm_gra
 /// map-backed view (no effects) it falls back to a full rebuild, so the
 /// cache is safe to use with either backing. `Clone` captures the cache
 /// for [`dtm_sim::SchedulingPolicy::fork`] checkpoints.
+///
+/// **Boundedness (open-system audit).** Entries leave via
+/// `fx.removed()` as their transactions commit or abort, so the map
+/// holds only *live* scheduled transactions — O(live set) no matter how
+/// many transactions stream through.
 #[derive(Clone, Debug, Default)]
 pub struct FixedCache {
     fixed: BTreeMap<TxnId, (Transaction, Time)>,

@@ -45,7 +45,7 @@ pub enum ObjectChoice {
 
 /// When transactions arrive.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub enum ArrivalProcess {
+pub enum FiniteArrivals {
     /// All transactions at time 0, one per node (the offline batch setting
     /// of SPAA'17 / Section IV-D).
     Batch,
@@ -80,7 +80,7 @@ pub struct WorkloadSpec {
     /// Object popularity distribution.
     pub object_choice: ObjectChoice,
     /// Arrival process.
-    pub arrival: ArrivalProcess,
+    pub arrival: FiniteArrivals,
 }
 
 impl WorkloadSpec {
@@ -90,7 +90,7 @@ impl WorkloadSpec {
             num_objects,
             k,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Batch,
+            arrival: FiniteArrivals::Batch,
         }
     }
 
@@ -243,13 +243,13 @@ impl WorkloadGenerator {
         let n = network.n();
         let mut txns = Vec::new();
         match self.spec.arrival.clone() {
-            ArrivalProcess::Batch => {
+            FiniteArrivals::Batch => {
                 for v in 0..n {
                     let t = self.gen_txn(NodeId::from_index(v), 0, &objects, network);
                     txns.push(t);
                 }
             }
-            ArrivalProcess::Bernoulli { rate, horizon } => {
+            FiniteArrivals::Bernoulli { rate, horizon } => {
                 let rate = rate.clamp(0.0, 1.0);
                 for step in 0..horizon {
                     for v in 0..n {
@@ -259,7 +259,7 @@ impl WorkloadGenerator {
                     }
                 }
             }
-            ArrivalProcess::Bursts {
+            FiniteArrivals::Bursts {
                 period,
                 per_burst,
                 bursts,
@@ -324,7 +324,7 @@ mod tests {
             num_objects: 16,
             k: 1,
             object_choice: ObjectChoice::Zipf { exponent: 1.2 },
-            arrival: ArrivalProcess::Batch,
+            arrival: FiniteArrivals::Batch,
         };
         let net = topology::clique(64);
         let mut g = WorkloadGenerator::new(spec, 5);
@@ -347,7 +347,7 @@ mod tests {
                 hot_objects: 2,
                 hot_prob: 0.9,
             },
-            arrival: ArrivalProcess::Batch,
+            arrival: FiniteArrivals::Batch,
         };
         let net = topology::clique(64);
         let mut g = WorkloadGenerator::new(spec, 6);
@@ -366,7 +366,7 @@ mod tests {
             num_objects: 32,
             k: 2,
             object_choice: ObjectChoice::Neighborhood { radius: 2 },
-            arrival: ArrivalProcess::Batch,
+            arrival: FiniteArrivals::Batch,
         };
         let net = topology::line(32);
         let mut g = WorkloadGenerator::new(spec, 8);
@@ -392,7 +392,7 @@ mod tests {
             num_objects: 8,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.3,
                 horizon: 20,
             },
@@ -409,7 +409,7 @@ mod tests {
             num_objects: 8,
             k: 1,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bursts {
+            arrival: FiniteArrivals::Bursts {
                 period: 10,
                 per_burst: 4,
                 bursts: 3,

@@ -22,11 +22,16 @@
 //! * [`source`] — the [`source::WorkloadSource`] trait by which the
 //!   simulator pulls online arrivals, including the closed-loop source of
 //!   Section III-C (a node issues a fresh transaction right after its
-//!   previous one commits).
+//!   previous one commits);
+//! * [`arrival`] — open-system arrival processes (seeded Poisson,
+//!   bursty on/off, adversarial fixed-rate ρ): deterministic, unbounded
+//!   streams behind [`arrival::OpenLoopSource`] for steady-state
+//!   stability experiments.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrival;
 pub mod generator;
 pub mod ids;
 pub mod instance;
@@ -36,7 +41,8 @@ pub mod source;
 pub mod stats;
 pub mod txn;
 
-pub use generator::{ArrivalProcess, ObjectChoice, WorkloadGenerator, WorkloadSpec};
+pub use arrival::{ArrivalProcess, OpenLoopSource};
+pub use generator::{FiniteArrivals, ObjectChoice, WorkloadGenerator, WorkloadSpec};
 pub use ids::{ObjectId, Time, TxnId};
 pub use instance::{Instance, InstanceError, ObjectInfo};
 pub use schedule::Schedule;

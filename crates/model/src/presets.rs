@@ -15,7 +15,7 @@
 //!   touch one of few shared "district" objects plus local "stock"
 //!   objects near their home node (neighborhood locality).
 
-use crate::generator::{ArrivalProcess, ObjectChoice, WorkloadSpec};
+use crate::generator::{FiniteArrivals, ObjectChoice, WorkloadSpec};
 use crate::ids::Time;
 
 /// Bank-transfer workload: `accounts` objects, two per transaction, Zipf
@@ -25,7 +25,7 @@ pub fn bank(accounts: u32, rate: f64, horizon: Time) -> WorkloadSpec {
         num_objects: accounts.max(2),
         k: 2,
         object_choice: ObjectChoice::Zipf { exponent: 1.0 },
-        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+        arrival: FiniteArrivals::Bernoulli { rate, horizon },
     }
 }
 
@@ -40,7 +40,7 @@ pub fn social_graph(objects: u32, hot: u32, rate: f64, horizon: Time) -> Workloa
             hot_objects: hot.clamp(1, objects.max(1)),
             hot_prob: 0.8,
         },
-        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+        arrival: FiniteArrivals::Bernoulli { rate, horizon },
     }
 }
 
@@ -52,7 +52,7 @@ pub fn inventory(stock: u32, radius: u64, rate: f64, horizon: Time) -> WorkloadS
         num_objects: stock.max(1),
         k: 2,
         object_choice: ObjectChoice::Neighborhood { radius },
-        arrival: ArrivalProcess::Bernoulli { rate, horizon },
+        arrival: FiniteArrivals::Bernoulli { rate, horizon },
     }
 }
 

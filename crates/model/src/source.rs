@@ -19,8 +19,21 @@ use std::collections::BTreeMap;
 /// whenever a transaction commits (closed-loop sources react by issuing a
 /// successor).
 pub trait WorkloadSource {
-    /// Transactions generated at time `t` (their `generated_at` must be `t`).
-    fn arrivals(&mut self, t: Time) -> Vec<Transaction>;
+    /// Append the transactions generated at time `t` to `out` (their
+    /// `generated_at` must be `t`). `out` is a caller-owned reusable
+    /// buffer — implementations must *append*, never clear, and must not
+    /// allocate when the step has no arrivals, so the simulator's
+    /// steady-state tick stays allocation-free through quiet periods.
+    fn arrivals_into(&mut self, t: Time, out: &mut Vec<Transaction>);
+
+    /// Transactions generated at time `t`, as a fresh vector. Convenience
+    /// wrapper over [`WorkloadSource::arrivals_into`] for tests and
+    /// one-shot callers; the engine's hot loop uses the buffered form.
+    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        self.arrivals_into(t, &mut out);
+        out
+    }
 
     /// Notification that `txn` committed at time `t`.
     fn on_commit(&mut self, txn: &Transaction, t: Time);
@@ -61,8 +74,10 @@ impl TraceSource {
 }
 
 impl WorkloadSource for TraceSource {
-    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
-        self.pending.remove(&t).unwrap_or_default()
+    fn arrivals_into(&mut self, t: Time, out: &mut Vec<Transaction>) {
+        if let Some(batch) = self.pending.remove(&t) {
+            out.extend(batch);
+        }
     }
 
     fn on_commit(&mut self, _txn: &Transaction, _t: Time) {}
@@ -92,8 +107,8 @@ impl BatchSource {
 }
 
 impl WorkloadSource for BatchSource {
-    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
-        self.0.arrivals(t)
+    fn arrivals_into(&mut self, t: Time, out: &mut Vec<Transaction>) {
+        self.0.arrivals_into(t, out)
     }
 
     fn on_commit(&mut self, txn: &Transaction, t: Time) {
@@ -162,20 +177,19 @@ impl ClosedLoopSource {
 }
 
 impl WorkloadSource for ClosedLoopSource {
-    fn arrivals(&mut self, t: Time) -> Vec<Transaction> {
-        let nodes = self.queued.remove(&t).unwrap_or_default();
-        nodes
-            .into_iter()
-            .map(|home| {
-                let objs =
-                    self.spec
-                        .sample_object_set(&mut self.rng, &self.objects, home, &self.network);
-                let id = TxnId(self.next_txn);
-                self.next_txn += 1;
-                self.owner.insert(id, home);
-                Transaction::new(id, home, objs, t)
-            })
-            .collect()
+    fn arrivals_into(&mut self, t: Time, out: &mut Vec<Transaction>) {
+        let Some(nodes) = self.queued.remove(&t) else {
+            return;
+        };
+        for home in nodes {
+            let objs =
+                self.spec
+                    .sample_object_set(&mut self.rng, &self.objects, home, &self.network);
+            let id = TxnId(self.next_txn);
+            self.next_txn += 1;
+            self.owner.insert(id, home);
+            out.push(Transaction::new(id, home, objs, t));
+        }
     }
 
     fn on_commit(&mut self, txn: &Transaction, t: Time) {
@@ -207,7 +221,7 @@ mod tests {
     fn trace_source_replays_times() {
         let net = topology::line(4);
         let spec = WorkloadSpec {
-            arrival: crate::generator::ArrivalProcess::Bursts {
+            arrival: crate::generator::FiniteArrivals::Bursts {
                 period: 5,
                 per_burst: 2,
                 bursts: 2,
@@ -233,7 +247,7 @@ mod tests {
     fn batch_source_releases_everything_at_zero() {
         let net = topology::line(4);
         let spec = WorkloadSpec {
-            arrival: crate::generator::ArrivalProcess::Bursts {
+            arrival: crate::generator::FiniteArrivals::Bursts {
                 period: 7,
                 per_burst: 3,
                 bursts: 2,

@@ -1,13 +1,17 @@
 //! Dense, generational arenas for the engine's runtime state.
 //!
 //! The engine previously kept live transactions and objects in
-//! `BTreeMap`s keyed by their id newtypes. Both id spaces are dense
-//! (workload generators number transactions and objects from zero), so a
-//! slot-per-id arena gives O(1) lookup and cache-friendly iteration. A
-//! live-id `BTreeSet` preserves the id-ordered iteration the paper's
-//! algorithms (and the golden traces) depend on without scanning dead
-//! slots, and per-slot generation counters catch stale-id reuse in debug
-//! builds.
+//! `BTreeMap`s keyed by their id newtypes, and then in slot-per-id
+//! arenas. Slot-per-id is dense for closed batches but grows without
+//! bound under open-system streams (transaction ids increase forever
+//! while the live set stays small), so [`TxnArena`] now recycles
+//! committed slots through a **free list**: a live-id → slot index map
+//! preserves the id-ordered iteration the paper's algorithms (and the
+//! golden traces) depend on, per-slot generation counters catch
+//! stale-id/slot reuse (ABA) in debug builds, and the slot table never
+//! holds more entries than the peak concurrent live set — the
+//! bounded-memory invariant `slot_high_water() <= peak_live()` pinned by
+//! the arena churn tests.
 //!
 //! [`RuntimeState`] bundles the two arenas with the per-object requester
 //! index (every live transaction requesting each object) and the
@@ -17,18 +21,33 @@
 use crate::effects::StepEffects;
 use crate::state::{LiveTxn, ObjectState};
 use dtm_model::{ObjectId, TxnId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Dense arena of live transactions, indexed by [`TxnId`].
+/// Arena of live transactions with free-list slot recycling.
 ///
-/// Slots are never shrunk; a slot's generation counter increments on each
-/// insertion so debug assertions can detect stale references. Iteration
-/// follows the live-id set, i.e. ascending transaction id.
+/// A transaction occupies one slot while live; on removal the slot joins
+/// the free list (LIFO) and is reused by a later insertion. New slots
+/// are allocated only when the free list is empty — which happens
+/// exactly when every slot is occupied — so the slot table's length
+/// never exceeds the peak concurrent live-set size, no matter how many
+/// transactions stream through. A slot's generation counter increments
+/// on every (re)insertion so debug assertions can detect stale
+/// references; iteration follows the live-id index, i.e. ascending
+/// transaction id.
 #[derive(Clone, Debug, Default)]
 pub struct TxnArena {
     slots: Vec<Option<LiveTxn>>,
+    /// Per-slot insertion counter (ABA detection across slot reuse).
     generations: Vec<u32>,
-    ids: BTreeSet<TxnId>,
+    /// Recycled slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// Live id → occupied slot, in ascending id order.
+    index: BTreeMap<TxnId, u32>,
+    /// Largest concurrent live-set size ever observed.
+    peak_live: usize,
+    /// Largest slot-table length ever observed (monotone; survives
+    /// [`TxnArena::compact`]).
+    high_water: usize,
 }
 
 impl TxnArena {
@@ -39,64 +58,127 @@ impl TxnArena {
 
     /// Number of live transactions.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.index.len()
     }
 
     /// True if no transaction is live.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.index.is_empty()
     }
 
     /// Look up a live transaction.
     #[inline]
     pub fn get(&self, id: TxnId) -> Option<&LiveTxn> {
-        self.slots.get(id.0 as usize)?.as_ref()
+        let &slot = self.index.get(&id)?;
+        self.slots[slot as usize].as_ref()
     }
 
     /// Mutable lookup. Callers must not alter the transaction's object
     /// set (the requester index in [`RuntimeState`] is keyed by it).
     #[inline]
     pub fn get_mut(&mut self, id: TxnId) -> Option<&mut LiveTxn> {
-        self.slots.get_mut(id.0 as usize)?.as_mut()
+        let &slot = self.index.get(&id)?;
+        self.slots[slot as usize].as_mut()
     }
 
-    /// Insert a live transaction at its id slot.
+    /// Insert a live transaction, reusing a recycled slot when one is
+    /// free.
     ///
     /// # Panics
     /// Panics if a transaction with the same id is already live.
     pub fn insert(&mut self, lt: LiveTxn) {
-        let i = lt.txn.id.0 as usize;
-        if i >= self.slots.len() {
-            self.slots.resize_with(i + 1, || None);
-            self.generations.resize(i + 1, 0);
-        }
-        assert!(self.slots[i].is_none(), "txn {} already live", lt.txn.id);
+        let id = lt.txn.id;
+        assert!(!self.index.contains_key(&id), "txn {} already live", id);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                // Free list empty ⇒ all slots occupied ⇒ growth is
+                // driven by the live set alone (the bounded-memory
+                // invariant).
+                self.slots.push(None);
+                self.generations.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let i = slot as usize;
+        debug_assert!(self.slots[i].is_none(), "free-listed slot occupied");
         self.generations[i] = self.generations[i].wrapping_add(1);
-        self.ids.insert(lt.txn.id);
+        self.index.insert(id, slot);
         self.slots[i] = Some(lt);
+        self.peak_live = self.peak_live.max(self.index.len());
+        self.high_water = self.high_water.max(self.slots.len());
     }
 
-    /// Remove a live transaction, returning it.
+    /// Remove a live transaction, returning it; its slot joins the free
+    /// list for reuse.
     pub fn remove(&mut self, id: TxnId) -> Option<LiveTxn> {
-        let lt = self.slots.get_mut(id.0 as usize)?.take()?;
-        self.ids.remove(&id);
-        Some(lt)
+        let slot = self.index.remove(&id)?;
+        let lt = self.slots[slot as usize].take();
+        debug_assert!(lt.is_some(), "index pointed at an empty slot");
+        self.free.push(slot);
+        lt
     }
 
-    /// Generation of the slot for `id` (bumped on every insertion).
+    /// Generation of the slot currently backing `id` (bumped on every
+    /// insertion into that slot), or 0 if `id` is not live. Two live
+    /// sightings of the same id with different generations mean the id
+    /// was removed and reinserted in between — the stale-reference (ABA)
+    /// signal the engine's debug assertions key on.
     pub fn generation(&self, id: TxnId) -> u32 {
-        self.generations.get(id.0 as usize).copied().unwrap_or(0)
+        self.index
+            .get(&id)
+            .map(|&s| self.generations[s as usize])
+            .unwrap_or(0)
+    }
+
+    /// Largest concurrent live-set size ever observed.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Largest slot-table length ever observed: the arena's memory
+    /// high-water mark in slots. Invariant: `slot_high_water() <=
+    /// peak_live()` — slot recycling means capacity tracks the peak
+    /// backlog, never the total number of transactions streamed through.
+    pub fn slot_high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Current slot-table length (shrinks only via
+    /// [`TxnArena::compact`]).
+    pub fn slot_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Release trailing unoccupied slots and excess capacity back to the
+    /// allocator (the slot table is truncated past the highest live
+    /// slot). Intended for quiescent points — e.g. after a burst drains —
+    /// since truncated slots forget their generation counters; the
+    /// monotone [`TxnArena::slot_high_water`] record is unaffected.
+    pub fn compact(&mut self) {
+        let keep = self
+            .index
+            .values()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(0);
+        self.slots.truncate(keep);
+        self.generations.truncate(keep);
+        self.free.retain(|&s| (s as usize) < keep);
+        self.slots.shrink_to_fit();
+        self.generations.shrink_to_fit();
+        self.free.shrink_to_fit();
     }
 
     /// Live transaction ids in ascending order.
     pub fn ids(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.ids.iter().copied()
+        self.index.keys().copied()
     }
 
     /// Live transactions in ascending id order.
     pub fn iter(&self) -> TxnIter<'_> {
         TxnIter {
-            ids: self.ids.iter(),
+            index: self.index.iter(),
             slots: &self.slots,
         }
     }
@@ -104,7 +186,7 @@ impl TxnArena {
 
 /// Id-ordered iterator over a [`TxnArena`].
 pub struct TxnIter<'a> {
-    ids: std::collections::btree_set::Iter<'a, TxnId>,
+    index: std::collections::btree_map::Iter<'a, TxnId, u32>,
     slots: &'a [Option<LiveTxn>],
 }
 
@@ -112,12 +194,12 @@ impl<'a> Iterator for TxnIter<'a> {
     type Item = &'a LiveTxn;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let id = self.ids.next()?;
-        self.slots[id.0 as usize].as_ref()
+        let (_, &slot) = self.index.next()?;
+        self.slots[slot as usize].as_ref()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.ids.size_hint()
+        self.index.size_hint()
     }
 }
 
@@ -360,6 +442,69 @@ mod tests {
         let mut a = TxnArena::new();
         a.insert(lt(1, &[0]));
         a.insert(lt(1, &[0]));
+    }
+
+    /// The bounded-memory invariant: slots track the peak *concurrent*
+    /// live set, not the total ids streamed through.
+    #[test]
+    fn txn_arena_recycles_slots_under_churn() {
+        let mut a = TxnArena::new();
+        // Stream 1000 transactions with at most 3 concurrently live.
+        for id in 0u64..1000 {
+            a.insert(lt(id, &[0]));
+            if id >= 2 {
+                a.remove(TxnId(id - 2)).unwrap();
+            }
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.peak_live(), 3);
+        assert_eq!(a.slot_high_water(), 3);
+        assert!(a.slot_len() <= a.peak_live());
+        // Recycled ids stay addressable, id order intact.
+        let order: Vec<u64> = a.iter().map(|l| l.txn.id.0).collect();
+        assert_eq!(order, vec![998, 999]);
+    }
+
+    #[test]
+    fn txn_arena_generation_distinguishes_slot_reuse_across_ids() {
+        let mut a = TxnArena::new();
+        a.insert(lt(1, &[0]));
+        let g1 = a.generation(TxnId(1));
+        a.remove(TxnId(1)).unwrap();
+        // A *different* id reuses the recycled slot: its generation must
+        // differ from the dead tenant's, so a stale (id 1, gen g1)
+        // reference can never be confused with the new occupant.
+        a.insert(lt(2, &[0]));
+        assert_eq!(a.generation(TxnId(2)), g1 + 1);
+        assert_eq!(a.generation(TxnId(1)), 0, "dead id reads as gen 0");
+    }
+
+    #[test]
+    fn txn_arena_compact_releases_trailing_slots() {
+        let mut a = TxnArena::new();
+        for id in 0u64..8 {
+            a.insert(lt(id, &[0]));
+        }
+        for id in 2u64..8 {
+            a.remove(TxnId(id)).unwrap();
+        }
+        assert_eq!(a.slot_len(), 8);
+        a.compact();
+        // Ids 0 and 1 occupy slots 0 and 1; everything past is released.
+        assert_eq!(a.slot_len(), 2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.slot_high_water(), 8, "high-water record is monotone");
+        assert!(a.get(TxnId(0)).is_some() && a.get(TxnId(1)).is_some());
+        // The arena keeps working after compaction.
+        a.insert(lt(9, &[0]));
+        assert_eq!(a.len(), 3);
+        // Fully drained + compacted: zero slots.
+        for id in [0u64, 1, 9] {
+            a.remove(TxnId(id)).unwrap();
+        }
+        a.compact();
+        assert_eq!(a.slot_len(), 0);
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -38,6 +38,37 @@ use crate::policy::SchedulingPolicy;
 use dtm_graph::Network;
 use dtm_model::{Time, WorkloadSource};
 
+/// What a run retains for its final [`RunResult`] — the closed-batch /
+/// open-system switch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep full per-transaction history: every transaction, its
+    /// generation time, its schedule entry and its commit time. Memory
+    /// grows with the total number of transactions — correct for closed
+    /// batches, where that total is the instance size. The default; all
+    /// pre-existing behavior (golden traces included) lives here.
+    Full,
+    /// Open-system streaming: memory stays O(live set + objects) no
+    /// matter how many transactions stream through. The per-transaction
+    /// result maps stay empty; commit counts, makespan and sojourn
+    /// latency are folded into scalars and a fixed-size
+    /// [`crate::Log2Histogram`] as transactions retire. Commits of
+    /// transactions generated before `warmup` are excluded from the
+    /// latency histogram (but still counted), so steady-state
+    /// percentiles are not polluted by the cold start.
+    Streaming {
+        /// Steps to exclude from the sojourn-latency histogram.
+        warmup: Time,
+    },
+}
+
+impl Retention {
+    /// True for [`Retention::Full`].
+    pub fn is_full(&self) -> bool {
+        matches!(self, Retention::Full)
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -59,7 +90,12 @@ pub struct EngineConfig {
     /// transaction committing exactly at `t = max_steps` is in bounds.
     pub max_steps: Time,
     /// Record the full event log (disable for large parameter sweeps).
+    /// Suppressed entirely under [`Retention::Streaming`], where an
+    /// unbounded event log would defeat the bounded-memory guarantee.
     pub record_events: bool,
+    /// Closed-batch ([`Retention::Full`], the default) versus
+    /// open-system ([`Retention::Streaming`]) result retention.
+    pub retention: Retention,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +106,7 @@ impl Default for EngineConfig {
             allow_late_execution: false,
             max_steps: 500_000,
             record_events: true,
+            retention: Retention::Full,
         }
     }
 }

@@ -33,9 +33,9 @@
 
 use crate::arena::RuntimeState;
 use crate::effects::{edge_key, Delivery, Departure, StepEffects};
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, Retention};
 use crate::events::Event;
-use crate::metrics::{LatencySummary, Metrics, RunResult, Violation};
+use crate::metrics::{LatencySummary, Log2Histogram, Metrics, RunResult, Violation};
 use crate::observer::{Phase, StepObserver};
 use crate::policy::SchedulingPolicy;
 use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
@@ -79,8 +79,39 @@ pub struct StepKernel<P, S> {
     hops: u64,
     peak_live: usize,
 
+    /// Commits folded into scalars so streaming retention needs no maps.
+    commit_count: u64,
+    /// Time of the latest commit (streaming-mode makespan).
+    last_commit: Time,
+    /// Steady-state sojourn latency (commit − generation), recorded only
+    /// under [`Retention::Streaming`] for transactions generated at or
+    /// after the warmup cutoff.
+    sojourn: Log2Histogram,
+
+    /// Reusable buffer for the source's arrivals (phase 2): drained every
+    /// tick, so the steady-state tick allocates nothing on quiet steps.
+    arrivals_buf: Vec<Transaction>,
+    /// Scratch object-id buffer shared by the receive and forward phases.
+    scratch_ids: Vec<ObjectId>,
+    /// Scratch due-transaction buffer for the execute phase.
+    scratch_due: Vec<(Time, TxnId)>,
+
     /// Effects of the most recent tick (buffers reused across ticks).
     effects: StepEffects,
+}
+
+/// Where a run stands, under open-system (never-exhausting) sources as
+/// well as closed batches. See [`StepKernel::status`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// More work may come: the source is live or transactions are in
+    /// flight, and the step limit has not been reached.
+    Open,
+    /// The source is exhausted and every live transaction committed — the
+    /// closed-batch notion of "done".
+    Drained,
+    /// The inclusive step limit was exceeded with the run still open.
+    StepLimit,
 }
 
 /// A deterministic snapshot of a [`StepKernel`] between two ticks.
@@ -141,6 +172,12 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             comm_cost: 0,
             hops: 0,
             peak_live: 0,
+            commit_count: 0,
+            last_commit: 0,
+            sojourn: Log2Histogram::new(),
+            arrivals_buf: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_due: Vec::new(),
             effects: StepEffects::default(),
         }
     }
@@ -179,10 +216,64 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     }
 
     /// True once the run is over: the source is exhausted and every
-    /// transaction committed, or the step limit was exceeded.
+    /// transaction committed ([`StepKernel::drained`]), or the step
+    /// limit was exceeded. Open-system sources never exhaust, so their
+    /// kernels report `done()` only at the step limit — drive them with
+    /// [`StepKernel::run_for`] / [`StepKernel::run_until`] instead of
+    /// running to completion.
     pub fn done(&self) -> bool {
-        (self.source.exhausted() && self.state.txns().is_empty())
-            || self.now > self.config.max_steps
+        self.drained() || self.now > self.config.max_steps
+    }
+
+    /// True when the source will produce no further arrivals **and**
+    /// every live transaction has committed — the closed-batch notion of
+    /// completion, split out from the step-limit stop of
+    /// [`StepKernel::done`].
+    pub fn drained(&self) -> bool {
+        self.source.exhausted() && self.state.txns().is_empty()
+    }
+
+    /// Where the run stands: [`RunStatus::Drained`] if cleanly complete,
+    /// [`RunStatus::StepLimit`] if stopped by the inclusive step limit
+    /// while still open, [`RunStatus::Open`] otherwise.
+    pub fn status(&self) -> RunStatus {
+        if self.drained() {
+            RunStatus::Drained
+        } else if self.now > self.config.max_steps {
+            RunStatus::StepLimit
+        } else {
+            RunStatus::Open
+        }
+    }
+
+    /// Commits so far (maintained in every retention mode).
+    pub fn commit_count(&self) -> u64 {
+        self.commit_count
+    }
+
+    /// Time of the latest commit so far (0 before the first).
+    pub fn last_commit_at(&self) -> Time {
+        self.last_commit
+    }
+
+    /// Steady-state sojourn latency histogram (commit − generation).
+    /// Populated only under [`Retention::Streaming`], and only for
+    /// transactions generated at or after the configured warmup.
+    pub fn sojourn_latency(&self) -> &Log2Histogram {
+        &self.sojourn
+    }
+
+    /// High-water mark of transaction-arena *slots* ever allocated. With
+    /// free-list recycling this is bounded by the peak live set, not by
+    /// the total number of transactions that streamed through — the
+    /// bounded-memory invariant open-system runs assert.
+    pub fn arena_high_water(&self) -> usize {
+        self.state.txns().slot_high_water()
+    }
+
+    /// Peak number of simultaneously live transactions so far.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
     }
 
     /// Advance exactly one time step through all phases, returning its
@@ -244,6 +335,15 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
         ran
     }
 
+    /// Open-system vocabulary for [`StepKernel::run_steps`]: advance the
+    /// simulation by `n` further steps of wall-model time. On a
+    /// never-exhausting source this runs exactly `n` steps (step limit
+    /// permitting); interleave with [`StepKernel::status`] /
+    /// [`StepKernel::live_count`] to watch backlog evolve.
+    pub fn run_for(&mut self, n: u64) -> u64 {
+        self.run_steps(n)
+    }
+
     /// Advance until `pred` accepts a tick's effects. Returns `true` if
     /// the predicate fired, `false` if the run completed first.
     pub fn run_until(&mut self, mut pred: impl FnMut(&StepEffects) -> bool) -> bool {
@@ -290,6 +390,13 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 comm_cost: self.comm_cost,
                 hops: self.hops,
                 peak_live: self.peak_live,
+                commit_count: self.commit_count,
+                last_commit: self.last_commit,
+                sojourn: self.sojourn.clone(),
+                // Scratch buffers hold no state between ticks.
+                arrivals_buf: Vec::new(),
+                scratch_ids: Vec::new(),
+                scratch_due: Vec::new(),
                 effects: self.effects.clone(),
             },
         }
@@ -314,19 +421,35 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 sample,
             });
         }
-        let latencies: Vec<Time> = self
-            .commits
-            .iter()
-            .map(|(id, &c)| c - self.generated.get(id).copied().unwrap_or(0))
-            .collect();
-        let metrics = Metrics {
-            makespan: self.commits.values().copied().max().unwrap_or(0),
-            committed: self.commits.len(),
-            comm_cost: self.comm_cost,
-            hops: self.hops,
-            latency: LatencySummary::from_samples(latencies),
-            peak_live: self.peak_live,
-            steps: self.now,
+        let metrics = match self.config.retention {
+            Retention::Full => {
+                let latencies: Vec<Time> = self
+                    .commits
+                    .iter()
+                    .map(|(id, &c)| c - self.generated.get(id).copied().unwrap_or(0))
+                    .collect();
+                Metrics {
+                    makespan: self.commits.values().copied().max().unwrap_or(0),
+                    committed: self.commits.len(),
+                    comm_cost: self.comm_cost,
+                    hops: self.hops,
+                    latency: LatencySummary::from_samples(latencies),
+                    peak_live: self.peak_live,
+                    steps: self.now,
+                }
+            }
+            // Streaming retention: the per-transaction maps are empty by
+            // design; commits were folded into scalars and the sojourn
+            // histogram as they happened.
+            Retention::Streaming { .. } => Metrics {
+                makespan: self.last_commit,
+                committed: self.commit_count as usize,
+                comm_cost: self.comm_cost,
+                hops: self.hops,
+                latency: self.sojourn.summary(),
+                peak_live: self.peak_live,
+                steps: self.now,
+            },
         };
         RunResult {
             schedule: self.schedule,
@@ -341,7 +464,9 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     }
 
     fn record(&mut self, e: Event) {
-        if self.config.record_events {
+        // An unbounded event log would defeat streaming's bounded-memory
+        // guarantee, so only full retention ever records.
+        if self.config.record_events && self.config.retention.is_full() {
             self.events.push(e);
         }
     }
@@ -382,17 +507,13 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// Phase 1: objects completing edge traversals arrive at their next
     /// node. Returns the number of deliveries.
     fn phase_receive(&mut self, t: Time) -> usize {
-        let arriving: Vec<ObjectId> = self
-            .state
-            .objects()
-            .iter()
-            .filter_map(|st| match st.place {
-                ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(st.info.id),
-                _ => None,
-            })
-            .collect();
+        let mut arriving = std::mem::take(&mut self.scratch_ids);
+        arriving.extend(self.state.objects().iter().filter_map(|st| match st.place {
+            ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(st.info.id),
+            _ => None,
+        }));
         let received = arriving.len();
-        for id in arriving {
+        for id in arriving.drain(..) {
             let st = self.state.object_mut(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
             if let ObjectPlace::Hop { from, next, .. } = st.place {
                 st.place = ObjectPlace::At(next);
@@ -414,28 +535,35 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 });
             }
         }
+        self.scratch_ids = arriving;
         received
     }
 
     /// Phase 2: the workload source's arrivals join the live set.
     /// Returns the number of arrivals (ids land in `effects.arrived`).
     fn phase_generate(&mut self, t: Time) -> usize {
-        for txn in self.source.arrivals(t) {
+        let mut batch = std::mem::take(&mut self.arrivals_buf);
+        self.source.arrivals_into(t, &mut batch);
+        let full = self.config.retention.is_full();
+        for txn in batch.drain(..) {
             debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
             self.record(Event::Generated {
                 t,
                 txn: txn.id,
                 node: txn.home,
             });
-            self.generated.insert(txn.id, t);
+            if full {
+                self.generated.insert(txn.id, t);
+                self.txns.insert(txn.id, txn.clone());
+            }
             self.effects.arrived.push(txn.id);
             self.state.effects_mut().arrived.push(txn.id);
-            self.txns.insert(txn.id, txn.clone());
             self.state.insert_txn(LiveTxn {
                 txn,
                 scheduled: None,
             });
         }
+        self.arrivals_buf = batch;
         self.peak_live = self.peak_live.max(self.state.txns().len());
         self.effects.arrived.len()
     }
@@ -480,7 +608,9 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             }
             lt.scheduled = Some(exec_at);
             let objects: Vec<ObjectId> = lt.txn.objects().collect();
-            self.schedule.set(txn, exec_at);
+            if self.config.retention.is_full() {
+                self.schedule.set(txn, exec_at);
+            }
             self.exec_queue.insert((exec_at, txn));
             for o in objects {
                 self.requesters.entry(o).or_default().insert((exec_at, txn));
@@ -498,13 +628,12 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// object consumed by a commit at this step is unavailable to later
     /// same-step commits (atomicity of the exclusive accesses).
     fn phase_execute(&mut self, t: Time) -> usize {
-        let due: Vec<(Time, TxnId)> = self
-            .exec_queue
-            .range(..=(t, TxnId(u64::MAX)))
-            .copied()
-            .collect();
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.extend(self.exec_queue.range(..=(t, TxnId(u64::MAX))).copied());
+        // BTreeSet allocates nothing until first insert, so this is free
+        // on steps with no due transactions.
         let mut used_this_step: BTreeSet<ObjectId> = BTreeSet::new();
-        for (exec_at, txn_id) in due {
+        for (exec_at, txn_id) in due.drain(..) {
             let lt = self
                 .state
                 .txns()
@@ -532,7 +661,18 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 }
                 self.effects.committed.push(txn_id);
                 self.state.effects_mut().committed.push(txn_id);
-                self.commits.insert(txn_id, t);
+                self.commit_count += 1;
+                self.last_commit = t;
+                match self.config.retention {
+                    Retention::Full => {
+                        self.commits.insert(txn_id, t);
+                    }
+                    Retention::Streaming { warmup } => {
+                        if txn.generated_at >= warmup {
+                            self.sojourn.record(t - txn.generated_at);
+                        }
+                    }
+                }
                 self.record(Event::Committed {
                     t,
                     txn: txn_id,
@@ -559,14 +699,16 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             }
             // else: allow_late_execution — stays queued, retried next step.
         }
+        self.scratch_due = due;
         self.effects.committed.len()
     }
 
     /// Phase 5: move every resting object one hop toward its earliest
     /// pending scheduled requester. Returns the number of departures.
     fn phase_forward(&mut self, t: Time) -> usize {
-        let ids: Vec<ObjectId> = self.state.objects().ids().collect();
-        for id in ids {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.extend(self.state.objects().ids());
+        for id in ids.drain(..) {
             let (here, target_home) = {
                 let st = self.state.objects().get(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
                 let ObjectPlace::At(here) = st.place else {
@@ -628,6 +770,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 arrive,
             });
         }
+        self.scratch_ids = ids;
         self.effects.departed.len()
     }
 }
@@ -774,6 +917,94 @@ mod tests {
         assert_eq!(view.live_count(), 2);
         assert!(view.live(TxnId(0)).is_some());
         assert_eq!(k.live_count(), 2);
+    }
+
+    /// Streaming retention on a finite trace: same commits (as counted
+    /// scalars), empty per-transaction maps, drained status, and a
+    /// sojourn histogram honoring the warmup cutoff.
+    #[test]
+    fn streaming_retention_matches_full_counts_with_empty_maps() {
+        let net = topology::line(4);
+        let make_inst = || {
+            Instance::new(
+                vec![obj(0, 0)],
+                vec![txn(0, 2, &[0], 0), txn(1, 3, &[0], 0)],
+            )
+        };
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 3)].into_iter().collect();
+        let full = Engine::new(
+            net.clone(),
+            FixedSchedulePolicy::new(sched.clone()),
+            EngineConfig::default(),
+        )
+        .run(TraceSource::new(make_inst()));
+        full.expect_ok();
+
+        let cfg = EngineConfig {
+            retention: crate::engine::Retention::Streaming { warmup: 0 },
+            ..EngineConfig::default()
+        };
+        let mut k = Engine::new(net, FixedSchedulePolicy::new(sched), cfg)
+            .into_kernel(TraceSource::new(make_inst()));
+        assert_eq!(k.status(), RunStatus::Open);
+        while k.tick().is_some() {}
+        assert!(k.drained());
+        assert_eq!(k.status(), RunStatus::Drained);
+        assert_eq!(k.commit_count(), 2);
+        assert_eq!(k.last_commit_at(), 3);
+        // Sojourn latencies: T0 committed at 2, T1 at 3, both generated
+        // at 0 — the histogram saw both.
+        assert_eq!(k.sojourn_latency().count(), 2);
+        assert_eq!(k.sojourn_latency().max(), 3);
+        let res = k.finish();
+        res.expect_ok();
+        assert_eq!(res.metrics.committed, full.metrics.committed);
+        assert_eq!(res.metrics.makespan, full.metrics.makespan);
+        assert_eq!(res.metrics.comm_cost, full.metrics.comm_cost);
+        assert_eq!(res.metrics.hops, full.metrics.hops);
+        assert_eq!(res.metrics.latency.count, full.metrics.latency.count);
+        assert_eq!(res.metrics.latency.max, full.metrics.latency.max);
+        // Bounded-memory contract: no per-transaction history retained.
+        assert!(res.txns.is_empty());
+        assert!(res.commits.is_empty());
+        assert!(res.generated.is_empty());
+        assert!(res.schedule.is_empty());
+        assert!(res.events.is_empty());
+    }
+
+    /// The warmup cutoff excludes early generations from the sojourn
+    /// histogram without affecting the commit count.
+    #[test]
+    fn streaming_warmup_excludes_cold_start_from_latency() {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![obj(0, 0)],
+            vec![txn(0, 2, &[0], 0), txn(1, 3, &[0], 1)],
+        );
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 3)].into_iter().collect();
+        let cfg = EngineConfig {
+            retention: crate::engine::Retention::Streaming { warmup: 1 },
+            ..EngineConfig::default()
+        };
+        let mut k = Engine::new(net, FixedSchedulePolicy::new(sched), cfg)
+            .into_kernel(TraceSource::new(inst));
+        while k.tick().is_some() {}
+        assert_eq!(k.commit_count(), 2);
+        // Only T1 (generated at 1 >= warmup 1) is in the histogram.
+        assert_eq!(k.sojourn_latency().count(), 1);
+        assert_eq!(k.sojourn_latency().max(), 2); // committed 3 − generated 1
+    }
+
+    /// `run_for` on a streaming kernel advances exactly the requested
+    /// number of steps while the run stays open.
+    #[test]
+    fn run_for_advances_open_runs_step_by_step() {
+        let mut k = small_kernel();
+        assert_eq!(k.run_for(2), 2);
+        assert_eq!(k.now(), 2);
+        assert_eq!(k.status(), RunStatus::Open);
+        assert_eq!(k.run_for(10), 2); // drains after 4 total
+        assert_eq!(k.status(), RunStatus::Drained);
     }
 
     /// `finish` on a kernel that exceeded its step limit still records

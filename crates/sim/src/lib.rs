@@ -20,6 +20,15 @@
 //! Extensions exercised by the ablation experiments: object speed division
 //! (the half-speed rule of Algorithm 3) and bounded link capacity (the
 //! congestion question raised in the paper's conclusion).
+//!
+//! **Open-system mode.** Under [`engine::Retention::Streaming`] the
+//! [`kernel::StepKernel`] runs indefinitely against never-exhausting
+//! sources (e.g. [`dtm_model::OpenLoopSource`]) in bounded memory: the
+//! transaction arena recycles slots through a free list, per-transaction
+//! result maps stay empty, and steady-state sojourn latency folds into a
+//! fixed-size [`metrics::Log2Histogram`]. Drive such runs with
+//! [`kernel::StepKernel::run_for`] / `run_until` and read
+//! [`kernel::StepKernel::status`] for the drained-versus-open split.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,12 +47,13 @@ pub mod validate;
 
 pub use arena::{ObjectArena, RuntimeState, TxnArena};
 pub use effects::{Delivery, Departure, StepEffects};
-pub use engine::{run_policy, Engine, EngineConfig};
+pub use engine::{run_policy, Engine, EngineConfig, Retention};
 pub use events::Event;
 pub use gantt::{render_timeline, TimelineOptions};
-pub use kernel::{RunCheckpoint, StepKernel};
+pub use kernel::{RunCheckpoint, RunStatus, StepKernel};
 pub use metrics::{
-    edge_congestion, peak_congestion, percentile, LatencySummary, Metrics, RunResult, Violation,
+    edge_congestion, peak_congestion, percentile, LatencySummary, Log2Histogram, Metrics,
+    RunResult, Violation,
 };
 pub use observer::{Phase, PhaseProfile, PhaseStats, StepObserver};
 pub use policy::{FixedSchedulePolicy, SchedulingPolicy};

@@ -114,6 +114,125 @@ impl LatencySummary {
     }
 }
 
+/// Number of log2 buckets in a [`Log2Histogram`]: bucket 0 holds the
+/// value 0, bucket `i >= 1` holds `[2^(i-1), 2^i - 1]`; 65 covers `u64`.
+const LOG2_BUCKETS: usize = 65;
+
+/// Fixed-size log2-bucketed histogram of `Time` samples — the
+/// bounded-memory latency accumulator for open-system (streaming) runs,
+/// where keeping one sample per commit would grow without bound.
+///
+/// Deterministic and allocation-free after construction: recording is a
+/// bucket increment plus min/max/sum updates. Percentiles are
+/// approximate — nearest-rank over buckets, reporting the bucket's
+/// **upper bound** — so a reported p95 of 127 means "at least 95% of
+/// samples were ≤ 127"; relative error is bounded by the 2× bucket
+/// width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: Time) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> Time {
+        self.max
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> Time {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate nearest-rank percentile: the upper bound of the first
+    /// bucket whose cumulative count reaches `⌈p·n⌉`, clamped to the
+    /// observed maximum. 0 when empty.
+    pub fn percentile(&self, p: f64) -> Time {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
+                let upper = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condense into a [`LatencySummary`] (approximate percentiles; see
+    /// [`Log2Histogram::percentile`]).
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: self.count as usize,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            max: self.max,
+        }
+    }
+}
+
 /// Nearest-rank percentile of a **sorted, non-empty** sample: the
 /// smallest element such that at least `⌈p·n⌉` samples are ≤ it
 /// (`sorted[⌈p·n⌉ - 1]`). This is the textbook nearest-rank definition:

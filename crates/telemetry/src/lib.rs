@@ -10,6 +10,10 @@
 //!   live-set tracking), plus [`record_run`] to fold a finished
 //!   [`dtm_sim::RunResult`] into queue-wait / time-to-commit / hop
 //!   histograms;
+//! * [`SteadyStateProbe`] — a backlog / sojourn-latency observer for
+//!   open-system (streaming) runs, whose results exist only as the
+//!   stream flows by ([`dtm_sim::Retention::Streaming`] retains no
+//!   per-transaction history to fold afterwards);
 //! * [`RunTrace`] — a structured trace joining the engine's event log,
 //!   the policy's [`DecisionTrace`] and the sink's sampled
 //!   [`PhaseSpan`]s, exportable as JSONL or Chrome `trace_event` JSON
@@ -28,6 +32,7 @@
 pub mod decision;
 pub mod registry;
 pub mod sink;
+pub mod steady;
 pub mod trace;
 
 pub use decision::{decision_trace, Decision, DecisionKind, DecisionTrace, DecisionTraceHandle};
@@ -35,4 +40,5 @@ pub use registry::{
     Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use sink::{names, record_run, run_names, PhaseSpan, TelemetrySink, DEFAULT_TIMING_SAMPLE};
+pub use steady::{steady_names, SteadyStateProbe};
 pub use trace::{slowest_transactions, validate_chrome_trace, RunTrace};

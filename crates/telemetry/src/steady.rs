@@ -1,0 +1,212 @@
+//! Steady-state probe for open-system (streaming) runs.
+//!
+//! Closed-batch telemetry folds a finished [`dtm_sim::RunResult`] into
+//! the registry after the fact ([`crate::record_run`]), which assumes
+//! the result retains per-transaction history. Open-system runs retain
+//! none (see [`dtm_sim::Retention::Streaming`]), so this module observes
+//! the stream as it happens instead: [`SteadyStateProbe`] is a
+//! [`StepObserver`] that tracks every live transaction from arrival to
+//! retirement and feeds three steady-state signals into a
+//! [`MetricsRegistry`]:
+//!
+//! * **backlog** — the live-set size after each step, as a gauge (with
+//!   running peak) and a histogram of per-step sizes;
+//! * **sojourn latency** — commit step minus generation step, recorded
+//!   into a histogram only for transactions generated at or after the
+//!   warmup cutoff, so cold-start transients stay out of the steady-state
+//!   percentiles;
+//! * **throughput** — commits and aborts since warmup, as counters.
+//!
+//! The probe's own memory is bounded by the backlog: it holds exactly
+//! one map entry per live transaction (inserted on arrival, removed on
+//! commit or abort), never one per transaction that ever existed.
+
+use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
+use dtm_model::{Time, TxnId};
+use dtm_sim::{StepEffects, StepObserver};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Metric names registered by [`SteadyStateProbe`].
+pub mod steady_names {
+    /// Live-set (backlog) size after each step, as a histogram.
+    pub const BACKLOG: &str = "steady_backlog_size";
+    /// Current backlog, as a gauge.
+    pub const BACKLOG_NOW: &str = "steady_backlog_current";
+    /// Peak backlog seen, as a gauge.
+    pub const BACKLOG_PEAK: &str = "steady_backlog_peak";
+    /// Sojourn latency (commit − generation) of post-warmup
+    /// transactions.
+    pub const SOJOURN: &str = "steady_sojourn_steps";
+    /// Post-warmup commits.
+    pub const COMMITS: &str = "steady_commits_total";
+    /// Post-warmup aborts (missed executions).
+    pub const ABORTS: &str = "steady_aborts_total";
+    /// Transaction-arena slot high-water mark (set by the harness from
+    /// [`dtm_sim::StepKernel::arena_high_water`] — observers cannot see
+    /// the arena directly).
+    pub const ARENA_SLOT_HWM: &str = "txn_arena_slot_high_water";
+}
+
+/// A [`StepObserver`] recording backlog, steady-state sojourn latency
+/// and post-warmup throughput for open-system runs. See the module docs.
+pub struct SteadyStateProbe {
+    warmup: Time,
+    backlog: Arc<Histogram>,
+    backlog_now: Arc<Gauge>,
+    backlog_peak: Arc<Gauge>,
+    sojourn: Arc<Histogram>,
+    commits: Arc<Counter>,
+    aborts: Arc<Counter>,
+    /// Generation time of each live transaction. Bounded by the backlog:
+    /// entries leave when their transaction commits or aborts.
+    live_since: BTreeMap<TxnId, Time>,
+}
+
+impl SteadyStateProbe {
+    /// Probe feeding `registry`, excluding transactions generated before
+    /// `warmup` from the sojourn histogram and throughput counters.
+    pub fn new(registry: Arc<MetricsRegistry>, warmup: Time) -> Self {
+        SteadyStateProbe {
+            warmup,
+            backlog: registry.histogram(steady_names::BACKLOG),
+            backlog_now: registry.gauge(steady_names::BACKLOG_NOW),
+            backlog_peak: registry.gauge(steady_names::BACKLOG_PEAK),
+            sojourn: registry.histogram(steady_names::SOJOURN),
+            commits: registry.counter(steady_names::COMMITS),
+            aborts: registry.counter(steady_names::ABORTS),
+            live_since: BTreeMap::new(),
+        }
+    }
+
+    /// Transactions currently tracked (equals the engine's live count).
+    pub fn tracked(&self) -> usize {
+        self.live_since.len()
+    }
+
+    fn retire(&mut self, id: TxnId, t: Time, committed: bool) {
+        let Some(generated) = self.live_since.remove(&id) else {
+            return; // arrived before the probe was attached
+        };
+        if generated < self.warmup {
+            return;
+        }
+        if committed {
+            self.commits.inc();
+            self.sojourn.record(t.saturating_sub(generated));
+        } else {
+            self.aborts.inc();
+        }
+    }
+}
+
+impl StepObserver for SteadyStateProbe {
+    fn on_phase(
+        &mut self,
+        _t: Time,
+        _phase: dtm_sim::Phase,
+        _items: usize,
+        _elapsed: std::time::Duration,
+    ) {
+        // Step-granular probe: everything it needs is in the effects.
+    }
+
+    fn wants_timing(&self, _t: Time) -> bool {
+        false // never ask the engine to pay for Instant::now
+    }
+
+    fn on_step_end(&mut self, effects: &StepEffects) {
+        let t = effects.t;
+        for &id in &effects.arrived {
+            self.live_since.insert(id, t);
+        }
+        for &id in &effects.committed {
+            self.retire(id, t, true);
+        }
+        for &id in &effects.aborted {
+            self.retire(id, t, false);
+        }
+        self.backlog.record(effects.live_after as u64);
+        self.backlog_now.set(effects.live_after as i64);
+        self.backlog_peak.record_max(effects.live_after as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(t: Time) -> StepEffects {
+        StepEffects {
+            t,
+            ..StepEffects::default()
+        }
+    }
+
+    #[test]
+    fn probe_tracks_live_and_records_post_warmup_sojourn() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut probe = SteadyStateProbe::new(Arc::clone(&registry), 5);
+        // T0 arrives pre-warmup at t=1; T1 arrives post-warmup at t=6.
+        let mut e = fx(1);
+        e.arrived.push(TxnId(0));
+        e.live_after = 1;
+        probe.on_step_end(&e);
+        let mut e = fx(6);
+        e.arrived.push(TxnId(1));
+        e.live_after = 2;
+        probe.on_step_end(&e);
+        assert_eq!(probe.tracked(), 2);
+        // Both commit at t=10: only T1 lands in the histogram.
+        let mut e = fx(10);
+        e.committed.push(TxnId(0));
+        e.committed.push(TxnId(1));
+        e.live_after = 0;
+        probe.on_step_end(&e);
+        assert_eq!(probe.tracked(), 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters[steady_names::COMMITS], 1);
+        let soj = &snap.histograms[steady_names::SOJOURN];
+        assert_eq!(soj.count, 1);
+        assert_eq!(soj.max, 4); // committed 10 − generated 6
+        assert_eq!(snap.gauges[steady_names::BACKLOG_PEAK], 2);
+        assert_eq!(snap.gauges[steady_names::BACKLOG_NOW], 0);
+    }
+
+    #[test]
+    fn probe_counts_aborts_separately_and_stays_bounded() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut probe = SteadyStateProbe::new(Arc::clone(&registry), 0);
+        // Churn 100 transactions through, never more than one live.
+        for i in 0..100u64 {
+            let mut e = fx(i);
+            e.arrived.push(TxnId(i));
+            e.live_after = 1;
+            probe.on_step_end(&e);
+            let mut e = fx(i);
+            if i % 10 == 0 {
+                e.aborted.push(TxnId(i));
+            } else {
+                e.committed.push(TxnId(i));
+            }
+            e.live_after = 0;
+            probe.on_step_end(&e);
+            assert_eq!(probe.tracked(), 0);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters[steady_names::COMMITS], 90);
+        assert_eq!(snap.counters[steady_names::ABORTS], 10);
+        assert_eq!(snap.histograms[steady_names::SOJOURN].count, 90);
+    }
+
+    #[test]
+    fn retirements_of_unseen_txns_are_ignored() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut probe = SteadyStateProbe::new(Arc::clone(&registry), 0);
+        let mut e = fx(3);
+        e.committed.push(TxnId(42)); // arrived before attachment
+        probe.on_step_end(&e);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters[steady_names::COMMITS], 0);
+    }
+}

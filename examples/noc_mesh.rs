@@ -13,7 +13,7 @@
 use dtm_core::{FifoPolicy, GreedyPolicy};
 use dtm_graph::topology;
 use dtm_model::{
-    ArrivalProcess, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
+    FiniteArrivals, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
 };
 use dtm_sim::{run_policy, EngineConfig, RunResult};
 
@@ -25,7 +25,7 @@ fn mesh_workload(rate: f64, seed: u64) -> (dtm_graph::Network, Instance) {
         num_objects: 64,
         k: 2,
         object_choice: ObjectChoice::Neighborhood { radius: 2 },
-        arrival: ArrivalProcess::Bernoulli { rate, horizon: 50 },
+        arrival: FiniteArrivals::Bernoulli { rate, horizon: 50 },
     };
     let instance = WorkloadGenerator::new(spec, seed).generate(&network);
     (network, instance)

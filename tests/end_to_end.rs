@@ -5,7 +5,7 @@
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::topology;
 use dtm_model::{
-    ArrivalProcess, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
+    FiniteArrivals, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
 };
 use dtm_offline::{competitive_ratio, ListScheduler};
 use dtm_sim::{run_policy, validate_events, EngineConfig, SchedulingPolicy, ValidationConfig};
@@ -15,7 +15,7 @@ fn online_workload(net: &dtm_graph::Network, seed: u64) -> Instance {
         num_objects: (net.n() as u32 / 2).max(2),
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.2,
             horizon: 25,
         },
@@ -101,7 +101,7 @@ fn zipf_contention_still_clean() {
         num_objects: 8,
         k: 3,
         object_choice: ObjectChoice::Zipf { exponent: 1.2 },
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.3,
             horizon: 20,
         },
@@ -126,7 +126,7 @@ fn burst_arrivals_all_policies() {
         num_objects: 6,
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bursts {
+        arrival: FiniteArrivals::Bursts {
             period: 12,
             per_burst: 8,
             bursts: 3,

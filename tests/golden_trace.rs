@@ -14,7 +14,7 @@
 use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, TspPolicy};
 use dtm_graph::{topology, Network};
 use dtm_integration::render;
-use dtm_model::{ArrivalProcess, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
+use dtm_model::{FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec};
 use dtm_offline::ListScheduler;
 use dtm_sim::{run_policy, EngineConfig, SchedulingPolicy};
 use std::path::PathBuf;
@@ -27,7 +27,7 @@ fn scenario() -> (Network, dtm_model::Instance) {
         num_objects: 8,
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.25,
             horizon: 40,
         },

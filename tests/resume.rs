@@ -14,7 +14,7 @@ use dtm_core::{BucketPolicy, DistributedBucketPolicy, FifoPolicy, GreedyPolicy, 
 use dtm_graph::{topology, Network};
 use dtm_integration::render;
 use dtm_model::{
-    ArrivalProcess, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
+    FiniteArrivals, Instance, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
 };
 use dtm_offline::ListScheduler;
 use dtm_sim::{Engine, EngineConfig, SchedulingPolicy};
@@ -35,7 +35,7 @@ fn instance(net: &Network, seed: u64) -> Instance {
         num_objects: 6,
         k: 2,
         object_choice: ObjectChoice::Uniform,
-        arrival: ArrivalProcess::Bernoulli {
+        arrival: FiniteArrivals::Bernoulli {
             rate: 0.3,
             horizon: 30,
         },

@@ -1,0 +1,244 @@
+//! Open-system streaming integration tests: a seeded Poisson stream can
+//! run for 100k+ steps with bounded memory — the arena's slot high-water
+//! mark stays pinned to the peak *live* set, per-transaction history maps
+//! stay empty under [`Retention::Streaming`], and everything is
+//! deterministic across repeat runs.
+//!
+//! Also property-tests [`TxnArena`] slot recycling directly: under
+//! arbitrary insert/remove churn, slots never outgrow the peak number of
+//! simultaneously live transactions.
+
+use dtm_core::{FifoPolicy, GreedyPolicy};
+use dtm_graph::{topology, NodeId};
+use dtm_model::{ArrivalProcess, ObjectId, OpenLoopSource, Time, Transaction, TxnId, WorkloadSpec};
+use dtm_sim::{Engine, EngineConfig, LiveTxn, Retention, RunStatus, TxnArena};
+use dtm_telemetry::{steady_names, MetricsRegistry, SteadyStateProbe};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn streaming_config(warmup: Time, max_steps: Time) -> EngineConfig {
+    EngineConfig {
+        retention: Retention::Streaming { warmup },
+        record_events: false,
+        max_steps,
+        ..EngineConfig::default()
+    }
+}
+
+/// The acceptance-criteria run: 100k steps of seeded Poisson arrivals on
+/// a clique, asserting the arena never allocates more slots than the
+/// peak live set and the run stays open (never drains, never hits the
+/// step limit early).
+#[test]
+fn poisson_stream_runs_100k_steps_with_bounded_arena() {
+    let net = topology::clique(8);
+    let spec = WorkloadSpec::batch_uniform(8, 2);
+    let source = OpenLoopSource::new(net.clone(), spec, ArrivalProcess::Poisson { rate: 0.5 }, 42);
+    let mut kernel = Engine::new(net, GreedyPolicy::new(), streaming_config(1_000, u64::MAX))
+        .into_kernel(source);
+    let ran = kernel.run_for(100_000);
+    assert_eq!(ran, 100_000, "open run must not stop early");
+    assert_eq!(kernel.status(), RunStatus::Open);
+    assert!(!kernel.drained(), "a Poisson source is never exhausted");
+
+    // Bounded memory: the free-list recycles slots, so the arena high
+    // water is exactly the peak live set — independent of the ~50k
+    // transactions that streamed through.
+    let hwm = kernel.arena_high_water();
+    assert_eq!(hwm, kernel.peak_live());
+    assert!(
+        hwm < 1_000,
+        "arena high water {hwm} not O(backlog) after 100k steps"
+    );
+    assert!(kernel.commit_count() > 40_000, "throughput collapsed");
+
+    // Steady-state latency histogram is populated past the warmup.
+    let soj = kernel.sojourn_latency();
+    assert!(soj.count() > 0);
+    assert!(soj.percentile(0.50) <= soj.percentile(0.95));
+}
+
+/// 50k-step kernel-level churn check on a line (slower topology, deeper
+/// backlog): live-slot count tracks the backlog, with no monotonic slot
+/// growth between probes taken every 5k steps.
+#[test]
+fn live_slot_count_tracks_backlog_not_throughput() {
+    let net = topology::line(12);
+    let spec = WorkloadSpec::batch_uniform(6, 2);
+    let source = OpenLoopSource::new(net.clone(), spec, ArrivalProcess::Poisson { rate: 0.3 }, 7);
+    let mut kernel =
+        Engine::new(net, GreedyPolicy::new(), streaming_config(500, u64::MAX)).into_kernel(source);
+    let mut probes = Vec::new();
+    for _ in 0..10 {
+        kernel.run_for(5_000);
+        probes.push((kernel.arena_high_water(), kernel.commit_count()));
+    }
+    let (final_hwm, final_commits) = *probes.last().unwrap();
+    assert!(final_commits > 10_000, "line should still commit steadily");
+    assert!(
+        final_hwm < 500,
+        "slot high water {final_hwm} grew with throughput, not backlog"
+    );
+    // No monotonic growth: the high-water mark saturates once the
+    // steady-state backlog has been reached (first probe window covers
+    // the cold start).
+    let early_hwm = probes[1].0;
+    assert!(
+        final_hwm <= early_hwm.saturating_mul(2),
+        "slot high water kept climbing: {probes:?}"
+    );
+}
+
+/// Same seed, same stream: two independent 20k-step streaming runs agree
+/// on every observable.
+#[test]
+fn streaming_runs_are_deterministic() {
+    let run = || {
+        let net = topology::grid(&[3, 3]);
+        let spec = WorkloadSpec::batch_uniform(6, 2);
+        let source = OpenLoopSource::new(
+            net.clone(),
+            spec,
+            ArrivalProcess::OnOff {
+                rate: 1.0,
+                on: 16,
+                off: 48,
+            },
+            99,
+        );
+        let mut kernel = Engine::new(net, FifoPolicy::new(), streaming_config(1_000, u64::MAX))
+            .into_kernel(source);
+        kernel.run_for(20_000);
+        (
+            kernel.commit_count(),
+            kernel.last_commit_at(),
+            kernel.live_count(),
+            kernel.arena_high_water(),
+            kernel.sojourn_latency().count(),
+            kernel.sojourn_latency().percentile(0.95),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Drained-vs-open semantics: a finite trace drains (status `Drained`);
+/// the same engine config on an open source keeps reporting `Open`; an
+/// open source truncated by `max_steps` reports `StepLimit`.
+#[test]
+fn run_status_distinguishes_drained_open_and_limit() {
+    let net = topology::clique(4);
+    let spec = WorkloadSpec::batch_uniform(4, 2);
+
+    // Finite: a closed batch drains.
+    let inst = dtm_model::WorkloadGenerator::new(spec.clone(), 5).generate(&net);
+    let mut kernel = Engine::new(net.clone(), GreedyPolicy::new(), EngineConfig::default())
+        .into_kernel(dtm_model::TraceSource::new(inst));
+    while !kernel.done() {
+        kernel.tick();
+    }
+    assert_eq!(kernel.status(), RunStatus::Drained);
+    assert!(kernel.drained());
+
+    // Open: never drains on its own.
+    let source = OpenLoopSource::new(
+        net.clone(),
+        spec.clone(),
+        ArrivalProcess::Poisson { rate: 0.2 },
+        5,
+    );
+    let mut kernel = Engine::new(
+        net.clone(),
+        GreedyPolicy::new(),
+        streaming_config(0, u64::MAX),
+    )
+    .into_kernel(source);
+    kernel.run_for(200);
+    assert_eq!(kernel.status(), RunStatus::Open);
+
+    // Open + max_steps: the limit, not the source, ends the run.
+    let source = OpenLoopSource::new(net.clone(), spec, ArrivalProcess::Poisson { rate: 0.2 }, 5);
+    let mut kernel =
+        Engine::new(net, GreedyPolicy::new(), streaming_config(0, 100)).into_kernel(source);
+    while !kernel.done() {
+        kernel.tick();
+    }
+    assert_eq!(kernel.status(), RunStatus::StepLimit);
+    assert!(!kernel.drained());
+}
+
+/// The telemetry probe's live-set tracking agrees with the kernel across
+/// an open run: backlog gauge == kernel live count at every probe point,
+/// commit counter == kernel commit count at the end.
+#[test]
+fn steady_state_probe_tracks_kernel_backlog() {
+    let net = topology::clique(8);
+    let spec = WorkloadSpec::batch_uniform(8, 2);
+    let source = OpenLoopSource::new(net.clone(), spec, ArrivalProcess::Poisson { rate: 0.6 }, 17);
+    // Probe warmup 0: its commit counter must then agree exactly with
+    // the kernel's (a nonzero warmup would skip cold-start generations).
+    let registry = Arc::new(MetricsRegistry::new());
+    let probe = SteadyStateProbe::new(Arc::clone(&registry), 0);
+    let mut kernel = Engine::new(net, GreedyPolicy::new(), streaming_config(200, u64::MAX))
+        .with_observer(probe)
+        .into_kernel(source);
+    for _ in 0..20 {
+        kernel.run_for(500);
+        let snapshot = registry.snapshot();
+        let gauge = snapshot.gauges[steady_names::BACKLOG_NOW];
+        assert_eq!(gauge as usize, kernel.live_count());
+    }
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counters[steady_names::COMMITS],
+        kernel.commit_count()
+    );
+}
+
+fn txn(id: u64) -> LiveTxn {
+    LiveTxn {
+        txn: Transaction::new(TxnId(id), NodeId(0), [ObjectId((id % 4) as u32)], 0),
+        scheduled: None,
+    }
+}
+
+proptest! {
+    /// Arena churn property: for any interleaving of inserts and removes,
+    /// the slot high-water mark equals the peak number of simultaneously
+    /// live transactions — removal really recycles slots, and generation
+    /// counters keep recycled ids distinct.
+    #[test]
+    fn arena_slots_never_outgrow_peak_live(ops in proptest::collection::vec(0u16..1024, 1..400)) {
+        let mut arena = TxnArena::new();
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        let mut peak = 0usize;
+        for op in ops {
+            // Odd byte = insert; even = remove the oldest live (if any).
+            if op % 2 == 1 || live.is_empty() {
+                arena.insert(txn(next_id));
+                live.push(next_id);
+                next_id += 1;
+            } else {
+                let id = live.remove((op as usize / 2) % live.len());
+                let removed = arena.remove(TxnId(id));
+                prop_assert!(removed.is_some());
+            }
+            peak = peak.max(arena.len());
+            prop_assert_eq!(arena.len(), live.len());
+        }
+        prop_assert_eq!(arena.peak_live(), peak);
+        prop_assert!(arena.slot_high_water() <= peak);
+        // Every survivor is still reachable under its own id.
+        for &id in &live {
+            prop_assert!(arena.get(TxnId(id)).is_some());
+        }
+        // Compaction truncates past the highest live slot (interior
+        // holes may remain) without losing survivors.
+        arena.compact();
+        prop_assert!(arena.slot_len() >= live.len());
+        prop_assert!(arena.slot_len() <= peak);
+        for &id in &live {
+            prop_assert!(arena.get(TxnId(id)).is_some());
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use dtm_core::{BucketPolicy, BucketStats, GreedyPolicy, GreedyStats};
 use dtm_graph::topology;
 use dtm_model::{
-    ArrivalProcess, ClosedLoopSource, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
+    ClosedLoopSource, FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator, WorkloadSpec,
 };
 use dtm_offline::{competitive_ratio, LineScheduler, ListScheduler};
 use dtm_sim::{run_policy, EngineConfig};
@@ -30,7 +30,7 @@ fn theorem1_bound_many_topologies() {
                 num_objects: 8,
                 k: 3,
                 object_choice: ObjectChoice::Uniform,
-                arrival: ArrivalProcess::Bernoulli {
+                arrival: FiniteArrivals::Bernoulli {
                     rate: 0.25,
                     horizon: 15,
                 },
@@ -68,7 +68,7 @@ fn theorem2_uniform_bound() {
             num_objects: 6,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.3,
                 horizon: 12,
             },
@@ -101,7 +101,7 @@ fn bucket_lemmas_on_line_and_grid() {
             num_objects: 8,
             k: 2,
             object_choice: ObjectChoice::Uniform,
-            arrival: ArrivalProcess::Bernoulli {
+            arrival: FiniteArrivals::Bernoulli {
                 rate: 0.25,
                 horizon: 25,
             },
