@@ -218,6 +218,34 @@ fn bench_engine_run(c: &mut Criterion) {
             })
         },
     );
+    // Same run with the continuous-observability stack attached: flight
+    // recorder (default K) + health watchdogs. Budget: <= 2% over the
+    // bare engine row — the recorder writes one Copy record per step
+    // into a preallocated ring and the watchdogs update O(1) detectors.
+    // The recorder/monitor are constructed once outside the timing loop:
+    // they are long-run black boxes (built once, then riding 10^6-step
+    // runs), so the row measures their per-step cost, not the one-time
+    // O(K) ring allocation; reuse across iterations is sound because a
+    // finished run retires every live transaction, leaving the monitor's
+    // tracking state empty.
+    c.bench_function(
+        "substrate/engine/greedy-hypercube8-1000steps-flightrec",
+        |b| {
+            let recorder = dtm_telemetry::flight_recorder(dtm_telemetry::DEFAULT_FLIGHT_K);
+            let monitor = dtm_telemetry::health_monitor(dtm_telemetry::HealthConfig::default());
+            b.iter(|| {
+                let stack = dtm_telemetry::ObservabilityStack::new(
+                    Arc::clone(&recorder),
+                    Arc::clone(&monitor),
+                );
+                let res = Engine::new(net.clone(), GreedyPolicy::new(), cfg.clone())
+                    .with_observer(stack)
+                    .run(TraceSource::new(inst.clone()));
+                let seen = recorder.lock().steps_seen();
+                std::hint::black_box((res.metrics.committed, seen))
+            })
+        },
+    );
 }
 
 fn config() -> Criterion {

@@ -48,16 +48,32 @@ fn print_histogram(name: &str, h: &HistogramSnapshot) {
     }
 }
 
+/// Print `msg` to stderr and exit nonzero. Reports must fail gracefully
+/// on bad input — an operator pointing this at a truncated or empty file
+/// gets a diagnosis, not a panic.
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_report: {msg}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let path = args
-        .get(1)
-        .expect("usage: trace_report <run.jsonl> [--top K] [--chrome out.json]");
-    let top_k: usize = flag_value(&args, "--top")
-        .map(|v| v.parse().expect("--top takes an integer"))
-        .unwrap_or(10);
-    let raw = std::fs::read_to_string(path).expect("readable trace file");
-    let trace = RunTrace::from_jsonl(&raw).expect("valid run trace JSONL");
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        fail("usage: trace_report <run.jsonl> [--top K] [--chrome out.json]");
+    };
+    let top_k: usize = match flag_value(&args, "--top") {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--top takes an integer, got {v:?}"))),
+        None => 10,
+    };
+    let raw =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    if raw.trim().is_empty() {
+        fail(&format!("{path} is empty — not a run trace"));
+    }
+    let trace = RunTrace::from_jsonl(&raw)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid run-trace JSONL: {e}")));
 
     println!("policy          : {}", trace.policy);
     println!("steps           : {}", trace.metrics.steps);
@@ -126,9 +142,11 @@ fn main() {
 
     if let Some(out) = flag_value(&args, "--chrome") {
         let chrome = trace.chrome_trace();
-        let n = validate_chrome_trace(&chrome).expect("chrome trace validates");
-        std::fs::write(&out, serde_json::to_string(&chrome).expect("serializes"))
-            .expect("chrome trace writable");
+        let n = validate_chrome_trace(&chrome)
+            .unwrap_or_else(|e| fail(&format!("chrome trace failed validation: {e}")));
+        let body = serde_json::to_string(&chrome)
+            .unwrap_or_else(|e| fail(&format!("chrome trace failed to serialize: {e}")));
+        std::fs::write(&out, body).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
         println!("\nchrome trace    : {out} ({n} events) -- load at ui.perfetto.dev");
     }
 }

@@ -18,7 +18,7 @@
 //! Every cell is deterministic (seeded source, pure kernel) — the tables
 //! are byte-identical at any `--jobs` level.
 
-use crate::runner::{run_stream, StreamSummary};
+use crate::runner::{run_stream_labeled, StreamSummary};
 use crate::{ParallelGrid, Table};
 use dtm_core::{BucketPolicy, FifoPolicy, GreedyPolicy};
 use dtm_graph::{topology, Network};
@@ -80,7 +80,9 @@ pub fn run(quick: bool) -> Vec<Table> {
                         ArrivalProcess::Poisson { rate },
                         1700,
                     );
-                    let s = run_stream(
+                    let label = format!("e17-{}-{policy}-poisson-r{rate}", net.name());
+                    let s = run_stream_labeled(
+                        &label,
                         net,
                         source,
                         policy_for(policy, net),
@@ -94,6 +96,44 @@ pub fn run(quick: bool) -> Vec<Table> {
         }
     }
     let cells: Vec<(String, f64, StreamSummary)> = grid.run();
+
+    // Adversarial-rate sweep (E17c): same grid shape, but arrivals come
+    // from the deterministic adversarial process — bursts aimed at the
+    // moment the backlog drains — at a reduced rate set (the adversary
+    // needs fewer swept points to expose the stability gap vs Poisson at
+    // equal ρ). ROADMAP item-1 leftover.
+    let adv_rates: Vec<f64> = if quick {
+        vec![0.4, 1.2]
+    } else {
+        vec![0.2, 0.4, 0.8, 1.6]
+    };
+    let mut adv_grid = ParallelGrid::new("E17c");
+    for net in &nets {
+        for policy in policies {
+            for &rate in &adv_rates {
+                adv_grid.cell(move || {
+                    let source = OpenLoopSource::new(
+                        net.clone(),
+                        spec_for(net),
+                        ArrivalProcess::Adversarial { rate },
+                        1700,
+                    );
+                    let label = format!("e17-{}-{policy}-adversarial-r{rate}", net.name());
+                    let s = run_stream_labeled(
+                        &label,
+                        net,
+                        source,
+                        policy_for(policy, net),
+                        EngineConfig::default(),
+                        steps,
+                        warmup,
+                    );
+                    (net.name().to_string(), rate, s)
+                });
+            }
+        }
+    }
+    let adv_cells: Vec<(String, f64, StreamSummary)> = adv_grid.run();
 
     let mut sweep = Table::new(
         "E17 — open-system stability sweep: Poisson arrivals at rate ρ (system-wide txns/step)",
@@ -185,12 +225,44 @@ pub fn run(quick: bool) -> Vec<Table> {
     }
     flush(&block, &mut best, &mut knee);
 
-    vec![sweep, knee]
+    let mut adv = Table::new(
+        "E17c — adversarial-rate sweep: deterministic burst arrivals at rate ρ",
+        &[
+            "topology",
+            "policy",
+            "ρ",
+            "committed",
+            "backlog@end",
+            "slope/step",
+            "p95 lat",
+            "verdict",
+        ],
+    );
+    for (net_name, rate, s) in &adv_cells {
+        adv.row(vec![
+            net_name.clone(),
+            s.policy.clone(),
+            format!("{rate}"),
+            s.committed.to_string(),
+            s.backlog_end.to_string(),
+            format!("{:+.4}", s.backlog_slope),
+            s.p95_latency.to_string(),
+            if s.is_stable(SLOPE_TOL) {
+                "stable"
+            } else {
+                "OVERLOAD"
+            }
+            .to_string(),
+        ]);
+    }
+
+    vec![sweep, knee, adv]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_stream;
 
     #[test]
     fn quick_stability_sweep_completes() {
@@ -199,6 +271,37 @@ mod tests {
         assert_eq!(tables[0].len(), 18);
         // One knee row per (topology, policy) block.
         assert_eq!(tables[1].len(), 6);
+        // Adversarial sweep: 2 topologies x 3 policies x 2 rates.
+        assert_eq!(tables[2].len(), 12);
+    }
+
+    #[test]
+    fn adversarial_pressure_is_at_least_poisson_pressure() {
+        // At equal mean rate the adversarial process concentrates
+        // arrivals into bursts; the backlog it builds on a line under
+        // FIFO must be at least as bad as a stable low-rate run's.
+        let net = topology::line(12);
+        let run_with = |process| {
+            let source = OpenLoopSource::new(net.clone(), spec_for(&net), process, 1700);
+            run_stream(
+                &net,
+                source,
+                FifoPolicy::new(),
+                EngineConfig::default(),
+                2_000,
+                500,
+            )
+        };
+        let adv = run_with(ArrivalProcess::Adversarial { rate: 1.2 });
+        assert!(
+            !adv.is_stable(SLOPE_TOL),
+            "adversarial ρ=1.2 on line(12)/fifo must overload, slope {:+.4}",
+            adv.backlog_slope
+        );
+        // Deterministic: same cell twice, same numbers.
+        let again = run_with(ArrivalProcess::Adversarial { rate: 1.2 });
+        assert_eq!(adv.committed, again.committed);
+        assert_eq!(adv.backlog_end, again.backlog_end);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod runner;
 pub mod table;
 
 pub use grid::ParallelGrid;
-pub use runner::{run_stream, run_summary, run_summary_with, StreamSummary, Summary, WorkloadKind};
+pub use runner::{
+    run_stream, run_stream_labeled, run_stream_observed, run_summary, run_summary_with,
+    ObserveSpec, StreamObservation, StreamSummary, Summary, WorkloadKind,
+};
 pub use table::Table;
 
 use std::sync::OnceLock;
@@ -83,4 +86,58 @@ pub fn telemetry_flag() -> Option<std::path::PathBuf> {
                 .map(std::path::PathBuf::from)
         })
         .clone()
+}
+
+/// The continuous-observability flags shared by the streaming bins
+/// (`--health`, `--flight-k <K>`, `--expose-every <N>`); see
+/// [`ObsFlags`]. Parsed once per process and cached, exactly like
+/// [`telemetry_flag`], so parallel grid cells all observe the same
+/// state.
+pub fn obs_flags() -> &'static ObsFlags {
+    static OBS: OnceLock<ObsFlags> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        let value = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        ObsFlags {
+            health: args.iter().any(|a| a == "--health"),
+            flight_k: value("--flight-k")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&k| k > 0),
+            expose_every: value("--expose-every")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 0),
+        }
+    })
+}
+
+/// Process-wide continuous-observability switches for streaming runs
+/// (attached by [`run_stream`] when any is on; outputs land in the
+/// `--telemetry` directory, defaulting to `observability/`):
+///
+/// * `--health` — attach the `dtm_telemetry::HealthMonitor` watchdogs
+///   and report their events;
+/// * `--flight-k <K>` — attach a K-step `dtm_telemetry::FlightRecorder`
+///   and dump it at the end of the run (plus an onset dump at the first
+///   health event, when `--health` is also on);
+/// * `--expose-every <N>` — flush live metrics every N steps as JSON +
+///   Prometheus text.
+#[derive(Clone, Debug, Default)]
+pub struct ObsFlags {
+    /// `--health` present.
+    pub health: bool,
+    /// `--flight-k <K>` value.
+    pub flight_k: Option<usize>,
+    /// `--expose-every <N>` value.
+    pub expose_every: Option<u64>,
+}
+
+impl ObsFlags {
+    /// True when any observability switch is on.
+    pub fn any(&self) -> bool {
+        self.health || self.flight_k.is_some() || self.expose_every.is_some()
+    }
 }

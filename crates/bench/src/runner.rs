@@ -185,6 +185,76 @@ impl StreamSummary {
     }
 }
 
+/// What a streaming run should observe and where its artifacts land.
+/// Built from the process-wide [`crate::obs_flags`] by [`run_stream`] /
+/// [`run_stream_labeled`], or constructed directly (tests, `long_haul`).
+#[derive(Clone, Debug)]
+pub struct ObserveSpec {
+    /// Attach the [`dtm_telemetry::HealthMonitor`] watchdogs.
+    pub health: Option<dtm_telemetry::HealthConfig>,
+    /// Attach a K-step [`dtm_telemetry::FlightRecorder`]; its dump is
+    /// written at the end of the run as `<label>.flight.jsonl` (plus an
+    /// onset dump `<label>.onset.flight.jsonl` at the first health
+    /// event, when the monitor is also attached).
+    pub flight_k: Option<usize>,
+    /// Flush live metrics every N steps as `<label>.live.json` +
+    /// `<label>.prom`.
+    pub expose_every: Option<u64>,
+    /// Directory artifacts are written into (created on demand).
+    pub dir: PathBuf,
+    /// Unique file-stem for this run's artifacts. Callers running many
+    /// cells (e.g. a rate sweep) must make this distinguish every cell —
+    /// the flight/exposition writers overwrite by name.
+    pub label: String,
+    /// Feed [`dtm_telemetry::HealthMonitor::probe_arena`] from
+    /// [`dtm_sim::StepKernel::vitals`] every this many steps (0 = never).
+    pub arena_probe_every: u64,
+}
+
+impl ObserveSpec {
+    /// Spec from the process-wide flags; `None` when no flag is on.
+    /// Artifacts go to the `--telemetry` directory when that flag is
+    /// set, else `observability/`.
+    pub fn from_flags(label: &str) -> Option<ObserveSpec> {
+        let flags = crate::obs_flags();
+        if !flags.any() {
+            return None;
+        }
+        Some(ObserveSpec {
+            health: flags.health.then(dtm_telemetry::HealthConfig::default),
+            flight_k: flags.flight_k,
+            expose_every: flags.expose_every,
+            dir: crate::telemetry_flag().unwrap_or_else(|| PathBuf::from("observability")),
+            label: slug(label),
+            arena_probe_every: 256,
+        })
+    }
+}
+
+/// What the attached observers saw during one streaming run.
+#[derive(Clone, Debug, Default)]
+pub struct StreamObservation {
+    /// Health events, in emission order (empty when no monitor).
+    pub health_events: Vec<dtm_telemetry::HealthEvent>,
+    /// Health emissions dropped past the event cap.
+    pub health_suppressed: u64,
+    /// Final flight dump path, when a recorder was attached and wrote.
+    pub flight_dump: Option<PathBuf>,
+    /// Onset dump path, when the monitor auto-dumped at its first event.
+    pub onset_dump: Option<PathBuf>,
+    /// Exposition flushes completed.
+    pub expose_flushes: u64,
+    /// First I/O error any artifact writer hit (runs never panic on it).
+    pub io_error: Option<String>,
+}
+
+impl StreamObservation {
+    /// True when no watchdog fired and every artifact write succeeded.
+    pub fn is_healthy(&self) -> bool {
+        self.health_events.is_empty() && self.health_suppressed == 0 && self.io_error.is_none()
+    }
+}
+
 /// Drive `policy` against a (typically never-exhausting) `source` for
 /// exactly `steps` steps under [`Retention::Streaming`] and summarize the
 /// steady state. The closed-batch [`run_summary`] panics on violations
@@ -193,6 +263,12 @@ impl StreamSummary {
 /// helper instead reports backlog trajectory, bounded-memory high-water
 /// marks and post-warmup sojourn percentiles. Fully deterministic for a
 /// deterministic source/policy, at any `--jobs` level.
+///
+/// When any [`crate::obs_flags`] switch is on, the continuous-observability
+/// stack (recorder / health monitor / exposer) rides along, with artifact
+/// names derived from the sidecar scope + policy + network; callers whose
+/// cells differ in more than that (e.g. a rate sweep) must use
+/// [`run_stream_labeled`] to keep artifact names unique.
 pub fn run_stream<P: SchedulingPolicy, S: WorkloadSource>(
     network: &Network,
     source: S,
@@ -201,17 +277,200 @@ pub fn run_stream<P: SchedulingPolicy, S: WorkloadSource>(
     steps: Time,
     warmup: Time,
 ) -> StreamSummary {
+    let label = format!(
+        "{}-{}-{}",
+        current_sidecar_scope(),
+        policy.name(),
+        network.name()
+    );
+    run_stream_labeled(&label, network, source, policy, config, steps, warmup)
+}
+
+/// [`run_stream`] with an explicit artifact label: `label` (slugged)
+/// names every observability artifact this run writes, so sweep callers
+/// can encode the full cell identity (rate, source kind, …) and keep
+/// parallel cells from colliding. With no observability flag on, the
+/// label is unused and this is exactly [`run_stream`].
+pub fn run_stream_labeled<P: SchedulingPolicy, S: WorkloadSource>(
+    label: &str,
+    network: &Network,
+    source: S,
+    policy: P,
+    config: EngineConfig,
+    steps: Time,
+    warmup: Time,
+) -> StreamSummary {
+    match ObserveSpec::from_flags(label) {
+        Some(spec) => run_stream_observed(network, source, policy, config, steps, warmup, &spec).0,
+        None => run_stream_inner(network, source, policy, config, steps, warmup, None).0,
+    }
+}
+
+/// [`run_stream`] with the continuous-observability stack attached per
+/// `spec`, returning what the observers saw alongside the summary.
+/// Attaching observers never changes the summary — they are passive —
+/// so the table a sweep prints is byte-identical with or without them.
+pub fn run_stream_observed<P: SchedulingPolicy, S: WorkloadSource>(
+    network: &Network,
+    source: S,
+    policy: P,
+    config: EngineConfig,
+    steps: Time,
+    warmup: Time,
+    spec: &ObserveSpec,
+) -> (StreamSummary, StreamObservation) {
+    let (summary, obs) =
+        run_stream_inner(network, source, policy, config, steps, warmup, Some(spec));
+    (summary, obs.unwrap_or_default())
+}
+
+/// Observer handles riding one streaming run.
+struct ObserveAttach {
+    recorder: Option<dtm_telemetry::FlightRecorderHandle>,
+    monitor: Option<dtm_telemetry::HealthMonitorHandle>,
+    /// Sink + steady probe feeding the exposed registry (attached to the
+    /// engine, only read back through the exposer's snapshots).
+    sink: Option<std::sync::Arc<parking_lot::Mutex<dtm_telemetry::TelemetrySink>>>,
+    probe: Option<std::sync::Arc<parking_lot::Mutex<dtm_telemetry::SteadyStateProbe>>>,
+    exposer: Option<std::sync::Arc<parking_lot::Mutex<dtm_telemetry::PeriodicExposer>>>,
+    probe_every: u64,
+    dir: PathBuf,
+    label: String,
+}
+
+impl ObserveAttach {
+    fn build(spec: &ObserveSpec, warmup: Time) -> std::io::Result<ObserveAttach> {
+        use std::sync::Arc;
+        std::fs::create_dir_all(&spec.dir)?;
+        let recorder = spec.flight_k.map(dtm_telemetry::flight_recorder);
+        let monitor = spec.health.clone().map(|cfg| {
+            let mut m = dtm_telemetry::HealthMonitor::new(cfg);
+            if let Some(rec) = &recorder {
+                let onset = spec.dir.join(format!("{}.onset.flight.jsonl", spec.label));
+                m = m.with_auto_dump(Arc::clone(rec), onset);
+            }
+            Arc::new(parking_lot::Mutex::new(m))
+        });
+        let mut sink = None;
+        let mut probe = None;
+        let exposer = spec.expose_every.map(|every| {
+            // The exposer only snapshots; a telemetry sink and a
+            // steady-state probe sharing its registry produce the
+            // numbers the snapshots carry.
+            let registry = Arc::new(dtm_telemetry::MetricsRegistry::new());
+            sink = Some(Arc::new(parking_lot::Mutex::new(
+                dtm_telemetry::TelemetrySink::new(Arc::clone(&registry)),
+            )));
+            probe = Some(Arc::new(parking_lot::Mutex::new(
+                dtm_telemetry::SteadyStateProbe::new(Arc::clone(&registry), warmup),
+            )));
+            let ex = dtm_telemetry::PeriodicExposer::new(registry, every)
+                .with_json(spec.dir.join(format!("{}.live.json", spec.label)))
+                .with_prom(spec.dir.join(format!("{}.prom", spec.label)));
+            Arc::new(parking_lot::Mutex::new(ex))
+        });
+        Ok(ObserveAttach {
+            recorder,
+            monitor,
+            sink,
+            probe,
+            exposer,
+            probe_every: spec.arena_probe_every,
+            dir: spec.dir.clone(),
+            label: spec.label.clone(),
+        })
+    }
+
+    /// Collect results and write the final flight dump.
+    fn finish(self) -> StreamObservation {
+        let mut out = StreamObservation::default();
+        if let Some(monitor) = &self.monitor {
+            let m = monitor.lock();
+            out.health_events = m.events().to_vec();
+            out.health_suppressed = m.suppressed();
+            match m.dump_result() {
+                Some(Ok(path)) => out.onset_dump = Some(path.clone()),
+                Some(Err(e)) => out.io_error = Some(e.clone()),
+                None => {}
+            }
+        }
+        if let Some(recorder) = &self.recorder {
+            let mut text = recorder.lock().dump();
+            if let Some(monitor) = &self.monitor {
+                text.push_str(&monitor.lock().events_jsonl());
+            }
+            let path = self.dir.join(format!("{}.flight.jsonl", self.label));
+            match std::fs::write(&path, text) {
+                Ok(()) => out.flight_dump = Some(path),
+                Err(e) => {
+                    out.io_error
+                        .get_or_insert(format!("flight dump to {}: {e}", path.display()));
+                }
+            }
+        }
+        if let Some(exposer) = &self.exposer {
+            let mut ex = exposer.lock();
+            ex.flush_now();
+            out.expose_flushes = ex.flushes();
+            if let Some(e) = ex.last_error() {
+                out.io_error.get_or_insert(e.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// The shared drive loop behind [`run_stream`] and
+/// [`run_stream_observed`].
+fn run_stream_inner<P: SchedulingPolicy, S: WorkloadSource>(
+    network: &Network,
+    source: S,
+    policy: P,
+    config: EngineConfig,
+    steps: Time,
+    warmup: Time,
+    spec: Option<&ObserveSpec>,
+) -> (StreamSummary, Option<StreamObservation>) {
+    use std::sync::Arc;
     assert!(warmup < steps, "warmup must leave a measurement window");
     let policy_name = policy.name();
     let mut config = config;
     config.retention = Retention::Streaming { warmup };
     config.record_events = false;
     config.max_steps = config.max_steps.max(steps);
-    let mut kernel = Engine::new(network.clone(), policy, config).into_kernel(source);
+    let attach = spec.map(|s| ObserveAttach::build(s, warmup).expect("observability dir writable"));
+    let mut engine = Engine::new(network.clone(), policy, config);
+    if let Some(a) = &attach {
+        match (&a.recorder, &a.monitor) {
+            // Both on: fuse them so the kernel probes one observer with
+            // lock-free answers instead of paying two mutex round-trips
+            // per per-tick question.
+            (Some(rec), Some(mon)) => {
+                engine = engine.with_observer(dtm_telemetry::ObservabilityStack::new(
+                    Arc::clone(rec),
+                    Arc::clone(mon),
+                ));
+            }
+            (Some(rec), None) => engine = engine.with_observer(Arc::clone(rec)),
+            (None, Some(mon)) => engine = engine.with_observer(Arc::clone(mon)),
+            (None, None) => {}
+        }
+        if let Some(sink) = &a.sink {
+            engine = engine.with_observer(Arc::clone(sink));
+        }
+        if let Some(probe) = &a.probe {
+            engine = engine.with_observer(Arc::clone(probe));
+        }
+        if let Some(ex) = &a.exposer {
+            engine = engine.with_observer(Arc::clone(ex));
+        }
+    }
+    let mut kernel = engine.into_kernel(source);
     let mid = warmup + (steps - warmup) / 2;
     let (mut sum_early, mut n_early) = (0u128, 0u64);
     let (mut sum_late, mut n_late) = (0u128, 0u64);
     let mut aborted = 0u64;
+    let probe_every = attach.as_ref().map_or(0, |a| a.probe_every);
     while kernel.now() < steps {
         let Some(fx) = kernel.tick() else { break };
         aborted += fx.aborted.len() as u64;
@@ -224,13 +483,21 @@ pub fn run_stream<P: SchedulingPolicy, S: WorkloadSource>(
                 n_late += 1;
             }
         }
+        if probe_every != 0 && kernel.now().is_multiple_of(probe_every) {
+            if let Some(monitor) = attach.as_ref().and_then(|a| a.monitor.as_ref()) {
+                let v = kernel.vitals();
+                monitor
+                    .lock()
+                    .probe_arena(v.now, v.arena_high_water, v.peak_live);
+            }
+        }
     }
     let mean = |sum: u128, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
     let backlog_early_mean = mean(sum_early, n_early);
     let backlog_late_mean = mean(sum_late, n_late);
     let half_window = (((steps - warmup) / 2).max(1)) as f64;
     let soj = kernel.sojourn_latency();
-    StreamSummary {
+    let summary = StreamSummary {
         policy: policy_name,
         n: network.n(),
         steps: kernel.now(),
@@ -246,7 +513,8 @@ pub fn run_stream<P: SchedulingPolicy, S: WorkloadSource>(
         p95_latency: soj.percentile(0.95),
         max_latency: soj.max(),
         mean_latency: soj.mean(),
-    }
+    };
+    (summary, attach.map(ObserveAttach::finish))
 }
 
 thread_local! {

@@ -1,0 +1,120 @@
+//! Regression tests for the report binaries' input handling: both
+//! `trace_report` and `flight_report` must fail *gracefully* — an error
+//! message on stderr and a nonzero exit, never a panic — on empty,
+//! truncated, or malformed JSONL, and must render valid input.
+
+use dtm_sim::{StepEffects, StepObserver};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_bin(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .expect("report binary spawns")
+}
+
+fn tmp_file(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dtm-report-bins-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("fixture writable");
+    path
+}
+
+/// The failure contract: exit code 2, a diagnostic on stderr, no panic.
+fn assert_graceful(out: &Output, what: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{what}: expected exit 2, got {:?} (stderr: {stderr})",
+        out.status.code()
+    );
+    assert!(!stderr.is_empty(), "{what}: no diagnostic on stderr");
+    assert!(
+        !stderr.contains("panicked"),
+        "{what}: panicked instead of failing gracefully: {stderr}"
+    );
+}
+
+#[test]
+fn trace_report_fails_gracefully_on_bad_input() {
+    let exe = env!("CARGO_BIN_EXE_trace_report");
+    assert_graceful(&run_bin(exe, &[]), "no args");
+    let empty = tmp_file("trace-empty.jsonl", "");
+    assert_graceful(&run_bin(exe, &[empty.to_str().unwrap()]), "empty file");
+    let blank = tmp_file("trace-blank.jsonl", "\n  \n");
+    assert_graceful(&run_bin(exe, &[blank.to_str().unwrap()]), "whitespace file");
+    let garbage = tmp_file("trace-garbage.jsonl", "not json at all\n");
+    assert_graceful(&run_bin(exe, &[garbage.to_str().unwrap()]), "garbage");
+    let truncated = tmp_file(
+        "trace-truncated.jsonl",
+        "{\"type\":\"meta\",\"data\":{\"pol",
+    );
+    assert_graceful(&run_bin(exe, &[truncated.to_str().unwrap()]), "truncated");
+    assert_graceful(&run_bin(exe, &["/nonexistent/trace.jsonl"]), "missing file");
+    let ok_but_bad_flag = tmp_file("trace-flag.jsonl", "{\"type\":\"meta\",\"data\":{}}\n");
+    assert_graceful(
+        &run_bin(exe, &[ok_but_bad_flag.to_str().unwrap(), "--top", "NaN"]),
+        "non-integer --top",
+    );
+}
+
+#[test]
+fn flight_report_fails_gracefully_on_bad_input() {
+    let exe = env!("CARGO_BIN_EXE_flight_report");
+    assert_graceful(&run_bin(exe, &[]), "no args");
+    let empty = tmp_file("flight-empty.jsonl", "");
+    assert_graceful(&run_bin(exe, &[empty.to_str().unwrap()]), "empty file");
+    let garbage = tmp_file("flight-garbage.jsonl", "not json at all\n");
+    assert_graceful(&run_bin(exe, &[garbage.to_str().unwrap()]), "garbage");
+    // A dump cut mid-line (what a killed process leaves behind).
+    let truncated = tmp_file(
+        "flight-truncated.jsonl",
+        "{\"type\":\"flight_meta\",\"data\":{\"version\"",
+    );
+    assert_graceful(&run_bin(exe, &[truncated.to_str().unwrap()]), "truncated");
+    // Valid JSON lines that violate the dump schema (no meta first).
+    let no_meta = tmp_file(
+        "flight-no-meta.jsonl",
+        "{\"type\":\"flight_step\",\"data\":{\"t\":1}}\n",
+    );
+    assert_graceful(
+        &run_bin(exe, &[no_meta.to_str().unwrap()]),
+        "schema violation",
+    );
+    assert_graceful(
+        &run_bin(exe, &["/nonexistent/run.flight.jsonl"]),
+        "missing file",
+    );
+}
+
+#[test]
+fn flight_report_renders_a_real_dump() {
+    // Produce a genuine dump through the recorder, then render it.
+    let mut rec = dtm_telemetry::FlightRecorder::new(8);
+    for t in 0..20u64 {
+        let fx = StepEffects {
+            t,
+            live_after: (t % 5) as usize,
+            ..StepEffects::default()
+        };
+        rec.on_step_end(&fx);
+    }
+    let dump = rec.dump();
+    dtm_telemetry::validate_flight_dump(&dump).expect("dump validates");
+    let path = tmp_file("flight-valid.jsonl", &dump);
+    let exe = env!("CARGO_BIN_EXE_flight_report");
+    let out = run_bin(exe, &[path.to_str().unwrap(), "--tail", "3"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ring capacity K : 8"), "{stdout}");
+    assert!(stdout.contains("steps seen      : 20"), "{stdout}");
+    assert!(stdout.contains("newest 3 step records"), "{stdout}");
+    assert!(stdout.contains("health events   : none"), "{stdout}");
+}

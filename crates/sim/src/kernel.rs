@@ -73,6 +73,10 @@ pub struct StepKernel<P, S> {
     forwarding: BTreeMap<(ObjectId, NodeId), NodeId>,
 
     observers: Vec<Box<dyn StepObserver>>,
+    /// Per-tick bitmask of observers accepting `on_phase` this step
+    /// (bit i = observer i; observers past bit 63 are always called).
+    /// Recomputed at the top of every tick, never checkpointed.
+    phase_mask: u64,
     events: Vec<Event>,
     violations: Vec<Violation>,
     comm_cost: u64,
@@ -112,6 +116,24 @@ pub enum RunStatus {
     Drained,
     /// The inclusive step limit was exceeded with the run still open.
     StepLimit,
+}
+
+/// Kernel gauges bundled for external health probes; see
+/// [`StepKernel::vitals`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelVitals {
+    /// The step the next tick will execute.
+    pub now: Time,
+    /// Live (generated, uncommitted) transactions.
+    pub live: usize,
+    /// Commits so far.
+    pub commit_count: u64,
+    /// Time of the latest commit (0 before the first).
+    pub last_commit_at: Time,
+    /// Arena slot high-water mark ([`StepKernel::arena_high_water`]).
+    pub arena_high_water: usize,
+    /// Peak simultaneously-live transactions ([`StepKernel::peak_live`]).
+    pub peak_live: usize,
 }
 
 /// A deterministic snapshot of a [`StepKernel`] between two ticks.
@@ -167,6 +189,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             edge_load: BTreeMap::new(),
             forwarding: BTreeMap::new(),
             observers,
+            phase_mask: 0,
             events: Vec::new(),
             violations: Vec::new(),
             comm_cost: 0,
@@ -276,6 +299,21 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
         self.peak_live
     }
 
+    /// One-call bundle of the kernel gauges an external health probe
+    /// wants per sample (observers cannot see the kernel, so harnesses
+    /// read this between ticks and forward it — e.g. to
+    /// `HealthMonitor::probe_arena` in `dtm-telemetry`).
+    pub fn vitals(&self) -> KernelVitals {
+        KernelVitals {
+            now: self.now,
+            live: self.state.txns().len(),
+            commit_count: self.commit_count,
+            last_commit_at: self.last_commit,
+            arena_high_water: self.arena_high_water(),
+            peak_live: self.peak_live,
+        }
+    }
+
     /// Advance exactly one time step through all phases, returning its
     /// effects — or `None` if the run is already [`StepKernel::done`].
     pub fn tick(&mut self) -> Option<&StepEffects> {
@@ -288,6 +326,15 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
         // Timing is decided once per tick: when every attached observer
         // declines (or none is attached), no phase pays for Instant::now.
         let timed = !self.observers.is_empty() && self.observers.iter().any(|o| o.wants_timing(t));
+        // Phase callbacks likewise: ask each observer once per tick, not
+        // five times, so effects-only observers (health monitors, ring
+        // recorders on unsampled steps) cost nothing during phases.
+        self.phase_mask = 0;
+        for (i, obs) in self.observers.iter().enumerate().take(64) {
+            if obs.wants_phases(t) {
+                self.phase_mask |= 1 << i;
+            }
+        }
 
         // 0. Object creation.
         self.create_objects(t);
@@ -385,6 +432,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 edge_load: self.edge_load.clone(),
                 forwarding: self.forwarding.clone(),
                 observers: Vec::new(),
+                phase_mask: 0,
                 events: self.events.clone(),
                 violations: self.violations.clone(),
                 comm_cost: self.comm_cost,
@@ -472,11 +520,14 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     }
 
     fn phase_end(&mut self, t: Time, phase: Phase, items: usize, started: Option<Instant>) {
-        if self.observers.is_empty() {
+        if self.phase_mask == 0 && self.observers.len() <= 64 {
             return;
         }
         let elapsed = started.map_or(std::time::Duration::ZERO, |s| s.elapsed());
-        for obs in &mut self.observers {
+        for (i, obs) in self.observers.iter_mut().enumerate() {
+            if i < 64 && self.phase_mask & (1 << i) == 0 {
+                continue;
+            }
             obs.on_phase(t, phase, items, elapsed);
         }
     }

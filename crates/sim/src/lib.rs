@@ -50,7 +50,7 @@ pub use effects::{Delivery, Departure, StepEffects};
 pub use engine::{run_policy, Engine, EngineConfig, Retention};
 pub use events::Event;
 pub use gantt::{render_timeline, TimelineOptions};
-pub use kernel::{RunCheckpoint, RunStatus, StepKernel};
+pub use kernel::{KernelVitals, RunCheckpoint, RunStatus, StepKernel};
 pub use metrics::{
     edge_congestion, peak_congestion, percentile, LatencySummary, Log2Histogram, Metrics,
     RunResult, Violation,

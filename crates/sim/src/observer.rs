@@ -90,6 +90,21 @@ pub trait StepObserver {
         let _ = t;
         true
     }
+
+    /// Whether this observer wants [`StepObserver::on_phase`] callbacks
+    /// at step `t`.
+    ///
+    /// Observers that work purely from the end-of-step effects (health
+    /// watchdogs, ring recorders on unsampled steps) return `false` to
+    /// skip five no-op calls per step — for shared `Arc<Mutex<_>>`
+    /// handles that is five lock round-trips. The kernel asks once per
+    /// tick; a declined step also forfeits that step's timing
+    /// callbacks, so keep this consistent with
+    /// [`StepObserver::wants_timing`].
+    fn wants_phases(&self, t: Time) -> bool {
+        let _ = t;
+        true
+    }
 }
 
 /// Accumulated statistics for one phase.
@@ -169,6 +184,10 @@ impl<T: StepObserver> StepObserver for Arc<Mutex<T>> {
 
     fn wants_timing(&self, t: Time) -> bool {
         self.lock().wants_timing(t)
+    }
+
+    fn wants_phases(&self, t: Time) -> bool {
+        self.lock().wants_phases(t)
     }
 }
 

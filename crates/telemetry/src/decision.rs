@@ -125,16 +125,48 @@ pub struct Decision {
 }
 
 /// An append-only log of scheduling decisions.
+///
+/// By default the log is unbounded (suits finite batch runs, where the
+/// whole trace is exported afterwards). Open-system runs that only want
+/// a recent-decisions tail — e.g. feeding a
+/// [`crate::FlightRecorder`] — should use [`DecisionTrace::bounded`],
+/// which retains the most recent `cap` decisions and counts evictions.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTrace {
-    /// Decisions in the order they were taken.
+    /// Decisions in the order they were taken (oldest first; in bounded
+    /// mode, the most recent `cap`).
     pub decisions: Vec<Decision>,
+    /// Retention cap (`None` = unbounded).
+    cap: Option<usize>,
+    /// Decisions evicted by the cap.
+    dropped: u64,
 }
 
 impl DecisionTrace {
-    /// Append one decision.
+    /// Bounded trace retaining the most recent `cap` decisions
+    /// (clamped to ≥ 1). O(cap) memory regardless of run length.
+    pub fn bounded(cap: usize) -> Self {
+        DecisionTrace {
+            decisions: Vec::new(),
+            cap: Some(cap.max(1)),
+            dropped: 0,
+        }
+    }
+
+    /// Append one decision, evicting the oldest when at the cap.
     pub fn push(&mut self, d: Decision) {
+        if let Some(cap) = self.cap {
+            if self.decisions.len() == cap {
+                self.decisions.remove(0);
+                self.dropped += 1;
+            }
+        }
         self.decisions.push(d);
+    }
+
+    /// Decisions evicted so far (always 0 when unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Decisions about `txn`, in order.
@@ -195,6 +227,37 @@ mod tests {
         assert_eq!(mine.len(), 2);
         assert_eq!(mine[1].exec_at, Some(9));
         assert_eq!(mine[0].kind.tag(), "bucket-insert");
+    }
+
+    #[test]
+    fn bounded_trace_keeps_a_recent_tail() {
+        let mut t = DecisionTrace::bounded(3);
+        for i in 0..7u64 {
+            t.push(Decision {
+                t: i,
+                txn: TxnId(i),
+                exec_at: None,
+                kind: DecisionKind::FifoQueue {
+                    queue_position: i as usize,
+                },
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 4);
+        let ts: Vec<Time> = t.decisions.iter().map(|d| d.t).collect();
+        assert_eq!(ts, vec![4, 5, 6], "most recent tail, oldest first");
+        // Unbounded default never drops.
+        let mut u = DecisionTrace::default();
+        for i in 0..7u64 {
+            u.push(Decision {
+                t: i,
+                txn: TxnId(i),
+                exec_at: None,
+                kind: DecisionKind::FifoQueue { queue_position: 0 },
+            });
+        }
+        assert_eq!(u.len(), 7);
+        assert_eq!(u.dropped(), 0);
     }
 
     #[test]

@@ -18,7 +18,16 @@
 //!   the policy's [`DecisionTrace`] and the sink's sampled
 //!   [`PhaseSpan`]s, exportable as JSONL or Chrome `trace_event` JSON
 //!   ([`RunTrace::chrome_trace`], Perfetto-loadable, validated by
-//!   [`validate_chrome_trace`]).
+//!   [`validate_chrome_trace`]);
+//! * [`FlightRecorder`] — a bounded ring buffer of per-step records
+//!   (O(K) memory regardless of run length) with a deterministic JSONL
+//!   [`FlightRecorder::dump`] — the black box for long open-system runs;
+//! * [`HealthMonitor`] — typed [`HealthEvent`] watchdogs (overload,
+//!   commit stall, starvation, arena drift) over the step stream, with
+//!   flight-recorder auto-dump on first event;
+//! * [`PeriodicExposer`] — periodic [`MetricsSnapshot`] flushing to JSON
+//!   and/or Prometheus text format ([`prometheus_text`]) while a run is
+//!   still in flight.
 //!
 //! Observation is strictly passive: attaching any of these to an engine
 //! or policy must never change a run's schedule, events or metrics (the
@@ -30,12 +39,23 @@
 #![warn(missing_docs)]
 
 pub mod decision;
+pub mod expose;
+pub mod flight;
+pub mod health;
 pub mod registry;
 pub mod sink;
 pub mod steady;
 pub mod trace;
 
 pub use decision::{decision_trace, Decision, DecisionKind, DecisionTrace, DecisionTraceHandle};
+pub use expose::{prometheus_text, PeriodicExposer};
+pub use flight::{
+    flight_recorder, validate_flight_dump, FlightDumpSummary, FlightRecord, FlightRecorder,
+    FlightRecorderHandle, ObservabilityStack, DEFAULT_FLIGHT_K, DEFAULT_FLIGHT_TIMING_SAMPLE,
+};
+pub use health::{
+    health_monitor, HealthConfig, HealthEvent, HealthEventKind, HealthMonitor, HealthMonitorHandle,
+};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };

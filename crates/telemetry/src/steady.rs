@@ -115,6 +115,10 @@ impl StepObserver for SteadyStateProbe {
         false // never ask the engine to pay for Instant::now
     }
 
+    fn wants_phases(&self, _t: Time) -> bool {
+        false // step-granular probe: no phase callbacks needed
+    }
+
     fn on_step_end(&mut self, effects: &StepEffects) {
         let t = effects.t;
         for &id in &effects.arrived {

@@ -94,6 +94,69 @@ fn empty_arrival_steady_ticks_do_not_allocate() {
     }
 }
 
+/// The continuous-observability stack must not break the idle-tick
+/// guarantee: with a flight recorder (K=256) and the health watchdogs
+/// attached, a warmed-up tick with no arrivals and no live transactions
+/// still performs zero heap allocations — the recorder overwrites its
+/// preallocated ring in place and the monitor's detectors update O(1)
+/// scalars and an already-full window.
+#[test]
+fn idle_ticks_with_recorder_and_monitor_do_not_allocate() {
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let net = topology::clique(8);
+    let spec = WorkloadSpec::batch_uniform(8, 2);
+    let source = OpenLoopSource::new(
+        net.clone(),
+        spec,
+        ArrivalProcess::OnOff {
+            rate: 2.0,
+            on: 50,
+            off: 10_000,
+        },
+        11,
+    );
+    let config = EngineConfig {
+        retention: Retention::Streaming { warmup: 0 },
+        record_events: false,
+        max_steps: u64::MAX,
+        ..EngineConfig::default()
+    };
+    let recorder = dtm_telemetry::flight_recorder(256);
+    let monitor = Arc::new(Mutex::new(dtm_telemetry::HealthMonitor::new(
+        dtm_telemetry::HealthConfig::default(),
+    )));
+    let mut kernel = Engine::new(net, GreedyPolicy::new(), config)
+        .with_observer(Arc::clone(&recorder))
+        .with_observer(Arc::clone(&monitor))
+        .into_kernel(source);
+
+    // Warm up: fill the ring (> K steps) and the slope window, drain the
+    // burst.
+    kernel.run_for(2_000);
+    assert_eq!(kernel.live_count(), 0, "burst did not drain");
+    assert_eq!(recorder.lock().len(), 256, "ring warmed to capacity");
+
+    for step in 0..1_000u64 {
+        let before = allocations();
+        kernel.tick();
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "idle tick {step} (t={}) allocated with observers attached",
+            kernel.now()
+        );
+    }
+    assert_eq!(recorder.lock().steps_seen(), 3_000);
+    assert!(
+        monitor.lock().is_healthy(),
+        "idle stream tripped a watchdog: {:?}",
+        monitor.lock().events()
+    );
+}
+
 /// Allocation growth across a long steady run is bounded: after warmup,
 /// 10k further steps of a *live* Poisson stream allocate O(arrivals) —
 /// not O(steps x live-set) — demonstrating per-tick buffer reuse under

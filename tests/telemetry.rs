@@ -1,8 +1,9 @@
 //! Observability must never perturb a run: attaching the full telemetry
-//! stack (phase profiler + metrics/trace sink + per-policy decision
-//! trace) to the golden-trace scenario must leave the schedule, commits,
-//! metrics and the entire event log byte-identical to the bare run, for
-//! every online policy.
+//! stack (phase profiler + metrics/trace sink + steady-state probe +
+//! flight recorder + health monitor + per-policy decision trace) to the
+//! golden-trace scenario must leave the schedule, commits, metrics and
+//! the entire event log byte-identical to the bare run, for every
+//! online policy.
 //!
 //! Also checks the structured exports end to end: the JSONL round trip
 //! and the Chrome `trace_event` document against the schema validator.
@@ -13,7 +14,8 @@ use dtm_model::{FiniteArrivals, ObjectChoice, TraceSource, WorkloadGenerator, Wo
 use dtm_offline::ListScheduler;
 use dtm_sim::{run_policy, Engine, EngineConfig, PhaseProfile, RunResult, SchedulingPolicy};
 use dtm_telemetry::{
-    decision_trace, validate_chrome_trace, DecisionTrace, MetricsRegistry, RunTrace, TelemetrySink,
+    decision_trace, flight_recorder, health_monitor, validate_chrome_trace, DecisionTrace,
+    HealthConfig, MetricsRegistry, RunTrace, SteadyStateProbe, TelemetrySink,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -35,8 +37,9 @@ fn scenario() -> (Network, dtm_model::Instance) {
     (net, inst)
 }
 
-/// Run `policy` with the full telemetry stack attached; returns the run
-/// plus the captured side channels.
+/// Run `policy` with the full observer stack attached — metrics/trace
+/// sink, phase profiler, steady-state probe, flight recorder, and
+/// health watchdogs; returns the run plus the captured side channels.
 fn observed_run(
     net: &Network,
     inst: dtm_model::Instance,
@@ -48,10 +51,28 @@ fn observed_run(
         TelemetrySink::new(Arc::clone(&registry)).with_full_timing(),
     ));
     let profile = Arc::new(Mutex::new(PhaseProfile::default()));
+    let probe = Arc::new(Mutex::new(SteadyStateProbe::new(Arc::clone(&registry), 0)));
+    let recorder = flight_recorder(32);
+    let monitor = health_monitor(HealthConfig::default());
     let res = Engine::new(net.clone(), policy, config)
         .with_observer(Arc::clone(&sink))
         .with_observer(Arc::clone(&profile))
+        .with_observer(Arc::clone(&probe))
+        .with_observer(Arc::clone(&recorder))
+        .with_observer(Arc::clone(&monitor))
         .run(TraceSource::new(inst));
+    // The recorder saw every step and its dump is schema-valid; the
+    // benign golden scenario must not trip any watchdog.
+    {
+        let rec = recorder.lock();
+        assert!(rec.steps_seen() > 0, "recorder observed the run");
+        dtm_telemetry::validate_flight_dump(&rec.dump()).expect("flight dump schema-valid");
+        assert!(
+            monitor.lock().is_healthy(),
+            "golden scenario fired a watchdog: {:?}",
+            monitor.lock().events()
+        );
+    }
     let spans = sink.lock().take_spans();
     let trace = RunTrace::from_run(&res, spans, None);
     (res, trace)
