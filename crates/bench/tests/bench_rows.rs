@@ -1,0 +1,81 @@
+//! Schema validation for the repository's append-only benchmark ledger
+//! (`BENCH_substrate.json`, one JSON object per line).
+//!
+//! The ledger's comparison rule — numbers are only comparable *within*
+//! one `run_context` (same container era, same machine state) — only
+//! works if rows are uniquely keyed by `(bench, run_context)`: a second
+//! row reusing the same key would silently pool measurements taken
+//! under different conditions. This test pins that key discipline plus
+//! the basic row shape, so appending a malformed or colliding row fails
+//! CI instead of corrupting later comparisons.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn ledger_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_substrate.json")
+}
+
+#[test]
+fn bench_rows_are_keyed_by_bench_and_run_context() {
+    let raw = std::fs::read_to_string(ledger_path()).expect("BENCH_substrate.json readable");
+    let mut keys: BTreeSet<(String, Option<String>)> = BTreeSet::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {n}: not JSON: {e}"));
+        assert!(
+            matches!(row, serde_json::Value::Object(_)),
+            "line {n}: not an object"
+        );
+
+        // Required shape.
+        let bench = row
+            .get("bench")
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| panic!("line {n}: missing string field `bench`"));
+        let mean = row
+            .get("mean_ns")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("line {n}: missing numeric field `mean_ns`"));
+        assert!(mean > 0.0, "line {n}: non-positive mean_ns");
+        let samples = row
+            .get("samples")
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("line {n}: missing integer field `samples`"));
+        assert!(samples >= 1, "line {n}: zero samples");
+
+        // When the spread fields are present they must be ordered.
+        if let (Some(min), Some(median), Some(max)) = (
+            row.get("min_ns").and_then(|v| v.as_f64()),
+            row.get("median_ns").and_then(|v| v.as_f64()),
+            row.get("max_ns").and_then(|v| v.as_f64()),
+        ) {
+            assert!(
+                min <= median && median <= max,
+                "line {n}: min/median/max out of order"
+            );
+        }
+
+        // The key discipline: one row per (bench, run_context). Rows
+        // from before run_context existed key on (bench, None).
+        let ctx = row
+            .get("run_context")
+            .map(|v| {
+                v.as_str()
+                    .unwrap_or_else(|| panic!("line {n}: run_context is not a string"))
+                    .to_owned()
+            });
+        let key = (bench.to_owned(), ctx);
+        assert!(
+            keys.insert(key.clone()),
+            "line {n}: duplicate (bench, run_context) key {key:?} — \
+             append under a new run_context (or bench suffix) instead of \
+             pooling rows measured under different machine states"
+        );
+    }
+    assert!(!keys.is_empty(), "ledger is empty");
+}

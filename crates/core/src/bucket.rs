@@ -143,6 +143,19 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
             .max_level
             .get_or_insert_with(|| view.network.max_bucket_level());
         self.cache.refresh(view);
+        // The batch context re-projects every object position; skip
+        // building it on quiet steps (no arrivals to insert, no bucket
+        // activating). Buckets never hold empty vecs — entries are
+        // created by a push and removed whole on activation — so
+        // `activating` exactly predicts whether the loop below has work.
+        let now = view.now;
+        let activating = self
+            .buckets
+            .iter()
+            .any(|(&i, b)| !b.is_empty() && now.is_multiple_of(self.period_multiplier << i));
+        if arrivals.is_empty() && !activating {
+            return Schedule::new();
+        }
         let mut ctx = self.cache.context(view);
 
         // Insertion (before activation, as in Algorithm 2).
@@ -155,7 +168,6 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
 
         // Activation: level i fires when t is a multiple of 2^i; lower
         // levels first, feeding the fixed context of higher levels.
-        let now = view.now;
         let mut fragment = Schedule::new();
         for i in 0..=max_level {
             if !now.is_multiple_of(self.period_multiplier << i) {

@@ -42,19 +42,27 @@ impl ColorConstraint {
 /// at most that many integers, so some value in `[0, 2Γ - Δ]` is free, and
 /// the smallest free value can only be smaller.
 pub fn smallest_valid_color(constraints: &[ColorConstraint]) -> Time {
+    smallest_valid_color_into(constraints, &mut Vec::new())
+}
+
+/// [`smallest_valid_color`] with a caller-provided interval scratch
+/// buffer, so hot paths (the greedy schedule phase) can amortize the
+/// allocation across calls. `ranges` is cleared before use.
+pub fn smallest_valid_color_into(
+    constraints: &[ColorConstraint],
+    ranges: &mut Vec<(Time, Time)>,
+) -> Time {
     // Forbidden open intervals as inclusive integer ranges
     // [color - weight + 1, color + weight - 1], clamped at 0.
-    let mut ranges: Vec<(Time, Time)> = constraints
-        .iter()
-        .map(|c| {
-            let lo = (c.color + 1).saturating_sub(c.weight);
-            let hi = c.color + c.weight - 1;
-            (lo, hi)
-        })
-        .collect();
+    ranges.clear();
+    ranges.extend(constraints.iter().map(|c| {
+        let lo = (c.color + 1).saturating_sub(c.weight);
+        let hi = c.color + c.weight - 1;
+        (lo, hi)
+    }));
     ranges.sort_unstable();
     let mut candidate: Time = 0;
-    for (lo, hi) in ranges {
+    for &(lo, hi) in ranges.iter() {
         if lo > candidate {
             break; // gap found before this range starts
         }
@@ -113,8 +121,20 @@ pub fn smallest_valid_color_uniform(beta: Weight, taken: &[Time]) -> Time {
 /// Constraint colors here are absolute times; in-transit holders may carry
 /// weights other than `beta`.
 pub fn smallest_valid_multiple(beta: Weight, after: Time, constraints: &[ColorConstraint]) -> Time {
+    smallest_valid_multiple_into(beta, after, constraints, &mut Vec::new())
+}
+
+/// [`smallest_valid_multiple`] with a caller-provided scratch buffer for
+/// the forbidden-multiple set (cleared before use) — the allocation-free
+/// variant for the schedule hot path.
+pub fn smallest_valid_multiple_into(
+    beta: Weight,
+    after: Time,
+    constraints: &[ColorConstraint],
+    forbidden: &mut Vec<Time>,
+) -> Time {
     assert!(beta >= 1, "beta must be positive");
-    let mut forbidden: Vec<Time> = Vec::new();
+    forbidden.clear();
     for c in constraints {
         // Multiples k with |k*beta - color| < weight.
         let k_low = (c.color + 1).saturating_sub(c.weight).div_ceil(beta);
@@ -126,7 +146,7 @@ pub fn smallest_valid_multiple(beta: Weight, after: Time, constraints: &[ColorCo
     forbidden.sort_unstable();
     forbidden.dedup();
     let mut k: Time = after / beta + 1;
-    for f in forbidden {
+    for &f in forbidden.iter() {
         match f.cmp(&k) {
             std::cmp::Ordering::Less => continue,
             std::cmp::Ordering::Equal => k += 1,

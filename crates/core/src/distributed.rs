@@ -27,6 +27,7 @@
 //! order, each seeing the previous leaders' output as fixed — the
 //! centralized simulation of the same serialization.
 
+use crate::conflict::ConflictCache;
 use crate::viewctx::FixedCache;
 use dtm_graph::{ClusterId, Graph, Network, SparseCover};
 use dtm_model::{Schedule, Time, Transaction, TxnId};
@@ -71,8 +72,9 @@ struct PendingReport {
 /// **Boundedness (open-system audit).** `reporting` entries are removed
 /// when their arrival step is processed and `partials` drain at each
 /// activation; the [`FixedCache`] tracks live scheduled transactions
-/// only. Policy state is O(live set + in-flight reports), safe for
-/// indefinite streaming runs.
+/// only and the [`ConflictCache`] live conflict pairs only. Policy state
+/// is O(live set + in-flight reports), safe for indefinite streaming
+/// runs.
 #[derive(Clone)]
 pub struct DistributedBucketPolicy<A> {
     scheduler: A,
@@ -95,6 +97,9 @@ pub struct DistributedBucketPolicy<A> {
     /// Live protocol-message counter (telemetry registry handle).
     msg_counter: Option<Arc<dtm_telemetry::Counter>>,
     cache: FixedCache,
+    /// Incremental conflict pairs + memoized distances for the discovery
+    /// phase (conflict radius and per-conflict message counts).
+    conflicts: ConflictCache,
 }
 
 /// Double every edge weight of a network (dropping any structured oracle —
@@ -125,6 +130,7 @@ impl<A: BatchScheduler> DistributedBucketPolicy<A> {
             decisions: None,
             msg_counter: None,
             cache: FixedCache::default(),
+            conflicts: ConflictCache::default(),
         }
     }
 
@@ -199,6 +205,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             .max_level
             .get_or_insert_with(|| view.network.max_bucket_level());
         self.cache.refresh(view);
+        self.conflicts.refresh(view);
 
         // 1-3. Discovery + report for this step's arrivals.
         let mut order: Vec<TxnId> = arrivals.to_vec();
@@ -214,14 +221,13 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
                 })
                 .max()
                 .unwrap_or(0);
-            // Conflict radius: furthest conflicting live transaction
-            // (answered from the requester index on arena-backed views).
-            let conflicting = view.conflicting_live(&txn);
-            let conflict_radius: Time = conflicting
-                .iter()
-                .map(|lt| view.network.distance(txn.home, lt.txn.home))
-                .max()
-                .unwrap_or(0);
+            // Conflict radius: furthest conflicting live transaction,
+            // answered from the incremental conflict cache (the arrival
+            // was just folded in by the refresh above).
+            let (n_conflicts, conflict_radius) = self
+                .conflicts
+                .conflict_stats(id)
+                .expect("arrival folded by refresh"); // dtm-lint: allow(C1) -- refresh() above caches every live txn, and arrivals are live
             let y = x.max(conflict_radius);
             let layer = self.cover.lowest_covering_layer(y);
             let cluster = self.cover.home_cluster(txn.home, layer);
@@ -231,7 +237,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             let t_report = now + discovery_delay + report_delay;
             // Messages: discovery round trip per object, one conflict
             // notice per conflicting txn, one report.
-            self.bump_messages(2 * txn.k() as u64 + conflicting.len() as u64 + 1);
+            self.bump_messages(2 * txn.k() as u64 + n_conflicts as u64 + 1);
             if let Some(stats) = &self.stats {
                 let mut s = stats.lock();
                 *s.reports_per_layer.entry(layer).or_insert(0) += 1;
@@ -266,6 +272,17 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
         // 4. Reports that reached their leader by now: partial-bucket
         // insertion (leader-local probe against the doubled network).
         let due: Vec<Time> = self.reporting.range(..=now).map(|(&t, _)| t).collect();
+        // The batch context re-projects every object position, so build it
+        // lazily: on a quiet step (no due report, no bucket activating)
+        // nothing below reads it. Partial buckets are never empty, so
+        // `activating` exactly predicts whether step 5 has work.
+        let activating = self
+            .partials
+            .keys()
+            .any(|&(i, _)| now.is_multiple_of(1u64 << i));
+        if due.is_empty() && !activating {
+            return Schedule::new();
+        }
         let ctx = self.cache.context(view);
         for t in due {
             for report in self.reporting.remove(&t).unwrap_or_default() {

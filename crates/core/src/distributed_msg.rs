@@ -615,9 +615,9 @@ mod tests {
         );
         // The object's trail so far: 0 -> 4 (shortcut recorded by the
         // engine as last departures), 4 -> 5.
-        let mut fwd: BTreeMap<(ObjectId, NodeId), NodeId> = BTreeMap::new();
-        fwd.insert((ObjectId(0), NodeId(0)), NodeId(4));
-        fwd.insert((ObjectId(0), NodeId(4)), NodeId(5));
+        let mut fwd = dtm_sim::ForwardingTable::new(net.n());
+        fwd.insert(ObjectId(0), NodeId(0), NodeId(4));
+        fwd.insert(ObjectId(0), NodeId(4), NodeId(5));
         let view = SystemView::new(10, &net, &live, &objects).with_forwarding(&fwd);
         policy.deliver(
             &view,
@@ -689,7 +689,7 @@ mod tests {
                 last_holder: None,
             },
         );
-        let fwd: BTreeMap<(ObjectId, NodeId), NodeId> = BTreeMap::new();
+        let fwd = dtm_sim::ForwardingTable::new(net.n());
         let view = SystemView::new(8, &net, &live, &objects).with_forwarding(&fwd);
         policy.deliver(
             &view,

@@ -11,8 +11,8 @@
 //! the clique's `O(k)` (Theorem 3) and the hypercube/butterfly/grid
 //! `O(k log n)` competitive bounds (Section III-D).
 
-use crate::coloring::{smallest_valid_color, smallest_valid_multiple};
-use crate::dependency::{constraints_for, extended_degrees};
+use crate::coloring::{smallest_valid_color_into, smallest_valid_multiple_into, ColorConstraint};
+use crate::conflict::ConflictCache;
 use dtm_graph::Weight;
 use dtm_model::{Schedule, Time, TxnId};
 use dtm_sim::{SchedulingPolicy, SystemView};
@@ -44,16 +44,38 @@ pub struct GreedyStats {
     pub assigned: Vec<(TxnId, Time, Time)>,
 }
 
+/// Reusable buffers for the coloring pass, so warmed-up schedule phases
+/// allocate nothing: every `Vec` here keeps its capacity across steps.
+#[derive(Clone, Debug, Default)]
+struct GreedyScratch {
+    /// Sorted arrival batch.
+    order: Vec<TxnId>,
+    /// Constraint set of the transaction currently being colored.
+    constraints: Vec<ColorConstraint>,
+    /// Same-step colors assigned so far (the partial coloring earlier
+    /// arrivals contribute to later ones).
+    colored: BTreeMap<TxnId, Time>,
+    /// Interval scratch for [`smallest_valid_color_into`].
+    ranges: Vec<(Time, Time)>,
+    /// Forbidden-multiple scratch for [`smallest_valid_multiple_into`].
+    forbidden: Vec<Time>,
+}
+
 /// Algorithm 1.
 ///
 /// `Clone` (for [`dtm_sim::SchedulingPolicy::fork`] checkpoints) shares
-/// any attached stats/decision handles — a fork feeds the same sinks.
+/// any attached stats/decision handles — a fork feeds the same sinks —
+/// and deep-copies the incremental conflict cache, which from then on
+/// follows the fork's own view.
 ///
-/// **Boundedness (open-system audit).** Stateless between steps apart
-/// from shared stats/decision sinks: safe for indefinite streaming runs.
+/// **Boundedness (open-system audit).** The [`ConflictCache`] holds only
+/// live transactions and their conflict edges; scratch buffers are sized
+/// by the largest arrival batch. Safe for indefinite streaming runs.
 #[derive(Clone)]
 pub struct GreedyPolicy {
     mode: GreedyMode,
+    cache: ConflictCache,
+    scratch: GreedyScratch,
     stats: Option<Arc<Mutex<GreedyStats>>>,
     decisions: Option<DecisionTraceHandle>,
 }
@@ -63,6 +85,8 @@ impl GreedyPolicy {
     pub fn new() -> Self {
         GreedyPolicy {
             mode: GreedyMode::General,
+            cache: ConflictCache::default(),
+            scratch: GreedyScratch::default(),
             stats: None,
             decisions: None,
         }
@@ -76,6 +100,8 @@ impl GreedyPolicy {
         assert!(beta >= 1);
         GreedyPolicy {
             mode: GreedyMode::Uniform { beta },
+            cache: ConflictCache::default(),
+            scratch: GreedyScratch::default(),
             stats: None,
             decisions: None,
         }
@@ -108,22 +134,32 @@ impl Default for GreedyPolicy {
 
 impl SchedulingPolicy for GreedyPolicy {
     fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
+        // Fold this step's deltas even when there is nothing to color:
+        // skipping a refresh would silently drop the window's effects.
+        self.cache.refresh(view);
         if arrivals.is_empty() {
             return Schedule::new();
         }
-        let mut order: Vec<TxnId> = arrivals.to_vec();
+        let GreedyScratch {
+            order,
+            constraints,
+            colored,
+            ranges,
+            forbidden,
+        } = &mut self.scratch;
+        order.clear();
+        order.extend_from_slice(arrivals);
         order.sort_unstable();
-        let mut colored: BTreeMap<TxnId, Time> = BTreeMap::new();
+        colored.clear();
         let mut fragment = Schedule::new();
-        for id in order {
+        for &id in order.iter() {
             let lt = view.live(id).expect("arrival is live"); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
-            let mut constraints = constraints_for(view, &lt.txn, &colored);
+            let degrees = self.cache.constraints_into(view, &lt.txn, colored, constraints);
             let conflicts = constraints.len();
             let (color, bound) = match self.mode {
                 GreedyMode::General => {
-                    let c = smallest_valid_color(&constraints);
-                    let d = extended_degrees(view, &lt.txn);
-                    (c, d.theorem1_bound())
+                    let c = smallest_valid_color_into(constraints, ranges);
+                    (c, degrees.theorem1_bound())
                 }
                 GreedyMode::Uniform { beta } => {
                     // Work in absolute time so every execution time is an
@@ -134,7 +170,7 @@ impl SchedulingPolicy for GreedyPolicy {
                     // the paper's hypercube treatment); holders keep their
                     // true effective distance.
                     let mut slots: Time = 0; // forbidden-slot budget
-                    for c in &mut constraints {
+                    for c in constraints.iter_mut() {
                         let is_holder = c.color == 0 && c.weight > 0;
                         if is_holder {
                             slots += c.weight.div_ceil(beta);
@@ -144,7 +180,7 @@ impl SchedulingPolicy for GreedyPolicy {
                         }
                         c.color += view.now; // relative -> absolute
                     }
-                    let exec = smallest_valid_multiple(beta, view.now, &constraints);
+                    let exec = smallest_valid_multiple_into(beta, view.now, constraints, forbidden);
                     let c = exec - view.now;
                     // Slot-counting bound: the first candidate slot is at
                     // most β after now, and each dependency blocks at most

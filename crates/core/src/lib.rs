@@ -73,6 +73,7 @@ pub mod adaptive;
 pub mod bucket;
 pub mod centralized;
 pub mod coloring;
+pub mod conflict;
 pub mod dependency;
 pub mod distributed;
 pub mod distributed_msg;
@@ -84,8 +85,10 @@ pub use adaptive::{AutoPolicy, RandomizedBackoffPolicy};
 pub use bucket::{BucketPolicy, BucketStats};
 pub use centralized::CentralizedWrapper;
 pub use coloring::{
-    smallest_valid_color, smallest_valid_color_uniform, smallest_valid_multiple, ColorConstraint,
+    smallest_valid_color, smallest_valid_color_into, smallest_valid_color_uniform,
+    smallest_valid_multiple, smallest_valid_multiple_into, ColorConstraint,
 };
+pub use conflict::ConflictCache;
 pub use dependency::{constraints_for, extended_degrees, ExtendedDegrees};
 pub use distributed::{DistStats, DistributedBucketPolicy};
 pub use distributed_msg::{DistributedMsgPolicy, MsgStats};

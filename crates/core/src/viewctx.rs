@@ -50,6 +50,8 @@ fn object_avail(view: &SystemView<'_>) -> BTreeMap<dtm_model::ObjectId, (dtm_gra
 pub struct FixedCache {
     fixed: BTreeMap<TxnId, (Transaction, Time)>,
     init: bool,
+    /// Refresh counter driving the sampled debug divergence check.
+    refreshes: u64,
 }
 
 impl FixedCache {
@@ -78,8 +80,12 @@ impl FixedCache {
                 self.init = true;
             }
         }
+        self.refreshes = self.refreshes.wrapping_add(1);
+        // Sampled rather than every-step: the full rescan is O(live) with
+        // a clone per scheduled transaction, which made debug-mode
+        // streaming runs pay more for the check than for the work.
         #[cfg(debug_assertions)]
-        {
+        if self.refreshes % crate::conflict::DIVERGENCE_SAMPLE_PERIOD == 0 {
             let full: BTreeMap<TxnId, (Transaction, Time)> = view
                 .live_txns()
                 .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t))))

@@ -153,6 +153,42 @@ impl Network {
             .expect("connected graph: every node routes to every target") // dtm-lint: allow(C1) -- Network::new rejects disconnected graphs, so every tree reaches every node
     }
 
+    /// First hop from `from` toward `target` together with that edge's
+    /// weight — the forward phase's per-departure query, answered in one
+    /// oracle probe. On any shortest-path hop the edge weight equals the
+    /// distance drop `dist(from, target) - dist(next, target)`, so no
+    /// adjacency-list scan is needed.
+    ///
+    /// # Panics
+    /// Panics if `from == target`.
+    pub fn hop_toward(&self, from: NodeId, target: NodeId) -> (NodeId, Weight) {
+        assert_ne!(from, target, "hop_toward requires distinct endpoints");
+        let (next, w) = if let Some(s) = &self.inner.structured {
+            let next = s.next_hop(from, target);
+            (next, s.edge_weight(from, next))
+        } else if let Some(d) = self.dense() {
+            let row = target.index() * d.n;
+            let hop = d.next[row + from.index()];
+            debug_assert_ne!(hop, u32::MAX, "connected graph routes everywhere");
+            (
+                NodeId(hop),
+                d.dist[row + from.index()] - d.dist[row + hop as usize],
+            )
+        } else {
+            let tree = self.tree(target);
+            let next = tree
+                .next_hop(from)
+                .expect("connected graph: every node routes to every target"); // dtm-lint: allow(C1) -- Network::new rejects disconnected graphs, so every tree reaches every node
+            (next, tree.dist(from) - tree.dist(next))
+        };
+        debug_assert_eq!(
+            Some(w),
+            self.inner.graph.edge_weight(from, next),
+            "distance drop along a shortest-path hop is the edge weight"
+        );
+        (next, w)
+    }
+
     /// Full shortest path from `u` to `v` (inclusive endpoints).
     pub fn path(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
         let mut path = vec![u];
@@ -325,6 +361,38 @@ mod tests {
         let net = Network::new(g, None);
         assert_eq!(net.distance(NodeId(0), NodeId(10)), 10);
         assert!(net.dense().is_none());
+    }
+
+    #[test]
+    fn hop_toward_matches_next_hop_and_edge_weight() {
+        // All three oracle backends: structured (hypercube), dense table
+        // (small unstructured), lazy trees (above the dense limit).
+        let nets = [
+            crate::topology::hypercube(4),
+            // Cluster exercises the one non-unit edge weight (γ bridges).
+            crate::topology::cluster(4, 5, 9),
+            crate::topology::random(24, 3, 5, 7),
+            {
+                let mut g = Graph::new(DENSE_LIMIT + 1, "bigpath");
+                for u in 0..DENSE_LIMIT as u32 {
+                    g.add_edge(NodeId(u), NodeId(u + 1), 1 + u as u64 % 3).unwrap();
+                }
+                Network::new(g, None)
+            },
+        ];
+        for net in &nets {
+            let n = net.n() as u32;
+            for u in (0..n).step_by(5) {
+                for v in (0..n).step_by(7) {
+                    if u == v {
+                        continue;
+                    }
+                    let (next, w) = net.hop_toward(NodeId(u), NodeId(v));
+                    assert_eq!(next, net.next_hop(NodeId(u), NodeId(v)));
+                    assert_eq!(Some(w), net.graph().edge_weight(NodeId(u), next));
+                }
+            }
+        }
     }
 
     #[test]

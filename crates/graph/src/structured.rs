@@ -259,6 +259,30 @@ impl Structured {
         }
     }
 
+    /// Weight of an *existing* edge `u - v`, in O(1): every variant is
+    /// unit-weight except [`Structured::Cluster`], whose inter-clique
+    /// bridge edges weigh `bridge_weight`. Callers must pass an actual
+    /// edge of the topology (e.g. a [`Structured::next_hop`] result);
+    /// the routing layer's debug assertions cross-check against the
+    /// generated graph.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Weight {
+        debug_assert_ne!(u, v, "edge_weight requires distinct endpoints");
+        match self {
+            Structured::Cluster {
+                clique_size,
+                bridge_weight,
+                ..
+            } => {
+                if u.0 / clique_size != v.0 / clique_size {
+                    *bridge_weight
+                } else {
+                    1
+                }
+            }
+            _ => 1,
+        }
+    }
+
     /// Diameter in closed form.
     pub fn diameter(&self) -> Weight {
         match self {

@@ -10,7 +10,7 @@ use crate::txn::Transaction;
 use dtm_graph::{Network, NodeId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A stream of transaction arrivals consumed by the simulator.
 ///
@@ -50,33 +50,39 @@ pub trait WorkloadSource {
 #[derive(Debug, Clone)]
 pub struct TraceSource {
     objects: Vec<ObjectInfo>,
-    /// Remaining arrivals, keyed by generation time.
-    pending: BTreeMap<Time, Vec<Transaction>>,
+    /// Remaining arrivals in generation-time order, front-drained as the
+    /// simulator's clock passes each step. The stable sort in
+    /// [`TraceSource::new`] keeps same-step transactions in instance
+    /// order, matching the per-time buckets this queue replaced.
+    pending: VecDeque<Transaction>,
 }
 
 impl TraceSource {
     /// Replay `instance` as-is.
     pub fn new(instance: Instance) -> Self {
-        let mut pending: BTreeMap<Time, Vec<Transaction>> = BTreeMap::new();
-        for t in instance.txns {
-            pending.entry(t.generated_at).or_default().push(t);
-        }
+        let mut txns = instance.txns;
+        txns.sort_by_key(|t| t.generated_at);
         TraceSource {
             objects: instance.objects,
-            pending,
+            pending: txns.into(),
         }
     }
 
     /// Total number of transactions still pending.
     pub fn remaining(&self) -> usize {
-        self.pending.values().map(|v| v.len()).sum()
+        self.pending.len()
     }
 }
 
 impl WorkloadSource for TraceSource {
     fn arrivals_into(&mut self, t: Time, out: &mut Vec<Transaction>) {
-        if let Some(batch) = self.pending.remove(&t) {
-            out.extend(batch);
+        // The trait's strictly-increasing-`t` contract means everything
+        // generated before `t` has already been drained, so the batch for
+        // `t` (if any) sits at the front.
+        while self.pending.front().is_some_and(|x| x.generated_at == t) {
+            if let Some(x) = self.pending.pop_front() {
+                out.push(x);
+            }
         }
     }
 

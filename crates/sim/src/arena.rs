@@ -21,7 +21,108 @@
 use crate::effects::StepEffects;
 use crate::state::{LiveTxn, ObjectState};
 use dtm_model::{ObjectId, TxnId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::VecDeque;
+
+/// Sentinel for a dead id slot in [`IdIndex`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// Live-id → slot map, stored as a dense sliding window.
+///
+/// Transaction ids are handed out monotonically and the live set is a
+/// bounded window of that sequence, so the id index does not need an
+/// ordered tree: slot numbers live in a `VecDeque` indexed by
+/// `id - base` (with [`NO_SLOT`] marking dead ids), giving O(1)
+/// lookup/insert/remove on the engine's hot path. Dead entries at the
+/// front are trimmed on removal, so memory stays O(live id window) —
+/// the same boundedness story as the slot free list. Iteration walks
+/// the window front-to-back: ascending id, exactly the order of the
+/// `BTreeMap` this replaces (pinned by the golden traces).
+#[derive(Clone, Debug, Default)]
+struct IdIndex {
+    /// TxnId of `slots[0]`; meaningful only while `slots` is non-empty.
+    base: u64,
+    slots: VecDeque<u32>,
+    len: usize,
+}
+
+impl IdIndex {
+    #[inline]
+    fn get(&self, id: TxnId) -> Option<u32> {
+        let idx = id.0.checked_sub(self.base)? as usize;
+        match self.slots.get(idx) {
+            Some(&s) if s != NO_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, id: TxnId, slot: u32) {
+        debug_assert_ne!(slot, NO_SLOT);
+        if self.slots.is_empty() {
+            self.base = id.0;
+        } else if id.0 < self.base {
+            // Out-of-order low id (hand-built harness states): grow the
+            // window's front.
+            for _ in id.0..self.base {
+                self.slots.push_front(NO_SLOT);
+            }
+            self.base = id.0;
+        }
+        let idx = (id.0 - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, NO_SLOT);
+        }
+        if std::mem::replace(&mut self.slots[idx], slot) == NO_SLOT {
+            self.len += 1;
+        }
+    }
+
+    fn remove(&mut self, id: TxnId) -> Option<u32> {
+        let idx = id.0.checked_sub(self.base)? as usize;
+        let s = self.slots.get_mut(idx)?;
+        let prev = std::mem::replace(s, NO_SLOT);
+        if prev == NO_SLOT {
+            return None;
+        }
+        self.len -= 1;
+        // Trim the dead front so `base` tracks the live window.
+        while let Some(&NO_SLOT) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        Some(prev)
+    }
+
+    /// `(id, slot)` pairs in ascending id order.
+    fn iter(&self) -> IdIndexIter<'_> {
+        IdIndexIter {
+            base: self.base,
+            inner: self.slots.iter().enumerate(),
+        }
+    }
+}
+
+/// Ascending-id iterator over an [`IdIndex`].
+struct IdIndexIter<'a> {
+    base: u64,
+    inner: std::iter::Enumerate<std::collections::vec_deque::Iter<'a, u32>>,
+}
+
+impl Iterator for IdIndexIter<'_> {
+    type Item = (TxnId, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, &s) in self.inner.by_ref() {
+            if s != NO_SLOT {
+                return Some((TxnId(self.base + i as u64), s));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
+}
 
 /// Arena of live transactions with free-list slot recycling.
 ///
@@ -42,7 +143,7 @@ pub struct TxnArena {
     /// Recycled slot indices, reused LIFO.
     free: Vec<u32>,
     /// Live id → occupied slot, in ascending id order.
-    index: BTreeMap<TxnId, u32>,
+    index: IdIndex,
     /// Largest concurrent live-set size ever observed.
     peak_live: usize,
     /// Largest slot-table length ever observed (monotone; survives
@@ -58,18 +159,18 @@ impl TxnArena {
 
     /// Number of live transactions.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.index.len
     }
 
     /// True if no transaction is live.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.index.len == 0
     }
 
     /// Look up a live transaction.
     #[inline]
     pub fn get(&self, id: TxnId) -> Option<&LiveTxn> {
-        let &slot = self.index.get(&id)?;
+        let slot = self.index.get(id)?;
         self.slots[slot as usize].as_ref()
     }
 
@@ -77,7 +178,7 @@ impl TxnArena {
     /// set (the requester index in [`RuntimeState`] is keyed by it).
     #[inline]
     pub fn get_mut(&mut self, id: TxnId) -> Option<&mut LiveTxn> {
-        let &slot = self.index.get(&id)?;
+        let slot = self.index.get(id)?;
         self.slots[slot as usize].as_mut()
     }
 
@@ -88,7 +189,7 @@ impl TxnArena {
     /// Panics if a transaction with the same id is already live.
     pub fn insert(&mut self, lt: LiveTxn) {
         let id = lt.txn.id;
-        assert!(!self.index.contains_key(&id), "txn {} already live", id);
+        assert!(self.index.get(id).is_none(), "txn {} already live", id);
         let slot = match self.free.pop() {
             Some(s) => s,
             None => {
@@ -105,14 +206,14 @@ impl TxnArena {
         self.generations[i] = self.generations[i].wrapping_add(1);
         self.index.insert(id, slot);
         self.slots[i] = Some(lt);
-        self.peak_live = self.peak_live.max(self.index.len());
+        self.peak_live = self.peak_live.max(self.index.len);
         self.high_water = self.high_water.max(self.slots.len());
     }
 
     /// Remove a live transaction, returning it; its slot joins the free
     /// list for reuse.
     pub fn remove(&mut self, id: TxnId) -> Option<LiveTxn> {
-        let slot = self.index.remove(&id)?;
+        let slot = self.index.remove(id)?;
         let lt = self.slots[slot as usize].take();
         debug_assert!(lt.is_some(), "index pointed at an empty slot");
         self.free.push(slot);
@@ -126,8 +227,8 @@ impl TxnArena {
     /// signal the engine's debug assertions key on.
     pub fn generation(&self, id: TxnId) -> u32 {
         self.index
-            .get(&id)
-            .map(|&s| self.generations[s as usize])
+            .get(id)
+            .map(|s| self.generations[s as usize])
             .unwrap_or(0)
     }
 
@@ -158,8 +259,8 @@ impl TxnArena {
     pub fn compact(&mut self) {
         let keep = self
             .index
-            .values()
-            .map(|&s| s as usize + 1)
+            .iter()
+            .map(|(_, s)| s as usize + 1)
             .max()
             .unwrap_or(0);
         self.slots.truncate(keep);
@@ -172,7 +273,7 @@ impl TxnArena {
 
     /// Live transaction ids in ascending order.
     pub fn ids(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.index.keys().copied()
+        self.index.iter().map(|(id, _)| id)
     }
 
     /// Live transactions in ascending id order.
@@ -186,7 +287,7 @@ impl TxnArena {
 
 /// Id-ordered iterator over a [`TxnArena`].
 pub struct TxnIter<'a> {
-    index: std::collections::btree_map::Iter<'a, TxnId, u32>,
+    index: IdIndexIter<'a>,
     slots: &'a [Option<LiveTxn>],
 }
 
@@ -194,7 +295,7 @@ impl<'a> Iterator for TxnIter<'a> {
     type Item = &'a LiveTxn;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let (_, &slot) = self.index.next()?;
+        let (_, slot) = self.index.next()?;
         self.slots[slot as usize].as_ref()
     }
 
@@ -300,8 +401,12 @@ impl<'a> Iterator for ObjectIter<'a> {
 pub struct RuntimeState {
     txns: TxnArena,
     objects: ObjectArena,
-    /// Per object id: live requesters, maintained on insert/remove.
-    requesters: Vec<BTreeSet<TxnId>>,
+    /// Per object id: live requesters, kept sorted by id and maintained
+    /// on insert/remove. Sorted `Vec`s beat ordered trees here: the
+    /// lists are small (the object's live contention), reads are
+    /// id-ordered iteration, and writes are one binary search plus a
+    /// short shift.
+    requesters: Vec<Vec<TxnId>>,
     effects: StepEffects,
 }
 
@@ -328,9 +433,12 @@ impl RuntimeState {
         for o in lt.txn.objects() {
             let i = o.index();
             if i >= self.requesters.len() {
-                self.requesters.resize_with(i + 1, BTreeSet::new);
+                self.requesters.resize_with(i + 1, Vec::new);
             }
-            self.requesters[i].insert(id);
+            let list = &mut self.requesters[i];
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+            }
         }
         self.txns.insert(lt);
     }
@@ -339,8 +447,10 @@ impl RuntimeState {
     pub fn remove_txn(&mut self, id: TxnId) -> Option<LiveTxn> {
         let lt = self.txns.remove(id)?;
         for o in lt.txn.objects() {
-            if let Some(set) = self.requesters.get_mut(o.index()) {
-                set.remove(&id);
+            if let Some(list) = self.requesters.get_mut(o.index()) {
+                if let Ok(pos) = list.binary_search(&id) {
+                    list.remove(pos);
+                }
             }
         }
         Some(lt)
@@ -368,7 +478,7 @@ impl RuntimeState {
         self.requesters
             .get(o.index())
             .into_iter()
-            .flat_map(|set| set.iter().copied())
+            .flat_map(|list| list.iter().copied())
     }
 
     /// The effects accumulated since the last policy invocation.

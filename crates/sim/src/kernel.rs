@@ -35,13 +35,16 @@ use crate::arena::RuntimeState;
 use crate::effects::{edge_key, Delivery, Departure, StepEffects};
 use crate::engine::{EngineConfig, Retention};
 use crate::events::Event;
+use crate::forwarding::ForwardingTable;
 use crate::metrics::{LatencySummary, Log2Histogram, Metrics, RunResult, Violation};
 use crate::observer::{Phase, StepObserver};
 use crate::policy::SchedulingPolicy;
 use crate::state::{LiveTxn, ObjectPlace, ObjectState, SystemView};
 use dtm_graph::{Network, NodeId};
 use dtm_model::{ObjectId, ObjectInfo, Schedule, Time, Transaction, TxnId, WorkloadSource};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::time::Instant;
 
 /// The engine's run loop as a resumable state machine. See the module
@@ -57,20 +60,57 @@ pub struct StepKernel<P, S> {
     pending_objects: VecDeque<ObjectInfo>,
     /// Arena-backed live transactions, objects and the requester index.
     state: RuntimeState,
-    /// All transactions ever seen (kept for the result / validator).
-    txns: BTreeMap<TxnId, Transaction>,
-    schedule: Schedule,
-    commits: BTreeMap<TxnId, Time>,
-    generated: BTreeMap<TxnId, Time>,
+    /// Transactions retired from the live arena (committed or aborted),
+    /// appended in retirement order. Kept only under full retention for
+    /// the result / validator; still-live leftovers (step-limit
+    /// truncations) are folded in at [`StepKernel::finish`]. An
+    /// append-only log instead of a `BTreeMap` keyed by id: the hot loop
+    /// pays one `Vec` push per retirement and the id-keyed maps the
+    /// result exposes are materialized once, at the end.
+    retired: Vec<Transaction>,
+    /// Append-only (txn, exec_at) log under full retention; materialized
+    /// into the result's [`Schedule`] at [`StepKernel::finish`].
+    sched_log: Vec<(TxnId, Time)>,
+    /// Append-only (txn, commit time) log under full retention.
+    commit_log: Vec<(TxnId, Time)>,
     /// Scheduled, uncommitted transactions ordered by (time, id).
     exec_queue: BTreeSet<(Time, TxnId)>,
-    /// Per object: scheduled pending requesters ordered by (time, id).
-    requesters: BTreeMap<ObjectId, BTreeSet<(Time, TxnId)>>,
-    /// Objects currently traversing each undirected edge.
+    /// Per object (dense, indexed by object id): scheduled pending
+    /// requesters kept sorted by (time, id), each entry carrying its
+    /// transaction's home node so the forward phase resolves an object's
+    /// target without an arena lookup. Sorted `Vec`s beat ordered trees
+    /// here: the forward scan reads `first()` per object per tick, and
+    /// the lists are small (the object's scheduled backlog). Entries are
+    /// removed on commit/abort, so every list's size is bounded by the
+    /// live set — there are no per-transaction tombstones to prune, and
+    /// the vector itself is bounded by the object population (which
+    /// never shrinks by design: objects are the system's shared data,
+    /// not its workload).
+    requesters: Vec<Vec<(Time, TxnId, NodeId)>>,
+    /// In-transit objects: a min-heap on (arrive, id) from which the
+    /// receive phase pops due deliveries instead of scanning every
+    /// object. Invariant: one entry per object in `ObjectPlace::Hop`,
+    /// pushed at departure and popped exactly when the hop completes —
+    /// entries are never removed early, so a heap (cheaper per op than
+    /// an ordered set) suffices.
+    transit: BinaryHeap<Reverse<(Time, ObjectId)>>,
+    /// Objects currently traversing each undirected edge. Maintained
+    /// **only when `config.link_capacity` is set** — it exists to answer
+    /// the capacity admission check in the forward phase, and nothing
+    /// else reads it (`StepEffects::edge_loads` and the congestion
+    /// metrics are derived from effects/events, not from this map).
+    /// Entries are removed when their load returns to zero, so the map
+    /// holds only edges with objects currently on them.
     edge_load: BTreeMap<(NodeId, NodeId), u32>,
     /// Node-local forwarding pointers: (object, node) -> where that node
-    /// last sent the object. Grows with distinct (object, node) pairs.
-    forwarding: BTreeMap<(ObjectId, NodeId), NodeId>,
+    /// last sent the object. Pointers are overwritten on each new
+    /// departure of the object from that node and never removed: they
+    /// are the Section V tracking trail ([`SystemView::forwarded_to`])
+    /// — a request chasing an object must be able to follow the trail
+    /// from any node the object ever left, so "remove on delivery"
+    /// would be wrong, and memory is bounded by objects × nodes (see
+    /// [`ForwardingTable`]).
+    forwarding: ForwardingTable,
 
     observers: Vec<Box<dyn StepObserver>>,
     /// Per-tick bitmask of observers accepting `on_phase` this step
@@ -95,10 +135,14 @@ pub struct StepKernel<P, S> {
     /// Reusable buffer for the source's arrivals (phase 2): drained every
     /// tick, so the steady-state tick allocates nothing on quiet steps.
     arrivals_buf: Vec<Transaction>,
-    /// Scratch object-id buffer shared by the receive and forward phases.
-    scratch_ids: Vec<ObjectId>,
+    /// Scratch (object, target home) buffer for the forward phase.
+    scratch_moves: Vec<(ObjectId, NodeId)>,
     /// Scratch due-transaction buffer for the execute phase.
     scratch_due: Vec<(Time, TxnId)>,
+    /// Scratch object-id buffers reused by the execute phase
+    /// (same-step object consumption) and `apply_fragment`.
+    scratch_used: Vec<ObjectId>,
+    scratch_objs: Vec<ObjectId>,
 
     /// Effects of the most recent tick (buffers reused across ticks).
     effects: StepEffects,
@@ -134,6 +178,35 @@ pub struct KernelVitals {
     pub arena_high_water: usize,
     /// Peak simultaneously-live transactions ([`StepKernel::peak_live`]).
     pub peak_live: usize,
+}
+
+/// Sizes of the kernel's internal bookkeeping structures
+/// ([`StepKernel::map_stats`]), each bounded for the life of a run —
+/// the map-level companion of the arena's `slot_high_water()`
+/// invariant, pinned under streaming churn by `tests/streaming.rs`:
+///
+/// - `exec_queue` ≤ live transactions (entries removed on commit/abort);
+/// - `requester_entries` ≤ Σ |object set| over scheduled live
+///   transactions (same removal discipline);
+/// - `requester_objects` and `in_transit` ≤ objects ever created;
+/// - `edge_load_entries` ≤ in-transit objects, and 0 whenever
+///   `link_capacity` is unset (the map only feeds the admission check);
+/// - `forwarding_entries` ≤ objects × nodes (trail pointers are
+///   overwritten, never accumulated — see [`ForwardingTable`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelMapStats {
+    /// Scheduled, uncommitted transactions awaiting execution.
+    pub exec_queue: usize,
+    /// Total (time, txn) entries across all per-object requester sets.
+    pub requester_entries: usize,
+    /// Objects with an (possibly empty) requester set allocated.
+    pub requester_objects: usize,
+    /// Objects currently traversing an edge.
+    pub in_transit: usize,
+    /// Edges with at least one object on them (capacity runs only).
+    pub edge_load_entries: usize,
+    /// Distinct (object, node) forwarding pointers recorded so far.
+    pub forwarding_entries: usize,
 }
 
 /// A deterministic snapshot of a [`StepKernel`] between two ticks.
@@ -172,6 +245,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
         // Objects are created lazily at their creation step; collect specs.
         let mut pending: Vec<ObjectInfo> = source.objects().to_vec();
         pending.sort_by_key(|o| (o.created_at, o.id));
+        let forwarding = ForwardingTable::new(network.n());
         StepKernel {
             network,
             policy,
@@ -180,14 +254,14 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             now: 0,
             pending_objects: VecDeque::from(pending),
             state: RuntimeState::new(),
-            txns: BTreeMap::new(),
-            schedule: Schedule::new(),
-            commits: BTreeMap::new(),
-            generated: BTreeMap::new(),
+            retired: Vec::new(),
+            sched_log: Vec::new(),
+            commit_log: Vec::new(),
             exec_queue: BTreeSet::new(),
-            requesters: BTreeMap::new(),
+            requesters: Vec::new(),
+            transit: BinaryHeap::new(),
             edge_load: BTreeMap::new(),
-            forwarding: BTreeMap::new(),
+            forwarding,
             observers,
             phase_mask: 0,
             events: Vec::new(),
@@ -199,8 +273,10 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             last_commit: 0,
             sojourn: Log2Histogram::new(),
             arrivals_buf: Vec::new(),
-            scratch_ids: Vec::new(),
+            scratch_moves: Vec::new(),
             scratch_due: Vec::new(),
+            scratch_used: Vec::new(),
+            scratch_objs: Vec::new(),
             effects: StepEffects::default(),
         }
     }
@@ -297,6 +373,20 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// Peak number of simultaneously live transactions so far.
     pub fn peak_live(&self) -> usize {
         self.peak_live
+    }
+
+    /// Sizes of the kernel's internal bookkeeping maps, for boundedness
+    /// assertions in long-run (streaming) tests. See [`KernelMapStats`]
+    /// for the invariant each gauge is expected to satisfy.
+    pub fn map_stats(&self) -> KernelMapStats {
+        KernelMapStats {
+            exec_queue: self.exec_queue.len(),
+            requester_entries: self.requesters.iter().map(|s| s.len()).sum(),
+            requester_objects: self.requesters.len(),
+            in_transit: self.transit.len(),
+            edge_load_entries: self.edge_load.len(),
+            forwarding_entries: self.forwarding.len(),
+        }
     }
 
     /// One-call bundle of the kernel gauges an external health probe
@@ -423,12 +513,12 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 now: self.now,
                 pending_objects: self.pending_objects.clone(),
                 state: self.state.clone(),
-                txns: self.txns.clone(),
-                schedule: self.schedule.clone(),
-                commits: self.commits.clone(),
-                generated: self.generated.clone(),
+                retired: self.retired.clone(),
+                sched_log: self.sched_log.clone(),
+                commit_log: self.commit_log.clone(),
                 exec_queue: self.exec_queue.clone(),
                 requesters: self.requesters.clone(),
+                transit: self.transit.clone(),
                 edge_load: self.edge_load.clone(),
                 forwarding: self.forwarding.clone(),
                 observers: Vec::new(),
@@ -443,8 +533,10 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 sojourn: self.sojourn.clone(),
                 // Scratch buffers hold no state between ticks.
                 arrivals_buf: Vec::new(),
-                scratch_ids: Vec::new(),
+                scratch_moves: Vec::new(),
                 scratch_due: Vec::new(),
+                scratch_used: Vec::new(),
+                scratch_objs: Vec::new(),
                 effects: self.effects.clone(),
             },
         }
@@ -469,16 +561,37 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 sample,
             });
         }
+        // Materialize the result's id-keyed maps from the append-only
+        // retirement logs (once, here — the hot loop only pushes). Full
+        // retention also folds in transactions still live at the end
+        // (step-limit truncations), so `txns` covers every generated
+        // transaction exactly as the old insert-at-arrival map did.
+        if self.config.retention.is_full() {
+            let mut live: Vec<TxnId> = self.state.txns().ids().collect();
+            live.sort_unstable();
+            for id in live {
+                // dtm-lint: allow(C1) -- id was just collected from the live arena
+                self.retired.push(self.state.txns().get(id).expect("live").txn.clone());
+            }
+        }
+        let commits: BTreeMap<TxnId, Time> = self.commit_log.iter().copied().collect();
+        let txns: BTreeMap<TxnId, Transaction> =
+            self.retired.into_iter().map(|tx| (tx.id, tx)).collect();
+        let generated: BTreeMap<TxnId, Time> =
+            txns.iter().map(|(&id, tx)| (id, tx.generated_at)).collect();
+        let mut schedule = Schedule::new();
+        for &(txn, exec_at) in &self.sched_log {
+            schedule.set(txn, exec_at);
+        }
         let metrics = match self.config.retention {
             Retention::Full => {
-                let latencies: Vec<Time> = self
-                    .commits
+                let latencies: Vec<Time> = commits
                     .iter()
-                    .map(|(id, &c)| c - self.generated.get(id).copied().unwrap_or(0))
+                    .map(|(id, &c)| c - generated.get(id).copied().unwrap_or(0))
                     .collect();
                 Metrics {
-                    makespan: self.commits.values().copied().max().unwrap_or(0),
-                    committed: self.commits.len(),
+                    makespan: commits.values().copied().max().unwrap_or(0),
+                    committed: commits.len(),
                     comm_cost: self.comm_cost,
                     hops: self.hops,
                     latency: LatencySummary::from_samples(latencies),
@@ -500,10 +613,10 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             },
         };
         RunResult {
-            schedule: self.schedule,
-            commits: self.commits,
-            generated: self.generated,
-            txns: self.txns,
+            schedule,
+            commits,
+            generated,
+            txns,
             metrics,
             events: self.events,
             violations: self.violations,
@@ -551,42 +664,75 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 last_holder: None,
             });
             self.effects.created.push(info.id);
-            self.state.effects_mut().created.push(info.id);
+        }
+        // One batched append into the inter-policy accumulator (this
+        // phase is the only writer of `created` within a tick).
+        if !self.effects.created.is_empty() {
+            self.state
+                .effects_mut()
+                .created
+                .extend_from_slice(&self.effects.created);
         }
     }
 
     /// Phase 1: objects completing edge traversals arrive at their next
     /// node. Returns the number of deliveries.
+    ///
+    /// Due deliveries are popped from the in-transit min-queue in
+    /// O(due · log) — a quiet step costs one `first()` peek, not a scan
+    /// of every object. With `speed_divisor >= 1` (asserted at engine
+    /// construction) every due entry has `arrive == t` exactly, so the
+    /// (arrive, id) pop order coincides with the object-id scan order
+    /// the pre-queue kernel used — deliveries stay byte-identical.
     fn phase_receive(&mut self, t: Time) -> usize {
-        let mut arriving = std::mem::take(&mut self.scratch_ids);
-        arriving.extend(self.state.objects().iter().filter_map(|st| match st.place {
-            ObjectPlace::Hop { arrive, .. } if arrive <= t => Some(st.info.id),
-            _ => None,
-        }));
-        let received = arriving.len();
-        for id in arriving.drain(..) {
-            let st = self.state.object_mut(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
-            if let ObjectPlace::Hop { from, next, .. } = st.place {
-                st.place = ObjectPlace::At(next);
-                let key = edge_key(from, next);
-                if let Some(load) = self.edge_load.get_mut(&key) {
-                    *load = load.saturating_sub(1);
-                }
-                let delivery = Delivery {
-                    object: id,
-                    from,
-                    node: next,
-                };
-                self.effects.delivered.push(delivery);
-                self.state.effects_mut().delivered.push(delivery);
-                self.record(Event::Arrived {
-                    t,
-                    object: id,
-                    node: next,
-                });
+        let mut received = 0;
+        while let Some(&Reverse((arrive, id))) = self.transit.peek() {
+            if arrive > t {
+                break;
             }
+            self.transit.pop();
+            received += 1;
+            let st = self.state.object_mut(id).expect("object exists"); // dtm-lint: allow(C1) -- transit entries are inserted/removed in lockstep with ObjectPlace::Hop
+            let ObjectPlace::Hop { from, next, .. } = st.place else {
+                debug_assert!(false, "transit entry for a resting object");
+                continue;
+            };
+            st.place = ObjectPlace::At(next);
+            if self.config.link_capacity.is_some() {
+                // Exact load accounting (the map feeds the capacity
+                // admission check): decrement must find the departure's
+                // increment, and an edge whose load returns to zero is
+                // dropped so checkpoints carry no dead keys.
+                let key = edge_key(from, next);
+                match self.edge_load.get_mut(&key) {
+                    Some(load) => {
+                        debug_assert!(*load > 0, "edge load underflow on {key:?}");
+                        *load -= 1;
+                        if *load == 0 {
+                            self.edge_load.remove(&key);
+                        }
+                    }
+                    None => debug_assert!(false, "delivery on untracked edge {key:?}"),
+                }
+            }
+            let delivery = Delivery {
+                object: id,
+                from,
+                node: next,
+            };
+            self.effects.delivered.push(delivery);
+            self.record(Event::Arrived {
+                t,
+                object: id,
+                node: next,
+            });
         }
-        self.scratch_ids = arriving;
+        if !self.effects.delivered.is_empty() {
+            self.state
+                .effects_mut()
+                .delivered
+                .extend_from_slice(&self.effects.delivered);
+        }
         received
     }
 
@@ -595,7 +741,6 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     fn phase_generate(&mut self, t: Time) -> usize {
         let mut batch = std::mem::take(&mut self.arrivals_buf);
         self.source.arrivals_into(t, &mut batch);
-        let full = self.config.retention.is_full();
         for txn in batch.drain(..) {
             debug_assert_eq!(txn.generated_at, t, "source produced wrong time");
             self.record(Event::Generated {
@@ -603,16 +748,17 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 txn: txn.id,
                 node: txn.home,
             });
-            if full {
-                self.generated.insert(txn.id, t);
-                self.txns.insert(txn.id, txn.clone());
-            }
             self.effects.arrived.push(txn.id);
-            self.state.effects_mut().arrived.push(txn.id);
             self.state.insert_txn(LiveTxn {
                 txn,
                 scheduled: None,
             });
+        }
+        if !self.effects.arrived.is_empty() {
+            self.state
+                .effects_mut()
+                .arrived
+                .extend_from_slice(&self.effects.arrived);
         }
         self.arrivals_buf = batch;
         self.peak_live = self.peak_live.max(self.state.txns().len());
@@ -640,6 +786,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// and "never in the past" rules.
     fn apply_fragment(&mut self, fragment: Schedule) {
         let t = self.now;
+        let mut objects = std::mem::take(&mut self.scratch_objs);
         for (txn, exec_at) in fragment.iter() {
             let Some(lt) = self.state.txn_mut(txn) else {
                 self.violations.push(Violation::UnknownTxn { txn });
@@ -658,17 +805,35 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 continue;
             }
             lt.scheduled = Some(exec_at);
-            let objects: Vec<ObjectId> = lt.txn.objects().collect();
+            let home = lt.txn.home;
+            objects.clear();
+            objects.extend(lt.txn.objects());
             if self.config.retention.is_full() {
-                self.schedule.set(txn, exec_at);
+                self.sched_log.push((txn, exec_at));
             }
             self.exec_queue.insert((exec_at, txn));
-            for o in objects {
-                self.requesters.entry(o).or_default().insert((exec_at, txn));
+            for &o in &objects {
+                let i = o.index();
+                if i >= self.requesters.len() {
+                    self.requesters.resize_with(i + 1, Vec::new);
+                }
+                let list = &mut self.requesters[i];
+                let entry = (exec_at, txn, home);
+                if let Err(pos) = list.binary_search(&entry) {
+                    list.insert(pos, entry);
+                }
             }
             self.effects.scheduled.push((txn, exec_at));
-            self.state.effects_mut().scheduled.push((txn, exec_at));
             self.record(Event::Scheduled { t, txn, exec_at });
+        }
+        self.scratch_objs = objects;
+        // The accumulator was cleared just before this call (see
+        // `phase_schedule`), so the batch feeds the *next* policy call.
+        if !self.effects.scheduled.is_empty() {
+            self.state
+                .effects_mut()
+                .scheduled
+                .extend_from_slice(&self.effects.scheduled);
         }
     }
 
@@ -680,10 +845,21 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// same-step commits (atomicity of the exclusive accesses).
     fn phase_execute(&mut self, t: Time) -> usize {
         let mut due = std::mem::take(&mut self.scratch_due);
-        due.extend(self.exec_queue.range(..=(t, TxnId(u64::MAX))).copied());
-        // BTreeSet allocates nothing until first insert, so this is free
-        // on steps with no due transactions.
-        let mut used_this_step: BTreeSet<ObjectId> = BTreeSet::new();
+        // Pop (rather than range-copy-then-remove) so each due entry
+        // costs one ordered-set operation; the rare stays-queued case
+        // (`allow_late_execution`) reinserts below.
+        while let Some(&(exec_at, txn_id)) = self.exec_queue.first() {
+            if exec_at > t {
+                break;
+            }
+            self.exec_queue.pop_first();
+            due.push((exec_at, txn_id));
+        }
+        // Objects consumed by this step's commits. Linear membership is
+        // fine: a step commits a handful of transactions of k objects
+        // each, and the buffer is reused across ticks (no allocation).
+        let mut used_this_step = std::mem::take(&mut self.scratch_used);
+        used_this_step.clear();
         for (exec_at, txn_id) in due.drain(..) {
             let lt = self
                 .state
@@ -701,22 +877,22 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             if assembled {
                 // Commit.
                 let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- committed txn was read from the live arena two lines above
-                self.exec_queue.remove(&(exec_at, txn_id));
                 for o in txn.objects() {
-                    used_this_step.insert(o);
-                    if let Some(set) = self.requesters.get_mut(&o) {
-                        set.remove(&(exec_at, txn_id));
+                    used_this_step.push(o);
+                    if let Some(list) = self.requesters.get_mut(o.index()) {
+                        if let Ok(pos) = list.binary_search(&(exec_at, txn_id, home)) {
+                            list.remove(pos);
+                        }
                     }
                     // dtm-lint: allow(C1) -- object ids in a live txn's read/write set always exist in the arena
                     self.state.object_mut(o).expect("object exists").last_holder = Some(txn_id);
                 }
                 self.effects.committed.push(txn_id);
-                self.state.effects_mut().committed.push(txn_id);
                 self.commit_count += 1;
                 self.last_commit = t;
                 match self.config.retention {
                     Retention::Full => {
-                        self.commits.insert(txn_id, t);
+                        self.commit_log.push((txn_id, t));
                     }
                     Retention::Streaming { warmup } => {
                         if txn.generated_at >= warmup {
@@ -730,6 +906,9 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                     node: home,
                 });
                 self.source.on_commit(&txn, t);
+                if self.config.retention.is_full() {
+                    self.retired.push(txn);
+                }
             } else if exec_at == t && !self.config.allow_late_execution {
                 // Missed its designated slot: scheduler/infrastructure bug.
                 self.violations.push(Violation::MissedExecution {
@@ -737,72 +916,100 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                     scheduled: exec_at,
                 });
                 let txn = self.state.remove_txn(txn_id).expect("live").txn; // dtm-lint: allow(C1) -- violating txn was read from the live arena above
-                self.exec_queue.remove(&(exec_at, txn_id));
                 for o in txn.objects() {
-                    if let Some(set) = self.requesters.get_mut(&o) {
-                        set.remove(&(exec_at, txn_id));
+                    if let Some(list) = self.requesters.get_mut(o.index()) {
+                        if let Ok(pos) = list.binary_search(&(exec_at, txn_id, txn.home)) {
+                            list.remove(pos);
+                        }
                     }
                 }
                 self.effects.aborted.push(txn_id);
-                self.state.effects_mut().aborted.push(txn_id);
                 // Treat as aborted: tell the source so closed loops go on.
                 self.source.on_commit(&txn, t);
+                if self.config.retention.is_full() {
+                    self.retired.push(txn);
+                }
+            } else {
+                // allow_late_execution: stays queued, retried next step.
+                self.exec_queue.insert((exec_at, txn_id));
             }
-            // else: allow_late_execution — stays queued, retried next step.
         }
         self.scratch_due = due;
+        self.scratch_used = used_this_step;
+        if !self.effects.committed.is_empty() {
+            self.state
+                .effects_mut()
+                .committed
+                .extend_from_slice(&self.effects.committed);
+        }
+        if !self.effects.aborted.is_empty() {
+            self.state
+                .effects_mut()
+                .aborted
+                .extend_from_slice(&self.effects.aborted);
+        }
         self.effects.committed.len()
     }
 
     /// Phase 5: move every resting object one hop toward its earliest
     /// pending scheduled requester. Returns the number of departures.
+    ///
+    /// The scan walks the requester index, not the object arena: only
+    /// objects with a scheduled requester can move, and each entry
+    /// already carries the requester's home, so idle objects cost
+    /// nothing and moving ones resolve their target without arena
+    /// lookups. Index order is object-id order — the same departure
+    /// order the arena scan produced.
     fn phase_forward(&mut self, t: Time) -> usize {
-        let mut ids = std::mem::take(&mut self.scratch_ids);
-        ids.extend(self.state.objects().ids());
-        for id in ids.drain(..) {
-            let (here, target_home) = {
-                let st = self.state.objects().get(id).expect("object exists"); // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
-                let ObjectPlace::At(here) = st.place else {
-                    continue;
-                };
-                let Some(&(_, txn_id)) = self.requesters.get(&id).and_then(|set| set.iter().next())
-                else {
-                    continue;
-                };
-                let home = self
-                    .state
-                    .txns()
-                    .get(txn_id)
-                    .expect("scheduled requester is live") // dtm-lint: allow(C1) -- requesters entries are removed when their txn leaves the arena
-                    .txn
-                    .home;
-                (here, home)
+        let mut moves = std::mem::take(&mut self.scratch_moves);
+        for (i, list) in self.requesters.iter().enumerate() {
+            if let Some(&(_, _, home)) = list.first() {
+                moves.push((ObjectId(i as u32), home));
+            }
+        }
+        for (id, target_home) in moves.drain(..) {
+            // One mutable arena probe serves both the place check and the
+            // later in-place update; borrows of sibling fields (network,
+            // edge_load, forwarding) stay disjoint from `state`.
+            // Objects whose creation step has not come yet cannot move;
+            // the old arena scan skipped them implicitly.
+            let Some(st) = self.state.object_mut(id) else {
+                continue;
+            };
+            let ObjectPlace::At(here) = st.place else {
+                continue;
             };
             if here == target_home {
                 continue; // staged at the requester's node
             }
-            let next = self.network.next_hop(here, target_home);
-            let w = self
-                .network
-                .graph()
-                .edge_weight(here, next)
-                .expect("next_hop returns an adjacent node"); // dtm-lint: allow(C1) -- next_hop returns a neighbor, so the edge exists
-            let key = edge_key(here, next);
+            let (next, w) = self.network.hop_toward(here, target_home);
             if let Some(cap) = self.config.link_capacity {
-                let load = self.edge_load.get(&key).copied().unwrap_or(0);
-                if load >= cap {
-                    continue; // edge saturated: wait a step
+                // Admission + increment in one ordered-map probe: all of
+                // a step's departures on an edge batch against the same
+                // entry, and uncapacitated runs skip the map entirely.
+                match self.edge_load.entry(edge_key(here, next)) {
+                    Entry::Occupied(mut e) => {
+                        if *e.get() >= cap {
+                            continue; // edge saturated: wait a step
+                        }
+                        *e.get_mut() += 1;
+                    }
+                    Entry::Vacant(e) => {
+                        if cap == 0 {
+                            continue; // zero-capacity edge never admits
+                        }
+                        e.insert(1);
+                    }
                 }
             }
-            *self.edge_load.entry(key).or_insert(0) += 1;
-            self.forwarding.insert((id, here), next);
+            self.forwarding.insert(id, here, next);
             let arrive = t + w * self.config.speed_divisor;
-            // dtm-lint: allow(C1) -- id was collected from the live object arena in this same pass
-            self.state.object_mut(id).expect("object exists").place = ObjectPlace::Hop {
+            st.place = ObjectPlace::Hop {
                 from: here,
                 next,
                 arrive,
             };
+            self.transit.push(Reverse((arrive, id)));
             let departure = Departure {
                 object: id,
                 from: here,
@@ -810,7 +1017,6 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 arrive,
             };
             self.effects.departed.push(departure);
-            self.state.effects_mut().departed.push(departure);
             self.comm_cost += w;
             self.hops += 1;
             self.record(Event::Departed {
@@ -821,7 +1027,13 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
                 arrive,
             });
         }
-        self.scratch_ids = ids;
+        self.scratch_moves = moves;
+        if !self.effects.departed.is_empty() {
+            self.state
+                .effects_mut()
+                .departed
+                .extend_from_slice(&self.effects.departed);
+        }
         self.effects.departed.len()
     }
 }
@@ -1056,6 +1268,53 @@ mod tests {
         assert_eq!(k.status(), RunStatus::Open);
         assert_eq!(k.run_for(10), 2); // drains after 4 total
         assert_eq!(k.status(), RunStatus::Drained);
+    }
+
+    /// Edge-load accounting round-trips exactly across a multi-hop run
+    /// under a capacity bound: every occupied edge has exactly one map
+    /// entry while occupied, the entry disappears when its load returns
+    /// to zero, and the map is empty once all movement has completed —
+    /// no dead keys survive into checkpoints.
+    #[test]
+    fn edge_load_round_trips_across_multi_hop_run() {
+        let net = topology::line(4);
+        let inst = Instance::new(
+            vec![obj(0, 0)],
+            vec![txn(0, 2, &[0], 0), txn(1, 3, &[0], 0)],
+        );
+        let sched: Schedule = [(TxnId(0), 2), (TxnId(1), 3)].into_iter().collect();
+        let cfg = EngineConfig {
+            link_capacity: Some(2),
+            ..EngineConfig::default()
+        };
+        let mut k = Engine::new(net, FixedSchedulePolicy::new(sched), cfg)
+            .into_kernel(TraceSource::new(inst));
+        let mut peak_entries = 0;
+        while k.tick().is_some() {
+            let stats = k.map_stats();
+            // One object: its edge is tracked iff it is in transit.
+            assert_eq!(stats.edge_load_entries, stats.in_transit);
+            peak_entries = peak_entries.max(stats.edge_load_entries);
+        }
+        assert_eq!(peak_entries, 1, "the object occupied edges en route");
+        let stats = k.map_stats();
+        assert_eq!(stats.edge_load_entries, 0, "loads decremented to removal");
+        assert_eq!(stats.in_transit, 0);
+        assert_eq!(stats.exec_queue, 0);
+        assert_eq!(stats.requester_entries, 0);
+        k.finish().expect_ok();
+    }
+
+    /// Without a capacity bound nothing reads the kernel's edge-load
+    /// map (congestion metrics come from events, per-step loads from
+    /// effects), so it is not maintained at all.
+    #[test]
+    fn edge_load_map_unused_without_capacity() {
+        let mut k = small_kernel();
+        while k.tick().is_some() {
+            assert_eq!(k.map_stats().edge_load_entries, 0);
+        }
+        k.finish().expect_ok();
     }
 
     /// `finish` on a kernel that exceeded its step limit still records

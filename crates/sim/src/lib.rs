@@ -37,6 +37,7 @@ pub mod arena;
 pub mod effects;
 pub mod engine;
 pub mod events;
+pub mod forwarding;
 pub mod gantt;
 pub mod kernel;
 pub mod metrics;
@@ -49,8 +50,9 @@ pub use arena::{ObjectArena, RuntimeState, TxnArena};
 pub use effects::{Delivery, Departure, StepEffects};
 pub use engine::{run_policy, Engine, EngineConfig, Retention};
 pub use events::Event;
+pub use forwarding::ForwardingTable;
 pub use gantt::{render_timeline, TimelineOptions};
-pub use kernel::{KernelVitals, RunCheckpoint, RunStatus, StepKernel};
+pub use kernel::{KernelMapStats, KernelVitals, RunCheckpoint, RunStatus, StepKernel};
 pub use metrics::{
     edge_congestion, peak_congestion, percentile, LatencySummary, Log2Histogram, Metrics,
     RunResult, Violation,

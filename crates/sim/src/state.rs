@@ -3,6 +3,7 @@
 
 use crate::arena::{ObjectIter, RuntimeState, TxnIter};
 use crate::effects::StepEffects;
+use crate::forwarding::ForwardingTable;
 use dtm_graph::{Network, NodeId, Weight};
 use dtm_model::{ObjectId, ObjectInfo, Time, Transaction, TxnId};
 use serde::{Deserialize, Serialize};
@@ -99,7 +100,7 @@ pub struct SystemView<'a> {
     /// object (the trail that object-tracking messages follow, Section V:
     /// "we can track objects in transit by reaching the node that the
     /// object departs from").
-    forwarding: Option<&'a BTreeMap<(ObjectId, NodeId), NodeId>>,
+    forwarding: Option<&'a ForwardingTable>,
 }
 
 impl<'a> SystemView<'a> {
@@ -133,7 +134,7 @@ impl<'a> SystemView<'a> {
 
     /// Attach the engine's forwarding-pointer table (see
     /// [`SystemView::forwarded_to`]).
-    pub fn with_forwarding(mut self, forwarding: &'a BTreeMap<(ObjectId, NodeId), NodeId>) -> Self {
+    pub fn with_forwarding(mut self, forwarding: &'a ForwardingTable) -> Self {
         self.forwarding = Some(forwarding);
         self
     }
@@ -141,7 +142,7 @@ impl<'a> SystemView<'a> {
     /// Node-local knowledge at `node`: where it last forwarded `object`
     /// (`None` if the node never forwarded it, or no table is attached).
     pub fn forwarded_to(&self, object: ObjectId, node: NodeId) -> Option<NodeId> {
-        self.forwarding?.get(&(object, node)).copied()
+        self.forwarding?.get(object, node)
     }
 
     /// All live transactions (`T_t` in the paper), in id order.
@@ -196,6 +197,24 @@ impl<'a> SystemView<'a> {
                 .map(|lt| lt.txn.id)
                 .collect(),
             Backing::Indexed(state) => state.requesters_of(o).collect(),
+        }
+    }
+
+    /// Visit the live transactions requesting `o` in id order without
+    /// allocating — the streaming form of [`SystemView::requesters_of`],
+    /// used by incremental caches that fold requester sets every arrival.
+    pub fn for_each_requester(&self, o: ObjectId, mut f: impl FnMut(TxnId)) {
+        match &self.backing {
+            Backing::Maps { live, .. } => {
+                for lt in live.values().filter(|lt| lt.txn.uses(o)) {
+                    f(lt.txn.id);
+                }
+            }
+            Backing::Indexed(state) => {
+                for id in state.requesters_of(o) {
+                    f(id);
+                }
+            }
         }
     }
 

@@ -58,6 +58,57 @@ fn poisson_stream_runs_100k_steps_with_bounded_arena() {
     assert!(soj.percentile(0.50) <= soj.percentile(0.95));
 }
 
+/// Map-level companion of the arena high-water check: across 100k steps
+/// of churn (with link capacity enabled so the edge-load map is live),
+/// every kernel bookkeeping map stays bounded by the *current* system
+/// shape — live set, object population, graph size — never by the ~50k
+/// transactions that streamed through. Pins the invariants documented on
+/// [`dtm_sim::KernelMapStats`].
+#[test]
+fn kernel_maps_stay_bounded_under_100k_step_churn() {
+    let net = topology::clique(8);
+    let nodes = net.n();
+    let spec = WorkloadSpec::batch_uniform(8, 2); // 8 objects, k = 2
+    let source = OpenLoopSource::new(net.clone(), spec, ArrivalProcess::Poisson { rate: 0.5 }, 42);
+    let config = EngineConfig {
+        link_capacity: Some(4),
+        ..streaming_config(1_000, u64::MAX)
+    };
+    let mut kernel = Engine::new(net, GreedyPolicy::new(), config).into_kernel(source);
+    for probe in 0..20 {
+        kernel.run_for(5_000);
+        let stats = kernel.map_stats();
+        let live = kernel.live_count();
+        assert!(
+            stats.exec_queue <= live,
+            "probe {probe}: exec queue {} > live {live}",
+            stats.exec_queue
+        );
+        // Each scheduled transaction holds one requester entry per
+        // object it uses (k = 2); entries leave on commit/abort.
+        assert!(
+            stats.requester_entries <= 2 * stats.exec_queue,
+            "probe {probe}: {} requester entries for {} queued txns",
+            stats.requester_entries,
+            stats.exec_queue
+        );
+        // Dense per-object structures track the object population.
+        assert_eq!(stats.requester_objects, 8);
+        assert!(stats.in_transit <= 8);
+        // Edge load counts in-flight objects only, and drops entries
+        // that reach zero — never an unbounded residue.
+        assert!(
+            stats.edge_load_entries <= stats.in_transit,
+            "probe {probe}: {} loaded edges > {} in-transit objects",
+            stats.edge_load_entries,
+            stats.in_transit
+        );
+        // Forwarding pointers are overwritten in place: objects x nodes.
+        assert!(stats.forwarding_entries <= 8 * nodes);
+    }
+    assert!(kernel.commit_count() > 40_000, "throughput collapsed");
+}
+
 /// 50k-step kernel-level churn check on a line (slower topology, deeper
 /// backlog): live-slot count tracks the backlog, with no monotonic slot
 /// growth between probes taken every 5k steps.
