@@ -62,13 +62,11 @@ fn bench_rows_are_keyed_by_bench_and_run_context() {
 
         // The key discipline: one row per (bench, run_context). Rows
         // from before run_context existed key on (bench, None).
-        let ctx = row
-            .get("run_context")
-            .map(|v| {
-                v.as_str()
-                    .unwrap_or_else(|| panic!("line {n}: run_context is not a string"))
-                    .to_owned()
-            });
+        let ctx = row.get("run_context").map(|v| {
+            v.as_str()
+                .unwrap_or_else(|| panic!("line {n}: run_context is not a string"))
+                .to_owned()
+        });
         let key = (bench.to_owned(), ctx);
         assert!(
             keys.insert(key.clone()),

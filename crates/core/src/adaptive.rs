@@ -118,9 +118,15 @@ impl SchedulingPolicy for RandomizedBackoffPolicy {
 /// Diameter threshold below which [`AutoPolicy`] uses the direct greedy
 /// approach (Section III-E: small-diameter graphs collect information in
 /// O(log n) steps; beyond that, the bucket conversion wins).
+///
+/// The test `d <= 2*log2(n)` is evaluated exactly in integers as
+/// `2^d <= n^2` (both sides are monotone in `d`, and `n^2` fits u128 for
+/// any u64 node count), so the policy choice can never flip with a
+/// platform's float rounding.
 fn small_diameter(network: &Network) -> bool {
-    let n = network.n().max(2) as f64;
-    (network.diameter() as f64) <= 2.0 * n.log2()
+    let n = network.n().max(2) as u128;
+    let d = network.diameter();
+    d < 128 && (1u128 << d) <= n * n
 }
 
 /// The paper's deployment recommendation as a policy: greedy on

@@ -29,10 +29,13 @@ use std::sync::Arc;
 #[derive(Clone, Debug, Default)]
 pub struct BucketStats {
     /// Bucket level each transaction was inserted into.
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub levels: BTreeMap<TxnId, u32>,
     /// Insertion time of each transaction.
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub inserted_at: BTreeMap<TxnId, Time>,
     /// Non-empty activations per level.
+    // dtm-lint: bounded -- keyed by bucket level, at most O(log n) levels exist per network
     pub activations: BTreeMap<u32, u64>,
     /// Transactions that exceeded every probe and were force-inserted at
     /// the maximum level (0 in theorem-compliant runs).
@@ -52,6 +55,7 @@ pub struct BucketStats {
 #[derive(Clone)]
 pub struct BucketPolicy<A> {
     scheduler: A,
+    // dtm-lint: bounded -- parked transactions only; each level drains fully at its activation step
     buckets: BTreeMap<u32, Vec<Transaction>>,
     max_level: Option<u32>,
     period_multiplier: u64,
@@ -138,6 +142,7 @@ impl<A: BatchScheduler> BucketPolicy<A> {
 }
 
 impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
+    // dtm-lint: hot-path
     fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
         let max_level = *self
             .max_level
@@ -159,10 +164,10 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
         let mut ctx = self.cache.context(view);
 
         // Insertion (before activation, as in Algorithm 2).
-        let mut order: Vec<TxnId> = arrivals.to_vec();
+        let mut order: Vec<TxnId> = arrivals.to_vec(); // dtm-lint: allow(H1) -- O(arrival batch); an empty to_vec does not allocate, so quiet steps stay allocation-free
         order.sort_unstable();
         for id in order {
-            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
+            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1, H1) -- engine contract: every id in `arrivals` is live this step; one clone per arrival, absent on quiet steps
             self.insert(txn, &ctx, view);
         }
 
@@ -181,7 +186,7 @@ impl<A: BatchScheduler> SchedulingPolicy for BucketPolicy<A> {
             }
             let s = self.scheduler.schedule(view.network, &bucket, &ctx);
             for t in &bucket {
-                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1) -- BatchScheduler contract: schedule() assigns every pending transaction
+                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1, H1) -- BatchScheduler contract: schedule() assigns every pending transaction; one clone per activated txn, amortized O(1) over its lifetime
             }
             if let Some(trace) = &self.decisions {
                 let epoch = now / (self.period_multiplier << i);

@@ -20,6 +20,7 @@ pub struct CentralizedWrapper<P> {
     inner: P,
     coordinator: NodeId,
     ecc: Option<Weight>,
+    // dtm-lint: bounded -- delayed arrivals; every entry with key <= now is drained each step
     pending: BTreeMap<Time, Vec<TxnId>>,
 }
 

@@ -64,6 +64,7 @@ struct CacheEntry {
     /// **raw** home-to-home distance (the `.max(1)` same-home floor is
     /// applied at query time; the distributed protocol's conflict
     /// radius wants the raw value).
+    // dtm-lint: bounded -- one edge per live conflicting txn; remove() erases both directions
     edges: Vec<(TxnId, Weight)>,
 }
 
@@ -82,6 +83,7 @@ struct CacheEntry {
 struct EntrySlab {
     /// TxnId of `slots[0]`; meaningful only while `slots` is non-empty.
     base: u64,
+    // dtm-lint: bounded -- O(live id window): dead slots trim from the front on removal
     slots: VecDeque<Option<CacheEntry>>,
     len: usize,
 }
@@ -162,9 +164,11 @@ pub struct ConflictCache {
     /// Refresh counter driving the sampled debug divergence check.
     refreshes: u64,
     /// Scratch pair buffer reused across arrival folds.
+    // dtm-lint: bounded -- cleared every arrival fold; capacity plateaus at the largest neighborhood
     scratch: Vec<(TxnId, Weight)>,
     /// Edge-list allocations recycled from removed entries into new
     /// arrivals, so a warmed cache folds deltas without allocating.
+    // dtm-lint: bounded -- recycled edge lists, at most one per removed live entry
     pool: Vec<Vec<(TxnId, Weight)>>,
 }
 
@@ -174,6 +178,7 @@ impl ConflictCache {
     /// (otherwise a step's effects are silently dropped). Arena-backed
     /// views fold the [`dtm_sim::StepEffects`] deltas; map-backed views
     /// (no effects) fall back to a full rebuild.
+    // dtm-lint: hot-path
     pub fn refresh(&mut self, view: &SystemView<'_>) {
         match view.step_effects() {
             Some(fx) if self.init => {
@@ -190,7 +195,7 @@ impl ConflictCache {
         }
         self.refreshes = self.refreshes.wrapping_add(1);
         #[cfg(debug_assertions)]
-        if self.refreshes % DIVERGENCE_SAMPLE_PERIOD == 0 {
+        if self.refreshes.is_multiple_of(DIVERGENCE_SAMPLE_PERIOD) {
             self.assert_matches_rescan(view);
         }
     }
@@ -202,6 +207,7 @@ impl ConflictCache {
     /// first) in the exact order of the uncached path: conflict
     /// constraints in neighbor-id order, then holder constraints in
     /// object order.
+    // dtm-lint: hot-path
     pub fn constraints_into(
         &self,
         view: &SystemView<'_>,
@@ -267,6 +273,7 @@ impl ConflictCache {
         self.entries.len == 0
     }
 
+    // dtm-lint: hot-path
     fn remove(&mut self, id: TxnId) {
         let Some(mut entry) = self.entries.remove(id) else {
             return;
@@ -282,6 +289,7 @@ impl ConflictCache {
         self.pool.push(entry.edges);
     }
 
+    // dtm-lint: hot-path
     fn add_arrival(&mut self, view: &SystemView<'_>, id: TxnId) {
         let Some(lt) = view.live(id) else {
             // Arrived and removed inside one window cannot happen under
@@ -463,15 +471,12 @@ mod tests {
             next: NodeId(1),
             arrive: 3,
         };
-        state
-            .effects_mut()
-            .departed
-            .push(dtm_sim::Departure {
-                object: ObjectId(0),
-                from: NodeId(0),
-                to: NodeId(1),
-                arrive: 3,
-            });
+        state.effects_mut().departed.push(dtm_sim::Departure {
+            object: ObjectId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            arrive: 3,
+        });
         let view = SystemView::from_state(2, &net, &state);
         cache.refresh(&view);
         assert_eq!(cache.len(), 2);

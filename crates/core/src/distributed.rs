@@ -45,10 +45,13 @@ pub struct DistStats {
     /// leader reports, schedule notifications).
     pub messages: u64,
     /// Reports per cover layer.
+    // dtm-lint: bounded -- keyed by cover layer; the sparse cover has O(log n) layers
     pub reports_per_layer: BTreeMap<u32, u64>,
     /// Partial-bucket level per transaction.
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub levels: BTreeMap<TxnId, u32>,
     /// Per-transaction protocol latency (arrival to report arrival).
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub report_latency: Vec<Time>,
 }
 
@@ -60,6 +63,7 @@ struct PendingReport {
     cluster: ClusterId,
     /// Object availability for the transaction's objects as observed at
     /// arrival time — the information the report physically carries.
+    // dtm-lint: bounded -- one entry per object the txn touches, fixed at arrival
     snapshot: Vec<(dtm_model::ObjectId, (dtm_graph::NodeId, Time))>,
 }
 
@@ -85,8 +89,10 @@ pub struct DistributedBucketPolicy<A> {
     doubled: Network,
     max_level: Option<u32>,
     /// Reports arriving at their leaders, keyed by arrival time.
+    // dtm-lint: bounded -- in-flight reports; every entry with key <= now drains each step
     reporting: BTreeMap<Time, Vec<PendingReport>>,
     /// Partial buckets: (level, cluster) -> parked transactions.
+    // dtm-lint: bounded -- parked transactions only; each partial bucket drains at activation
     partials: BTreeMap<(u32, ClusterId), Vec<Transaction>>,
     /// When true, the leader's insertion probe uses the object positions
     /// *carried in the report* (stale by the protocol latency) instead of
@@ -199,6 +205,7 @@ impl<A: BatchScheduler> DistributedBucketPolicy<A> {
 }
 
 impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
+    // dtm-lint: hot-path
     fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
         let now = view.now;
         let max_level = *self
@@ -208,10 +215,10 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
         self.conflicts.refresh(view);
 
         // 1-3. Discovery + report for this step's arrivals.
-        let mut order: Vec<TxnId> = arrivals.to_vec();
+        let mut order: Vec<TxnId> = arrivals.to_vec(); // dtm-lint: allow(H1) -- O(arrival batch); an empty to_vec does not allocate, so quiet steps stay allocation-free
         order.sort_unstable();
         for id in order {
-            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
+            let txn = view.live(id).expect("arrival is live").txn.clone(); // dtm-lint: allow(C1, H1) -- engine contract: every id in `arrivals` is live this step; one clone per arrival, absent on quiet steps
                                                                            // Discovery radius x: furthest current object position.
             let x: Time = txn
                 .objects()
@@ -258,7 +265,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             let snapshot = txn
                 .objects()
                 .filter_map(|o| view.object(o).map(|st| (o, st.position(now))))
-                .collect();
+                .collect(); // dtm-lint: allow(H1) -- per-arrival report snapshot, O(objects per txn)
             self.reporting
                 .entry(t_report)
                 .or_default()
@@ -271,11 +278,11 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
 
         // 4. Reports that reached their leader by now: partial-bucket
         // insertion (leader-local probe against the doubled network).
-        let due: Vec<Time> = self.reporting.range(..=now).map(|(&t, _)| t).collect();
-        // The batch context re-projects every object position, so build it
-        // lazily: on a quiet step (no due report, no bucket activating)
-        // nothing below reads it. Partial buckets are never empty, so
-        // `activating` exactly predicts whether step 5 has work.
+        let due: Vec<Time> = self.reporting.range(..=now).map(|(&t, _)| t).collect(); // dtm-lint: allow(H1) -- empty collect allocates nothing on idle ticks; O(due reports) otherwise
+                                                                                      // The batch context re-projects every object position, so build it
+                                                                                      // lazily: on a quiet step (no due report, no bucket activating)
+                                                                                      // nothing below reads it. Partial buckets are never empty, so
+                                                                                      // `activating` exactly predicts whether step 5 has work.
         let activating = self
             .partials
             .keys()
@@ -289,22 +296,22 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
                 // Under stale knowledge the probe sees the object
                 // positions the report carried, aged to the present.
                 let probe_ctx = if self.stale_knowledge {
-                    let mut c = ctx.clone();
+                    let mut c = ctx.clone(); // dtm-lint: allow(H1) -- stale-knowledge ablation path (A5), one copy per due report
                     for &(o, (node, ready)) in &report.snapshot {
                         c.object_avail.insert(o, (node, ready.max(now)));
                     }
                     c
                 } else {
-                    ctx.clone()
+                    ctx.clone() // dtm-lint: allow(H1) -- per due report; the probe mutates its context copy
                 };
                 let mut chosen = None;
                 for i in 0..=max_level {
                     let mut probe = self
                         .partials
                         .get(&(i, report.cluster))
-                        .cloned()
+                        .cloned() // dtm-lint: allow(H1) -- per-level probe copies its partial bucket; bounded by max_level per report
                         .unwrap_or_default();
-                    probe.push(report.txn.clone());
+                    probe.push(report.txn.clone()); // dtm-lint: allow(H1) -- probe candidate, one clone per level tried per report
                     let f = self.scheduler.makespan(&self.doubled, &probe, &probe_ctx);
                     if f <= 1u64 << i {
                         chosen = Some(i);
@@ -343,7 +350,7 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
             .keys()
             .filter(|(i, _)| now.is_multiple_of(1u64 << i))
             .copied()
-            .collect();
+            .collect(); // dtm-lint: allow(H1) -- empty collect allocates nothing when no bucket activates
         for key in keys {
             let bucket = self.partials.remove(&key).unwrap_or_default();
             if bucket.is_empty() {
@@ -358,11 +365,11 @@ impl<A: BatchScheduler> SchedulingPolicy for DistributedBucketPolicy<A> {
                 .max()
                 .unwrap_or(0);
             self.bump_messages(bucket.len() as u64);
-            let mut bucket_ctx = ctx.clone();
+            let mut bucket_ctx = ctx.clone(); // dtm-lint: allow(H1) -- one context copy per activated bucket for its notify offset
             bucket_ctx.now = now + notify;
             let s = self.scheduler.schedule(&self.doubled, &bucket, &bucket_ctx);
             for t in &bucket {
-                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1) -- BatchScheduler contract: schedule() assigns every pending transaction
+                ctx.fixed.push((t.clone(), s.get(t.id).expect("scheduled"))); // dtm-lint: allow(C1, H1) -- BatchScheduler contract: schedule() assigns every pending transaction; one clone per activated txn, amortized O(1) over its lifetime
             }
             if let Some(trace) = &self.decisions {
                 let mut trace = trace.lock();

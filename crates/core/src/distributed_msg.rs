@@ -40,10 +40,13 @@ pub struct MsgStats {
     /// Extra hops spent chasing moving objects.
     pub chase_forwards: u64,
     /// Reports per cover layer.
+    // dtm-lint: bounded -- keyed by cover layer; the sparse cover has O(log n) layers
     pub reports_per_layer: BTreeMap<u32, u64>,
     /// Partial-bucket level per transaction.
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub levels: BTreeMap<TxnId, u32>,
     /// Per-transaction discovery latency (arrival to report arrival).
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub report_latency: Vec<Time>,
 }
 
@@ -82,7 +85,9 @@ struct Discovery {
     txn: Transaction,
     started_at: Time,
     awaiting: usize,
+    // dtm-lint: bounded -- one entry per object the txn touches, fixed at arrival
     positions: Vec<(ObjectId, NodeId)>,
+    // dtm-lint: bounded -- one entry per discovered conflicting requester, dropped with the Discovery
     conflict_homes: Vec<NodeId>,
 }
 
@@ -100,15 +105,21 @@ pub struct DistributedMsgPolicy<A> {
     /// Doubled-weight copy for scheduling math under half-speed objects.
     doubled: Network,
     max_level: Option<u32>,
+    // dtm-lint: bounded -- in-flight messages; every entry with key <= now drains each step
     inbox: BTreeMap<Time, Vec<Msg>>,
+    // dtm-lint: bounded -- entries leave when the last FindReply lands and the Report is sent
     discovering: BTreeMap<TxnId, Discovery>,
     /// Transactions whose report is in flight, awaiting leader pickup.
+    // dtm-lint: bounded -- entries leave when the leader picks the report into a partial bucket
     reported: BTreeMap<TxnId, Transaction>,
     /// Registry carried by each object (requesters seen by `Find`s).
+    // dtm-lint: bounded -- registries pruned to live requesters whenever a Find catches its object
     object_users: BTreeMap<ObjectId, Vec<(TxnId, NodeId)>>,
     /// Partial buckets: (level, cluster) -> members with carried info.
+    // dtm-lint: bounded -- parked transactions only; each partial bucket drains at activation
     partials: BTreeMap<(u32, ClusterId), Vec<(Transaction, CarriedInfo)>>,
     /// Each leader's own past scheduling decisions (local knowledge).
+    // dtm-lint: bounded -- retained entries filtered to live transactions at the top of step()
     leader_fixed: BTreeMap<ClusterId, Vec<(Transaction, Time)>>,
     stats: Option<Arc<Mutex<MsgStats>>>,
     /// Live protocol-message counter (telemetry registry handle).

@@ -41,6 +41,7 @@ pub enum GreedyMode {
 #[derive(Clone, Debug, Default)]
 pub struct GreedyStats {
     /// `(txn, color, theorem bound on the color)` per scheduled txn.
+    // dtm-lint: bounded -- experiment-scoped stats (Retention::Full runs); streaming runs leave stats detached
     pub assigned: Vec<(TxnId, Time, Time)>,
 }
 
@@ -49,15 +50,20 @@ pub struct GreedyStats {
 #[derive(Clone, Debug, Default)]
 struct GreedyScratch {
     /// Sorted arrival batch.
+    // dtm-lint: bounded -- cleared every schedule pass; capacity plateaus at the largest batch
     order: Vec<TxnId>,
     /// Constraint set of the transaction currently being colored.
+    // dtm-lint: bounded -- cleared per transaction colored; capacity plateaus at the widest neighborhood
     constraints: Vec<ColorConstraint>,
     /// Same-step colors assigned so far (the partial coloring earlier
     /// arrivals contribute to later ones).
+    // dtm-lint: bounded -- cleared every schedule pass; holds at most one batch of colors
     colored: BTreeMap<TxnId, Time>,
     /// Interval scratch for [`smallest_valid_color_into`].
+    // dtm-lint: bounded -- cleared per coloring query; capacity plateaus at the constraint count
     ranges: Vec<(Time, Time)>,
     /// Forbidden-multiple scratch for [`smallest_valid_multiple_into`].
+    // dtm-lint: bounded -- cleared per coloring query; capacity plateaus at the constraint count
     forbidden: Vec<Time>,
 }
 
@@ -133,6 +139,7 @@ impl Default for GreedyPolicy {
 }
 
 impl SchedulingPolicy for GreedyPolicy {
+    // dtm-lint: hot-path
     fn step(&mut self, view: &SystemView<'_>, arrivals: &[TxnId]) -> Schedule {
         // Fold this step's deltas even when there is nothing to color:
         // skipping a refresh would silently drop the window's effects.
@@ -154,7 +161,9 @@ impl SchedulingPolicy for GreedyPolicy {
         let mut fragment = Schedule::new();
         for &id in order.iter() {
             let lt = view.live(id).expect("arrival is live"); // dtm-lint: allow(C1) -- engine contract: every id in `arrivals` is live this step
-            let degrees = self.cache.constraints_into(view, &lt.txn, colored, constraints);
+            let degrees = self
+                .cache
+                .constraints_into(view, &lt.txn, colored, constraints);
             let conflicts = constraints.len();
             let (color, bound) = match self.mode {
                 GreedyMode::General => {

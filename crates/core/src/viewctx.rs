@@ -48,6 +48,7 @@ fn object_avail(view: &SystemView<'_>) -> BTreeMap<dtm_model::ObjectId, (dtm_gra
 /// many transactions stream through.
 #[derive(Clone, Debug, Default)]
 pub struct FixedCache {
+    // dtm-lint: bounded -- entries leave via fx.removed() as txns commit/abort; O(live set)
     fixed: BTreeMap<TxnId, (Transaction, Time)>,
     init: bool,
     /// Refresh counter driving the sampled debug divergence check.
@@ -58,6 +59,7 @@ impl FixedCache {
     /// Bring the cached fixed set up to date with `view`. Must be called
     /// once per policy step, *before* the early-returns a policy may take
     /// (otherwise a step's effects are silently dropped).
+    // dtm-lint: hot-path
     pub fn refresh(&mut self, view: &SystemView<'_>) {
         match view.step_effects() {
             Some(fx) if self.init => {
@@ -65,7 +67,7 @@ impl FixedCache {
                     // Scheduled and committed within the same inter-policy
                     // window: no longer live, never enters the fixed set.
                     if let Some(lt) = view.live(id) {
-                        self.fixed.insert(id, (lt.txn.clone(), t));
+                        self.fixed.insert(id, (lt.txn.clone(), t)); // dtm-lint: allow(H1) -- one clone per newly *scheduled* txn (delta-driven), not per step
                     }
                 }
                 for id in fx.removed() {
@@ -75,8 +77,8 @@ impl FixedCache {
             _ => {
                 self.fixed = view
                     .live_txns()
-                    .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t))))
-                    .collect();
+                    .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t)))) // dtm-lint: allow(H1) -- cold fallback for map-backed views and first call only
+                    .collect(); // dtm-lint: allow(H1) -- cold fallback for map-backed views and first call only
                 self.init = true;
             }
         }
@@ -85,11 +87,14 @@ impl FixedCache {
         // a clone per scheduled transaction, which made debug-mode
         // streaming runs pay more for the check than for the work.
         #[cfg(debug_assertions)]
-        if self.refreshes % crate::conflict::DIVERGENCE_SAMPLE_PERIOD == 0 {
+        if self
+            .refreshes
+            .is_multiple_of(crate::conflict::DIVERGENCE_SAMPLE_PERIOD)
+        {
             let full: BTreeMap<TxnId, (Transaction, Time)> = view
                 .live_txns()
-                .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t))))
-                .collect();
+                .filter_map(|lt| lt.scheduled.map(|t| (lt.txn.id, (lt.txn.clone(), t)))) // dtm-lint: allow(H1) -- debug-only sampled divergence check, compiled out in release
+                .collect(); // dtm-lint: allow(H1) -- debug-only sampled divergence check, compiled out in release
             debug_assert_eq!(self.fixed, full, "incremental fixed context diverged");
         }
     }

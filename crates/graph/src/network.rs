@@ -375,7 +375,8 @@ mod tests {
             {
                 let mut g = Graph::new(DENSE_LIMIT + 1, "bigpath");
                 for u in 0..DENSE_LIMIT as u32 {
-                    g.add_edge(NodeId(u), NodeId(u + 1), 1 + u as u64 % 3).unwrap();
+                    g.add_edge(NodeId(u), NodeId(u + 1), 1 + u as u64 % 3)
+                        .unwrap();
                 }
                 Network::new(g, None)
             },

@@ -272,13 +272,7 @@ impl Structured {
                 clique_size,
                 bridge_weight,
                 ..
-            } => {
-                if u.0 / clique_size != v.0 / clique_size {
-                    *bridge_weight
-                } else {
-                    1
-                }
-            }
+            } if u.0 / clique_size != v.0 / clique_size => *bridge_weight,
             _ => 1,
         }
     }

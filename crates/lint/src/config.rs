@@ -63,12 +63,16 @@ impl Value {
 /// One `[[allow]]` entry: waive `rule` findings under a path prefix.
 #[derive(Clone, Debug)]
 pub struct PathAllow {
-    /// Rule name (`"D1"`..`"C2"`), or `"*"` for all rules.
+    /// Rule name (`"D1"`..`"W2"`), or `"*"` for all rules.
     pub rule: String,
     /// Path prefix, relative to the workspace root, `/`-separated.
     pub path: String,
     /// Mandatory written justification.
     pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `lint.toml` (0 when the
+    /// entry was constructed programmatically) — reported by W2 when the
+    /// entry waives nothing across a whole run.
+    pub line: u32,
 }
 
 /// Parsed configuration with workspace defaults filled in.
@@ -84,6 +88,13 @@ pub struct Config {
     pub timing_ok: Vec<String>,
     /// Crate dirs where `unwrap`/`expect` are forbidden (rule C1).
     pub library: Vec<String>,
+    /// Paths whose structs face the open-system boundedness audit
+    /// (rule B1): growable fields must name a prune site.
+    pub bounded: Vec<String>,
+    /// The clippy invocation CI must use (`[clippy] flags`). Not
+    /// interpreted by the scanner; `tests/clippy_drift.rs` pins it
+    /// against `.github/workflows/ci.yml`.
+    pub clippy_flags: Vec<String>,
     /// Path-scoped waivers.
     pub allows: Vec<PathAllow>,
 }
@@ -107,6 +118,11 @@ impl Default for Config {
                 "crates/lint".into(),
             ],
             library: det.iter().map(|s| s.to_string()).collect(),
+            bounded: vec!["crates/core".into(), "crates/sim/src/kernel.rs".into()],
+            clippy_flags: ["--workspace", "--all-targets", "--", "-D", "warnings"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             allows: Vec::new(),
         }
     }
@@ -117,8 +133,8 @@ impl Default for Config {
 struct RawToml {
     /// `[section]` -> key -> value.
     sections: BTreeMap<String, BTreeMap<String, Value>>,
-    /// `[[section]]` occurrences in order.
-    tables: Vec<(String, BTreeMap<String, Value>)>,
+    /// `[[section]]` occurrences in order, with the header's 1-based line.
+    tables: Vec<(String, usize, BTreeMap<String, Value>)>,
 }
 
 fn parse_string(s: &str, line: usize) -> Result<(String, &str), ConfigError> {
@@ -223,7 +239,8 @@ fn parse_raw(src: &str) -> Result<RawToml, ConfigError> {
                 line: lineno,
                 message: "malformed `[[table]]` header".into(),
             })?;
-            raw.tables.push((name.trim().to_string(), BTreeMap::new()));
+            raw.tables
+                .push((name.trim().to_string(), lineno, BTreeMap::new()));
             target = Target::Table(raw.tables.len() - 1);
             continue;
         }
@@ -264,7 +281,7 @@ fn parse_raw(src: &str) -> Result<RawToml, ConfigError> {
             Target::Table(i) => {
                 raw.tables
                     .get_mut(*i)
-                    .map(|(_, m)| m.insert(key, value))
+                    .map(|(_, _, m)| m.insert(key, value))
                     .ok_or_else(|| ConfigError {
                         line: lineno,
                         message: "internal: table vanished".into(),
@@ -277,8 +294,7 @@ fn parse_raw(src: &str) -> Result<RawToml, ConfigError> {
 
 impl Config {
     /// Parse `lint.toml` source. Unknown sections and keys are permitted
-    /// (the file also documents CI's clippy flags, which the linter does
-    /// not interpret); known keys replace the built-in defaults.
+    /// (forward compatibility); known keys replace the built-in defaults.
     pub fn parse(src: &str) -> Result<Config, ConfigError> {
         let raw = parse_raw(src)?;
         let mut cfg = Config::default();
@@ -304,7 +320,13 @@ impl Config {
         if let Some(v) = list("rules", "library") {
             cfg.library = v;
         }
-        for (i, (name, map)) in raw.tables.iter().enumerate() {
+        if let Some(v) = list("rules", "bounded") {
+            cfg.bounded = v;
+        }
+        if let Some(v) = list("clippy", "flags") {
+            cfg.clippy_flags = v;
+        }
+        for (i, (name, header_line, map)) in raw.tables.iter().enumerate() {
             if name != "allow" {
                 continue;
             }
@@ -321,6 +343,7 @@ impl Config {
                 rule: get("rule")?,
                 path: get("path")?,
                 reason: get("reason")?,
+                line: *header_line as u32,
             };
             if allow.reason.trim().is_empty() {
                 return Err(ConfigError {
@@ -374,6 +397,23 @@ flags = ["-D", "warnings"]
         assert_eq!(cfg.allows.len(), 1);
         assert_eq!(cfg.allows[0].rule, "D2");
         assert!(cfg.allows[0].reason.contains("# inside a string"));
+        assert_eq!(cfg.allows[0].line, 10, "header line of the [[allow]]");
+        assert_eq!(cfg.clippy_flags, ["-D", "warnings"]);
+    }
+
+    #[test]
+    fn bounded_and_clippy_defaults() {
+        let cfg = Config::default();
+        assert!(cfg.bounded.contains(&"crates/core".to_string()));
+        assert!(cfg
+            .bounded
+            .contains(&"crates/sim/src/kernel.rs".to_string()));
+        assert_eq!(
+            cfg.clippy_flags,
+            ["--workspace", "--all-targets", "--", "-D", "warnings"]
+        );
+        let parsed = Config::parse("[rules]\nbounded = [\"crates/x\"]\n").expect("parses");
+        assert_eq!(parsed.bounded, ["crates/x"]);
     }
 
     #[test]

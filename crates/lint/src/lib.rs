@@ -6,29 +6,40 @@
 //! (DESIGN.md, "Determinism rules"). Golden traces and `--jobs` parity
 //! diffs enforce that *dynamically*; this crate enforces the static
 //! side: it lexes every `.rs` file under `crates/`, `tests/` and
-//! `examples/` (its own small lexer — no `syn`, no new vendored deps)
-//! and proves the absence of the known hazard classes:
+//! `examples/` (its own small lexer plus a brace-matched item parser —
+//! no `syn`, no new vendored deps) and proves the absence of the known
+//! hazard classes:
 //!
 //! * **D1** unordered-map iteration in deterministic crates,
 //! * **D2** wall-clock reads outside timing crates,
 //! * **D3** unseeded randomness,
 //! * **D4** thread-identity-dependent logic,
+//! * **D5** floating point in deterministic crates,
+//! * **H1** allocation inside `hot-path`-marked functions,
+//! * **B1** unannotated growable fields in bounded-tier structs,
 //! * **C1** `unwrap()`/`expect()` in library crates,
 //! * **C2** missing `#![forbid(unsafe_code)]` on crate roots,
-//! * **W1** waivers without a written reason.
+//! * **W1** waivers/markers without a written reason,
+//! * **W2** stale waivers and markers that match zero findings.
+//!
+//! The parser ([`parser`]) gives rules *scopes*: H1 applies inside the
+//! bodies of marked functions, B1 walks struct fields, and every
+//! finding names its innermost enclosing item.
 //!
 //! Hazard sites are waivable inline —
 //! `// dtm-lint: allow(<rule>) -- <reason>` on the offending line or on
 //! a comment line directly above — or path-scoped via `[[allow]]`
-//! entries in the repo's `lint.toml`. Every waiver must carry a reason;
-//! CI runs `cargo run -p dtm-lint -- --json` and fails on any unwaived
-//! finding.
+//! entries in the repo's `lint.toml`. Every waiver must carry a reason,
+//! and [[allow]] entries that waive nothing across a whole run are W2
+//! findings themselves; CI runs `cargo run -p dtm-lint -- --github` and
+//! fails on any unwaived finding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod walk;
@@ -88,19 +99,39 @@ pub fn load_config(root: &Path) -> Result<Config, LintError> {
 /// Lint the tree under `root` with `cfg`. Returns the full report;
 /// callers decide what exit status [`LintReport::unwaived_count`] maps
 /// to.
+///
+/// `[[allow]]` usage is aggregated across every scanned file: an entry
+/// that waived nothing anywhere becomes a W2 finding attributed to
+/// `lint.toml` itself (at the entry's header line). Those findings can
+/// only be silenced by fixing or removing the entry — an `[[allow]]`
+/// for W2 on `lint.toml` would itself be stale.
 pub fn run(root: &Path, cfg: &Config) -> Result<LintReport, LintError> {
     let files = walk::rust_files(root, cfg).map_err(|source| LintError::Io {
         path: root.display().to_string(),
         source,
     })?;
     let mut findings = Vec::new();
+    let mut allow_used = vec![false; cfg.allows.len()];
     for rel in &files {
         let full = root.join(rel);
         let src = std::fs::read_to_string(&full).map_err(|source| LintError::Io {
             path: full.display().to_string(),
             source,
         })?;
-        findings.extend(rules::scan_file(rel, &src, cfg));
+        findings.extend(rules::scan_file_tracking(rel, &src, cfg, &mut allow_used));
+    }
+    for (a, _) in cfg.allows.iter().zip(&allow_used).filter(|(_, u)| !**u) {
+        findings.push(Finding {
+            path: "lint.toml".into(),
+            line: a.line,
+            rule: Rule::W2,
+            snippet: format!(
+                "stale [[allow]] (waived no finding): rule {} under {}",
+                a.rule, a.path
+            ),
+            scope: None,
+            waived: None,
+        });
     }
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(LintReport {

@@ -1,7 +1,7 @@
 //! `dtm-lint` CLI.
 //!
 //! ```text
-//! dtm-lint [--root <dir>] [--json] [--list-rules]
+//! dtm-lint [--root <dir>] [--json | --github] [--list-rules]
 //! ```
 //!
 //! Scans the workspace (auto-located by walking up from the current
@@ -34,19 +34,23 @@ fn find_workspace_root() -> Option<PathBuf> {
 }
 
 fn usage() -> &'static str {
-    "usage: dtm-lint [--root <dir>] [--json] [--list-rules]\n\
+    "usage: dtm-lint [--root <dir>] [--json | --github] [--list-rules]\n\
      \n\
      Determinism & concurrency-hygiene linter for the dtm workspace.\n\
+     --json emits the stable v2 report; --github emits GitHub Actions\n\
+     ::error annotations for unwaived findings (for the CI lint step).\n\
      Exits 0 when every finding is waived, 1 otherwise.\n"
 }
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut github = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--github" => github = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -85,6 +89,8 @@ fn main() -> ExitCode {
         Ok(report) => {
             if json {
                 print!("{}", report.json());
+            } else if github {
+                print!("{}", report.github());
             } else {
                 print!("{}", report.human());
             }

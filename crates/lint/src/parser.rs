@@ -1,0 +1,663 @@
+//! A lightweight, brace-matched item parser on top of [`crate::lexer`].
+//!
+//! This is deliberately not a Rust grammar: it recognizes just enough
+//! item structure — `fn` / `struct` / `enum` / `trait` / `impl` / `mod`
+//! headers, attribute blocks, and matched `{ ... }` bodies — to give
+//! every finding a *scope* (the innermost enclosing function, qualified
+//! as `Type::method` inside an `impl`) and to let rules reason about
+//! spans instead of single lines:
+//!
+//! * **H1** needs "which tokens are inside a `// dtm-lint: hot-path`
+//!   function body";
+//! * **B1** needs "which struct fields have a growable collection type";
+//! * scope attribution needs "which function owns this line".
+//!
+//! Mis-parses degrade gracefully: an unrecognized construct is skipped
+//! token-by-token, so the worst case is a finding without a scope, never
+//! a missed token-level rule (those run over the raw stream).
+
+use crate::lexer::{Comment, Token, TokenKind};
+
+/// The marker body when a comment is a `dtm-lint: <keyword>` marker.
+///
+/// Markers are *anchored*: after stripping doc-comment furniture
+/// (`/`, `!`, whitespace) the comment must begin with `dtm-lint:` and
+/// the keyword must be followed by nothing or by `-- <note>`, so prose
+/// mentioning a marker inside backticks or mid-sentence never parses as
+/// one. Returns the note after `--` (empty when absent).
+pub fn marker(text: &str, keyword: &str) -> Option<String> {
+    let body = text.trim_start_matches(['/', '!', ' ', '\t']).trim_end();
+    let rest = body.strip_prefix("dtm-lint:")?.trim_start();
+    let rest = rest.strip_prefix(keyword)?;
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return Some(String::new());
+    }
+    rest.strip_prefix("--").map(|r| r.trim().to_string())
+}
+
+/// A function item (free function, or a method inside an `impl`/`trait`
+/// block) with its body span.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// `name` for free functions, `Type::name` for methods.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace (== `line` for
+    /// body-less trait-method declarations).
+    pub end_line: u32,
+    /// Token-index range of the body, `{` ..= `}` inclusive, when the
+    /// function has one.
+    pub body: Option<(usize, usize)>,
+    /// Whether a `// dtm-lint: hot-path` marker is attached (in the
+    /// leading comment/doc block, or trailing on the signature lines).
+    pub hot_path: bool,
+}
+
+/// One struct field (named or tuple-positional).
+#[derive(Clone, Debug)]
+pub struct FieldItem {
+    /// Field name (`None` for tuple-struct fields).
+    pub name: Option<String>,
+    /// 1-based line the field starts on.
+    pub line: u32,
+    /// Token-index range of the field's type, start inclusive, end
+    /// exclusive.
+    pub ty: (usize, usize),
+}
+
+/// A struct item with its parsed fields.
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Token index of the `struct` keyword (for `#[cfg(test)]` region
+    /// checks).
+    pub token_index: usize,
+    /// Parsed fields (empty for unit structs).
+    pub fields: Vec<FieldItem>,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct ParseOutput {
+    /// All functions, in source order (impl/trait methods included).
+    pub fns: Vec<FnItem>,
+    /// All structs, in source order.
+    pub structs: Vec<StructItem>,
+    /// Lines of `dtm-lint: hot-path` marker comments that attached to
+    /// some function (markers *not* in this list are stale — W2).
+    pub used_hot_marks: Vec<u32>,
+}
+
+impl ParseOutput {
+    /// Qualified name of the innermost function whose line span contains
+    /// `line` (innermost = smallest span, so an `impl` method wins over
+    /// any mis-parsed enclosing construct).
+    pub fn scope_of_line(&self, line: u32) -> Option<&str> {
+        self.fns
+            .iter()
+            .filter(|f| f.line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.line)
+            .map(|f| f.qualified.as_str())
+    }
+}
+
+/// Parse the item structure of one lexed file.
+pub fn parse(tokens: &[Token], comments: &[Comment]) -> ParseOutput {
+    let mut out = ParseOutput::default();
+    parse_block(tokens, comments, 0, tokens.len(), None, &mut out);
+    out
+}
+
+/// Skip one `#[...]` / `#![...]` attribute starting at `i` (which must
+/// be `#`). Returns the index past the closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From an opening delimiter at `i` (`{`, `(` or `[`), return the index
+/// of the matching closer. Falls back to the last token on unbalanced
+/// input (which would not compile anyway).
+fn match_delim(tokens: &[Token], i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Is token `j` a `>` that closes a generic angle (not the `->` arrow)?
+fn closes_angle(tokens: &[Token], j: usize) -> bool {
+    tokens[j].is_punct('>') && !(j >= 1 && tokens[j - 1].is_punct('-'))
+}
+
+/// Scan forward from `i` for the first occurrence of any of `stops` at
+/// zero `()`/`[]`/`<>` nesting depth. Returns `(index, char)`.
+fn find_at_depth0(tokens: &[Token], i: usize, stops: &[char]) -> Option<(usize, char)> {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut j = i;
+    while let Some(t) = tokens.get(j) {
+        if let TokenKind::Punct(c) = t.kind {
+            if angle == 0 && paren == 0 && stops.contains(&c) {
+                return Some((j, c));
+            }
+            match c {
+                '<' => angle += 1,
+                '>' if closes_angle(tokens, j) && angle > 0 => angle -= 1,
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse the items in `tokens[i..end]`. `ctx` is the enclosing `impl` /
+/// `trait` type name for qualifying methods.
+fn parse_block(
+    tokens: &[Token],
+    comments: &[Comment],
+    mut i: usize,
+    end: usize,
+    ctx: Option<&str>,
+    out: &mut ParseOutput,
+) {
+    while i < end {
+        let item_start = i;
+        let mut j = i;
+        // Leading attributes.
+        while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+            match skip_attr(tokens, j) {
+                Some(next) if next <= end => j = next,
+                _ => break,
+            }
+        }
+        // Visibility / qualifier keywords before the item keyword.
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "pub" if t.kind == TokenKind::Ident => {
+                    j += 1;
+                    if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                        j = match_delim(tokens, j, '(', ')') + 1;
+                    }
+                }
+                "unsafe" | "async" | "default" if t.kind == TokenKind::Ident => j += 1,
+                // `const fn` is a qualifier; `const NAME: ...` is an item
+                // (handled by the fall-through arm below).
+                "const"
+                    if t.kind == TokenKind::Ident
+                        && tokens.get(j + 1).is_some_and(|n| n.is_ident("fn")) =>
+                {
+                    j += 1
+                }
+                "extern" if t.kind == TokenKind::Ident => {
+                    j += 1;
+                    if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Str) {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(kw) = tokens.get(j) else { break };
+        match (kw.kind == TokenKind::Ident).then_some(kw.text.as_str()) {
+            Some("fn") => {
+                i = parse_fn(tokens, comments, item_start, j, end, ctx, out);
+            }
+            Some("struct") => {
+                i = parse_struct(tokens, j, end, out);
+            }
+            Some("enum") | Some("union") => {
+                // Skip name + generics to the body and over it.
+                i = match find_at_depth0(tokens, j + 1, &['{', ';']) {
+                    Some((k, '{')) => match_delim(tokens, k, '{', '}') + 1,
+                    Some((k, _)) => k + 1,
+                    None => end,
+                };
+            }
+            Some("trait") => {
+                let name = tokens
+                    .get(j + 1)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                match find_at_depth0(tokens, j + 1, &['{', ';']) {
+                    Some((k, '{')) => {
+                        let close = match_delim(tokens, k, '{', '}');
+                        parse_block(tokens, comments, k + 1, close, Some(&name), out);
+                        i = close + 1;
+                    }
+                    Some((k, _)) => i = k + 1,
+                    None => i = end,
+                }
+            }
+            Some("impl") => match find_at_depth0(tokens, j + 1, &['{', ';']) {
+                Some((k, '{')) => {
+                    let name = impl_type_name(tokens, j + 1, k);
+                    let close = match_delim(tokens, k, '{', '}');
+                    parse_block(tokens, comments, k + 1, close, Some(&name), out);
+                    i = close + 1;
+                }
+                Some((k, _)) => i = k + 1,
+                None => i = end,
+            },
+            Some("mod") => match find_at_depth0(tokens, j + 1, &['{', ';']) {
+                Some((k, '{')) => {
+                    let close = match_delim(tokens, k, '{', '}');
+                    parse_block(tokens, comments, k + 1, close, None, out);
+                    i = close + 1;
+                }
+                Some((k, _)) => i = k + 1,
+                None => i = end,
+            },
+            Some("macro_rules") => {
+                // `macro_rules! name { ... }`
+                i = match find_at_depth0(tokens, j + 1, &['{']) {
+                    Some((k, _)) => match_delim(tokens, k, '{', '}') + 1,
+                    None => end,
+                };
+            }
+            Some("use") | Some("static") | Some("const") | Some("type") => {
+                // Runs to `;` outside any braces (initializers may
+                // contain struct literals).
+                let mut depth = 0usize;
+                let mut k = j;
+                loop {
+                    let Some(t) = tokens.get(k) else {
+                        k = end;
+                        break;
+                    };
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                        depth = depth.saturating_sub(1);
+                    } else if t.is_punct(';') && depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                i = k;
+            }
+            _ => i = j.max(i) + 1, // unrecognized: skip a token, stay live
+        }
+    }
+}
+
+/// Parse one `fn` whose keyword sits at `kw` (attributes began at
+/// `item_start`). Returns the index to continue from.
+fn parse_fn(
+    tokens: &[Token],
+    comments: &[Comment],
+    item_start: usize,
+    kw: usize,
+    end: usize,
+    ctx: Option<&str>,
+    out: &mut ParseOutput,
+) -> usize {
+    let name = tokens
+        .get(kw + 1)
+        .map(|t| t.text.clone())
+        .unwrap_or_default();
+    let qualified = match ctx {
+        Some(c) => format!("{c}::{name}"),
+        None => name,
+    };
+    let line = tokens[kw].line;
+    let (body, end_line, next, sig_end_line) = match find_at_depth0(tokens, kw + 2, &['{', ';']) {
+        Some((k, '{')) => {
+            let close = match_delim(tokens, k, '{', '}');
+            (
+                Some((k, close)),
+                tokens[close].line,
+                close + 1,
+                tokens[k].line,
+            )
+        }
+        Some((k, _)) => (None, tokens[k].line, k + 1, tokens[k].line),
+        None => (None, line, end, line),
+    };
+    // A hot-path marker attaches if it sits between the previous token
+    // and the body's opening brace: the leading comment/doc block, a
+    // line between attributes, or trailing on a signature line.
+    let prev_line = item_start
+        .checked_sub(1)
+        .map(|p| tokens[p].line)
+        .unwrap_or(0);
+    let mut hot_path = false;
+    for c in comments {
+        if c.line > prev_line && c.line <= sig_end_line && marker(&c.text, "hot-path").is_some() {
+            hot_path = true;
+            out.used_hot_marks.push(c.line);
+        }
+    }
+    out.fns.push(FnItem {
+        qualified,
+        line,
+        end_line,
+        body,
+        hot_path,
+    });
+    next.min(end)
+}
+
+/// Parse one `struct` whose keyword sits at `kw`. Returns the index to
+/// continue from.
+fn parse_struct(tokens: &[Token], kw: usize, end: usize, out: &mut ParseOutput) -> usize {
+    let name = tokens
+        .get(kw + 1)
+        .map(|t| t.text.clone())
+        .unwrap_or_default();
+    let mut item = StructItem {
+        name,
+        line: tokens[kw].line,
+        token_index: kw,
+        fields: Vec::new(),
+    };
+    let next = match find_at_depth0(tokens, kw + 2, &['{', '(', ';']) {
+        Some((k, '{')) => {
+            let close = match_delim(tokens, k, '{', '}');
+            parse_named_fields(tokens, k, close, &mut item.fields);
+            close + 1
+        }
+        Some((k, '(')) => {
+            let close = match_delim(tokens, k, '(', ')');
+            parse_tuple_fields(tokens, k, close, &mut item.fields);
+            // Tuple structs end `);` — consume the trailing semicolon.
+            match find_at_depth0(tokens, close + 1, &[';']) {
+                Some((s, _)) => s + 1,
+                None => close + 1,
+            }
+        }
+        Some((k, _)) => k + 1,
+        None => end,
+    };
+    out.structs.push(item);
+    next.min(end)
+}
+
+/// Fields of `struct S { a: T, b: U }` between braces `open`..`close`.
+fn parse_named_fields(tokens: &[Token], open: usize, close: usize, out: &mut Vec<FieldItem>) {
+    let mut i = open + 1;
+    while i < close {
+        // Attributes and visibility.
+        while tokens.get(i).is_some_and(|t| t.is_punct('#')) {
+            match skip_attr(tokens, i) {
+                Some(next) if next <= close => i = next,
+                _ => break,
+            }
+        }
+        if tokens.get(i).is_some_and(|t| t.is_ident("pub")) {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+                i = match_delim(tokens, i, '(', ')') + 1;
+            }
+        }
+        let Some(name_tok) = tokens.get(i).filter(|t| t.kind == TokenKind::Ident) else {
+            break;
+        };
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            break;
+        }
+        let ty_start = i + 2;
+        let ty_end = match find_at_depth0(tokens, ty_start, &[',']) {
+            Some((k, _)) if k < close => k,
+            _ => close,
+        };
+        out.push(FieldItem {
+            name: Some(name_tok.text.clone()),
+            line: name_tok.line,
+            ty: (ty_start, ty_end),
+        });
+        i = ty_end + 1;
+    }
+}
+
+/// Fields of `struct S(T, U);` between parens `open`..`close`.
+fn parse_tuple_fields(tokens: &[Token], open: usize, close: usize, out: &mut Vec<FieldItem>) {
+    let mut i = open + 1;
+    while i < close {
+        while tokens.get(i).is_some_and(|t| t.is_punct('#')) {
+            match skip_attr(tokens, i) {
+                Some(next) if next <= close => i = next,
+                _ => break,
+            }
+        }
+        if tokens.get(i).is_some_and(|t| t.is_ident("pub")) {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+                i = match_delim(tokens, i, '(', ')') + 1;
+            }
+        }
+        if i >= close {
+            break;
+        }
+        let ty_end = match find_at_depth0(tokens, i, &[',']) {
+            Some((k, _)) if k < close => k,
+            _ => close,
+        };
+        out.push(FieldItem {
+            name: None,
+            line: tokens[i].line,
+            ty: (i, ty_end),
+        });
+        i = ty_end + 1;
+    }
+}
+
+/// The self-type name of an `impl` header occupying `tokens[start..open]`
+/// (`open` points at the body `{`): the last path segment after `for` if
+/// present, else the first path's last segment after the impl generics.
+fn impl_type_name(tokens: &[Token], start: usize, open: usize) -> String {
+    let mut i = start;
+    // Skip `impl<...>` generics.
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while i < open {
+            if tokens[i].is_punct('<') {
+                depth += 1;
+            } else if closes_angle(tokens, i) {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // If a top-level `for` follows, the self type is after it.
+    if let Some((f, _)) = find_ident_at_depth0(tokens, i, open, "for") {
+        i = f + 1;
+    }
+    // Last segment of the path starting at `i`.
+    let mut last = String::new();
+    while i < open {
+        match &tokens[i].kind {
+            TokenKind::Ident if tokens[i].text == "where" => break,
+            TokenKind::Ident => last = tokens[i].text.clone(),
+            TokenKind::Punct(':') => {}
+            _ => break,
+        }
+        i += 1;
+    }
+    last
+}
+
+/// First occurrence of ident `name` in `tokens[i..end]` at zero
+/// `<>`/`()`/`[]` depth.
+fn find_ident_at_depth0(tokens: &[Token], i: usize, end: usize, name: &str) -> Option<(usize, ())> {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut j = i;
+    while j < end {
+        let t = &tokens[j];
+        if let TokenKind::Punct(c) = t.kind {
+            match c {
+                '<' => angle += 1,
+                '>' if closes_angle(tokens, j) && angle > 0 => angle -= 1,
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                _ => {}
+            }
+        } else if angle == 0 && paren == 0 && t.is_ident(name) {
+            return Some((j, ()));
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParseOutput {
+        let lexed = lex(src);
+        parse(&lexed.tokens, &lexed.comments)
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_qualified() {
+        let src = "fn free() { body(); }\n\
+                   impl Kernel {\n    pub fn tick(&mut self) { work(); }\n}\n\
+                   impl<A: Clone> Policy<A> for Bucket<A> {\n    fn step(&self) {}\n}\n";
+        let p = parsed(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(names, ["free", "Kernel::tick", "Bucket::step"]);
+        assert!(p.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn scope_of_line_picks_innermost() {
+        let src = "impl K {\n    fn a(&self) {\n        one();\n    }\n    fn b(&self) {\n        two();\n    }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.scope_of_line(3), Some("K::a"));
+        assert_eq!(p.scope_of_line(6), Some("K::b"));
+        assert_eq!(p.scope_of_line(8), None);
+    }
+
+    #[test]
+    fn hot_path_marker_attaches_from_leading_comments() {
+        let src = "/// Docs.\n// dtm-lint: hot-path\nfn hot() { x(); }\n\nfn cold() { y(); }\n";
+        let p = parsed(src);
+        assert!(p.fns[0].hot_path);
+        assert!(!p.fns[1].hot_path);
+        assert_eq!(p.used_hot_marks, [2]);
+    }
+
+    #[test]
+    fn hot_path_marker_does_not_leak_from_previous_item() {
+        // A comment trailing fn a's line marks fn a (trailing-marker
+        // style) and must not leak onto the next function.
+        let src = "fn a() {} // dtm-lint: hot-path\nfn b() { x(); }\n";
+        let p = parsed(src);
+        assert!(p.fns[0].hot_path);
+        assert!(!p.fns[1].hot_path);
+        assert_eq!(p.used_hot_marks, [1]);
+    }
+
+    #[test]
+    fn struct_fields_with_generic_types() {
+        let src = "pub struct S<T> {\n    pub a: BTreeMap<(u32, u32), Vec<T>>,\n    b: u64,\n    c: Option<Box<dyn Fn(u32) -> u32>>,\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "S");
+        let names: Vec<_> = s.fields.iter().map(|f| f.name.clone().unwrap()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(s.fields[0].line, 2);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let src = "struct Id(pub u64);\nstruct Unit;\nstruct Pair(Vec<u8>, u32);\n";
+        let p = parsed(src);
+        assert_eq!(p.structs.len(), 3);
+        assert_eq!(p.structs[0].fields.len(), 1);
+        assert!(p.structs[1].fields.is_empty());
+        assert_eq!(p.structs[2].fields.len(), 2);
+    }
+
+    #[test]
+    fn fn_returning_impl_trait_with_arrow_in_generics() {
+        let src = "fn mk() -> Box<dyn Fn(u32) -> Vec<u8>> {\n    Box::new(|x| vec![x as u8])\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].end_line, 3);
+    }
+
+    #[test]
+    fn nested_mods_reset_impl_context() {
+        let src =
+            "mod inner {\n    pub struct T { pub v: Vec<u8> }\n    impl T { fn m(&self) {} }\n}\n";
+        let p = parsed(src);
+        assert_eq!(p.structs[0].name, "T");
+        assert_eq!(p.fns[0].qualified, "T::m");
+    }
+
+    #[test]
+    fn where_clauses_do_not_confuse_body_detection() {
+        let src = "fn f<T>(x: T) -> u32\nwhere\n    T: Into<u32>,\n{\n    x.into()\n}\n";
+        let p = parsed(src);
+        assert!(p.fns[0].body.is_some());
+        assert_eq!(p.fns[0].end_line, 6);
+    }
+
+    #[test]
+    fn marker_requires_anchoring_and_exact_keyword() {
+        assert_eq!(
+            marker("// dtm-lint: hot-path", "hot-path"),
+            Some(String::new())
+        );
+        assert_eq!(
+            marker("/// dtm-lint: bounded -- drained by step()", "bounded"),
+            Some("drained by step()".to_string())
+        );
+        // Prose, backticks, or extra words do not parse as markers.
+        assert_eq!(
+            marker("// mark with `dtm-lint: hot-path` above", "hot-path"),
+            None
+        );
+        assert_eq!(
+            marker("// dtm-lint: hot-path markers attach", "hot-path"),
+            None
+        );
+        assert_eq!(marker("// dtm-lint: boundedness", "bounded"), None);
+    }
+}

@@ -1,20 +1,25 @@
-//! Human and JSON rendering of a lint run.
+//! Human, JSON, and GitHub Actions rendering of a lint run.
 //!
 //! The JSON schema is stable (consumed by CI and any future dashboards):
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "root": "<scan root>",
 //!   "files_scanned": 123,
 //!   "findings": [
 //!     {"path": "crates/sim/src/engine.rs", "line": 40, "rule": "D2",
-//!      "snippet": "use std::time::Instant;",
+//!      "scope": "Engine::run", "snippet": "use std::time::Instant;",
 //!      "waived": true, "reason": "lint.toml: ..."}
 //!   ],
 //!   "summary": {"total": 2, "waived": 1, "unwaived": 1}
 //! }
 //! ```
+//!
+//! Version history: **v2** added the `scope` field (innermost enclosing
+//! item, or `null` at file scope) to every finding object. All v1 keys
+//! kept their names, types and order, so v1 consumers that index by key
+//! keep working; consumers that reject unknown keys must accept `scope`.
 //!
 //! Findings are sorted by `(path, line, rule)`; two runs over the same
 //! tree emit byte-identical reports.
@@ -48,12 +53,18 @@ impl LintReport {
     pub fn human(&self) -> String {
         let mut out = String::new();
         for f in self.unwaived() {
+            let scope = f
+                .scope
+                .as_deref()
+                .map(|s| format!(" in `{s}`"))
+                .unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{}:{}: [{}] {}\n    {}",
+                "{}:{}: [{}]{} {}\n    {}",
                 f.path,
                 f.line,
                 f.rule.name(),
+                scope,
                 f.rule.describe(),
                 f.snippet
             );
@@ -73,7 +84,7 @@ impl LintReport {
     /// Render the stable JSON report.
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(out, "  \"root\": {},", json_str(&self.root));
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         out.push_str("  \"findings\": [");
@@ -83,10 +94,11 @@ impl LintReport {
             }
             let _ = write!(
                 out,
-                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"snippet\": {}, \"waived\": {}, \"reason\": {}}}",
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"scope\": {}, \"snippet\": {}, \"waived\": {}, \"reason\": {}}}",
                 json_str(&f.path),
                 f.line,
                 json_str(f.rule.name()),
+                f.scope.as_deref().map_or("null".to_string(), json_str),
                 json_str(&f.snippet),
                 f.waived.is_some(),
                 f.waived.as_deref().map_or("null".to_string(), json_str)
@@ -104,6 +116,48 @@ impl LintReport {
         out.push_str("}\n");
         out
     }
+
+    /// Render unwaived findings as GitHub Actions workflow commands
+    /// (`::error file=…,line=…,title=…::…`), so a CI run annotates the
+    /// offending lines inline on the PR diff. Waived findings are
+    /// omitted; the summary line goes to the build log as plain text.
+    pub fn github(&self) -> String {
+        let mut out = String::new();
+        for f in self.unwaived() {
+            let scope = f
+                .scope
+                .as_deref()
+                .map(|s| format!(" in `{s}`"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title={}::{}",
+                gh_property(&f.path),
+                f.line,
+                gh_property(&format!("dtm-lint {}", f.rule.name())),
+                gh_data(&format!("{}{}: {}", f.rule.describe(), scope, f.snippet))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "dtm-lint: {} files scanned, {} unwaived finding(s)",
+            self.files_scanned,
+            self.unwaived_count()
+        );
+        out
+    }
+}
+
+/// Escape the message part of a workflow command (`%`, CR, LF).
+fn gh_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escape a workflow-command property value (additionally `:` and `,`).
+fn gh_property(s: &str) -> String {
+    gh_data(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// JSON string escaping (control chars, quotes, backslashes).
@@ -142,6 +196,7 @@ mod tests {
                     line: 3,
                     rule: Rule::D1,
                     snippet: "let m: HashMap<\"q\\\"\", _>;".into(),
+                    scope: Some("Engine::run".into()),
                     waived: None,
                 },
                 Finding {
@@ -149,6 +204,7 @@ mod tests {
                     line: 7,
                     rule: Rule::C1,
                     snippet: "x.unwrap()".into(),
+                    scope: None,
                     waived: Some("test-only".into()),
                 },
             ],
@@ -158,7 +214,7 @@ mod tests {
     #[test]
     fn human_lists_only_unwaived_but_counts_both() {
         let h = report().human();
-        assert!(h.contains("a.rs:3: [D1]"));
+        assert!(h.contains("a.rs:3: [D1] in `Engine::run`"));
         assert!(!h.contains("b.rs:7"));
         assert!(h.contains("2 finding(s) (1 waived, 1 unwaived)"));
     }
@@ -166,7 +222,8 @@ mod tests {
     #[test]
     fn json_is_stable_and_escaped() {
         let j = report().json();
-        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"version\": 2"));
+        assert!(j.contains("\"scope\": \"Engine::run\""));
         assert!(j.contains("\\\"q\\\\\\\"\\\""));
         assert!(j.contains("\"unwaived\": 1"));
         assert_eq!(j, report().json());
@@ -175,5 +232,16 @@ mod tests {
     #[test]
     fn json_escapes_control_chars() {
         assert_eq!(json_str("a\nb\u{1}"), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn github_annotations_escape_and_skip_waived() {
+        let g = report().github();
+        assert!(g.starts_with("::error file=a.rs,line=3,title=dtm-lint D1::"));
+        assert!(!g.contains("b.rs"), "waived findings are omitted");
+        assert_eq!(g.lines().count(), 2, "one annotation plus the summary");
+        // Property escaping: `:` and `,` must not break the command.
+        assert_eq!(gh_property("a:b,c%d"), "a%3Ab%2Cc%25d");
+        assert_eq!(gh_data("x\ny%"), "x%0Ay%25");
     }
 }

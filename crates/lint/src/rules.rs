@@ -8,16 +8,32 @@
 //! | D2 | everything except `timing_ok` crates | `Instant`/`SystemTime` wall-clock reads |
 //! | D3 | everywhere | unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`) |
 //! | D4 | everywhere | thread-identity logic (`thread::current`, `RAYON_NUM_THREADS` reads, `available_parallelism`) |
+//! | D5 | deterministic crates, outside `#[cfg(test)]` | `f32`/`f64` types, float literals, `partial_cmp`/`sort_by` |
+//! | H1 | functions marked `hot-path` | allocating constructs inside a marked function body |
+//! | B1 | `bounded`-tier structs | growable collection field without a `bounded` annotation naming its prune site |
 //! | C1 | library crates, outside `#[cfg(test)]` | `.unwrap()` / `.expect(...)` |
 //! | C2 | crate roots | missing `#![forbid(unsafe_code)]`, or an `allow(unsafe_code)` masking it |
-//! | W1 | everywhere | a `dtm-lint: allow(...)` waiver without a written reason |
+//! | W1 | everywhere | a `dtm-lint` waiver or marker without a written reason |
+//! | W2 | everywhere | a stale waiver or marker that matches zero findings |
 //!
 //! Findings are waivable inline (`// dtm-lint: allow(<rule>) -- <reason>`
 //! on the offending line or alone on the line above) or path-scoped via
 //! `[[allow]]` in `lint.toml`. W1 is not waivable: a waiver must say why.
+//!
+//! Scope-aware rules ride on [`crate::parser`]: every finding carries the
+//! innermost enclosing function as its `scope`, H1 applies inside bodies
+//! of functions whose leading comment block carries the `hot-path`
+//! marker, and B1 walks parsed struct fields. The markers (anchored at
+//! the start of a comment):
+//!
+//! * `hot-path` — this function's warmed body must not allocate
+//!   (the static face of `tests/alloc_steady_state.rs`);
+//! * `bounded` + `--` + a prune site — this growable field is bounded,
+//!   and the annotation names where entries leave.
 
 use crate::config::Config;
 use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::parser;
 
 /// The rule identifiers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -30,24 +46,36 @@ pub enum Rule {
     D3,
     /// Thread-identity-dependent logic.
     D4,
+    /// Floating point in a deterministic crate.
+    D5,
+    /// Allocation inside a `hot-path`-marked function.
+    H1,
+    /// Unannotated growable field in a bounded-tier struct.
+    B1,
     /// `unwrap`/`expect` in library code.
     C1,
     /// Missing or masked `#![forbid(unsafe_code)]`.
     C2,
     /// Waiver without a reason.
     W1,
+    /// Stale waiver or marker matching zero findings.
+    W2,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 11] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
+        Rule::D5,
+        Rule::H1,
+        Rule::B1,
         Rule::C1,
         Rule::C2,
         Rule::W1,
+        Rule::W2,
     ];
 
     /// Stable rule name used in reports, waivers and `lint.toml`.
@@ -57,9 +85,13 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::D3 => "D3",
             Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::H1 => "H1",
+            Rule::B1 => "B1",
             Rule::C1 => "C1",
             Rule::C2 => "C2",
             Rule::W1 => "W1",
+            Rule::W2 => "W2",
         }
     }
 
@@ -70,9 +102,13 @@ impl Rule {
             Rule::D2 => "Instant/SystemTime read outside telemetry/bench: wall clocks must never influence scheduling",
             Rule::D3 => "unseeded RNG (thread_rng/from_entropy/OsRng): all randomness must flow from an explicit seed",
             Rule::D4 => "thread-identity logic (thread::current, RAYON_NUM_THREADS read, available_parallelism): output must not depend on pool width or worker identity",
+            Rule::D5 => "f32/f64 type, float literal, or partial_cmp/sort_by in a deterministic crate: rounding and NaN ordering are platform/order-sensitive; keep schedule math in integers (repo norm) or waive with proof the floats never feed a schedule",
+            Rule::H1 => "allocating construct (Vec::new/vec!/format!/collect/to_vec/Box::new/String::from/clone) inside a hot-path-marked function: the warmed steady state must stay allocation-free (tests/alloc_steady_state.rs); reuse scratch buffers or waive with the amortization argument",
+            Rule::B1 => "growable collection field (Vec/VecDeque/BTreeMap/BTreeSet/BinaryHeap) in a bounded-tier struct without a bounded annotation naming its prune site (open-system boundedness audit)",
             Rule::C1 => "unwrap()/expect() in a library crate: fix, return a typed error, or waive with justification",
             Rule::C2 => "crate root must carry #![forbid(unsafe_code)], unmasked by any allow(unsafe_code)",
-            Rule::W1 => "dtm-lint waiver without a written reason (`-- <why>` is mandatory)",
+            Rule::W1 => "dtm-lint waiver or marker without a written reason (`-- <why>` is mandatory)",
+            Rule::W2 => "stale dtm-lint waiver, [[allow]] entry, or marker that matches zero findings: prune it, or fix its rule list / placement",
         }
     }
 
@@ -92,6 +128,9 @@ pub struct Finding {
     pub rule: Rule,
     /// The offending source line (trimmed) or a synthesized message.
     pub snippet: String,
+    /// Innermost enclosing item: `Type::method` / `fn_name` for code
+    /// inside a function, the struct name for field findings.
+    pub scope: Option<String>,
     /// `Some(reason)` if an inline or path-scoped waiver covers this.
     pub waived: Option<String>,
 }
@@ -107,6 +146,17 @@ struct Waiver {
     /// Waived rules.
     rules: Vec<Rule>,
     /// Justification after `--` (empty string triggers W1).
+    reason: String,
+}
+
+/// A `dtm-lint: bounded -- <prune site>` field annotation.
+#[derive(Debug)]
+struct BoundedMark {
+    /// Line the marker comment starts on.
+    line: u32,
+    /// Line the marker covers (same convention as [`Waiver::covers`]).
+    covers: u32,
+    /// The prune site (empty string triggers W1).
     reason: String,
 }
 
@@ -133,7 +183,7 @@ fn parse_waiver(c: &Comment) -> Option<(Vec<Rule>, String)> {
 }
 
 /// Token-index ranges covered by `#[cfg(test)]` items (typically
-/// `mod tests { ... }`); C1 does not apply inside them.
+/// `mod tests { ... }`); C1, D5 and B1 do not apply inside them.
 fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
@@ -237,7 +287,7 @@ fn has_attr_with(tokens: &[Token], a: &str, b: &str) -> Option<u32> {
 /// How each rule family applies to one file (derived from its path).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FileClass {
-    /// D1 applies (deterministic crate).
+    /// D1/D5 apply (deterministic crate).
     pub deterministic: bool,
     /// D2 exempt (telemetry/bench/lint timing code).
     pub timing_ok: bool,
@@ -245,6 +295,8 @@ pub struct FileClass {
     pub library: bool,
     /// C2 applies (this is a crate root, `crates/<name>/src/lib.rs`).
     pub crate_root: bool,
+    /// B1 applies (kernel/policy/cache structs under a `bounded` path).
+    pub bounded: bool,
 }
 
 impl FileClass {
@@ -266,15 +318,57 @@ impl FileClass {
             timing_ok: in_any(&cfg.timing_ok),
             library: in_any(&cfg.library),
             crate_root,
+            bounded: in_any(&cfg.bounded),
         }
     }
 }
 
+/// Container types whose `::` associated calls allocate (or whose very
+/// presence in a hot path signals one), and methods that allocate.
+const ALLOC_TYPES: [&str; 9] = [
+    "Vec",
+    "VecDeque",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Box",
+    "String",
+    "Rc",
+    "Arc",
+];
+const ALLOC_METHODS: [&str; 6] = [
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "cloned",
+];
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Growable collection types B1 audits in bounded-tier struct fields.
+const GROWABLE_TYPES: [&str; 5] = ["Vec", "VecDeque", "BTreeMap", "BTreeSet", "BinaryHeap"];
+
 /// Scan one file's source, returning findings with waivers applied.
 pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let mut allow_used = vec![false; cfg.allows.len()];
+    scan_file_tracking(path, src, cfg, &mut allow_used)
+}
+
+/// Like [`scan_file`], but additionally records which `cfg.allows`
+/// entries waived at least one finding (`allow_used[i]` set when entry
+/// `i` applied) so the caller can report stale `[[allow]]` entries (W2)
+/// across a whole run.
+pub fn scan_file_tracking(
+    path: &str,
+    src: &str,
+    cfg: &Config,
+    allow_used: &mut [bool],
+) -> Vec<Finding> {
     let class = FileClass::of(path, cfg);
     let lexed = lex(src);
     let tokens = &lexed.tokens;
+    let parsed = parser::parse(tokens, &lexed.comments);
     let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: u32| -> String {
         lines
@@ -284,49 +378,67 @@ pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     };
 
     let mut findings: Vec<Finding> = Vec::new();
-    let mut fire = |rule: Rule, line: u32, snip: String| {
-        findings.push(Finding {
-            path: path.to_string(),
-            line,
-            rule,
-            snippet: snip,
-            waived: None,
-        });
+    let mk = |rule: Rule, line: u32, snip: String| Finding {
+        path: path.to_string(),
+        line,
+        rule,
+        snippet: snip,
+        scope: None,
+        waived: None,
     };
 
-    // --- Waivers (and W1 for malformed/reason-less ones). ---
+    // Covered-line convention shared by waivers and bounded marks: a
+    // comment standing alone on its line covers the next line that
+    // carries any token; a trailing comment covers its own line.
+    let covers_line = |c: &Comment| -> u32 {
+        let own_line_has_code = tokens.iter().any(|t| t.line == c.line);
+        if own_line_has_code {
+            c.line
+        } else {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        }
+    };
+
+    // --- Waivers and bounded marks (W1 for reason-less ones). ---
     let mut waivers: Vec<Waiver> = Vec::new();
+    let mut bounded_marks: Vec<BoundedMark> = Vec::new();
     for c in &lexed.comments {
-        match parse_waiver(c) {
-            None => {}
-            Some((rules, reason)) => {
-                if reason.is_empty() {
-                    fire(
-                        Rule::W1,
-                        c.line,
-                        format!("waiver without reason: {}", snippet(c.line)),
-                    );
-                }
-                // A comment standing alone on its line covers the next
-                // line that carries any token; a trailing comment covers
-                // its own line.
-                let own_line_has_code = tokens.iter().any(|t| t.line == c.line);
-                let covers = if own_line_has_code {
-                    c.line
-                } else {
-                    tokens
-                        .iter()
-                        .map(|t| t.line)
-                        .find(|&l| l > c.line)
-                        .unwrap_or(c.line)
-                };
-                waivers.push(Waiver {
-                    line: c.line,
-                    covers,
-                    rules,
-                    reason,
-                });
+        if let Some((rules, reason)) = parse_waiver(c) {
+            if reason.is_empty() {
+                findings.push(mk(
+                    Rule::W1,
+                    c.line,
+                    format!("waiver without reason: {}", snippet(c.line)),
+                ));
             }
+            waivers.push(Waiver {
+                line: c.line,
+                covers: covers_line(c),
+                rules,
+                reason,
+            });
+        } else if let Some(reason) = parser::marker(&c.text, "bounded") {
+            // Outside the bounded tier the marks are inert documentation:
+            // no field audit runs, so neither W1 nor W2 applies to them.
+            if !class.bounded {
+                continue;
+            }
+            if reason.is_empty() {
+                findings.push(mk(
+                    Rule::W1,
+                    c.line,
+                    format!("bounded marker without a prune site: {}", snippet(c.line)),
+                ));
+            }
+            bounded_marks.push(BoundedMark {
+                line: c.line,
+                covers: covers_line(c),
+                reason,
+            });
         }
     }
 
@@ -339,16 +451,16 @@ pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             TokenKind::Ident => {
                 let name = t.text.as_str();
                 if class.deterministic && (name == "HashMap" || name == "HashSet") {
-                    fire(Rule::D1, t.line, snippet(t.line));
+                    findings.push(mk(Rule::D1, t.line, snippet(t.line)));
                 }
                 if !class.timing_ok && (name == "Instant" || name == "SystemTime") {
-                    fire(Rule::D2, t.line, snippet(t.line));
+                    findings.push(mk(Rule::D2, t.line, snippet(t.line)));
                 }
                 if matches!(name, "thread_rng" | "from_entropy" | "OsRng" | "getrandom") {
-                    fire(Rule::D3, t.line, snippet(t.line));
+                    findings.push(mk(Rule::D3, t.line, snippet(t.line)));
                 }
                 if name == "available_parallelism" {
-                    fire(Rule::D4, t.line, snippet(t.line));
+                    findings.push(mk(Rule::D4, t.line, snippet(t.line)));
                 }
                 if name == "current"
                     && i >= 3
@@ -356,7 +468,13 @@ pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                     && tokens[i - 2].is_punct(':')
                     && tokens[i - 3].is_ident("thread")
                 {
-                    fire(Rule::D4, t.line, snippet(t.line));
+                    findings.push(mk(Rule::D4, t.line, snippet(t.line)));
+                }
+                if class.deterministic
+                    && !in_test(i)
+                    && matches!(name, "f32" | "f64" | "partial_cmp" | "sort_by")
+                {
+                    findings.push(mk(Rule::D5, t.line, snippet(t.line)));
                 }
                 if class.library
                     && !in_test(i)
@@ -365,7 +483,23 @@ pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                     && tokens[i - 1].is_punct('.')
                     && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
                 {
-                    fire(Rule::C1, t.line, snippet(t.line));
+                    findings.push(mk(Rule::C1, t.line, snippet(t.line)));
+                }
+            }
+            // Float literals lex as Number `.` Number; require the
+            // previous token not to be `.` so tuple-index chains
+            // (`x.0.1`) stay silent. Suffixed literals (`1f64`) carry
+            // the suffix in the Number token's text.
+            TokenKind::Number if class.deterministic && !in_test(i) => {
+                let dotted = tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                    && tokens
+                        .get(i + 2)
+                        .is_some_and(|n| n.kind == TokenKind::Number)
+                    && !(i >= 1 && tokens[i - 1].is_punct('.'));
+                let suffixed = !t.text.starts_with("0x")
+                    && (t.text.ends_with("f32") || t.text.ends_with("f64"));
+                if dotted || suffixed {
+                    findings.push(mk(Rule::D5, t.line, snippet(t.line)));
                 }
             }
             // Exact match only: `env::var(<this literal>)` is the
@@ -373,28 +507,114 @@ pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             // own catalog entry) is not. Spelled via concat! so the
             // linter's source holds no exact literal to self-flag.
             TokenKind::Str if t.text == concat!("RAYON_NUM_", "THREADS") => {
-                fire(Rule::D4, t.line, snippet(t.line));
+                findings.push(mk(Rule::D4, t.line, snippet(t.line)));
             }
             _ => {}
         }
     }
 
+    // --- H1: allocating constructs inside hot-path-marked bodies. ---
+    for f in parsed.fns.iter().filter(|f| f.hot_path) {
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        for i in body_start..=body_end.min(tokens.len().saturating_sub(1)) {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = t.text.as_str();
+            let path_alloc = ALLOC_TYPES.contains(&name)
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'));
+            let macro_alloc =
+                ALLOC_MACROS.contains(&name) && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let method_alloc = ALLOC_METHODS.contains(&name)
+                && i >= 1
+                && tokens[i - 1].is_punct('.')
+                && (tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    || (tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                        && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))));
+            if path_alloc || macro_alloc || method_alloc {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: Rule::H1,
+                    snippet: snippet(t.line),
+                    scope: Some(f.qualified.clone()),
+                    waived: None,
+                });
+            }
+        }
+    }
+
+    // --- B1: growable fields in bounded-tier structs need a prune site. ---
+    let mut bounded_used = vec![false; bounded_marks.len()];
+    if class.bounded {
+        for s in parsed.structs.iter().filter(|s| !in_test(s.token_index)) {
+            for field in &s.fields {
+                let (ty_start, ty_end) = field.ty;
+                let growable = tokens[ty_start..ty_end.min(tokens.len())].iter().any(|t| {
+                    t.kind == TokenKind::Ident && GROWABLE_TYPES.contains(&t.text.as_str())
+                });
+                if !growable {
+                    continue;
+                }
+                let mark = bounded_marks
+                    .iter()
+                    .position(|m| m.covers == field.line || m.line == field.line);
+                let waived = match mark {
+                    Some(mi) => {
+                        bounded_used[mi] = true;
+                        let reason = &bounded_marks[mi].reason;
+                        (!reason.is_empty()).then(|| format!("bounded: {reason}"))
+                    }
+                    None => None,
+                };
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: field.line,
+                    rule: Rule::B1,
+                    snippet: snippet(field.line),
+                    scope: Some(s.name.clone()),
+                    waived,
+                });
+            }
+        }
+    }
+
     // --- C2: crate roots must forbid unsafe code; nothing may mask it. ---
     if class.crate_root && has_attr_with(tokens, "forbid", "unsafe_code").is_none() {
-        fire(
+        findings.push(mk(
             Rule::C2,
             1,
             "crate root is missing #![forbid(unsafe_code)]".into(),
-        );
+        ));
     }
     if let Some(line) = has_attr_with(tokens, "allow", "unsafe_code") {
-        fire(Rule::C2, line, snippet(line));
+        findings.push(mk(Rule::C2, line, snippet(line)));
+    }
+
+    // --- Attach scopes (innermost enclosing function) where unset. ---
+    for f in &mut findings {
+        if f.scope.is_none() {
+            f.scope = parsed.scope_of_line(f.line).map(|s| s.to_string());
+        }
     }
 
     // --- Apply waivers: inline first, then lint.toml path scopes. ---
+    let mut waiver_used = vec![false; waivers.len()];
     for f in &mut findings {
-        if f.rule == Rule::W1 {
-            continue; // a waiver can't waive its own missing reason
+        if matches!(f.rule, Rule::W1 | Rule::W2) {
+            continue; // a waiver can't waive its own defects
+        }
+        for (wi, w) in waivers.iter().enumerate() {
+            if (w.covers == f.line || w.line == f.line) && w.rules.contains(&f.rule) {
+                waiver_used[wi] = true;
+            }
+        }
+        if f.waived.is_some() {
+            continue; // already covered (B1 bounded marks)
         }
         if let Some(w) = waivers
             .iter()
@@ -405,17 +625,78 @@ pub fn scan_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                 continue;
             }
         }
-        if let Some(a) = cfg.allows.iter().find(|a| {
+        if let Some(ai) = cfg.allows.iter().position(|a| {
             (a.rule == f.rule.name() || a.rule == "*")
                 && (f.path == a.path
                     || f.path
                         .starts_with(&format!("{}/", a.path.trim_end_matches('/'))))
         }) {
-            f.waived = Some(format!("lint.toml: {}", a.reason));
+            allow_used[ai] = true;
+            f.waived = Some(format!("lint.toml: {}", cfg.allows[ai].reason));
         }
     }
 
-    findings.sort_by_key(|f| (f.line, f.rule));
+    // --- W2: stale waivers and markers (matched zero findings). ---
+    let mut stale: Vec<Finding> = Vec::new();
+    for (wi, w) in waivers.iter().enumerate() {
+        if !waiver_used[wi] {
+            stale.push(Finding {
+                path: path.to_string(),
+                line: w.line,
+                rule: Rule::W2,
+                snippet: format!("stale waiver (matches no finding): {}", snippet(w.line)),
+                scope: parsed.scope_of_line(w.line).map(|s| s.to_string()),
+                waived: None,
+            });
+        }
+    }
+    for (mi, m) in bounded_marks.iter().enumerate() {
+        if !bounded_used[mi] {
+            stale.push(Finding {
+                path: path.to_string(),
+                line: m.line,
+                rule: Rule::W2,
+                snippet: format!(
+                    "stale bounded marker (covers no growable field): {}",
+                    snippet(m.line)
+                ),
+                scope: parsed.scope_of_line(m.line).map(|s| s.to_string()),
+                waived: None,
+            });
+        }
+    }
+    for c in &lexed.comments {
+        if parser::marker(&c.text, "hot-path").is_some() && !parsed.used_hot_marks.contains(&c.line)
+        {
+            stale.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                rule: Rule::W2,
+                snippet: format!(
+                    "stale hot-path marker (attached to no function): {}",
+                    snippet(c.line)
+                ),
+                scope: parsed.scope_of_line(c.line).map(|s| s.to_string()),
+                waived: None,
+            });
+        }
+    }
+    // Stale findings accept path-scoped waivers only (an inline waiver
+    // for a stale waiver would itself be stale).
+    for f in &mut stale {
+        if let Some(ai) = cfg.allows.iter().position(|a| {
+            (a.rule == f.rule.name() || a.rule == "*")
+                && (f.path == a.path
+                    || f.path
+                        .starts_with(&format!("{}/", a.path.trim_end_matches('/'))))
+        }) {
+            allow_used[ai] = true;
+            f.waived = Some(format!("lint.toml: {}", cfg.allows[ai].reason));
+        }
+    }
+    findings.append(&mut stale);
+
+    findings.sort_by_key(|a| (a.line, a.rule));
     findings
 }
 
@@ -473,6 +754,164 @@ mod tests {
     }
 
     #[test]
+    fn d5_fires_on_types_literals_and_comparators() {
+        assert_eq!(
+            unwaived(&scan(
+                "crates/model/src/x.rs",
+                "fn f(x: f64) -> f64 { x }\n"
+            )),
+            [("D5", 1), ("D5", 1)]
+        );
+        assert_eq!(
+            unwaived(&scan(
+                "crates/core/src/x.rs",
+                "const K: u64 = 3;\nlet r = 1.5;\n"
+            )),
+            [("D5", 2)]
+        );
+        assert_eq!(
+            unwaived(&scan("crates/core/src/x.rs", "let r = 2f64;\n")),
+            [("D5", 1)]
+        );
+        assert_eq!(
+            unwaived(&scan("crates/sim/src/x.rs", "a.partial_cmp(&b);\n")),
+            [("D5", 1)]
+        );
+    }
+
+    #[test]
+    fn d5_ignores_non_float_lookalikes() {
+        // Integers, ranges, tuple-index chains, hex with an f-suffix
+        // shape, and anything outside deterministic crates.
+        let src = "let a = 1..2;\nlet b = x.0.1;\nlet c = 0xf64;\nlet d = 10;\n";
+        assert!(unwaived(&scan("crates/model/src/x.rs", src)).is_empty());
+        assert!(unwaived(&scan("crates/bench/src/x.rs", "let r = 1.5f64;\n")).is_empty());
+        // #[cfg(test)] regions are exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { let x = 1.5; }\n}\n";
+        assert!(unwaived(&scan("crates/model/src/x.rs", test_src)).is_empty());
+    }
+
+    #[test]
+    fn h1_fires_only_inside_marked_bodies() {
+        let src = "\
+// dtm-lint: hot-path
+fn hot(&mut self) {
+    let v = vec![1, 2];
+    let s = format!(\"x\");
+    let w: Vec<u32> = xs.iter().collect();
+    let b = Box::new(3);
+    let c = ys.to_vec();
+    let t = txn.clone();
+}
+
+fn cold(&mut self) {
+    let v = vec![1, 2];
+}
+";
+        let fs = scan("crates/sim/src/x.rs", src);
+        let h1: Vec<u32> = fs
+            .iter()
+            .filter(|f| f.rule == Rule::H1 && f.waived.is_none())
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(h1, [3, 4, 5, 6, 7, 8], "{fs:?}");
+        assert!(fs
+            .iter()
+            .filter(|f| f.rule == Rule::H1)
+            .all(|f| f.scope.as_deref() == Some("hot")));
+    }
+
+    #[test]
+    fn h1_waivable_inline_with_reason() {
+        let src = "\
+// dtm-lint: hot-path
+fn hot() {
+    let v = out.to_vec(); // dtm-lint: allow(H1) -- return value is the product, O(batch) by contract
+}
+";
+        let fs = scan("crates/core/src/x.rs", src);
+        assert!(unwaived(&fs).is_empty(), "{fs:?}");
+        assert!(fs.iter().any(|f| f.rule == Rule::H1 && f.waived.is_some()));
+    }
+
+    #[test]
+    fn b1_requires_bounded_annotation_in_bounded_paths() {
+        let src = "\
+pub struct Policy {
+    pending: VecDeque<u64>,
+    // dtm-lint: bounded -- drained fully by step() each tick
+    log: Vec<u64>,
+    count: u64,
+}
+";
+        let fs = scan("crates/core/src/x.rs", src);
+        assert_eq!(unwaived(&fs), [("B1", 2)], "{fs:?}");
+        let waived: Vec<_> = fs.iter().filter(|f| f.waived.is_some()).collect();
+        assert_eq!(waived.len(), 1);
+        assert!(waived[0].waived.as_deref().unwrap().contains("drained"));
+        assert_eq!(waived[0].scope.as_deref(), Some("Policy"));
+        // The same struct outside the bounded tier is not audited.
+        assert!(unwaived(&scan("crates/model/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn b1_skips_test_structs_and_non_growable_fields() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    struct Fixture {
+        xs: Vec<u64>,
+    }
+}
+struct Small {
+    n: u64,
+    name: Option<u32>,
+}
+";
+        assert!(unwaived(&scan("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn w2_fires_on_stale_waiver_and_markers() {
+        let stale_waiver =
+            "// dtm-lint: allow(D1) -- there used to be a HashMap here\nlet x = 1;\n";
+        assert_eq!(
+            unwaived(&scan("crates/sim/src/x.rs", stale_waiver)),
+            [("W2", 1)]
+        );
+        let stale_hot = "// dtm-lint: hot-path\nstruct NotAFn;\n";
+        assert_eq!(
+            unwaived(&scan("crates/sim/src/x.rs", stale_hot)),
+            [("W2", 1)]
+        );
+        let stale_bounded =
+            "struct S {\n    // dtm-lint: bounded -- shrinks on commit\n    n: u64,\n}\n";
+        assert_eq!(
+            unwaived(&scan("crates/core/src/x.rs", stale_bounded)),
+            [("W2", 2)]
+        );
+        // A live waiver is not stale.
+        let live = "use std::collections::HashMap; // dtm-lint: allow(D1) -- key-lookup only, never iterated\n";
+        assert!(unwaived(&scan("crates/sim/src/x.rs", live)).is_empty());
+    }
+
+    #[test]
+    fn marker_prose_in_docs_does_not_parse() {
+        // Backticked grammar descriptions must not register as markers.
+        let src = "/// Mark hot functions with `// dtm-lint: hot-path` above them.\n/// Fields carry `// dtm-lint: bounded -- <prune site>` notes.\nfn f() {}\n";
+        assert!(unwaived(&scan("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_enclosing_scope() {
+        let src =
+            "impl Kernel {\n    fn tick(&self) {\n        let m = HashMap::new();\n    }\n}\n";
+        let fs = scan("crates/sim/src/x.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].scope.as_deref(), Some("Kernel::tick"));
+    }
+
+    #[test]
     fn c1_skips_test_modules_and_non_library_crates() {
         let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn g() { y.unwrap(); y.expect(\"z\"); }\n}\n";
         assert_eq!(unwaived(&scan("crates/model/src/x.rs", src)), [("C1", 1)]);
@@ -492,9 +931,12 @@ mod tests {
         assert!(unwaived(&scan("crates/sim/src/x.rs", trailing)).is_empty());
         let above = "// dtm-lint: allow(D1) -- key-lookup only\nuse std::collections::HashMap;\n";
         assert!(unwaived(&scan("crates/sim/src/x.rs", above)).is_empty());
-        // ...but not two lines down.
+        // ...but not two lines down (and the waiver is then stale).
         let far = "// dtm-lint: allow(D1) -- nope\nlet x = 1;\nuse std::collections::HashMap;\n";
-        assert_eq!(unwaived(&scan("crates/sim/src/x.rs", far)), [("D1", 3)]);
+        assert_eq!(
+            unwaived(&scan("crates/sim/src/x.rs", far)),
+            [("W2", 1), ("D1", 3)]
+        );
     }
 
     #[test]
@@ -507,22 +949,30 @@ mod tests {
     #[test]
     fn waiver_for_wrong_rule_does_not_apply() {
         let src = "use std::collections::HashMap; // dtm-lint: allow(C1) -- wrong rule\n";
-        assert_eq!(unwaived(&scan("crates/sim/src/x.rs", src)), [("D1", 1)]);
+        assert_eq!(
+            unwaived(&scan("crates/sim/src/x.rs", src)),
+            [("D1", 1), ("W2", 1)]
+        );
     }
 
     #[test]
-    fn config_path_allow_applies() {
+    fn config_path_allow_applies_and_is_tracked() {
         let mut cfg = Config::default();
         cfg.allows.push(crate::config::PathAllow {
             rule: "D2".into(),
             path: "crates/sim/src/engine.rs".into(),
             reason: "observer timing".into(),
+            line: 7,
         });
         let src = "let t = Instant::now();\n";
-        let fs = scan_file("crates/sim/src/engine.rs", src, &cfg);
+        let mut used = vec![false];
+        let fs = scan_file_tracking("crates/sim/src/engine.rs", src, &cfg, &mut used);
         assert!(fs.iter().all(|f| f.waived.is_some()));
-        let fs = scan_file("crates/sim/src/state.rs", src, &cfg);
+        assert_eq!(used, [true]);
+        let mut used = vec![false];
+        let fs = scan_file_tracking("crates/sim/src/state.rs", src, &cfg, &mut used);
         assert_eq!(unwaived(&fs), [("D2", 1)]);
+        assert_eq!(used, [false]);
     }
 
     #[test]

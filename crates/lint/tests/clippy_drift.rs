@@ -1,0 +1,70 @@
+//! Drift test: the clippy invocation CI runs and the flags pinned in
+//! `lint.toml [clippy]` are the same command.
+//!
+//! CI's clippy step and lint.toml are edited by different people for
+//! different reasons; this test is the tripwire that keeps them in
+//! lockstep. If you mean to change the clippy flags, change both files
+//! in the same commit.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has two ancestors")
+        .to_path_buf()
+}
+
+/// Extract the arguments after `cargo clippy` from the CI workflow.
+/// Tolerates leading `run:` YAML syntax and trailing comments, but is
+/// deliberately strict about there being exactly one clippy invocation.
+fn ci_clippy_args(yaml: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    for line in yaml.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed
+            .strip_prefix("run:")
+            .map(str::trim)
+            .unwrap_or(trimmed)
+            .strip_prefix("cargo clippy")
+        {
+            found.push(rest.split_whitespace().map(String::from).collect());
+        }
+    }
+    assert_eq!(
+        found.len(),
+        1,
+        "expected exactly one `cargo clippy` invocation in ci.yml, got {found:?}"
+    );
+    found.pop().expect("one invocation")
+}
+
+#[test]
+fn lint_toml_clippy_flags_match_ci_workflow() {
+    let root = workspace_root();
+    let cfg = dtm_lint::load_config(&root).expect("lint.toml parses");
+    let yaml =
+        std::fs::read_to_string(root.join(".github/workflows/ci.yml")).expect("ci.yml is readable");
+    let ci = ci_clippy_args(&yaml);
+    assert_eq!(
+        cfg.clippy_flags, ci,
+        "lint.toml [clippy] flags and the ci.yml clippy step drifted apart; \
+         change them together"
+    );
+}
+
+#[test]
+fn ci_runs_the_linter_in_github_annotation_mode() {
+    let root = workspace_root();
+    let yaml =
+        std::fs::read_to_string(root.join(".github/workflows/ci.yml")).expect("ci.yml is readable");
+    let lint_line = yaml
+        .lines()
+        .find(|l| l.contains("cargo run -p dtm-lint"))
+        .expect("ci.yml runs dtm-lint");
+    assert!(
+        lint_line.contains("--github"),
+        "CI should surface findings as PR annotations: {lint_line}"
+    );
+}

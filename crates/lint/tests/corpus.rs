@@ -159,6 +159,7 @@ fn lint_toml_path_scoped_waiver_applies() {
         rule: "D1".into(),
         path: "crates/model/src/fixture.rs".into(),
         reason: "corpus: path-scoped waiver".into(),
+        line: 1,
     });
     let fs = scan_file("crates/model/src/fixture.rs", &fixture("d1_bad.rs"), &cfg);
     assert!(!fs.is_empty());
@@ -178,10 +179,109 @@ fn hazards_in_strings_and_comments_never_fire() {
 }
 
 #[test]
+fn d5_bad_fires_and_good_does_not() {
+    let bad = scan_as("crates/core/src/fixture.rs", "d5_bad.rs");
+    let rules = unwaived(&bad);
+    assert!(rules.iter().all(|&r| r == Rule::D5), "{bad:?}");
+    assert!(rules.len() >= 6, "type+literal+suffix+comparators: {bad:?}");
+    // The acceptance hazard: a bare f64 in a crates/core signature.
+    assert!(
+        bad.iter().any(|f| f.line == 4 && f.snippet.contains("f64")),
+        "{bad:?}"
+    );
+    assert_eq!(
+        unwaived(&scan_as("crates/core/src/fixture.rs", "d5_good.rs")),
+        []
+    );
+    // Floats outside deterministic crates are not D5's business.
+    assert_eq!(
+        unwaived(&scan_as("crates/telemetry/src/fixture.rs", "d5_bad.rs")),
+        []
+    );
+}
+
+#[test]
+fn h1_bad_fires_in_marked_phase_and_good_does_not() {
+    let bad = scan_as("crates/sim/src/fixture.rs", "h1_bad.rs");
+    let h1: Vec<u32> = bad
+        .iter()
+        .filter(|f| f.waived.is_none() && f.rule == Rule::H1)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(h1, [11, 12, 13, 14, 15, 16, 17, 18], "{bad:?}");
+    // The acceptance hazard: the seeded `vec!` in a marked kernel phase,
+    // attributed to its enclosing method.
+    let seeded = bad
+        .iter()
+        .find(|f| f.line == 11)
+        .unwrap_or_else(|| panic!("{bad:?}"));
+    assert!(seeded.snippet.contains("vec!"), "{seeded:?}");
+    assert_eq!(seeded.scope.as_deref(), Some("StepKernel::phase_schedule"));
+    // Warmed-buffer reuse in a marked phase, and allocation in cold
+    // setup code, are both clean.
+    assert_eq!(
+        unwaived(&scan_as("crates/sim/src/fixture.rs", "h1_good.rs")),
+        []
+    );
+}
+
+#[test]
+fn b1_bad_fires_in_bounded_tier_and_good_does_not() {
+    let bad = scan_as("crates/core/src/fixture.rs", "b1_bad.rs");
+    let b1: Vec<u32> = bad
+        .iter()
+        .filter(|f| f.waived.is_none() && f.rule == Rule::B1)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(b1, [5, 6], "both growable fields, got {bad:?}");
+    assert!(
+        bad.iter()
+            .all(|f| f.scope.as_deref() == Some("LeakyPolicy")),
+        "{bad:?}"
+    );
+    // Annotated fields are found but waived, carrying the prune note.
+    let good = scan_as("crates/core/src/fixture.rs", "b1_good.rs");
+    assert!(good.iter().any(|f| f.rule == Rule::B1), "{good:?}");
+    assert_eq!(unwaived(&good), [], "{good:?}");
+    assert!(
+        good.iter().filter(|f| f.rule == Rule::B1).all(|f| f
+            .waived
+            .as_deref()
+            .unwrap_or_default()
+            .starts_with("bounded:")),
+        "{good:?}"
+    );
+    // Outside the bounded tier the same struct is not audited.
+    assert_eq!(
+        unwaived(&scan_as("crates/model/src/fixture.rs", "b1_bad.rs")),
+        []
+    );
+}
+
+#[test]
+fn w2_fires_on_stale_waivers_and_markers_only() {
+    let bad = scan_as("crates/core/src/fixture.rs", "w2_bad.rs");
+    let w2: Vec<u32> = bad
+        .iter()
+        .filter(|f| f.waived.is_none() && f.rule == Rule::W2)
+        .map(|f| f.line)
+        .collect();
+    // Stale allow(D1), stale bounded mark, unattached hot-path mark.
+    assert_eq!(w2, [4, 10, 14], "{bad:?}");
+    // When every waiver and marker earns its keep, nothing is stale —
+    // and the underlying findings are all waived.
+    let good = scan_as("crates/core/src/fixture.rs", "w2_good.rs");
+    assert!(good.len() >= 3, "hazards should still be *found*: {good:?}");
+    assert_eq!(unwaived(&good), [], "{good:?}");
+}
+
+#[test]
 fn every_rule_has_corpus_coverage() {
     // Meta-test: adding a rule to the catalog without corpus fixtures
     // fails here, keeping the corpus in lockstep with the rule set.
-    let covered = ["D1", "D2", "D3", "D4", "C1", "C2", "W1"];
+    let covered = [
+        "D1", "D2", "D3", "D4", "D5", "H1", "B1", "C1", "C2", "W1", "W2",
+    ];
     for r in Rule::ALL {
         assert!(
             covered.contains(&r.name()),

@@ -1,0 +1,8 @@
+//! B1 bad: growable fields in a bounded-tier policy struct with no
+//! `bounded` annotation naming their prune site.
+
+pub struct LeakyPolicy {
+    pending: VecDeque<u64>,
+    history: BTreeMap<u64, Vec<u64>>,
+    total: u64,
+}

@@ -1,0 +1,11 @@
+//! B1 good: every growable field carries a prune-site annotation;
+//! scalar and fixed-size fields need nothing.
+
+pub struct BoundedPolicy {
+    // dtm-lint: bounded -- drained fully by step() at each activation
+    pending: VecDeque<u64>,
+    // dtm-lint: bounded -- entries leave as their transactions commit; O(live set)
+    fixed: BTreeMap<u64, u64>,
+    count: u64,
+    window: Option<u32>,
+}

@@ -1,0 +1,10 @@
+//! D5 bad: float types, literals, suffixes and order-sensitive float
+//! comparators in a deterministic crate.
+
+pub fn mean(xs: &[u64], n: u64) -> f64 {
+    let scale = 0.5;
+    let bias = 2f64;
+    let mut ys = [1.25f32; 4];
+    ys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    (xs.len() as f64) * scale + bias + ys[0] as f64 + n as f64
+}

@@ -1,0 +1,21 @@
+//! D5 good: integer math, lookalike tokens, and test-only floats are
+//! all clean in a deterministic crate.
+
+pub fn quantized(xs: &[(u64, u64)]) -> u64 {
+    let range = 1..4;
+    let first = xs[0].0;
+    let nested = xs[0].1;
+    let hex = 0xf64;
+    let mut ys = [first, nested, hex];
+    ys.sort_by_key(|&x| x);
+    ys[0] + range.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_in_tests_are_fine() {
+        let x = 1.5f64;
+        assert!(x > 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! H1 bad: every allocating construct class inside a hot-path-marked
+//! kernel phase must fire.
+
+pub struct StepKernel {
+    due: Vec<u64>,
+}
+
+impl StepKernel {
+    // dtm-lint: hot-path
+    fn phase_schedule(&mut self, t: u64) -> usize {
+        let seeded = vec![t, t + 1];
+        let label = format!("t={t}");
+        let drained: Vec<u64> = self.due.iter().copied().collect();
+        let boxed = Box::new(t);
+        let copied = self.due.to_vec();
+        let cloned = self.due.clone();
+        let fresh = Vec::new();
+        let owned = String::from("phase");
+        seeded.len()
+            + label.len()
+            + drained.len()
+            + (*boxed as usize)
+            + copied.len()
+            + cloned.len()
+            + fresh.len()
+            + owned.len()
+    }
+}

@@ -1,0 +1,25 @@
+//! H1 good: a marked phase that only reuses warmed buffers is clean,
+//! and allocation in *unmarked* functions is not H1's business.
+
+pub struct StepKernel {
+    buf: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl StepKernel {
+    // dtm-lint: hot-path
+    fn phase_execute(&mut self, t: u64) -> usize {
+        self.scratch.clear();
+        for &x in &self.buf {
+            if x <= t {
+                self.scratch.push(x);
+            }
+        }
+        self.scratch.len()
+    }
+
+    fn cold_setup(&mut self) {
+        self.buf = Vec::with_capacity(64);
+        self.scratch = self.buf.clone();
+    }
+}

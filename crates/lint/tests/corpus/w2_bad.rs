@@ -1,0 +1,15 @@
+//! W2 bad: a waiver, a bounded mark, and a hot-path mark that each
+//! match nothing are all stale.
+
+// dtm-lint: allow(D1) -- there used to be a HashMap here, long since removed
+pub fn clean() -> u64 {
+    3
+}
+
+pub struct Tidy {
+    // dtm-lint: bounded -- covers a scalar, so it guards nothing
+    count: u64,
+}
+
+// dtm-lint: hot-path
+pub struct NotAFunction;

@@ -78,9 +78,10 @@ fn json_report_is_stable_and_self_consistent() {
     let cfg = dtm_lint::load_config(&root).expect("lint.toml parses");
     let report = dtm_lint::run(&root, &cfg).expect("scan succeeds");
     let json = report.json();
-    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"version\": 2"));
     assert!(json.contains("\"files_scanned\""));
     assert!(json.contains("\"summary\""));
+    assert!(json.contains("\"scope\""));
     // Two runs over the same tree are byte-identical (the linter holds
     // itself to the determinism bar it enforces).
     let again = dtm_lint::run(&root, &cfg).expect("scan succeeds");

@@ -57,6 +57,7 @@ pub struct StepKernel<P, S> {
 
     now: Time,
     /// Object specs not yet created, ordered by (created_at, id).
+    // dtm-lint: bounded -- drained front-to-back by create_objects as created_at comes due
     pending_objects: VecDeque<ObjectInfo>,
     /// Arena-backed live transactions, objects and the requester index.
     state: RuntimeState,
@@ -67,13 +68,17 @@ pub struct StepKernel<P, S> {
     /// append-only log instead of a `BTreeMap` keyed by id: the hot loop
     /// pays one `Vec` push per retirement and the id-keyed maps the
     /// result exposes are materialized once, at the end.
+    // dtm-lint: bounded -- full-retention log only; Retention::Streaming keeps it empty
     retired: Vec<Transaction>,
     /// Append-only (txn, exec_at) log under full retention; materialized
     /// into the result's [`Schedule`] at [`StepKernel::finish`].
+    // dtm-lint: bounded -- full-retention log only; Retention::Streaming keeps it empty
     sched_log: Vec<(TxnId, Time)>,
     /// Append-only (txn, commit time) log under full retention.
+    // dtm-lint: bounded -- full-retention log only; Retention::Streaming keeps it empty
     commit_log: Vec<(TxnId, Time)>,
     /// Scheduled, uncommitted transactions ordered by (time, id).
+    // dtm-lint: bounded -- entries leave at commit in phase_execute; O(scheduled live txns)
     exec_queue: BTreeSet<(Time, TxnId)>,
     /// Per object (dense, indexed by object id): scheduled pending
     /// requesters kept sorted by (time, id), each entry carrying its
@@ -86,6 +91,7 @@ pub struct StepKernel<P, S> {
     /// the vector itself is bounded by the object population (which
     /// never shrinks by design: objects are the system's shared data,
     /// not its workload).
+    // dtm-lint: bounded -- outer Vec is O(object population) by design; inner lists shrink as requests are served
     requesters: Vec<Vec<(Time, TxnId, NodeId)>>,
     /// In-transit objects: a min-heap on (arrive, id) from which the
     /// receive phase pops due deliveries instead of scanning every
@@ -93,6 +99,7 @@ pub struct StepKernel<P, S> {
     /// pushed at departure and popped exactly when the hop completes —
     /// entries are never removed early, so a heap (cheaper per op than
     /// an ordered set) suffices.
+    // dtm-lint: bounded -- popped exactly when each hop completes; O(objects in flight)
     transit: BinaryHeap<Reverse<(Time, ObjectId)>>,
     /// Objects currently traversing each undirected edge. Maintained
     /// **only when `config.link_capacity` is set** — it exists to answer
@@ -101,6 +108,7 @@ pub struct StepKernel<P, S> {
     /// metrics are derived from effects/events, not from this map).
     /// Entries are removed when their load returns to zero, so the map
     /// holds only edges with objects currently on them.
+    // dtm-lint: bounded -- entries removed when their load returns to zero; O(occupied edges)
     edge_load: BTreeMap<(NodeId, NodeId), u32>,
     /// Node-local forwarding pointers: (object, node) -> where that node
     /// last sent the object. Pointers are overwritten on each new
@@ -112,12 +120,15 @@ pub struct StepKernel<P, S> {
     /// [`ForwardingTable`]).
     forwarding: ForwardingTable,
 
+    // dtm-lint: bounded -- fixed at construction; never grows after new()
     observers: Vec<Box<dyn StepObserver>>,
     /// Per-tick bitmask of observers accepting `on_phase` this step
     /// (bit i = observer i; observers past bit 63 are always called).
     /// Recomputed at the top of every tick, never checkpointed.
     phase_mask: u64,
+    // dtm-lint: bounded -- drained into StepEffects every tick (or truncated under streaming)
     events: Vec<Event>,
+    // dtm-lint: bounded -- empty in correct runs; growth is itself the reported failure
     violations: Vec<Violation>,
     comm_cost: u64,
     hops: u64,
@@ -134,14 +145,19 @@ pub struct StepKernel<P, S> {
 
     /// Reusable buffer for the source's arrivals (phase 2): drained every
     /// tick, so the steady-state tick allocates nothing on quiet steps.
+    // dtm-lint: bounded -- drained every tick; capacity plateaus at the largest arrival batch
     arrivals_buf: Vec<Transaction>,
     /// Scratch (object, target home) buffer for the forward phase.
+    // dtm-lint: bounded -- cleared every forward phase; capacity plateaus at in-flight moves
     scratch_moves: Vec<(ObjectId, NodeId)>,
     /// Scratch due-transaction buffer for the execute phase.
+    // dtm-lint: bounded -- cleared every execute phase; capacity plateaus at the due batch
     scratch_due: Vec<(Time, TxnId)>,
     /// Scratch object-id buffers reused by the execute phase
     /// (same-step object consumption) and `apply_fragment`.
+    // dtm-lint: bounded -- cleared every use; capacity plateaus at objects touched per step
     scratch_used: Vec<ObjectId>,
+    // dtm-lint: bounded -- cleared every use; capacity plateaus at objects touched per step
     scratch_objs: Vec<ObjectId>,
 
     /// Effects of the most recent tick (buffers reused across ticks).
@@ -570,8 +586,8 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             let mut live: Vec<TxnId> = self.state.txns().ids().collect();
             live.sort_unstable();
             for id in live {
-                // dtm-lint: allow(C1) -- id was just collected from the live arena
-                self.retired.push(self.state.txns().get(id).expect("live").txn.clone());
+                let lt = self.state.txns().get(id).expect("live"); // dtm-lint: allow(C1) -- id was just collected from the live arena
+                self.retired.push(lt.txn.clone());
             }
         }
         let commits: BTreeMap<TxnId, Time> = self.commit_log.iter().copied().collect();
@@ -646,6 +662,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     }
 
     /// Phase 0: create objects whose creation step has come.
+    // dtm-lint: hot-path
     fn create_objects(&mut self, t: Time) {
         while let Some(first) = self.pending_objects.front() {
             if first.created_at > t {
@@ -684,6 +701,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// construction) every due entry has `arrive == t` exactly, so the
     /// (arrive, id) pop order coincides with the object-id scan order
     /// the pre-queue kernel used — deliveries stay byte-identical.
+    // dtm-lint: hot-path
     fn phase_receive(&mut self, t: Time) -> usize {
         let mut received = 0;
         while let Some(&Reverse((arrive, id))) = self.transit.peek() {
@@ -738,6 +756,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
 
     /// Phase 2: the workload source's arrivals join the live set.
     /// Returns the number of arrivals (ids land in `effects.arrived`).
+    // dtm-lint: hot-path
     fn phase_generate(&mut self, t: Time) -> usize {
         let mut batch = std::mem::take(&mut self.arrivals_buf);
         self.source.arrivals_into(t, &mut batch);
@@ -770,6 +789,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// call; they are cleared right after the policy returns, so
     /// `apply_fragment` and the later phases of this step feed the
     /// *next* call's accumulator. Returns the raw fragment length.
+    // dtm-lint: hot-path
     fn phase_schedule(&mut self, t: Time) -> usize {
         let fragment = {
             let view = SystemView::from_state(t, &self.network, &self.state)
@@ -784,6 +804,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
 
     /// Merge a policy's schedule fragment, enforcing the "never re-time"
     /// and "never in the past" rules.
+    // dtm-lint: hot-path
     fn apply_fragment(&mut self, fragment: Schedule) {
         let t = self.now;
         let mut objects = std::mem::take(&mut self.scratch_objs);
@@ -815,7 +836,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
             for &o in &objects {
                 let i = o.index();
                 if i >= self.requesters.len() {
-                    self.requesters.resize_with(i + 1, Vec::new);
+                    self.requesters.resize_with(i + 1, Vec::new); // dtm-lint: allow(H1) -- grows once per new object; the population is monotone, so a warmed steady state never resizes
                 }
                 let list = &mut self.requesters[i];
                 let entry = (exec_at, txn, home);
@@ -843,6 +864,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// Two conflicting transactions never commit at the same step: an
     /// object consumed by a commit at this step is unavailable to later
     /// same-step commits (atomicity of the exclusive accesses).
+    // dtm-lint: hot-path
     fn phase_execute(&mut self, t: Time) -> usize {
         let mut due = std::mem::take(&mut self.scratch_due);
         // Pop (rather than range-copy-then-remove) so each due entry
@@ -960,6 +982,7 @@ impl<P: SchedulingPolicy, S: WorkloadSource> StepKernel<P, S> {
     /// nothing and moving ones resolve their target without arena
     /// lookups. Index order is object-id order — the same departure
     /// order the arena scan produced.
+    // dtm-lint: hot-path
     fn phase_forward(&mut self, t: Time) -> usize {
         let mut moves = std::mem::take(&mut self.scratch_moves);
         for (i, list) in self.requesters.iter().enumerate() {

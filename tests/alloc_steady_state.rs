@@ -200,7 +200,7 @@ impl dtm_sim::StepObserver for SchedulePhaseProbe {
         // run a debug-build divergence check against a full rescan, which
         // legitimately allocates; skip those ticks (debug-only overhead,
         // absent in release builds).
-        let divergence_sample = self.ticks % 64 == 0;
+        let divergence_sample = self.ticks.is_multiple_of(64);
         if self.armed && self.gen_items == 0 && effects.live_after > 0 && !divergence_sample {
             assert_eq!(
                 self.sched_delta, 0,
