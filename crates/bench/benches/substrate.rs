@@ -248,6 +248,43 @@ fn bench_engine_run(c: &mut Criterion) {
     );
 }
 
+/// Scale-decade rows for the CSR spine and the landmark oracle (ledger
+/// rows under `substrate/scale/` carry a `nodes` field in
+/// BENCH_substrate.json). Measures, per decade: full generator+Network
+/// construction, the one-time landmark-oracle build (k shortest-path
+/// trees on the CSR graph), and steady-state oracle distance queries.
+fn bench_scale(c: &mut Criterion) {
+    for &n in &[10_000u32, 100_000] {
+        c.bench_function(&format!("substrate/scale/geometric-build-n{n}"), |b| {
+            b.iter(|| {
+                let net = topology::geometric(n, 4, 18);
+                std::hint::black_box(net.graph().edge_count())
+            })
+        });
+        let net = topology::geometric(n, 4, 18);
+        c.bench_function(&format!("substrate/scale/landmark-build-n{n}"), |b| {
+            b.iter(|| {
+                let oracle = dtm_graph::LandmarkOracle::build(net.graph());
+                std::hint::black_box(oracle.stretch_radius())
+            })
+        });
+        // Warm the network's own oracle once, then measure query cost.
+        let _ = net.distance(NodeId(0), NodeId(n - 1));
+        c.bench_function(&format!("substrate/scale/landmark-distance-n{n}"), |b| {
+            let stride = (n / 1024).max(1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                let mut u = 0u32;
+                for v in (0..n).step_by(stride as usize) {
+                    acc = acc.wrapping_add(net.distance(NodeId(u), NodeId(v)));
+                    u = u.wrapping_add(stride * 7 + 1) % n;
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -258,6 +295,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_dijkstra, bench_sparse_cover, bench_coloring, bench_list_scheduler, bench_lower_bound, bench_requesters_of, bench_engine_run
+    targets = bench_dijkstra, bench_sparse_cover, bench_coloring, bench_list_scheduler, bench_lower_bound, bench_requesters_of, bench_engine_run, bench_scale
 }
 criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! E18 — substrate scale-decade sweep: CSR spine, routing-oracle tiers
+//! and open-system runs on 10²–10⁵-node networks.
+
+fn main() {
+    dtm_bench::init_jobs();
+    let quick = dtm_bench::quick_flag();
+    for table in dtm_bench::experiments::e18_substrate_scale::run(quick) {
+        table.print();
+    }
+}

@@ -13,6 +13,7 @@ pub mod e14_variance;
 pub mod e15_applications;
 pub mod e16_message_level;
 pub mod e17_stability;
+pub mod e18_substrate_scale;
 pub mod e1_greedy_bound;
 pub mod e3_clique;
 pub mod e4_small_diameter;
@@ -39,6 +40,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
     tables.extend(e15_applications::run(quick));
     tables.extend(e16_message_level::run(quick));
     tables.extend(e17_stability::run(quick));
+    tables.extend(e18_substrate_scale::run(quick));
     tables.extend(ablations::run(quick));
     tables
 }

@@ -60,6 +60,18 @@ fn bench_rows_are_keyed_by_bench_and_run_context() {
             );
         }
 
+        // Scale-ladder rows must say which decade they measured:
+        // comparisons across PRs only make sense at equal `nodes`.
+        if bench.starts_with("substrate/scale/") {
+            let nodes = row
+                .get("nodes")
+                .and_then(|v| v.as_u64())
+                .unwrap_or_else(|| {
+                    panic!("line {n}: substrate/scale/ row missing integer field `nodes`")
+                });
+            assert!(nodes >= 1, "line {n}: non-positive nodes");
+        }
+
         // The key discipline: one row per (bench, run_context). Rows
         // from before run_context existed key on (bench, None).
         let ctx = row.get("run_context").map(|v| {

@@ -18,6 +18,7 @@
 
 use crate::graph::{NodeId, Weight};
 use crate::network::Network;
+use crate::shortest_paths::{bounded_ball_into, BallScratch};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -156,6 +157,46 @@ fn max_random_rounds(n: usize) -> usize {
     4 * (usize::BITS - n.max(2).leading_zeros()) as usize
 }
 
+/// Reusable state threaded through cover construction so repeated ball
+/// queries stop paying per-call allocation and per-node log factors:
+///
+/// * `ball` / `out` — the epoch-stamped Dijkstra scratch shared by every
+///   carve and padding query of the whole build;
+/// * `pad_balls` — per-**layer** memo of each node's `(2^ℓ - 1)`-ball
+///   (ids only). A layer often needs several sub-layers before every node
+///   is padded, and a node's padding ball is identical in each of them,
+///   so it is computed once per layer instead of once per sub-layer.
+struct CarveScratch {
+    ball: BallScratch,
+    out: Vec<(NodeId, Weight)>,
+    pad_balls: Vec<Option<Vec<NodeId>>>,
+}
+
+impl CarveScratch {
+    fn new(n: usize) -> Self {
+        CarveScratch {
+            ball: BallScratch::new(),
+            out: Vec::new(),
+            pad_balls: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Invalidate the padding-ball memo (the covering radius changed).
+    fn begin_layer(&mut self) {
+        self.pad_balls.iter_mut().for_each(|b| *b = None);
+    }
+
+    /// The ids within `radius` of `u`, memoized for the current layer.
+    fn pad_ball(&mut self, network: &Network, u: NodeId, radius: Weight) -> &[NodeId] {
+        let slot = &mut self.pad_balls[u.index()];
+        if slot.is_none() {
+            bounded_ball_into(network.graph(), u, radius, &mut self.ball, &mut self.out);
+            *slot = Some(self.out.iter().map(|&(v, _)| v).collect());
+        }
+        slot.as_deref().unwrap_or(&[])
+    }
+}
+
 impl SparseCover {
     /// Build a sparse cover of `network`, deterministic in `seed`.
     ///
@@ -171,10 +212,13 @@ impl SparseCover {
             layers: Vec::new(),
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scratch = CarveScratch::new(n);
         for layer_idx in 0..=top_layer {
             let radius: Weight = (1u64 << layer_idx) - 1;
             let carve_radius: Weight = 1u64 << (layer_idx + 1);
-            let layer = cover.build_layer(network, layer_idx, radius, carve_radius, &mut rng);
+            scratch.begin_layer();
+            let layer =
+                cover.build_layer(network, layer_idx, radius, carve_radius, &mut rng, &mut scratch);
             cover.layers.push(layer);
             debug_assert!(cover.layers[layer_idx as usize].home.len() == n);
         }
@@ -190,6 +234,7 @@ impl SparseCover {
         radius: Weight,
         carve_radius: Weight,
         rng: &mut ChaCha8Rng,
+        scratch: &mut CarveScratch,
     ) -> Layer {
         let n = network.n();
         let no_home = ClusterId(u32::MAX);
@@ -207,7 +252,7 @@ impl SparseCover {
             let assignment = if round < random_rounds {
                 let mut order: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
                 order.shuffle(rng);
-                self.carve(network, &order, carve_radius, height)
+                self.carve(network, &order, carve_radius, height, scratch)
             } else {
                 // Deterministic fallback: dedicate balls to a maximal
                 // 2·radius-separated subset of the unpadded nodes, then
@@ -232,12 +277,12 @@ impl SparseCover {
                         order.push(v);
                     }
                 }
-                self.carve(network, &order, carve_radius, height)
+                self.carve(network, &order, carve_radius, height, scratch)
             };
             // Determine which still-unpadded nodes this sub-layer pads.
             let mut still = Vec::new();
             for &u in &unpadded {
-                if self.is_padded(network, u, radius, &assignment) {
+                if Self::is_padded(network, u, radius, &assignment, scratch) {
                     home[u.index()] = assignment[u.index()];
                 } else {
                     still.push(u);
@@ -277,6 +322,7 @@ impl SparseCover {
         order: &[NodeId],
         carve_radius: Weight,
         height: Height,
+        scratch: &mut CarveScratch,
     ) -> Vec<ClusterId> {
         let n = network.n();
         let unassigned = ClusterId(u32::MAX);
@@ -287,8 +333,14 @@ impl SparseCover {
             }
             let id = ClusterId(self.clusters.len() as u32);
             let mut members = Vec::new();
-            for (v, _) in crate::shortest_paths::bounded_ball(network.graph(), center, carve_radius)
-            {
+            bounded_ball_into(
+                network.graph(),
+                center,
+                carve_radius,
+                &mut scratch.ball,
+                &mut scratch.out,
+            );
+            for &(v, _) in &scratch.out {
                 if assignment[v.index()] == unassigned {
                     assignment[v.index()] = id;
                     members.push(v);
@@ -307,20 +359,23 @@ impl SparseCover {
     }
 
     /// Is `u`'s `radius`-neighborhood entirely inside `u`'s cluster?
+    /// The neighborhood is memoized per layer in `scratch` (see
+    /// [`CarveScratch`]); only the assignment varies between sub-layers.
     fn is_padded(
-        &self,
         network: &Network,
         u: NodeId,
         radius: Weight,
         assignment: &[ClusterId],
+        scratch: &mut CarveScratch,
     ) -> bool {
         if radius == 0 {
             return true;
         }
         let mine = assignment[u.index()];
-        crate::shortest_paths::bounded_ball(network.graph(), u, radius)
+        scratch
+            .pad_ball(network, u, radius)
             .iter()
-            .all(|&(v, _)| assignment[v.index()] == mine)
+            .all(|&v| assignment[v.index()] == mine)
     }
 
     /// Number of layers `H1`.

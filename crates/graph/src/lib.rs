@@ -13,8 +13,11 @@
 //! * [`Graph`] — the weighted undirected communication graph;
 //! * [`shortest_paths`] — Dijkstra shortest-path trees, path extraction and
 //!   diameter computation;
-//! * [`Network`] — a graph plus a (lazily cached or closed-form) distance /
-//!   routing oracle, the object every scheduler and the simulator talk to;
+//! * [`Network`] — a graph plus a tiered distance / routing oracle
+//!   (closed forms, dense table, lazy per-target trees, or landmark
+//!   estimates), the object every scheduler and the simulator talk to;
+//! * [`oracle`] — the landmark (ALT-style) approximate oracle tier that
+//!   scales routing to 10⁵–10⁶-node networks;
 //! * [`topology`] — generators for the specialized architectures the paper
 //!   analyzes: clique, hypercube, butterfly, d-dimensional grid, line,
 //!   cluster and star (plus ring, torus, tree and random graphs used as
@@ -43,6 +46,7 @@
 pub mod cover;
 pub mod graph;
 pub mod network;
+pub mod oracle;
 pub mod shortest_paths;
 pub mod structured;
 pub mod topology;
@@ -50,6 +54,7 @@ pub mod topology;
 pub use cover::{Cluster, ClusterId, CoverError, Height, SparseCover};
 pub use graph::{Graph, GraphError, NodeId, Weight};
 pub use network::Network;
+pub use oracle::LandmarkOracle;
 pub use shortest_paths::ShortestPathTree;
 pub use structured::Structured;
 pub use topology::Topology;

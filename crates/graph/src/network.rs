@@ -1,16 +1,29 @@
 //! [`Network`]: a communication graph together with a distance and routing
 //! oracle. This is the object schedulers and the simulator query.
 //!
-//! For structured topologies the oracle answers in `O(1)` via closed forms
-//! ([`crate::structured`]); otherwise it lazily computes and caches one
-//! Dijkstra shortest-path tree per *target* node (routing in the data-flow
-//! model is always "toward the next requesting transaction", so trees are
-//! naturally keyed by destination). Small unstructured graphs additionally
-//! get a dense `n × n` all-pairs table (`DenseRouting`) so the hot
-//! `distance` / `next_hop` calls are two flat array reads instead of a
-//! lock acquisition and two pointer chases.
+//! The oracle is tiered by graph size, most exact tier first:
+//!
+//! 1. **Structured** — closed-form answers for the paper's named
+//!    topologies ([`crate::structured`]), any size.
+//! 2. **Dense** (`n ≤ 256`) — an `n × n` all-pairs table built from
+//!    per-target Dijkstra trees, so the hot `distance` / `next_hop` calls
+//!    are two flat array reads. Byte-identical to the lazy tier.
+//! 3. **Lazy trees** (`n ≤ 4096`) — one exact Dijkstra shortest-path tree
+//!    per *target* node, computed on first use (routing in the data-flow
+//!    model is always "toward the next requesting transaction", so trees
+//!    are naturally keyed by destination).
+//! 4. **Landmark** (`n > 4096`) — the approximate
+//!    [`crate::oracle::LandmarkOracle`]: distances become deterministic
+//!    upper bounds with additive stretch `≤ 2R`, and routing follows
+//!    landmark trees with memoized paths. This is the tier that carries
+//!    10⁵–10⁶-node networks.
+//!
+//! Tiers 1–3 agree exactly (tie-breaking included); the property tests in
+//! this module and in `oracle` pin both that equivalence and the landmark
+//! tier's stretch bound.
 
 use crate::graph::{Graph, NodeId, Weight};
+use crate::oracle::LandmarkOracle;
 use crate::shortest_paths::ShortestPathTree;
 use crate::structured::Structured;
 use parking_lot::RwLock;
@@ -19,6 +32,11 @@ use std::sync::{Arc, OnceLock};
 /// Largest unstructured graph for which the dense all-pairs fast path is
 /// materialized (`n²` table entries; 256² × 12 bytes ≈ 0.8 MB).
 const DENSE_LIMIT: usize = 256;
+
+/// Largest unstructured graph served by exact per-target shortest-path
+/// trees; beyond this the landmark oracle takes over (a full tree cache
+/// would cost `O(n)` memory *per routing target*).
+const LAZY_LIMIT: usize = 4096;
 
 /// Dense all-pairs routing table, row-major by *target* node:
 /// `dist[target.index() * n + from.index()]`. Built from the same
@@ -64,6 +82,9 @@ struct Inner {
     /// Dense all-pairs fast path; `None` inside once initialized means
     /// "not applicable" (structured oracle present, or graph too large).
     dense: OnceLock<Option<DenseRouting>>,
+    /// Landmark tier for graphs above [`LAZY_LIMIT`]; `None` inside once
+    /// initialized means "not applicable" (exact tier in charge).
+    landmark: OnceLock<Option<LandmarkOracle>>,
     diameter: OnceLock<Weight>,
 }
 
@@ -87,12 +108,20 @@ impl Network {
             );
         }
         let n = graph.n();
+        // The per-target tree cache only serves tier 3; don't reserve a
+        // slot per node on structured or landmark-scale networks.
+        let tree_slots = if structured.is_some() || n > LAZY_LIMIT {
+            0
+        } else {
+            n
+        };
         Network {
             inner: Arc::new(Inner {
                 graph,
                 structured,
-                trees: RwLock::new(vec![None; n]),
+                trees: RwLock::new(vec![None; tree_slots]),
                 dense: OnceLock::new(),
+                landmark: OnceLock::new(),
                 diameter: OnceLock::new(),
             }),
         }
@@ -120,7 +149,11 @@ impl Network {
         self.inner.structured.as_ref()
     }
 
-    /// Shortest-path distance between two nodes.
+    /// Shortest-path distance between two nodes. Exact on structured,
+    /// dense and lazy-tree tiers; on the landmark tier a deterministic
+    /// upper bound within additive `2R` of the metric (see
+    /// [`crate::oracle`]).
+    // dtm-lint: hot-path
     pub fn distance(&self, u: NodeId, v: NodeId) -> Weight {
         if u == v {
             return 0;
@@ -131,13 +164,19 @@ impl Network {
         if let Some(d) = self.dense() {
             return d.dist[v.index() * d.n + u.index()];
         }
+        if let Some(lm) = self.landmark() {
+            return lm.distance(u, v);
+        }
         self.tree(v).dist(u)
     }
 
-    /// First hop from `from` on a shortest path toward `target`.
+    /// First hop from `from` on a shortest path toward `target` (on the
+    /// landmark tier: on the oracle's routed path, whose total cost never
+    /// exceeds [`Network::distance`]).
     ///
     /// # Panics
     /// Panics if `from == target`.
+    // dtm-lint: hot-path
     pub fn next_hop(&self, from: NodeId, target: NodeId) -> NodeId {
         assert_ne!(from, target, "next_hop requires distinct endpoints");
         if let Some(s) = &self.inner.structured {
@@ -147,6 +186,9 @@ impl Network {
             let hop = d.next[target.index() * d.n + from.index()];
             debug_assert_ne!(hop, u32::MAX, "connected graph routes everywhere");
             return NodeId(hop);
+        }
+        if let Some(lm) = self.landmark() {
+            return lm.next_hop(from, target);
         }
         self.tree(target)
             .next_hop(from)
@@ -161,6 +203,7 @@ impl Network {
     ///
     /// # Panics
     /// Panics if `from == target`.
+    // dtm-lint: hot-path
     pub fn hop_toward(&self, from: NodeId, target: NodeId) -> (NodeId, Weight) {
         assert_ne!(from, target, "hop_toward requires distinct endpoints");
         let (next, w) = if let Some(s) = &self.inner.structured {
@@ -174,6 +217,16 @@ impl Network {
                 NodeId(hop),
                 d.dist[row + from.index()] - d.dist[row + hop as usize],
             )
+        } else if let Some(lm) = self.landmark() {
+            // Landmark distances are estimates, so the distance-drop trick
+            // does not apply; hops are tree edges, read the weight directly.
+            let next = lm.next_hop(from, target);
+            let w = self
+                .inner
+                .graph
+                .edge_weight(from, next)
+                .expect("landmark-routed hops follow graph edges"); // dtm-lint: allow(C1) -- oracle paths walk shortest-path-tree edges, which are graph edges by construction
+            (next, w)
         } else {
             let tree = self.tree(target);
             let next = tree
@@ -200,11 +253,17 @@ impl Network {
         path
     }
 
-    /// Graph diameter `D` (cached after first computation).
+    /// Graph diameter `D` (cached after first computation). Exact on
+    /// structured and exact-tier networks; on the landmark tier a
+    /// deterministic upper bound that also dominates every reported
+    /// distance (all consumers — bucket levels, cover depth, adaptive
+    /// horizons — only require an upper bound).
     pub fn diameter(&self) -> Weight {
         *self.inner.diameter.get_or_init(|| {
             if let Some(s) = &self.inner.structured {
                 s.diameter()
+            } else if let Some(lm) = self.landmark() {
+                lm.diameter_bound()
             } else {
                 crate::shortest_paths::diameter(&self.inner.graph)
             }
@@ -225,6 +284,34 @@ impl Network {
         ceil_log + 1
     }
 
+    /// Which tier answers this network's distance/next-hop queries:
+    /// `"structured"` (closed-form), `"dense"` (all-pairs table),
+    /// `"landmark"` (approximate oracle) or `"lazy-tree"` (on-demand
+    /// shortest-path trees). Purely a function of the construction
+    /// parameters — nothing is built to answer this.
+    pub fn routing_tier(&self) -> &'static str {
+        if self.inner.structured.is_some() {
+            "structured"
+        } else if self.inner.graph.n() <= DENSE_LIMIT {
+            "dense"
+        } else if self.inner.graph.n() > LAZY_LIMIT {
+            "landmark"
+        } else {
+            "lazy-tree"
+        }
+    }
+
+    /// Additive slack of reported distances over true shortest-path
+    /// distances: `0` on the exact tiers, `2R` (twice the landmark
+    /// covering radius) on the landmark tier. Forces the oracle build on
+    /// first call for landmark-tier networks.
+    pub fn distance_slack(&self) -> Weight {
+        match self.landmark() {
+            Some(lm) => lm.stretch_radius().saturating_mul(2),
+            None => 0,
+        }
+    }
+
     /// The dense all-pairs table, built on first use for unstructured
     /// graphs with at most [`DENSE_LIMIT`] nodes; `None` otherwise.
     fn dense(&self) -> Option<&DenseRouting> {
@@ -233,6 +320,18 @@ impl Network {
             .get_or_init(|| {
                 (self.inner.structured.is_none() && self.inner.graph.n() <= DENSE_LIMIT)
                     .then(|| DenseRouting::build(&self.inner.graph))
+            })
+            .as_ref()
+    }
+
+    /// The landmark oracle, built on first use for unstructured graphs
+    /// above [`LAZY_LIMIT`] nodes; `None` otherwise.
+    fn landmark(&self) -> Option<&LandmarkOracle> {
+        self.inner
+            .landmark
+            .get_or_init(|| {
+                (self.inner.structured.is_none() && self.inner.graph.n() > LAZY_LIMIT)
+                    .then(|| LandmarkOracle::build(&self.inner.graph))
             })
             .as_ref()
     }
@@ -393,6 +492,48 @@ mod tests {
                     assert_eq!(Some(w), net.graph().edge_weight(NodeId(u), next));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn landmark_tier_activates_above_lazy_limit() {
+        use crate::graph::GraphBuilder;
+        let n = LAZY_LIMIT + 104;
+        let mut b = GraphBuilder::new(n, "longpath");
+        for u in 0..(n - 1) as u32 {
+            b.add_edge(NodeId(u), NodeId(u + 1), 1 + u as u64 % 3).unwrap();
+        }
+        let net = Network::new(b.build(), None);
+        assert!(net.dense().is_none());
+        assert!(net.landmark().is_some(), "big graph uses the landmark tier");
+        // On a path the true metric is the prefix-weight difference; the
+        // oracle must upper-bound it within additive 2R, stay symmetric,
+        // and route at a total cost within its own promise.
+        let prefix: Vec<Weight> = {
+            let mut p = vec![0];
+            for u in 0..(n - 1) as u32 {
+                let w = net.graph().edge_weight(NodeId(u), NodeId(u + 1)).unwrap();
+                p.push(p[u as usize] + w);
+            }
+            p
+        };
+        let r2 = 2 * net.landmark().unwrap().stretch_radius();
+        for (u, v) in [(0u32, 17u32), (4_000, 13), (900, 901), (2_048, 4_100)] {
+            let truth = prefix[u.max(v) as usize] - prefix[u.min(v) as usize];
+            let est = net.distance(NodeId(u), NodeId(v));
+            assert!(est >= truth && est <= truth + r2, "stretch bound");
+            assert_eq!(est, net.distance(NodeId(v), NodeId(u)), "symmetry");
+            let (mut cur, mut cost, mut hops) = (NodeId(u), 0, 0usize);
+            while cur != NodeId(v) {
+                let (next, w) = net.hop_toward(cur, NodeId(v));
+                assert_eq!(Some(w), net.graph().edge_weight(cur, next));
+                cost += w;
+                cur = next;
+                hops += 1;
+                assert!(hops <= n, "routing must terminate");
+            }
+            assert!(cost <= est, "routed cost must not exceed the promise");
+            assert!(net.diameter() >= est, "diameter bound dominates");
         }
     }
 

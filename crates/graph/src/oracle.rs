@@ -1,0 +1,375 @@
+//! Landmark (ALT-style) distance and routing oracle for large graphs.
+//!
+//! Above [`crate::network`]'s exact tiers, per-target Dijkstra trees stop
+//! being affordable: a 10⁵-node network would pay `O(m log n)` per distinct
+//! routing target and cache `O(n)` memory per tree. The landmark oracle
+//! instead precomputes `k` shortest-path trees (k ≈ 16) rooted at
+//! farthest-point-sampled landmarks and answers every query from those.
+//!
+//! ## Estimate
+//!
+//! Each node `v` is assigned a *home landmark* `H(v)` — its nearest
+//! landmark, ties toward the smaller landmark index. The directed estimate
+//! routes through the target's home landmark,
+//!
+//! ```text
+//! est(u → v) = d(u, H(v)) + d(H(v), v)
+//! ```
+//!
+//! and the reported distance is the symmetrized `max(est(u→v), est(v→u))`.
+//! By the triangle inequality the estimate **upper-bounds** the true
+//! distance, and `est(u→v) ≤ d(u,v) + 2·d(v,H(v))`, so the additive error
+//! is at most `2R` where `R = max_v d(v, H(v))` is the covering radius of
+//! the landmark set ([`LandmarkOracle::stretch_radius`], pinned by the
+//! property tests). The upper-bound direction is a *hard requirement*: the
+//! step kernel schedules a transaction's execution from the reported
+//! distance and raises `MissedExecution` if the object physically arrives
+//! later, so routing must never cost more than the oracle promised.
+//!
+//! ## Routing
+//!
+//! `next_hop(u, v)` walks the tree of `H(v)`: ascend from `u` toward the
+//! landmark until reaching an ancestor of `v`, then descend to `v`. The
+//! realized cost is `d(u,l) + d(l,v) − 2·d(a,l) ≤ est(u → v)` (where `a`
+//! is the meeting ancestor), so the promise above holds. Crucially the
+//! rule is *memoryless* — the hop out of `u` depends only on `(u, v)`,
+//! never on where the object started — so per-pair path caching is pure
+//! memoization: eviction can cost time but can never change an answer
+//! (which also keeps `--jobs 1` and `--jobs N` runs byte-identical even
+//! though cache contents differ).
+
+use crate::graph::{Graph, NodeId, Weight};
+use crate::shortest_paths::ShortestPathTree;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Number of landmarks sampled (capped by `n`). More landmarks tighten
+/// `R` but add a full Dijkstra + `O(n)` memory each at build time.
+pub const DEFAULT_LANDMARKS: usize = 16;
+
+/// Cached-path table capacity in entries (pairs). One entry is ~48 bytes
+/// plus its share of the shared path vector; 2²⁰ entries ≈ 64 MB worst
+/// case. When an insertion would exceed the cap the table is cleared
+/// wholesale — deterministic, and safe because entries are pure
+/// memoization (see module docs).
+const PATH_CACHE_CAP: usize = 1 << 20;
+
+/// Cached routed paths keyed by `(current node, target)`. The value is the
+/// full remaining path (shared, so one routed journey inserts all of its
+/// suffixes at once) plus this key's position in it.
+type PathEntry = (Arc<Vec<NodeId>>, u32);
+
+/// Landmark distance/routing oracle. Build once per network; queries are
+/// lock-free flat-array reads except for the routing path cache.
+pub struct LandmarkOracle {
+    /// One shortest-path tree per landmark, indexed by landmark id.
+    trees: Vec<ShortestPathTree>,
+    /// Home landmark index of each node (nearest, ties to smaller index).
+    home: Vec<u16>,
+    /// Distance from each node to its home landmark.
+    home_dist: Vec<Weight>,
+    /// Covering radius `R = max_v d(v, H(v))`.
+    radius: Weight,
+    /// Upper bound on both the true diameter and any reported distance.
+    diameter_bound: Weight,
+    cache: RwLock<BTreeMap<(NodeId, NodeId), PathEntry>>,
+}
+
+impl LandmarkOracle {
+    /// Build the oracle with [`DEFAULT_LANDMARKS`] landmarks.
+    pub fn build(graph: &Graph) -> Self {
+        Self::build_with(graph, DEFAULT_LANDMARKS)
+    }
+
+    /// Build with an explicit landmark budget (`k` clamped to `[1, n]`).
+    ///
+    /// Landmarks are chosen by farthest-point sampling seeded at node 0:
+    /// each round adds the node maximizing the distance to the landmarks
+    /// picked so far (ties toward the smaller node id). Fully
+    /// deterministic, and `k` Dijkstra runs total.
+    pub fn build_with(graph: &Graph, k: usize) -> Self {
+        let n = graph.n();
+        assert!(n > 0, "landmark oracle needs a non-empty graph");
+        let k = k.clamp(1, n).min(u16::MAX as usize);
+        let mut trees: Vec<ShortestPathTree> = Vec::with_capacity(k);
+        let mut home: Vec<u16> = vec![0; n];
+        let mut home_dist: Vec<Weight> = vec![Weight::MAX; n];
+        let mut next_mark = NodeId(0);
+        for mark in 0..k {
+            let tree = ShortestPathTree::compute(graph, next_mark);
+            assert!(tree.spanning(), "landmark oracle requires connectivity");
+            // Fold this landmark into the nearest-landmark assignment and
+            // pick the farthest remaining node as the next landmark.
+            let mut far = NodeId(0);
+            let mut far_d: Weight = 0;
+            for v in graph.nodes() {
+                let d = tree.dist(v);
+                if d < home_dist[v.index()] {
+                    home_dist[v.index()] = d;
+                    home[v.index()] = mark as u16;
+                }
+                if home_dist[v.index()] > far_d {
+                    far_d = home_dist[v.index()];
+                    far = v;
+                }
+            }
+            trees.push(tree);
+            if far_d == 0 {
+                break; // every node is itself a landmark already
+            }
+            next_mark = far;
+        }
+        let radius = home_dist.iter().copied().max().unwrap_or(0);
+        let max_ecc = trees.iter().map(|t| t.eccentricity()).max().unwrap_or(0);
+        LandmarkOracle {
+            trees,
+            home,
+            home_dist,
+            radius,
+            // Any pair satisfies d(u,v) ≤ est(u→v) ≤ ecc(H(v)) + R.
+            diameter_bound: max_ecc + radius,
+            cache: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of landmarks actually placed.
+    pub fn landmarks(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Covering radius `R`: every reported distance is within an additive
+    /// `2R` of the true shortest-path distance.
+    pub fn stretch_radius(&self) -> Weight {
+        self.radius
+    }
+
+    /// Upper bound on the graph diameter *and* on every distance this
+    /// oracle reports — safe to feed to bucket-level and cover-depth
+    /// formulas that need `D` without `n` full Dijkstra runs.
+    pub fn diameter_bound(&self) -> Weight {
+        self.diameter_bound
+    }
+
+    /// Directed estimate `d(u, H(v)) + d(H(v), v)` — the cost promise for
+    /// routing from `u` to `v` (see module docs).
+    // dtm-lint: hot-path
+    #[inline]
+    fn est(&self, u: NodeId, v: NodeId) -> Weight {
+        let l = self.home[v.index()] as usize;
+        self.trees[l].dist(u) + self.home_dist[v.index()]
+    }
+
+    /// Symmetrized distance estimate: `max` of the two directed estimates,
+    /// so it upper-bounds the routed cost in *either* direction while
+    /// keeping `distance(u, v) == distance(v, u)`.
+    // dtm-lint: hot-path
+    #[inline]
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return 0;
+        }
+        self.est(u, v).max(self.est(v, u))
+    }
+
+    /// First hop from `u` on the oracle's routed path toward `v`.
+    ///
+    /// Consults the cached-path table first; on a miss, routes in the tree
+    /// of `H(v)` and memoizes every suffix of the computed path.
+    // dtm-lint: hot-path
+    pub fn next_hop(&self, u: NodeId, v: NodeId) -> NodeId {
+        debug_assert_ne!(u, v, "next_hop requires distinct endpoints");
+        if let Some(hop) = self.cached_next(u, v) {
+            return hop;
+        }
+        self.route_miss(u, v)
+    }
+
+    /// Allocation-free cache probe: the next hop toward `v` if the pair's
+    /// path is already memoized.
+    // dtm-lint: hot-path
+    #[inline]
+    fn cached_next(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        let guard = self.cache.read();
+        let (path, pos) = guard.get(&(u, v))?;
+        Some(path[*pos as usize + 1])
+    }
+
+    /// Cache-miss path: compute the routed path `u → v`, memoize all of
+    /// its suffixes, and return the first hop. Pure in `(u, v)`, so a
+    /// concurrent or evicted-and-recomputed entry is always identical.
+    fn route_miss(&self, u: NodeId, v: NodeId) -> NodeId {
+        let path = Arc::new(self.compute_path(u, v));
+        let hop = path[1];
+        let mut guard = self.cache.write();
+        if guard.len() + path.len() > PATH_CACHE_CAP {
+            guard.clear();
+        }
+        for (i, &from) in path.iter().enumerate().take(path.len() - 1) {
+            guard.insert((from, v), (Arc::clone(&path), i as u32));
+        }
+        hop
+    }
+
+    /// The routed path from `u` to `v` in the tree of `H(v)`: ascend from
+    /// `u` until reaching an ancestor of `v`, then descend along `v`'s
+    /// root path. Cost = `d(u,l) + d(v,l) − 2·d(a,l) ≤ est(u → v)`.
+    fn compute_path(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let tree = &self.trees[self.home[v.index()] as usize];
+        // v's root path, indexed for O(log depth) ancestor membership tests.
+        let vpath = tree.path_to_root(v);
+        let mut index: Vec<(NodeId, u32)> = vpath
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, i as u32))
+            .collect();
+        index.sort_unstable_by_key(|e| e.0);
+        let mut path = vec![u];
+        let mut cur = u;
+        let meet = loop {
+            if let Ok(at) = index.binary_search_by_key(&cur, |e| e.0) {
+                break index[at].1;
+            }
+            cur = tree
+                .next_hop(cur)
+                .expect("tree root is an ancestor of every node"); // dtm-lint: allow(C1) -- ascent can only fail past the root, and the root is on every root path
+            path.push(cur);
+        };
+        // Descend from the meeting ancestor (exclusive) down to v.
+        path.extend(vpath[..meet as usize].iter().rev());
+        debug_assert_eq!(path.last(), Some(&v));
+        path
+    }
+
+    /// Current number of memoized `(node, target)` pairs (test/telemetry).
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+impl std::fmt::Debug for LandmarkOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LandmarkOracle")
+            .field("landmarks", &self.trees.len())
+            .field("radius", &self.radius)
+            .field("diameter_bound", &self.diameter_bound)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn oracle_and_graph(seed: u64, n: u32) -> (LandmarkOracle, crate::network::Network) {
+        let net = topology::random(n, 3, 5, seed);
+        let oracle = LandmarkOracle::build_with(net.graph(), 4);
+        (oracle, net)
+    }
+
+    #[test]
+    fn estimates_upper_bound_true_distance_within_stretch() {
+        let (oracle, net) = oracle_and_graph(11, 40);
+        let r2 = 2 * oracle.stretch_radius();
+        for u in net.graph().nodes() {
+            for v in net.graph().nodes() {
+                let truth = ShortestPathTree::compute(net.graph(), v).dist(u);
+                let est = oracle.distance(u, v);
+                assert!(est >= truth, "estimate must upper-bound the metric");
+                assert!(est <= truth + r2, "additive stretch bound 2R violated");
+                assert_eq!(est, oracle.distance(v, u), "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_cost_never_exceeds_estimate() {
+        let (oracle, net) = oracle_and_graph(23, 40);
+        let g = net.graph();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let mut cost: Weight = 0;
+                let mut cur = u;
+                let mut hops = 0;
+                while cur != v {
+                    let next = oracle.next_hop(cur, v);
+                    cost += g.edge_weight(cur, next).expect("routed hops are edges");
+                    cur = next;
+                    hops += 1;
+                    assert!(hops <= g.n(), "routing must terminate");
+                }
+                assert!(cost <= oracle.distance(u, v), "promise violated");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_memoryless_under_eviction() {
+        // Dropping the cache mid-journey must not change the trajectory.
+        let (oracle, net) = oracle_and_graph(5, 30);
+        let g = net.graph();
+        let (u, v) = (NodeId(0), NodeId(29));
+        let mut warm = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = oracle.next_hop(cur, v);
+            warm.push(cur);
+        }
+        let fresh = LandmarkOracle::build_with(g, 4);
+        let mut cold = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cold.push(fresh.next_hop(cur, v));
+            cur = *cold.last().unwrap();
+            fresh.cache.write().clear(); // evict between every hop
+        }
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn diameter_bound_dominates_estimates() {
+        let (oracle, net) = oracle_and_graph(7, 35);
+        let mut max_est = 0;
+        let mut true_diam = 0;
+        for v in net.graph().nodes() {
+            let tree = ShortestPathTree::compute(net.graph(), v);
+            true_diam = true_diam.max(tree.eccentricity());
+            for u in net.graph().nodes() {
+                max_est = max_est.max(oracle.distance(u, v));
+            }
+        }
+        assert!(oracle.diameter_bound() >= true_diam);
+        assert!(oracle.diameter_bound() >= max_est);
+    }
+
+    #[test]
+    fn cache_suffix_sharing() {
+        let (oracle, _net) = oracle_and_graph(3, 30);
+        assert_eq!(oracle.cached_pairs(), 0);
+        let _ = oracle.next_hop(NodeId(0), NodeId(29));
+        let inserted = oracle.cached_pairs();
+        assert!(inserted >= 1, "first miss memoizes the whole path");
+        // Hopping along the same journey is all cache hits: no growth.
+        let hop = oracle.next_hop(NodeId(0), NodeId(29));
+        let _ = oracle.next_hop(hop, NodeId(29));
+        assert_eq!(oracle.cached_pairs(), inserted);
+    }
+
+    #[test]
+    fn saturated_landmarks_on_tiny_graph() {
+        // k >= n: every node becomes (or is covered at distance 0 by) a
+        // landmark, so estimates are exact.
+        let net = topology::random(6, 2, 3, 9);
+        let oracle = LandmarkOracle::build_with(net.graph(), 16);
+        assert_eq!(oracle.stretch_radius(), 0);
+        for u in net.graph().nodes() {
+            for v in net.graph().nodes() {
+                assert_eq!(oracle.distance(u, v), net.distance(u, v));
+            }
+        }
+    }
+}

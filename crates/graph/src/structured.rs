@@ -68,6 +68,58 @@ pub enum Structured {
         /// Side length of each dimension (each >= 1).
         dims: Vec<u32>,
     },
+    /// Fog/cloud hierarchy: a complete `fanout`-ary tree with `levels`
+    /// levels, ids in level order (root 0, node `i`'s parent is
+    /// `(i-1)/fanout`). The edge into a child at depth `d` has weight
+    /// `2^(levels-1-d)`: links near the cloud root are long-latency, links
+    /// near the edge devices are fast — the latency hierarchy assumed by
+    /// the fog-computing schedulers in the Busch line of work. All
+    /// distances have O(levels) closed forms, so million-node instances
+    /// route exactly with no Dijkstra at all.
+    FogTree {
+        /// Number of levels (>= 1; a single level is the lone root).
+        levels: u32,
+        /// Children per internal node (>= 1).
+        fanout: u32,
+    },
+}
+
+/// Potential of a node at depth `d` in a fog tree with `levels` levels:
+/// `2^(levels-1-d)`. Climbing from depth `d` to an ancestor at depth `a`
+/// costs exactly `pot(a) - pot(d)`, and the edge into a depth-`d` child
+/// weighs `pot(d)` — the closed forms below are all differences of
+/// potentials.
+#[inline]
+fn fog_pot(levels: u32, depth: u32) -> Weight {
+    1u64 << (levels - 1 - depth)
+}
+
+/// Depth of node `i` in a complete `fanout`-ary tree (level-order ids).
+fn fog_depth(i: u32, fanout: u32) -> u32 {
+    let (mut depth, mut first, mut width) = (0u32, 0u64, 1u64);
+    loop {
+        if (i as u64) < first + width {
+            return depth;
+        }
+        first += width;
+        width *= fanout as u64;
+        depth += 1;
+    }
+}
+
+/// Parent of node `i > 0` in level order.
+#[inline]
+fn fog_parent(i: u32, fanout: u32) -> u32 {
+    (i - 1) / fanout
+}
+
+/// Ancestor of `i` at depth `target` (requires `target <= depth(i)`).
+fn fog_lift(mut i: u32, fanout: u32, mut depth: u32, target: u32) -> u32 {
+    while depth > target {
+        i = fog_parent(i, fanout);
+        depth -= 1;
+    }
+    i
 }
 
 impl Structured {
@@ -87,6 +139,14 @@ impl Structured {
                 clique_size,
                 ..
             } => (*cliques as usize) * (*clique_size as usize),
+            Structured::FogTree { levels, fanout } => {
+                let (mut total, mut width) = (0usize, 1usize);
+                for _ in 0..*levels {
+                    total += width;
+                    width *= *fanout as usize;
+                }
+                total
+            }
         }
     }
 
@@ -148,6 +208,20 @@ impl Structured {
                     let enter = if iv == 0 { 0 } else { 1 };
                     exit + bridge_weight + enter
                 }
+            }
+            Structured::FogTree { levels, fanout } => {
+                let (du, dv) = (fog_depth(u.0, *fanout), fog_depth(v.0, *fanout));
+                // Lift both endpoints to their LCA, tracking its depth.
+                let common = du.min(dv);
+                let mut a = fog_lift(u.0, *fanout, du, common);
+                let mut b = fog_lift(v.0, *fanout, dv, common);
+                let mut da = common;
+                while a != b {
+                    a = fog_parent(a, *fanout);
+                    b = fog_parent(b, *fanout);
+                    da -= 1;
+                }
+                2 * fog_pot(*levels, da) - fog_pot(*levels, du) - fog_pot(*levels, dv)
             }
         }
     }
@@ -256,6 +330,17 @@ impl Structured {
                     }
                 }
             }
+            Structured::FogTree { fanout, .. } => {
+                let (du, dv) = (fog_depth(u.0, *fanout), fog_depth(v.0, *fanout));
+                if dv > du {
+                    // If u is an ancestor of v, descend toward v; else climb.
+                    let child = fog_lift(v.0, *fanout, dv, du + 1);
+                    if fog_parent(child, *fanout) == u.0 {
+                        return NodeId(child);
+                    }
+                }
+                NodeId(fog_parent(u.0, *fanout))
+            }
         }
     }
 
@@ -273,6 +358,12 @@ impl Structured {
                 bridge_weight,
                 ..
             } if u.0 / clique_size != v.0 / clique_size => *bridge_weight,
+            Structured::FogTree { levels, fanout } => {
+                // The deeper endpoint is the child; the edge weighs its
+                // potential.
+                let d = fog_depth(u.0.max(v.0), *fanout);
+                fog_pot(*levels, d)
+            }
             _ => 1,
         }
     }
@@ -314,6 +405,15 @@ impl Structured {
                     bridge_weight + 2
                 } else {
                     *bridge_weight
+                }
+            }
+            Structured::FogTree { levels, fanout } => {
+                // Leaf-to-root costs pot(0) - pot(levels-1) = 2^(levels-1) - 1.
+                let climb = fog_pot(*levels, 0) - 1;
+                if *fanout >= 2 && *levels >= 2 {
+                    2 * climb // two leaves meeting at the root
+                } else {
+                    climb // a path (fanout 1) or the lone root
                 }
             }
         }
@@ -490,6 +590,60 @@ mod tests {
         };
         check_all_pairs(&s);
         assert_eq!(s.diameter(), 5);
+    }
+
+    #[test]
+    fn fog_tree_routing() {
+        let s = Structured::FogTree {
+            levels: 3,
+            fanout: 2,
+        };
+        assert_eq!(s.n(), 7);
+        check_all_pairs(&s);
+        // Root-adjacent edges are heavier than leaf-adjacent ones.
+        assert_eq!(s.edge_weight(NodeId(0), NodeId(1)), 2);
+        assert_eq!(s.edge_weight(NodeId(1), NodeId(3)), 1);
+        // Leaf 3 to leaf 5 meets at the root: 1 + 2 + 2 + 1.
+        assert_eq!(s.dist(NodeId(3), NodeId(5)), 6);
+        assert_eq!(s.diameter(), 6);
+        // Sibling leaves meet at their shared fog node.
+        assert_eq!(s.dist(NodeId(3), NodeId(4)), 2);
+        check_all_pairs(&Structured::FogTree {
+            levels: 4,
+            fanout: 3,
+        });
+        check_all_pairs(&Structured::FogTree {
+            levels: 2,
+            fanout: 5,
+        });
+    }
+
+    #[test]
+    fn fog_tree_degenerate_shapes() {
+        let lone = Structured::FogTree {
+            levels: 1,
+            fanout: 4,
+        };
+        assert_eq!(lone.n(), 1);
+        assert_eq!(lone.diameter(), 0);
+        // Fanout 1 is a weighted path 0-1-...-levels-1.
+        let path = Structured::FogTree {
+            levels: 4,
+            fanout: 1,
+        };
+        assert_eq!(path.n(), 4);
+        check_all_pairs(&path);
+        assert_eq!(path.diameter(), 7); // 4 + 2 + 1
+        assert_eq!(path.dist(NodeId(0), NodeId(3)), 7);
+    }
+
+    #[test]
+    fn fog_depth_level_order() {
+        for (i, d) in [(0u32, 0u32), (1, 1), (2, 1), (3, 2), (6, 2), (7, 3)] {
+            assert_eq!(fog_depth(i, 2), d);
+        }
+        assert_eq!(fog_depth(0, 1), 0);
+        assert_eq!(fog_depth(5, 1), 5);
     }
 
     #[test]

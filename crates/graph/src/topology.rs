@@ -1,9 +1,15 @@
 //! Generators for the network architectures analyzed in the paper
 //! (Section I "Contributions"): clique, hypercube, butterfly, grid, line,
 //! cluster and star — plus ring, torus, complete binary tree and connected
-//! Erdős–Rényi graphs used as additional experiment substrates.
+//! Erdős–Rényi graphs used as additional experiment substrates, and three
+//! large-scale families sized for the landmark routing tier (10⁵–10⁶
+//! nodes): random geometric graphs, power-law preferential-attachment
+//! graphs and fog/cloud trees.
+//!
+//! All generators assemble edges through [`GraphBuilder`], which keeps
+//! construction `O(n + m)` regardless of insertion order.
 
-use crate::graph::{Graph, NodeId, Weight};
+use crate::graph::{GraphBuilder, NodeId, Weight};
 use crate::network::Network;
 use crate::structured::Structured;
 use rand::seq::SliceRandom;
@@ -88,6 +94,39 @@ pub enum Topology {
         /// RNG seed for reproducibility.
         seed: u64,
     },
+    /// Random geometric graph: nodes at integer positions in a square
+    /// sized so expected density is ~1 node per `radius × radius` cell;
+    /// nodes within Euclidean distance `radius` are linked with weight
+    /// ≈ their distance. A deterministic cell-order chain guarantees
+    /// connectivity. Scales to 10⁵–10⁶ nodes.
+    Geometric {
+        /// Number of nodes.
+        n: u32,
+        /// Connection radius (also the cell size; >= 1).
+        radius: u32,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Power-law graph by preferential attachment: each new node links to
+    /// `attach` earlier nodes sampled proportionally to degree. Unit
+    /// weights; connected by construction. Scales to 10⁵–10⁶ nodes.
+    PowerLaw {
+        /// Number of nodes.
+        n: u32,
+        /// Edges added per arriving node (>= 1).
+        attach: u32,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Fog/cloud hierarchy: complete `fanout`-ary tree with `levels`
+    /// levels and power-of-two edge weights shrinking toward the leaves
+    /// (see [`Structured::FogTree`]). Closed-form routing at any size.
+    FogTree {
+        /// Number of levels (>= 1).
+        levels: u32,
+        /// Children per internal node (>= 1).
+        fanout: u32,
+    },
 }
 
 impl Topology {
@@ -114,6 +153,13 @@ impl Topology {
                 max_weight,
                 seed,
             } => format!("random(n={n},deg={avg_degree},w={max_weight},seed={seed})"),
+            Topology::Geometric { n, radius, seed } => {
+                format!("geometric(n={n},r={radius},seed={seed})")
+            }
+            Topology::PowerLaw { n, attach, seed } => {
+                format!("powerlaw(n={n},m={attach},seed={seed})")
+            }
+            Topology::FogTree { levels, fanout } => format!("fogtree(l={levels},f={fanout})"),
         }
     }
 
@@ -134,6 +180,12 @@ impl Topology {
             } => (*cliques as usize) * (*clique_size as usize),
             Topology::Tree { depth } => (1usize << (depth + 1)) - 1,
             Topology::Random { n, .. } => *n as usize,
+            Topology::Geometric { n, .. } | Topology::PowerLaw { n, .. } => *n as usize,
+            Topology::FogTree { levels, fanout } => Structured::FogTree {
+                levels: *levels,
+                fanout: *fanout,
+            }
+            .n(),
         }
     }
 
@@ -163,6 +215,9 @@ impl Topology {
                 max_weight,
                 seed,
             } => random(*n, *avg_degree, *max_weight, *seed),
+            Topology::Geometric { n, radius, seed } => geometric(*n, *radius, *seed),
+            Topology::PowerLaw { n, attach, seed } => power_law(*n, *attach, *seed),
+            Topology::FogTree { levels, fanout } => fog_tree(*levels, *fanout),
         }
     }
 }
@@ -170,7 +225,7 @@ impl Topology {
 /// Add an edge inside a builder. Builders only link nodes they have
 /// already allocated and never repeat an edge, so a failure here is a
 /// generator bug, not an input condition.
-fn link(g: &mut Graph, u: NodeId, v: NodeId, w: Weight) {
+fn link(g: &mut GraphBuilder, u: NodeId, v: NodeId, w: Weight) {
     g.add_edge(u, v, w)
         .expect("topology builders link distinct existing nodes exactly once"); // dtm-lint: allow(C1) -- builder invariant: endpoints are allocated above and each edge is added once
 }
@@ -178,33 +233,33 @@ fn link(g: &mut Graph, u: NodeId, v: NodeId, w: Weight) {
 /// Complete graph on `n` nodes, unit weights.
 pub fn clique(n: u32) -> Network {
     assert!(n >= 1, "clique needs at least one node");
-    let mut g = Graph::new(n as usize, format!("clique(n={n})"));
+    let mut g = GraphBuilder::new(n as usize, format!("clique(n={n})"));
     for u in 0..n {
         for v in (u + 1)..n {
             link(&mut g, NodeId(u), NodeId(v), 1);
         }
     }
-    Network::new(g, Some(Structured::Clique { n }))
+    Network::new(g.build(), Some(Structured::Clique { n }))
 }
 
 /// Path graph on `n` nodes, unit weights.
 pub fn line(n: u32) -> Network {
     assert!(n >= 1, "line needs at least one node");
-    let mut g = Graph::new(n as usize, format!("line(n={n})"));
+    let mut g = GraphBuilder::new(n as usize, format!("line(n={n})"));
     for u in 1..n {
         link(&mut g, NodeId(u - 1), NodeId(u), 1);
     }
-    Network::new(g, Some(Structured::Line { n }))
+    Network::new(g.build(), Some(Structured::Line { n }))
 }
 
 /// Cycle on `n >= 3` nodes, unit weights.
 pub fn ring(n: u32) -> Network {
     assert!(n >= 3, "ring needs at least three nodes");
-    let mut g = Graph::new(n as usize, format!("ring(n={n})"));
+    let mut g = GraphBuilder::new(n as usize, format!("ring(n={n})"));
     for u in 0..n {
         link(&mut g, NodeId(u), NodeId((u + 1) % n), 1);
     }
-    Network::new(g, Some(Structured::Ring { n }))
+    Network::new(g.build(), Some(Structured::Ring { n }))
 }
 
 /// d-dimensional grid with side lengths `dims`, unit weights.
@@ -214,7 +269,7 @@ pub fn grid(dims: &[u32]) -> Network {
     let s = Structured::Grid {
         dims: dims.to_vec(),
     };
-    let mut g = Graph::new(n, format!("grid({dims:?})"));
+    let mut g = GraphBuilder::new(n, format!("grid({dims:?})"));
     for id in 0..n as u32 {
         // Connect to +1 neighbor in each dimension.
         let mut stride = 1u32;
@@ -228,7 +283,7 @@ pub fn grid(dims: &[u32]) -> Network {
             stride *= d;
         }
     }
-    Network::new(g, Some(s))
+    Network::new(g.build(), Some(s))
 }
 
 /// d-dimensional torus with side lengths `dims`, unit weights.
@@ -241,7 +296,7 @@ pub fn torus(dims: &[u32]) -> Network {
     let s = Structured::Torus {
         dims: dims.to_vec(),
     };
-    let mut g = Graph::new(n, format!("torus({dims:?})"));
+    let mut g = GraphBuilder::new(n, format!("torus({dims:?})"));
     for id in 0..n as u32 {
         let mut stride = 1u32;
         let mut rest = id;
@@ -256,14 +311,14 @@ pub fn torus(dims: &[u32]) -> Network {
             stride *= d;
         }
     }
-    Network::new(g, Some(s))
+    Network::new(g.build(), Some(s))
 }
 
 /// Hypercube with `2^dim` nodes, unit weights.
 pub fn hypercube(dim: u32) -> Network {
     assert!((1..=20).contains(&dim), "hypercube dim out of range");
     let n = 1u32 << dim;
-    let mut g = Graph::new(n as usize, format!("hypercube(d={dim})"));
+    let mut g = GraphBuilder::new(n as usize, format!("hypercube(d={dim})"));
     for u in 0..n {
         for b in 0..dim {
             let v = u ^ (1 << b);
@@ -272,7 +327,7 @@ pub fn hypercube(dim: u32) -> Network {
             }
         }
     }
-    Network::new(g, Some(Structured::Hypercube { dim }))
+    Network::new(g.build(), Some(Structured::Hypercube { dim }))
 }
 
 /// `dim`-dimensional butterfly: levels `0..=dim`, `2^dim` rows; node
@@ -282,7 +337,7 @@ pub fn butterfly(dim: u32) -> Network {
     assert!((1..=16).contains(&dim), "butterfly dim out of range");
     let rows = 1u32 << dim;
     let n = (dim + 1) * rows;
-    let mut g = Graph::new(n as usize, format!("butterfly(d={dim})"));
+    let mut g = GraphBuilder::new(n as usize, format!("butterfly(d={dim})"));
     for level in 0..dim {
         for row in 0..rows {
             let here = level * rows + row;
@@ -292,7 +347,7 @@ pub fn butterfly(dim: u32) -> Network {
             link(&mut g, NodeId(here), NodeId(cross), 1);
         }
     }
-    Network::new(g, None)
+    Network::new(g.build(), None)
 }
 
 /// Star with `rays` rays of `ray_len` nodes; node 0 is the center.
@@ -300,7 +355,7 @@ pub fn star(rays: u32, ray_len: u32) -> Network {
     assert!(rays >= 1 && ray_len >= 1, "star needs rays and ray length");
     let s = Structured::Star { rays, ray_len };
     let n = s.n();
-    let mut g = Graph::new(n, format!("star(a={rays},b={ray_len})"));
+    let mut g = GraphBuilder::new(n, format!("star(a={rays},b={ray_len})"));
     for r in 0..rays {
         let first = 1 + r * ray_len;
         link(&mut g, NodeId(0), NodeId(first), 1);
@@ -308,7 +363,7 @@ pub fn star(rays: u32, ray_len: u32) -> Network {
             link(&mut g, NodeId(first + p - 1), NodeId(first + p), 1);
         }
     }
-    Network::new(g, Some(s))
+    Network::new(g.build(), Some(s))
 }
 
 /// Cluster graph: `cliques` cliques of `clique_size` unit-weight nodes;
@@ -326,7 +381,7 @@ pub fn cluster(cliques: u32, clique_size: u32, bridge_weight: Weight) -> Network
         bridge_weight,
     };
     let n = s.n();
-    let mut g = Graph::new(
+    let mut g = GraphBuilder::new(
         n,
         format!("cluster(a={cliques},b={clique_size},g={bridge_weight})"),
     );
@@ -348,7 +403,7 @@ pub fn cluster(cliques: u32, clique_size: u32, bridge_weight: Weight) -> Network
             );
         }
     }
-    Network::new(g, Some(s))
+    Network::new(g.build(), Some(s))
 }
 
 /// Complete binary tree with `depth` edge-levels (`2^(depth+1) - 1` nodes),
@@ -356,7 +411,7 @@ pub fn cluster(cliques: u32, clique_size: u32, bridge_weight: Weight) -> Network
 pub fn tree(depth: u32) -> Network {
     assert!(depth <= 20, "tree depth out of range");
     let n = (1usize << (depth + 1)) - 1;
-    let mut g = Graph::new(n, format!("tree(depth={depth})"));
+    let mut g = GraphBuilder::new(n, format!("tree(depth={depth})"));
     for i in 0..n as u32 {
         for child in [2 * i + 1, 2 * i + 2] {
             if (child as usize) < n {
@@ -364,7 +419,7 @@ pub fn tree(depth: u32) -> Network {
             }
         }
     }
-    Network::new(g, None)
+    Network::new(g.build(), None)
 }
 
 /// Connected random graph: a uniformly-shuffled spanning tree plus extra
@@ -374,7 +429,7 @@ pub fn random(n: u32, avg_degree: u32, max_weight: Weight, seed: u64) -> Network
     assert!(n >= 2, "random graph needs at least two nodes");
     assert!(max_weight >= 1, "weights must be positive");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut g = Graph::new(
+    let mut g = GraphBuilder::new(
         n as usize,
         format!("random(n={n},deg={avg_degree},w={max_weight},seed={seed})"),
     );
@@ -399,7 +454,158 @@ pub fn random(n: u32, avg_degree: u32, max_weight: Weight, seed: u64) -> Network
         let w = rng.gen_range(1..=max_weight);
         link(&mut g, NodeId(u), NodeId(v), w);
     }
-    Network::new(g, None)
+    Network::new(g.build(), None)
+}
+
+/// Integer square root (floor), avoiding floats for determinism (D5).
+fn isqrt(x: u64) -> u64 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = 1u64 << (u64::BITS - x.leading_zeros()).div_ceil(2);
+    loop {
+        let next = (r + x / r) / 2;
+        if next >= r {
+            return r;
+        }
+        r = next;
+    }
+}
+
+/// Random geometric graph on `n` nodes: integer positions uniform in a
+/// square of side `isqrt(n) * radius` (expected density ≈ 1 node per
+/// `radius × radius` cell), an edge between every pair within Euclidean
+/// distance `radius` (weight `max(1, ⌊distance⌋)`), plus a deterministic
+/// chain through the cells — same weight rule — so the graph is always
+/// connected. Neighbor search uses the 3×3 surrounding cells, so
+/// construction is `O(n)` expected. Deterministic in `seed`; all math is
+/// integer (D5).
+pub fn geometric(n: u32, radius: u32, seed: u64) -> Network {
+    assert!(n >= 2, "geometric graph needs at least two nodes");
+    assert!(radius >= 1, "geometric radius must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = (isqrt(n as u64).max(1) * radius as u64).max(radius as u64 + 1);
+    let cells_per_row = (side / radius as u64 + 1) as usize;
+    let mut g = GraphBuilder::new(n as usize, format!("geometric(n={n},r={radius},seed={seed})"));
+    let pos: Vec<(u64, u64)> = (0..n)
+        .map(|_| (rng.gen_range(0..side), rng.gen_range(0..side)))
+        .collect();
+    // Bucket nodes by cell for 3×3 neighborhood search.
+    let cell_of = |p: (u64, u64)| -> usize {
+        (p.1 / radius as u64) as usize * cells_per_row + (p.0 / radius as u64) as usize
+    };
+    let mut cells: Vec<Vec<u32>> = (0..cells_per_row * cells_per_row).map(|_| Vec::new()).collect();
+    for (i, &p) in pos.iter().enumerate() {
+        cells[cell_of(p)].push(i as u32);
+    }
+    let dist2 = |a: (u64, u64), b: (u64, u64)| -> u64 {
+        let dx = a.0.abs_diff(b.0);
+        let dy = a.1.abs_diff(b.1);
+        dx * dx + dy * dy
+    };
+    let r2 = radius as u64 * radius as u64;
+    for u in 0..n {
+        let p = pos[u as usize];
+        let (cx, cy) = (
+            (p.0 / radius as u64) as isize,
+            (p.1 / radius as u64) as isize,
+        );
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (x, y) = (cx + dx, cy + dy);
+                if x < 0 || y < 0 || x as usize >= cells_per_row || y as usize >= cells_per_row {
+                    continue;
+                }
+                for &v in &cells[y as usize * cells_per_row + x as usize] {
+                    if v <= u {
+                        continue; // each unordered pair considered once
+                    }
+                    let d2 = dist2(p, pos[v as usize]);
+                    if d2 <= r2 {
+                        link(&mut g, NodeId(u), NodeId(v), isqrt(d2).max(1));
+                    }
+                }
+            }
+        }
+    }
+    // Connectivity chain: visit nodes in (cell, id) order and link each to
+    // its predecessor unless already adjacent. Deterministic; adds < n
+    // edges whose weight follows the same distance rule.
+    let mut chain: Vec<u32> = (0..n).collect();
+    chain.sort_unstable_by_key(|&i| (cell_of(pos[i as usize]), i));
+    for w in chain.windows(2) {
+        let (a, b) = (NodeId(w[0]), NodeId(w[1]));
+        if g.edge_weight(a, b).is_none() {
+            let d = isqrt(dist2(pos[w[0] as usize], pos[w[1] as usize])).max(1);
+            link(&mut g, a, b, d);
+        }
+    }
+    Network::new(g.build(), None)
+}
+
+/// Power-law (preferential attachment) graph: nodes arrive in id order;
+/// node `i` links to `attach` distinct earlier nodes chosen proportionally
+/// to current degree (the classic endpoint-list trick). Unit weights;
+/// connected by construction since every node attaches to a predecessor.
+/// Deterministic in `seed`.
+pub fn power_law(n: u32, attach: u32, seed: u64) -> Network {
+    assert!(n >= 2, "power-law graph needs at least two nodes");
+    assert!(attach >= 1, "attach must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = GraphBuilder::new(n as usize, format!("powerlaw(n={n},m={attach},seed={seed})"));
+    // Every edge endpoint lands here once; sampling an entry uniformly is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n as usize * attach as usize);
+    for i in 1..n {
+        let want = attach.min(i);
+        let mut added = 0u32;
+        let mut attempts = 0u32;
+        while added < want {
+            attempts += 1;
+            let target = if endpoints.is_empty() || attempts > 8 * attach {
+                // Fallback (and bootstrap): uniform over earlier nodes;
+                // keeps the loop bounded when degree sampling keeps
+                // hitting duplicates.
+                rng.gen_range(0..i)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if target == i || g.edge_weight(NodeId(i), NodeId(target)).is_some() {
+                continue;
+            }
+            link(&mut g, NodeId(i), NodeId(target), 1);
+            endpoints.push(i);
+            endpoints.push(target);
+            added += 1;
+        }
+    }
+    Network::new(g.build(), None)
+}
+
+/// Fog/cloud tree: complete `fanout`-ary tree with `levels` levels, edge
+/// weights `2^(levels-1-d)` into depth `d` — long-latency links near the
+/// cloud root, fast links at the device edge. Routing and distances come
+/// from the [`Structured::FogTree`] closed forms, so million-node
+/// instances cost no Dijkstra at all.
+pub fn fog_tree(levels: u32, fanout: u32) -> Network {
+    assert!((1..=30).contains(&levels), "fog tree levels out of range");
+    assert!(fanout >= 1, "fog tree fanout must be positive");
+    let s = Structured::FogTree { levels, fanout };
+    let n = s.n();
+    assert!(n <= u32::MAX as usize / 4, "fog tree too large");
+    let mut g = GraphBuilder::new(n, format!("fogtree(l={levels},f={fanout})"));
+    let mut first = 1u64; // first id at the current child depth
+    let mut width = fanout as u64;
+    for depth in 1..levels {
+        let w: Weight = 1u64 << (levels - 1 - depth);
+        for i in first..(first + width).min(n as u64) {
+            let parent = (i - 1) / fanout as u64;
+            link(&mut g, NodeId(parent as u32), NodeId(i as u32), w);
+        }
+        first += width;
+        width *= fanout as u64;
+    }
+    Network::new(g.build(), Some(s))
 }
 
 #[cfg(test)]
@@ -493,6 +699,51 @@ mod tests {
     }
 
     #[test]
+    fn fog_tree_matches_dijkstra() {
+        assert_oracle_matches(&fog_tree(3, 2));
+        assert_oracle_matches(&fog_tree(4, 3));
+        assert_oracle_matches(&fog_tree(2, 6));
+        assert_oracle_matches(&fog_tree(5, 1));
+    }
+
+    #[test]
+    fn geometric_deterministic_and_connected() {
+        let a = geometric(200, 4, 13);
+        let b = geometric(200, 4, 13);
+        assert!(a.graph().is_connected());
+        let ea: Vec<_> = a.graph().edges().collect();
+        let eb: Vec<_> = b.graph().edges().collect();
+        assert_eq!(ea, eb);
+        // Weights follow the distance rule: positive, at most ~r√2 for
+        // in-radius links plus the (possibly longer) chain edges.
+        assert!(a.graph().min_edge_weight().unwrap() >= 1);
+    }
+
+    #[test]
+    fn power_law_deterministic_connected_and_skewed() {
+        let a = power_law(300, 2, 5);
+        let b = power_law(300, 2, 5);
+        assert!(a.graph().is_connected());
+        let ea: Vec<_> = a.graph().edges().collect();
+        let eb: Vec<_> = b.graph().edges().collect();
+        assert_eq!(ea, eb);
+        // Preferential attachment produces hubs: the max degree should be
+        // far above the mean (~4 for attach=2).
+        let max_deg = a.graph().nodes().map(|v| a.graph().degree(v)).max().unwrap();
+        assert!(max_deg >= 10, "expected a hub, max degree {max_deg}");
+        assert!(a.graph().uniform_weight() == Some(1));
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for x in 0..2000u64 {
+            let r = isqrt(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "isqrt({x}) = {r}");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
     fn random_graph_deterministic_and_connected() {
         let a = random(40, 4, 3, 7);
         let b = random(40, 4, 3, 7);
@@ -521,6 +772,20 @@ mod tests {
             },
             Topology::Tree { depth: 2 },
             Topology::Grid { dims: vec![3, 3] },
+            Topology::Geometric {
+                n: 60,
+                radius: 3,
+                seed: 2,
+            },
+            Topology::PowerLaw {
+                n: 50,
+                attach: 2,
+                seed: 3,
+            },
+            Topology::FogTree {
+                levels: 3,
+                fanout: 3,
+            },
         ];
         for t in topos {
             let net = t.build();
@@ -543,6 +808,20 @@ mod tests {
         #[test]
         fn random_graphs_always_connected(n in 2u32..60, deg in 0u32..6, w in 1u64..5, seed in 0u64..50) {
             let net = random(n, deg, w, seed);
+            prop_assert!(net.graph().is_connected());
+            prop_assert_eq!(net.n(), n as usize);
+        }
+
+        #[test]
+        fn geometric_always_connected(n in 2u32..120, r in 1u32..6, seed in 0u64..30) {
+            let net = geometric(n, r, seed);
+            prop_assert!(net.graph().is_connected());
+            prop_assert_eq!(net.n(), n as usize);
+        }
+
+        #[test]
+        fn power_law_always_connected(n in 2u32..120, m in 1u32..4, seed in 0u64..30) {
+            let net = power_law(n, m, seed);
             prop_assert!(net.graph().is_connected());
             prop_assert_eq!(net.n(), n as usize);
         }

@@ -30,7 +30,7 @@
 //! `// dtm-lint: allow(<rule>) -- <reason>` on the offending line or on
 //! a comment line directly above — or path-scoped via `[[allow]]`
 //! entries in the repo's `lint.toml`. Every waiver must carry a reason,
-//! and [[allow]] entries that waive nothing across a whole run are W2
+//! and `[[allow]]` entries that waive nothing across a whole run are W2
 //! findings themselves; CI runs `cargo run -p dtm-lint -- --github` and
 //! fails on any unwaived finding.
 
